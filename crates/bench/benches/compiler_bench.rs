@@ -1,0 +1,70 @@
+//! Criterion benches of the compilation chain: front end, whole-program
+//! compilation (the optimizer's inner loop), and single-block
+//! recompilation (the dynamic-recompilation hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reml_bench::Workload;
+use reml_compiler::pipeline::{analyze_program, compile, compile_single_block};
+use reml_lang::BlockId;
+use reml_scripts::{DataShape, Scenario};
+
+fn shape() -> DataShape {
+    DataShape {
+        scenario: Scenario::M,
+        cols: 1000,
+        sparsity: 1.0,
+    }
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend_analyze");
+    for ctor in [
+        reml_scripts::linreg_ds as fn() -> reml_scripts::ScriptSpec,
+        reml_scripts::l2svm,
+        reml_scripts::glm,
+    ] {
+        let script = ctor();
+        group.bench_function(BenchmarkId::from_parameter(script.name), |b| {
+            b.iter(|| analyze_program(&script.source).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_program");
+    for ctor in [
+        reml_scripts::linreg_ds as fn() -> reml_scripts::ScriptSpec,
+        reml_scripts::l2svm,
+        reml_scripts::glm,
+    ] {
+        let wl = Workload::new(ctor(), shape());
+        group.bench_function(BenchmarkId::from_parameter(wl.script.name), |b| {
+            b.iter(|| compile(&wl.analyzed, &wl.base).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_block_recompile(c: &mut Criterion) {
+    let wl = Workload::new(reml_scripts::l2svm(), shape());
+    let compiled = compile(&wl.analyzed, &wl.base).unwrap();
+    // Pick the largest generic block (the while-loop body workhorse).
+    let (bid, env) = compiled
+        .entry_envs
+        .iter()
+        .max_by_key(|(_, env)| env.len())
+        .map(|(bid, env)| (*bid, env.clone()))
+        .expect("has blocks");
+    c.bench_function("recompile_single_block_l2svm", |b| {
+        b.iter(|| compile_single_block(&wl.analyzed, &wl.base, BlockId(bid), &env).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_full_compile,
+    bench_single_block_recompile
+);
+criterion_main!(benches);

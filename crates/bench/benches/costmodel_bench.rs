@@ -1,0 +1,55 @@
+//! Criterion benches of the analytic cost model — the operation the
+//! optimizer invokes hundreds of times per run (Table 3's "# Cost.").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reml_bench::Workload;
+use reml_compiler::pipeline::compile;
+use reml_cost::CostModel;
+use reml_scripts::{DataShape, Scenario};
+
+fn bench_cost_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_program");
+    for ctor in [
+        reml_scripts::linreg_ds as fn() -> reml_scripts::ScriptSpec,
+        reml_scripts::linreg_cg,
+        reml_scripts::glm,
+    ] {
+        let wl = Workload::new(
+            ctor(),
+            DataShape {
+                scenario: Scenario::M,
+                cols: 1000,
+                sparsity: 1.0,
+            },
+        );
+        let compiled = compile(&wl.analyzed, &wl.base).unwrap();
+        let model = CostModel::new(wl.cluster.clone());
+        group.bench_function(BenchmarkId::from_parameter(wl.script.name), |b| {
+            b.iter(|| model.cost_program(&compiled.runtime, 512, &|_| 512))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_scaling_with_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_linreg_cg_by_scenario");
+    for scenario in [Scenario::XS, Scenario::M, Scenario::XL] {
+        let wl = Workload::new(
+            reml_scripts::linreg_cg(),
+            DataShape {
+                scenario,
+                cols: 1000,
+                sparsity: 1.0,
+            },
+        );
+        let compiled = compile(&wl.analyzed, &wl.base).unwrap();
+        let model = CostModel::new(wl.cluster.clone());
+        group.bench_function(BenchmarkId::from_parameter(scenario.name()), |b| {
+            b.iter(|| model.cost_program(&compiled.runtime, 512, &|_| 2048))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_program, bench_cost_scaling_with_scenario);
+criterion_main!(benches);

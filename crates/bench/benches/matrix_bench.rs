@@ -1,0 +1,71 @@
+//! Criterion benches of the matrix substrate kernels — the operations
+//! the CP executor spends its time in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reml_matrix::generate::{rand_dense, rand_sparse};
+use reml_matrix::{AggOp, BinaryOp, Matrix};
+
+fn bench_matmult(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmult");
+    for n in [64usize, 256] {
+        let a = rand_dense(n, n, -1.0, 1.0, 1);
+        let b = rand_dense(n, n, -1.0, 1.0, 2);
+        group.bench_function(BenchmarkId::new("dense", n), |bch| {
+            bch.iter(|| a.matmult(&b).unwrap())
+        });
+        let s = rand_sparse(n, n, 0.05, -1.0, 1.0, 3);
+        group.bench_function(BenchmarkId::new("sparse_dense", n), |bch| {
+            bch.iter(|| s.matmult_dense(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tsmm_vs_explicit(c: &mut Criterion) {
+    let x = rand_dense(2048, 64, -1.0, 1.0, 4);
+    let mut group = c.benchmark_group("tsmm");
+    group.bench_function("fused", |b| b.iter(|| x.tsmm()));
+    group.bench_function("explicit_t_mm", |b| {
+        b.iter(|| x.transpose().matmult(&x).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_elementwise_and_agg(c: &mut Criterion) {
+    let d = rand_dense(1024, 256, -1.0, 1.0, 5);
+    let m = Matrix::Dense(d.clone());
+    let mut group = c.benchmark_group("elementwise");
+    group.bench_function("mul_scalar", |b| {
+        b.iter(|| m.binary_scalar(BinaryOp::Mul, 2.0))
+    });
+    group.bench_function("binary_mm", |b| b.iter(|| m.binary(BinaryOp::Add, &m).unwrap()));
+    group.bench_function("rowsums", |b| b.iter(|| m.aggregate(AggOp::RowSums)));
+    group.bench_function("sum", |b| b.iter(|| m.aggregate(AggOp::Sum)));
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let m = rand_dense(128, 128, -1.0, 1.0, 6);
+    let mut a = m.tsmm();
+    for i in 0..128 {
+        a.set(i, i, a.get(i, i) + 1.0);
+    }
+    let b = rand_dense(128, 1, -1.0, 1.0, 7);
+    let mut group = c.benchmark_group("solve_128");
+    group.bench_function("lu", |bch| {
+        bch.iter(|| reml_matrix::solve::solve(&a, &b).unwrap())
+    });
+    group.bench_function("cholesky", |bch| {
+        bch.iter(|| reml_matrix::solve::solve_spd(&a, &b).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmult,
+    bench_tsmm_vs_explicit,
+    bench_elementwise_and_agg,
+    bench_solve
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches of the resource optimizer: the Table 3 / Figure 18
+//! hot path — one full Algorithm 1 run per program, plus grid-strategy
+//! and worker-count ablations on GLM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reml_bench::Workload;
+use reml_cost::CostModel;
+use reml_optimizer::{GridStrategy, ResourceOptimizer};
+use reml_scripts::{DataShape, Scenario};
+
+fn shape() -> DataShape {
+    DataShape {
+        scenario: Scenario::M,
+        cols: 1000,
+        sparsity: 1.0,
+    }
+}
+
+fn bench_optimize_per_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_dense1000_M");
+    group.sample_size(10);
+    for ctor in [
+        reml_scripts::linreg_ds as fn() -> reml_scripts::ScriptSpec,
+        reml_scripts::linreg_cg,
+        reml_scripts::l2svm,
+        reml_scripts::mlogreg,
+        reml_scripts::glm,
+    ] {
+        let wl = Workload::new(ctor(), shape());
+        group.bench_function(BenchmarkId::from_parameter(wl.script.name), |b| {
+            b.iter(|| wl.optimize())
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_glm_grid_strategy");
+    group.sample_size(10);
+    let wl = Workload::new(reml_scripts::glm(), shape());
+    for (label, strategy) in [
+        ("equi15", GridStrategy::Equi { points: 15 }),
+        ("exp2", GridStrategy::Exp { factor: 2.0 }),
+        ("hybrid15", GridStrategy::Hybrid { base_points: 15 }),
+    ] {
+        let mut optimizer = ResourceOptimizer::new(CostModel::new(wl.cluster.clone()));
+        optimizer.config.cp_grid = strategy;
+        optimizer.config.mr_grid = strategy;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| wl.optimize_with(&optimizer))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_glm_workers");
+    group.sample_size(10);
+    let wl = Workload::new(reml_scripts::glm(), shape());
+    for workers in [1usize, 4, 8] {
+        let mut optimizer = ResourceOptimizer::new(CostModel::new(wl.cluster.clone()));
+        optimizer.config.workers = workers;
+        group.bench_function(BenchmarkId::from_parameter(workers), |b| {
+            b.iter(|| wl.optimize_with(&optimizer))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_optimize_per_program,
+    bench_grid_strategies,
+    bench_parallel_workers
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches of the execution simulator: single-app runs (with
+//! and without adaptation) and the multi-tenant throughput model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reml_bench::Workload;
+use reml_optimizer::ResourceConfig;
+use reml_scripts::{DataShape, Scenario};
+use reml_sim::{simulate_throughput, SimFacts};
+
+fn bench_sim_single_app(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_app_dense1000_M");
+    group.sample_size(10);
+    for ctor in [
+        reml_scripts::linreg_ds as fn() -> reml_scripts::ScriptSpec,
+        reml_scripts::l2svm,
+    ] {
+        let wl = Workload::new(
+            ctor(),
+            DataShape {
+                scenario: Scenario::M,
+                cols: 1000,
+                sparsity: 1.0,
+            },
+        );
+        group.bench_function(BenchmarkId::from_parameter(wl.script.name), |b| {
+            b.iter(|| wl.measure_static(ResourceConfig::uniform(2 * 1024, 2 * 1024)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_adaptive(c: &mut Criterion) {
+    let wl = Workload::new(
+        reml_scripts::mlogreg(),
+        DataShape {
+            scenario: Scenario::S,
+            cols: 100,
+            sparsity: 1.0,
+        },
+    );
+    let mut group = c.benchmark_group("sim_mlogreg_adaptive");
+    group.sample_size(10);
+    group.bench_function("reopt", |b| {
+        b.iter(|| {
+            wl.measure(
+                ResourceConfig::uniform(512, 512),
+                true,
+                SimFacts {
+                    table_cols: 20,
+                    ..SimFacts::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_throughput_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_model");
+    for users in [8u32, 128] {
+        group.bench_function(BenchmarkId::from_parameter(users), |b| {
+            b.iter(|| simulate_throughput(30.0, 36, users, 8, 0.5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_single_app,
+    bench_sim_adaptive,
+    bench_throughput_model
+);
+criterion_main!(benches);

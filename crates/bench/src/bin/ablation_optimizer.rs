@@ -1,0 +1,141 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! * grid generator choice — plan quality vs optimization overhead;
+//! * pruning on/off — optimizer-time blow-up;
+//! * always-migrate vs ΔC-amortized migration (via migration-cost
+//!   sensitivity).
+
+use reml_bench::{ExperimentResult, Workload};
+use reml_cost::CostModel;
+use reml_optimizer::{GridStrategy, ResourceOptimizer};
+use reml_scripts::{DataShape, Scenario};
+
+fn main() {
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 1000,
+        sparsity: 1.0,
+    };
+
+    // --- Grid strategy ablation on Linreg CG (memory-sensitive). ---
+    let wl = Workload::new(reml_scripts::linreg_cg(), shape);
+    let mut result = ExperimentResult::new(
+        "ablation_grids",
+        "LinregCG M dense1000: grid strategy vs plan quality and overhead",
+    );
+    for (label, cp, mr) in [
+        (
+            "Equi15",
+            GridStrategy::Equi { points: 15 },
+            GridStrategy::Equi { points: 15 },
+        ),
+        (
+            "Equi45",
+            GridStrategy::Equi { points: 45 },
+            GridStrategy::Equi { points: 45 },
+        ),
+        (
+            "Exp",
+            GridStrategy::Exp { factor: 2.0 },
+            GridStrategy::Exp { factor: 2.0 },
+        ),
+        (
+            "Mem15",
+            GridStrategy::MemBased { base_points: 15 },
+            GridStrategy::MemBased { base_points: 15 },
+        ),
+        (
+            "Hybrid15",
+            GridStrategy::Hybrid { base_points: 15 },
+            GridStrategy::Hybrid { base_points: 15 },
+        ),
+    ] {
+        let mut optimizer = ResourceOptimizer::new(CostModel::new(wl.cluster.clone()));
+        optimizer.config.cp_grid = cp;
+        optimizer.config.mr_grid = mr;
+        let r = wl.optimize_with(&optimizer);
+        result.push_row(
+            label,
+            vec![
+                ("est_cost[s]".to_string(), r.best_cost_s),
+                ("cp_points".to_string(), r.stats.cp_points as f64),
+                (
+                    "opt_time[ms]".to_string(),
+                    r.stats.opt_time.as_secs_f64() * 1000.0,
+                ),
+                (
+                    "chosenCP[GB]".to_string(),
+                    r.best.cp_heap_mb as f64 / 1024.0,
+                ),
+            ],
+        );
+    }
+    result.notes = "Hybrid should match the best plan quality at a fraction of Equi45's \
+                    enumeration cost."
+        .to_string();
+    result.print();
+    result.save();
+
+    // --- Pruning ablation on GLM (many blocks). ---
+    let wl = Workload::new(reml_scripts::glm(), shape);
+    let mut result = ExperimentResult::new(
+        "ablation_pruning",
+        "GLM M dense1000: pruning on/off",
+    );
+    for (label, small, unknown) in [
+        ("prune both", true, true),
+        ("no small-prune", false, true),
+        ("no unknown-prune", true, false),
+        ("no pruning", false, false),
+    ] {
+        let mut optimizer = ResourceOptimizer::new(CostModel::new(wl.cluster.clone()));
+        optimizer.config.prune_small = small;
+        optimizer.config.prune_unknown = unknown;
+        let r = wl.optimize_with(&optimizer);
+        result.push_row(
+            label,
+            vec![
+                ("remaining".to_string(), r.stats.blocks_remaining as f64),
+                ("#Comp".to_string(), r.stats.block_compilations as f64),
+                ("#Cost".to_string(), r.stats.cost_invocations as f64),
+                (
+                    "opt_time[ms]".to_string(),
+                    r.stats.opt_time.as_secs_f64() * 1000.0,
+                ),
+            ],
+        );
+    }
+    result.notes = "Both rules matter: small-op pruning removes known-CP blocks; unknown \
+                    pruning removes GLM/MLogreg's constant offset of unknown blocks."
+        .to_string();
+    result.print();
+    result.save();
+
+    // --- Memoization sanity: cost invocations scale linearly in blocks. ---
+    let mut result = ExperimentResult::new(
+        "ablation_linear",
+        "optimizer work scales with program size (dense1000 M)",
+    );
+    for ctor in [
+        reml_scripts::linreg_ds as fn() -> reml_scripts::ScriptSpec,
+        reml_scripts::l2svm,
+        reml_scripts::mlogreg,
+        reml_scripts::glm,
+    ] {
+        let wl = Workload::new(ctor(), shape);
+        let r = wl.optimize();
+        result.push_row(
+            wl.script.name,
+            vec![
+                ("blocks".to_string(), wl.analyzed.num_blocks() as f64),
+                ("#Comp".to_string(), r.stats.block_compilations as f64),
+                ("#Cost".to_string(), r.stats.cost_invocations as f64),
+            ],
+        );
+    }
+    result.notes = "The semi-independent-problems property keeps optimizer work linear in \
+                    the number of (unpruned) blocks."
+        .to_string();
+    result.print();
+    result.save();
+}

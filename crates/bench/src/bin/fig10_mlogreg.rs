@@ -1,0 +1,17 @@
+//! Figure 10: MLogreg end-to-end baseline comparison, scenarios XS–L.
+//!
+//! MLogreg carries table()-induced unknowns: initial resource
+//! optimization is handicapped on the dense M shapes (the paper's "Opt
+//! was not able to find the right configuration here due to unknowns in
+//! the core loops") — Figure 15 shows adaptation fixing this.
+
+use reml_sim::SimFacts;
+
+fn main() {
+    let facts = SimFacts { table_cols: 5, ..SimFacts::default() };
+    reml_bench::run_baseline_family("fig10", reml_scripts::mlogreg, false, facts);
+    println!(
+        "Paper shape: unknowns are the major problem on dense M; see fig15 for \
+         the runtime-adaptation remedy."
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 7: Linreg DS end-to-end baseline comparison, scenarios XS–XL,
+//! all four data shapes (the only figure the paper extends to XL).
+
+use reml_sim::SimFacts;
+
+fn main() {
+    reml_bench::run_baseline_family("fig7", reml_scripts::linreg_ds, true, SimFacts::default());
+    println!(
+        "Paper shape: on M dense1000 small-CP configurations are ~4x faster than \
+         single-node compute; on sparse shapes in-memory plans win; Opt tracks the \
+         best baseline everywhere and beats B-LL on L/XL via right-sized tasks."
+    );
+}

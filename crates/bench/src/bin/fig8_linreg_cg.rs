@@ -1,0 +1,11 @@
+//! Figure 8: Linreg CG end-to-end baseline comparison, scenarios XS–L.
+
+use reml_sim::SimFacts;
+
+fn main() {
+    reml_bench::run_baseline_family("fig8", reml_scripts::linreg_cg, false, SimFacts::default());
+    println!(
+        "Paper shape: larger CP memory wins on S/M (read X once, iterate in memory); \
+         on L both CP and MR budgets matter; Opt finds near-optimal configurations."
+    );
+}

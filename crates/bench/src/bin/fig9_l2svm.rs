@@ -1,0 +1,11 @@
+//! Figure 9: L2SVM end-to-end baseline comparison, scenarios XS–L.
+
+use reml_sim::SimFacts;
+
+fn main() {
+    reml_bench::run_baseline_family("fig9", reml_scripts::l2svm, false, SimFacts::default());
+    println!(
+        "Paper shape: iterative nested-loop program; large CP wins through M, \
+         mixed CP/MR on L; Opt tracks the best baseline."
+    );
+}

@@ -1,0 +1,44 @@
+//! Table 2: Opt-chosen resource configurations (CP / max-MR heap, GB)
+//! for Linreg DS across scenarios and the four data shapes.
+
+use reml_bench::{ExperimentResult, Workload};
+use reml_scripts::{DataShape, Scenario};
+
+fn main() {
+    let mut result = ExperimentResult::new(
+        "table2",
+        "Opt resource configurations for Linreg DS [GB heap: CP, max MR]",
+    );
+    for scenario in Scenario::ALL {
+        let mut values = Vec::new();
+        for (cols, sparsity, label) in [
+            (1000u64, 1.0f64, "d1000"),
+            (1000, 0.01, "s1000"),
+            (100, 1.0, "d100"),
+            (100, 0.01, "s100"),
+        ] {
+            let shape = DataShape {
+                scenario,
+                cols,
+                sparsity,
+            };
+            let wl = Workload::new(reml_scripts::linreg_ds(), shape);
+            let opt = wl.optimize();
+            values.push((
+                format!("{label}-CP"),
+                opt.best.cp_heap_mb as f64 / 1024.0,
+            ));
+            values.push((
+                format!("{label}-MR"),
+                opt.best.max_mr_mb() as f64 / 1024.0,
+            ));
+        }
+        result.push_row(scenario.name(), values);
+    }
+    result.notes = "Paper (Table 2): XS–M choose 0.5–8 GB CP / 2 GB MR; L/XL may grow either \
+                    dimension (e.g. 53.4/12.8 for dense100 XL) but never default to B-LL's \
+                    53.3/4.4 over-provisioning."
+        .to_string();
+    result.print();
+    result.save();
+}

@@ -1,0 +1,274 @@
+//! # reml-bench — experiment harness
+//!
+//! Shared driver code for the per-figure/per-table binaries in
+//! `src/bin/`. Each binary regenerates one experiment of the paper's
+//! evaluation (see DESIGN.md's experiment index): it prints a
+//! human-readable table and writes a machine-readable JSON row set under
+//! `results/`.
+//!
+//! The paper's absolute numbers came from a physical 1+6-node cluster;
+//! here execution is the `reml-sim` substitute, so the *shape* of each
+//! result (who wins, by roughly what factor, where crossovers fall) is
+//! the reproduction target — EXPERIMENTS.md records the comparison.
+
+use std::io::Write;
+use std::path::Path;
+
+use reml_cluster::ClusterConfig;
+use reml_compiler::pipeline::{analyze_program, AnalyzedProgram};
+use reml_compiler::{CompileConfig, MrHeapAssignment};
+use reml_cost::CostModel;
+use reml_optimizer::{OptimizationResult, ResourceConfig, ResourceOptimizer};
+use reml_scripts::{DataShape, ScriptSpec};
+use reml_sim::{AppOutcome, SimConfig, SimFacts, Simulator};
+
+/// The §5.1 static baselines: minimum, large-CP, large-MR, and both.
+/// 53.3 GB is the largest CP container request; 4.4 GB tasks are the
+/// largest that keep all 12 cores per node busy.
+pub fn baselines(cluster: &ClusterConfig) -> Vec<(&'static str, ResourceConfig)> {
+    let max_cp = cluster.max_heap_mb();
+    let max_mr = (4.4 * 1024.0) as u64;
+    vec![
+        ("B-SS", ResourceConfig::uniform(512, 512)),
+        ("B-LS", ResourceConfig::uniform(max_cp, 512)),
+        ("B-SL", ResourceConfig::uniform(512, max_mr)),
+        ("B-LL", ResourceConfig::uniform(max_cp, max_mr)),
+    ]
+}
+
+/// A prepared workload: analyzed program + base compile config.
+pub struct Workload {
+    /// The script.
+    pub script: ScriptSpec,
+    /// Data shape.
+    pub shape: DataShape,
+    /// Analyzed program.
+    pub analyzed: AnalyzedProgram,
+    /// Base configuration (params/inputs bound; heaps are placeholders).
+    pub base: CompileConfig,
+    /// Cluster.
+    pub cluster: ClusterConfig,
+}
+
+impl Workload {
+    /// Prepare a workload on the paper cluster.
+    pub fn new(script: ScriptSpec, shape: DataShape) -> Self {
+        let cluster = ClusterConfig::paper_cluster();
+        let analyzed = analyze_program(&script.source).expect("script analyzes");
+        let base = script.compile_config(
+            shape,
+            cluster.clone(),
+            512,
+            MrHeapAssignment::uniform(512),
+        );
+        Workload {
+            script,
+            shape,
+            analyzed,
+            base,
+            cluster,
+        }
+    }
+
+    /// Run the resource optimizer.
+    pub fn optimize(&self) -> OptimizationResult {
+        let optimizer = ResourceOptimizer::new(CostModel::new(self.cluster.clone()));
+        optimizer
+            .optimize(&self.analyzed, &self.base, None)
+            .expect("optimization succeeds")
+    }
+
+    /// Run the optimizer with a custom configuration.
+    pub fn optimize_with(&self, optimizer: &ResourceOptimizer) -> OptimizationResult {
+        optimizer
+            .optimize(&self.analyzed, &self.base, None)
+            .expect("optimization succeeds")
+    }
+
+    /// Measure an execution under fixed resources.
+    pub fn measure(&self, resources: ResourceConfig, reopt: bool, facts: SimFacts) -> AppOutcome {
+        let sim = Simulator::new(self.cluster.clone());
+        sim.run_app(
+            &self.analyzed,
+            &self.base,
+            &SimConfig {
+                resources,
+                reopt,
+                facts,
+                slot_availability: 1.0,
+            },
+        )
+        .expect("simulation succeeds")
+    }
+
+    /// Measure with default facts and no adaptation.
+    pub fn measure_static(&self, resources: ResourceConfig) -> AppOutcome {
+        self.measure(resources, false, SimFacts::default())
+    }
+}
+
+/// One emitted experiment row (label → numeric series).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ExperimentRow {
+    /// Row label (e.g. a configuration name).
+    pub label: String,
+    /// Column values keyed by column label.
+    pub values: Vec<(String, f64)>,
+}
+
+/// A complete experiment result for JSON emission.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. "fig7a").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Rows.
+    pub rows: Vec<ExperimentRow>,
+    /// Free-form notes (paper-vs-measured commentary).
+    pub notes: String,
+}
+
+impl ExperimentResult {
+    /// New result.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            rows: Vec::new(),
+            notes: String::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<(String, f64)>) {
+        self.rows.push(ExperimentRow {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Print as an aligned table.
+    pub fn print(&self) {
+        println!("== {} — {} ==", self.id, self.title);
+        if self.rows.is_empty() {
+            println!("(no rows)");
+            return;
+        }
+        let cols: Vec<&str> = self.rows[0]
+            .values
+            .iter()
+            .map(|(c, _)| c.as_str())
+            .collect();
+        print!("{:<18}", "");
+        for c in &cols {
+            print!("{c:>14}");
+        }
+        println!();
+        for row in &self.rows {
+            print!("{:<18}", truncate(&row.label, 18));
+            for (_, v) in &row.values {
+                if v.abs() >= 1000.0 {
+                    print!("{v:>14.0}");
+                } else {
+                    print!("{v:>14.2}");
+                }
+            }
+            println!();
+        }
+        if !self.notes.is_empty() {
+            println!("note: {}", self.notes);
+        }
+        println!();
+    }
+
+    /// Write to `results/<id>.json` relative to the workspace root.
+    pub fn save(&self) {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("results dir");
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path).expect("result file");
+        let json = serde_json::to_string_pretty(self).expect("serializes");
+        f.write_all(json.as_bytes()).expect("writes");
+    }
+}
+
+/// Locate the workspace `results/` directory (fixed at compile time
+/// relative to this crate's manifest).
+pub fn results_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+/// Scenario sweep used by the Figure 7–11 family (rows-of-X per scenario
+/// at fixed cols); XL only for Figure 7(e).
+pub fn fig_scenarios(include_xl: bool) -> Vec<reml_scripts::Scenario> {
+    use reml_scripts::Scenario;
+    let mut v = vec![Scenario::XS, Scenario::S, Scenario::M, Scenario::L];
+    if include_xl {
+        v.push(Scenario::XL);
+    }
+    v
+}
+
+/// Run the standard end-to-end baseline comparison (the Figure 7–11
+/// family) for one script/shape family and emit one result per shape.
+pub fn run_baseline_family(
+    fig_id: &str,
+    script_ctor: fn() -> ScriptSpec,
+    include_xl: bool,
+    facts: SimFacts,
+) -> Vec<ExperimentResult> {
+    use reml_scripts::Scenario;
+    let shapes = [
+        (1000u64, 1.0f64, "a_dense1000"),
+        (1000, 0.01, "b_sparse1000"),
+        (100, 1.0, "c_dense100"),
+        (100, 0.01, "d_sparse100"),
+    ];
+    let mut out = Vec::new();
+    for (cols, sparsity, suffix) in shapes {
+        let mut result = ExperimentResult::new(
+            &format!("{fig_id}{}", &suffix[..1]),
+            &format!(
+                "{} end-to-end [s], {}",
+                script_ctor().name,
+                &suffix[2..]
+            ),
+        );
+        for scenario in fig_scenarios(include_xl) {
+            // XL sparse/medium shapes are allowed; keep symmetric.
+            let shape = DataShape {
+                scenario,
+                cols,
+                sparsity,
+            };
+            let wl = Workload::new(script_ctor(), shape);
+            let mut values = Vec::new();
+            for (label, resources) in baselines(&wl.cluster) {
+                let t = wl.measure(resources, false, facts.clone()).elapsed_s;
+                values.push((label.to_string(), t));
+            }
+            let opt = wl.optimize();
+            let t = wl
+                .measure(opt.best.clone(), false, facts.clone())
+                .elapsed_s
+                + opt.stats.opt_time.as_secs_f64();
+            values.push(("Opt".to_string(), t));
+            result.push_row(Scenario::name(scenario), values);
+        }
+        result.print();
+        result.save();
+        out.push(result);
+    }
+    out
+}

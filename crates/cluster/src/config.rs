@@ -1,0 +1,230 @@
+//! Static cluster configuration and resource arithmetic.
+
+/// One megabyte in bytes.
+pub const MB: u64 = 1024 * 1024;
+
+/// Ratio of container request to JVM max heap (§5.1: "we request memory of
+/// 1.5x the max heap size in order to account for additional JVM
+/// requirements").
+pub const CONTAINER_HEAP_RATIO: f64 = 1.5;
+
+/// Ratio of compiler memory budget to JVM max heap (§5.1: "a memory budget
+/// of 70% of the max heap size").
+pub const BUDGET_HEAP_RATIO: f64 = 0.7;
+
+/// Static description of a YARN cluster — the `cc` of the paper's problem
+/// formulation (Definition 1), including min/max allocation constraints
+/// and the hardware parameters the cost model needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of worker nodes (NodeManagers).
+    pub num_nodes: u32,
+    /// Physical cores per worker node.
+    pub cores_per_node: u32,
+    /// NodeManager-managed memory per node, in MB.
+    pub node_mem_mb: u64,
+    /// Minimum container allocation, in MB (`min_cc`).
+    pub min_alloc_mb: u64,
+    /// Maximum container allocation, in MB (`max_cc`).
+    pub max_alloc_mb: u64,
+    /// HDFS block size, in MB (determines input-split counts).
+    pub hdfs_block_mb: u64,
+    /// Sequential HDFS read bandwidth per node, MB/s.
+    pub hdfs_read_mbs: f64,
+    /// Sequential HDFS write bandwidth per node, MB/s.
+    pub hdfs_write_mbs: f64,
+    /// Shuffle (network + merge) bandwidth per node, MB/s.
+    pub shuffle_mbs: f64,
+    /// Peak floating-point throughput of one task/CP thread, FLOP/s.
+    /// SystemML's CP runtime is single-threaded (§6), so this is a
+    /// single-core figure.
+    pub peak_flops: f64,
+    /// Default number of reducers (paper default: 2 × number of nodes).
+    pub default_reducers: u32,
+    /// Static MR job submission latency, seconds.
+    pub mr_job_latency_s: f64,
+    /// Per-task startup latency, seconds.
+    pub mr_task_latency_s: f64,
+    /// Latency of allocating a new YARN container, seconds (used by the
+    /// migration cost model).
+    pub container_alloc_latency_s: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's 1+6 node cluster (§5.1): 6 workers, 12 physical cores,
+    /// 80 GB NM memory, 512 MB/80 GB allocation constraints, 128 MB HDFS
+    /// blocks, 12 default reducers.
+    pub fn paper_cluster() -> Self {
+        ClusterConfig {
+            num_nodes: 6,
+            cores_per_node: 12,
+            node_mem_mb: 80 * 1024,
+            min_alloc_mb: 512,
+            max_alloc_mb: 80 * 1024,
+            hdfs_block_mb: 128,
+            hdfs_read_mbs: 150.0,
+            hdfs_write_mbs: 100.0,
+            shuffle_mbs: 80.0,
+            peak_flops: 2.0e9,
+            default_reducers: 12,
+            mr_job_latency_s: 15.0,
+            mr_task_latency_s: 2.0,
+            container_alloc_latency_s: 2.0,
+        }
+    }
+
+    /// A small cluster for fast unit tests: 2 nodes, 4 cores, 8 GB.
+    pub fn small_test_cluster() -> Self {
+        ClusterConfig {
+            num_nodes: 2,
+            cores_per_node: 4,
+            node_mem_mb: 8 * 1024,
+            min_alloc_mb: 256,
+            max_alloc_mb: 8 * 1024,
+            hdfs_block_mb: 128,
+            hdfs_read_mbs: 150.0,
+            hdfs_write_mbs: 100.0,
+            shuffle_mbs: 80.0,
+            peak_flops: 2.0e9,
+            default_reducers: 4,
+            mr_job_latency_s: 15.0,
+            mr_task_latency_s: 2.0,
+            container_alloc_latency_s: 2.0,
+        }
+    }
+
+    /// Max heap size such that the resulting container request fits within
+    /// `max_alloc_mb` (the paper's 53.3 GB for an 80 GB limit).
+    pub fn max_heap_mb(&self) -> u64 {
+        (self.max_alloc_mb as f64 / CONTAINER_HEAP_RATIO) as u64
+    }
+
+    /// Minimum heap: the minimum container allocation interpreted as a
+    /// heap request (a 512 MB request is granted 512 MB; heap is the
+    /// request divided by the ratio... the paper simply uses 512 MB heap
+    /// with a 768 MB container, still above `min_alloc`). We model
+    /// min heap = min allocation.
+    pub fn min_heap_mb(&self) -> u64 {
+        self.min_alloc_mb
+    }
+
+    /// Container request for a given max heap size (1.5× rule).
+    pub fn container_mb_for_heap(&self, heap_mb: u64) -> u64 {
+        ((heap_mb as f64) * CONTAINER_HEAP_RATIO).ceil() as u64
+    }
+
+    /// Compiler memory budget for a given max heap size (0.7× rule).
+    pub fn budget_mb_for_heap(&self, heap_mb: u64) -> u64 {
+        ((heap_mb as f64) * BUDGET_HEAP_RATIO) as u64
+    }
+
+    /// Total memory across all worker nodes, MB.
+    pub fn aggregate_mem_mb(&self) -> u64 {
+        self.node_mem_mb * self.num_nodes as u64
+    }
+
+    /// Total core count across all worker nodes.
+    pub fn total_cores(&self) -> u32 {
+        self.cores_per_node * self.num_nodes
+    }
+
+    /// Concurrent task slots per node for tasks with the given heap:
+    /// limited by memory (container footprint) and physical cores.
+    pub fn slots_per_node(&self, task_heap_mb: u64) -> u32 {
+        let container = self.container_mb_for_heap(task_heap_mb).max(1);
+        let by_mem = (self.node_mem_mb / container) as u32;
+        by_mem.min(self.cores_per_node)
+    }
+
+    /// Cluster-wide concurrent task slots for tasks with the given heap.
+    pub fn total_slots(&self, task_heap_mb: u64) -> u32 {
+        self.slots_per_node(task_heap_mb) * self.num_nodes
+    }
+
+    /// Maximum number of concurrently running applications whose AM uses
+    /// `cp_heap_mb` of heap (the throughput ceiling of Figure 12):
+    /// `num_nodes * floor(node_mem / (1.5 * heap))`.
+    pub fn max_parallel_apps(&self, cp_heap_mb: u64) -> u32 {
+        let container = self.container_mb_for_heap(cp_heap_mb).max(1);
+        ((self.node_mem_mb / container) as u32) * self.num_nodes
+    }
+
+    /// Number of input splits (mappers) for an input of `input_mb` MB.
+    pub fn num_splits(&self, input_mb: u64) -> u32 {
+        input_mb.div_ceil(self.hdfs_block_mb).max(1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_max_heap_is_53gb() {
+        let cc = ClusterConfig::paper_cluster();
+        let max_heap = cc.max_heap_mb();
+        // 80 GB / 1.5 = 53.3 GB.
+        assert_eq!(max_heap, 54_613);
+        assert!(cc.container_mb_for_heap(max_heap) <= cc.max_alloc_mb);
+    }
+
+    #[test]
+    fn budget_is_70_percent() {
+        let cc = ClusterConfig::paper_cluster();
+        assert_eq!(cc.budget_mb_for_heap(1000), 700);
+    }
+
+    #[test]
+    fn container_rounding_up() {
+        let cc = ClusterConfig::paper_cluster();
+        assert_eq!(cc.container_mb_for_heap(512), 768);
+        assert_eq!(cc.container_mb_for_heap(1), 2);
+    }
+
+    #[test]
+    fn slots_limited_by_cores_for_small_tasks() {
+        let cc = ClusterConfig::paper_cluster();
+        // Tiny tasks: memory would allow far more than 12, cores cap at 12.
+        assert_eq!(cc.slots_per_node(512), 12);
+        assert_eq!(cc.total_slots(512), 72);
+    }
+
+    #[test]
+    fn slots_limited_by_memory_for_large_tasks() {
+        let cc = ClusterConfig::paper_cluster();
+        // The paper's 4.4 GB task heap: 12 * 4.4GB * 1.5 ≈ 80 GB/node.
+        let heap = (4.4 * 1024.0) as u64;
+        assert_eq!(cc.slots_per_node(heap), 12);
+        // Slightly larger tasks drop below 12 per node.
+        let heap = (5.5 * 1024.0) as u64;
+        assert!(cc.slots_per_node(heap) < 12);
+    }
+
+    #[test]
+    fn max_parallel_apps_matches_paper_example() {
+        // §5.3: 8 GB CP heap -> 6 * floor(80 / (1.5*8)) = 36 apps.
+        let cc = ClusterConfig::paper_cluster();
+        assert_eq!(cc.max_parallel_apps(8 * 1024), 36);
+        // 4 GB CP heap -> 78 apps (floor(80/6) = 13 per node, 6 nodes).
+        assert_eq!(cc.max_parallel_apps(4 * 1024), 78);
+        // B-LL 53.3 GB -> 6 apps.
+        assert_eq!(cc.max_parallel_apps(cc.max_heap_mb()), 6);
+    }
+
+    #[test]
+    fn split_counts() {
+        let cc = ClusterConfig::paper_cluster();
+        assert_eq!(cc.num_splits(1), 1);
+        assert_eq!(cc.num_splits(128), 1);
+        assert_eq!(cc.num_splits(129), 2);
+        assert_eq!(cc.num_splits(8 * 1024), 64);
+        assert_eq!(cc.num_splits(0), 1);
+    }
+
+    #[test]
+    fn aggregate_resources() {
+        let cc = ClusterConfig::paper_cluster();
+        assert_eq!(cc.aggregate_mem_mb(), 480 * 1024);
+        assert_eq!(cc.total_cores(), 72);
+    }
+}

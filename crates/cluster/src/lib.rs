@@ -1,0 +1,24 @@
+//! # reml-cluster — YARN-style cluster model
+//!
+//! Models the resource-negotiation substrate the paper's optimizer runs
+//! against (§2.2): a cluster of NodeManager nodes with memory capacities,
+//! a ResourceManager granting containers within min/max allocation
+//! constraints, and the translation rules between JVM heap sizes, YARN
+//! container requests, and compiler memory budgets (§5.1):
+//!
+//! * container request = **1.5 ×** max heap (JVM overhead headroom);
+//! * compiler memory budget = **0.7 ×** max heap (SystemML default);
+//! * degree of parallelism = per-node slots limited by both memory and
+//!   physical cores.
+//!
+//! The [`yarn`] module provides the container-accounting state machine the
+//! discrete-event simulator drives; [`spark`] models a stateful Spark
+//! deployment for the Appendix D comparison.
+
+pub mod config;
+pub mod spark;
+pub mod yarn;
+
+pub use config::{ClusterConfig, MB};
+pub use spark::SparkConfig;
+pub use yarn::{ContainerId, ContainerRequest, YarnError, YarnState};

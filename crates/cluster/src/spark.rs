@@ -1,0 +1,124 @@
+//! Stateful Spark deployment model for the Appendix D comparison.
+//!
+//! The paper ports SystemML's runtime operations onto Spark RDDs and
+//! compares against the MR backend with resource optimization (Tables 5
+//! and 6). We model the properties that drive those results:
+//!
+//! * **static executors**: a Spark application holds its driver and all
+//!   executors for its entire lifetime (over-provisioning limits
+//!   multi-tenant throughput);
+//! * **RDD caching**: once an input fits in aggregate executor storage
+//!   memory, iterative re-reads are served from memory (the scenario-L
+//!   "sweet spot");
+//! * **lazy evaluation is out of scope** — we model per-iteration stage
+//!   costs directly.
+
+use crate::config::ClusterConfig;
+
+/// Static Spark application configuration (the paper's Appendix D setup:
+/// 6 executors, 55 GB executor memory, 20 GB driver, 24 cores/executor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparkConfig {
+    /// Number of executors.
+    pub num_executors: u32,
+    /// Executor JVM memory, MB.
+    pub executor_mem_mb: u64,
+    /// Driver JVM memory, MB.
+    pub driver_mem_mb: u64,
+    /// Task cores per executor.
+    pub cores_per_executor: u32,
+    /// Fraction of executor memory usable for RDD storage (Spark's
+    /// `spark.storage.memoryFraction`-era default ≈ 0.6).
+    pub storage_fraction: f64,
+}
+
+impl SparkConfig {
+    /// The Appendix D experimental configuration.
+    pub fn paper_config() -> Self {
+        SparkConfig {
+            num_executors: 6,
+            executor_mem_mb: 55 * 1024,
+            driver_mem_mb: 20 * 1024,
+            cores_per_executor: 24,
+            storage_fraction: 0.6,
+        }
+    }
+
+    /// Aggregate RDD storage memory across executors, MB.
+    pub fn aggregate_storage_mb(&self) -> u64 {
+        ((self.num_executors as u64 * self.executor_mem_mb) as f64 * self.storage_fraction)
+            as u64
+    }
+
+    /// Total concurrent task slots.
+    pub fn total_task_slots(&self) -> u32 {
+        self.num_executors * self.cores_per_executor
+    }
+
+    /// Whether a dataset of `data_mb` fits in the aggregate RDD cache.
+    pub fn fits_in_cache(&self, data_mb: u64) -> bool {
+        data_mb <= self.aggregate_storage_mb()
+    }
+
+    /// Cluster memory footprint of one application, MB: driver plus all
+    /// executors (with the same 1.5× container overhead as the MR path).
+    pub fn cluster_footprint_mb(&self) -> u64 {
+        let heap_total = self.driver_mem_mb + self.num_executors as u64 * self.executor_mem_mb;
+        (heap_total as f64 * crate::config::CONTAINER_HEAP_RATIO) as u64
+    }
+
+    /// Maximum concurrently running Spark applications on the cluster.
+    /// The paper observes a single application already occupies the entire
+    /// cluster (Table 6).
+    pub fn max_parallel_apps(&self, cc: &ClusterConfig) -> u32 {
+        // Driver and each executor are separate containers; count how many
+        // full application footprints the cluster can host. A conservative
+        // aggregate-memory bound reproduces the observed behaviour.
+        let footprint = self.cluster_footprint_mb().max(1);
+        ((cc.aggregate_mem_mb() / footprint) as u32).max(if self.fits_minimum(cc) { 1 } else { 0 })
+    }
+
+    fn fits_minimum(&self, cc: &ClusterConfig) -> bool {
+        // At least the driver must fit somewhere.
+        (self.driver_mem_mb as f64 * crate::config::CONTAINER_HEAP_RATIO) as u64
+            <= cc.node_mem_mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_storage() {
+        let sc = SparkConfig::paper_config();
+        // 6 * 55 GB * 0.6 = 198 GB of RDD storage.
+        assert_eq!(sc.aggregate_storage_mb(), 198 * 1024);
+        assert_eq!(sc.total_task_slots(), 144);
+    }
+
+    #[test]
+    fn cache_sweet_spot() {
+        let sc = SparkConfig::paper_config();
+        // Scenario L (80 GB dense) fits in aggregate cache; XL (800 GB)
+        // does not — exactly the Table 5 sweet spot.
+        assert!(sc.fits_in_cache(80 * 1024));
+        assert!(!sc.fits_in_cache(800 * 1024));
+    }
+
+    #[test]
+    fn single_app_occupies_cluster() {
+        let sc = SparkConfig::paper_config();
+        let cc = ClusterConfig::paper_cluster();
+        assert_eq!(sc.max_parallel_apps(&cc), 1);
+    }
+
+    #[test]
+    fn small_driver_many_apps_still_bounded_by_executors() {
+        let mut sc = SparkConfig::paper_config();
+        sc.driver_mem_mb = 512; // the paper's reduced-driver throughput run
+        let cc = ClusterConfig::paper_cluster();
+        // Executors dominate the footprint; still one app at a time.
+        assert_eq!(sc.max_parallel_apps(&cc), 1);
+    }
+}

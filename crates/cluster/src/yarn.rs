@@ -1,0 +1,253 @@
+//! ResourceManager container-accounting state machine.
+//!
+//! This is the stateful half of the YARN model: the simulator requests and
+//! releases containers; the RM tracks per-node allocations, enforces
+//! min/max constraints, and reports cluster utilization. Scheduling policy
+//! is first-fit by freest node, which is enough to reproduce the
+//! memory-capacity throughput ceilings of §5.3.
+
+use crate::config::ClusterConfig;
+
+/// Identifier of a granted container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContainerId(pub u64);
+
+/// A container request (memory only; §6 notes YARN's default scheduler
+/// considers only memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerRequest {
+    /// Requested memory, MB. Clamped up to `min_alloc` on grant.
+    pub mem_mb: u64,
+}
+
+/// Errors from the RM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YarnError {
+    /// Request exceeds the maximum allocation constraint.
+    ExceedsMaxAllocation {
+        /// Requested MB.
+        requested_mb: u64,
+        /// Cluster max MB.
+        max_mb: u64,
+    },
+    /// No node currently has enough free memory.
+    InsufficientResources {
+        /// Requested MB.
+        requested_mb: u64,
+    },
+    /// Release of an unknown container.
+    UnknownContainer(ContainerId),
+}
+
+impl std::fmt::Display for YarnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            YarnError::ExceedsMaxAllocation { requested_mb, max_mb } => write!(
+                f,
+                "request of {requested_mb} MB exceeds max allocation {max_mb} MB"
+            ),
+            YarnError::InsufficientResources { requested_mb } => {
+                write!(f, "no node can fit {requested_mb} MB right now")
+            }
+            YarnError::UnknownContainer(id) => write!(f, "unknown container {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for YarnError {}
+
+/// A live container grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Grant {
+    id: ContainerId,
+    node: u32,
+    mem_mb: u64,
+}
+
+/// Mutable RM state over a static [`ClusterConfig`].
+#[derive(Debug, Clone)]
+pub struct YarnState {
+    config: ClusterConfig,
+    free_mb: Vec<u64>,
+    grants: Vec<Grant>,
+    next_id: u64,
+}
+
+impl YarnState {
+    /// Fresh RM over an idle cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let free_mb = vec![config.node_mem_mb; config.num_nodes as usize];
+        YarnState {
+            config,
+            free_mb,
+            grants: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Try to allocate a container. The effective size is the request
+    /// clamped up to `min_alloc`; placement is on the node with the most
+    /// free memory (best-fit-decreasing keeps large future requests
+    /// satisfiable).
+    pub fn allocate(&mut self, req: ContainerRequest) -> Result<ContainerId, YarnError> {
+        let mem = req.mem_mb.max(self.config.min_alloc_mb);
+        if mem > self.config.max_alloc_mb {
+            return Err(YarnError::ExceedsMaxAllocation {
+                requested_mb: mem,
+                max_mb: self.config.max_alloc_mb,
+            });
+        }
+        let node = self
+            .free_mb
+            .iter()
+            .enumerate()
+            .filter(|(_, free)| **free >= mem)
+            .max_by_key(|(_, free)| **free)
+            .map(|(i, _)| i as u32)
+            .ok_or(YarnError::InsufficientResources { requested_mb: mem })?;
+        self.free_mb[node as usize] -= mem;
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        self.grants.push(Grant {
+            id,
+            node,
+            mem_mb: mem,
+        });
+        Ok(id)
+    }
+
+    /// Release a container.
+    pub fn release(&mut self, id: ContainerId) -> Result<(), YarnError> {
+        let idx = self
+            .grants
+            .iter()
+            .position(|g| g.id == id)
+            .ok_or(YarnError::UnknownContainer(id))?;
+        let grant = self.grants.swap_remove(idx);
+        self.free_mb[grant.node as usize] += grant.mem_mb;
+        Ok(())
+    }
+
+    /// Memory currently allocated, MB.
+    pub fn allocated_mb(&self) -> u64 {
+        self.grants.iter().map(|g| g.mem_mb).sum()
+    }
+
+    /// Memory currently free across the cluster, MB.
+    pub fn free_mb(&self) -> u64 {
+        self.free_mb.iter().sum()
+    }
+
+    /// Number of live containers.
+    pub fn num_containers(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Cluster memory utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let total = self.config.aggregate_mem_mb();
+        if total == 0 {
+            0.0
+        } else {
+            self.allocated_mb() as f64 / total as f64
+        }
+    }
+
+    /// Largest single container currently satisfiable, MB.
+    pub fn max_satisfiable_mb(&self) -> u64 {
+        self.free_mb
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .min(self.config.max_alloc_mb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm() -> YarnState {
+        YarnState::new(ClusterConfig::small_test_cluster())
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut rm = rm();
+        let total = rm.free_mb();
+        let id = rm.allocate(ContainerRequest { mem_mb: 1024 }).unwrap();
+        assert_eq!(rm.allocated_mb(), 1024);
+        assert_eq!(rm.free_mb(), total - 1024);
+        rm.release(id).unwrap();
+        assert_eq!(rm.allocated_mb(), 0);
+        assert_eq!(rm.free_mb(), total);
+    }
+
+    #[test]
+    fn small_requests_clamped_to_min_alloc() {
+        let mut rm = rm();
+        rm.allocate(ContainerRequest { mem_mb: 1 }).unwrap();
+        assert_eq!(rm.allocated_mb(), 256);
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let mut rm = rm();
+        let err = rm
+            .allocate(ContainerRequest { mem_mb: 9 * 1024 })
+            .unwrap_err();
+        assert!(matches!(err, YarnError::ExceedsMaxAllocation { .. }));
+    }
+
+    #[test]
+    fn cluster_fills_up() {
+        let mut rm = rm();
+        // 2 nodes x 8 GB; 8 GB requests fit twice, then fail.
+        rm.allocate(ContainerRequest { mem_mb: 8 * 1024 }).unwrap();
+        rm.allocate(ContainerRequest { mem_mb: 8 * 1024 }).unwrap();
+        let err = rm.allocate(ContainerRequest { mem_mb: 8 * 1024 }).unwrap_err();
+        assert!(matches!(err, YarnError::InsufficientResources { .. }));
+        assert_eq!(rm.utilization(), 1.0);
+    }
+
+    #[test]
+    fn placement_prefers_freest_node() {
+        let mut rm = rm();
+        // First 6 GB on node A, second 6 GB must go on node B: placement
+        // on the freest node leaves 2 GB + 2 GB free, so a third 4 GB
+        // request must fail while 4 GB total is still free.
+        rm.allocate(ContainerRequest { mem_mb: 6 * 1024 }).unwrap();
+        rm.allocate(ContainerRequest { mem_mb: 6 * 1024 }).unwrap();
+        assert_eq!(rm.free_mb(), 4 * 1024);
+        assert!(rm.allocate(ContainerRequest { mem_mb: 4 * 1024 }).is_err());
+        assert_eq!(rm.max_satisfiable_mb(), 2 * 1024);
+    }
+
+    #[test]
+    fn unknown_release_rejected() {
+        let mut rm = rm();
+        assert!(matches!(
+            rm.release(ContainerId(99)),
+            Err(YarnError::UnknownContainer(_))
+        ));
+    }
+
+    #[test]
+    fn no_fragmentation_leak_across_many_cycles() {
+        let mut rm = rm();
+        for _ in 0..100 {
+            let a = rm.allocate(ContainerRequest { mem_mb: 3000 }).unwrap();
+            let b = rm.allocate(ContainerRequest { mem_mb: 5000 }).unwrap();
+            rm.release(a).unwrap();
+            rm.release(b).unwrap();
+        }
+        assert_eq!(rm.allocated_mb(), 0);
+        assert_eq!(rm.num_containers(), 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! User-defined function inlining.
+//!
+//! SystemML performs inter-procedural analysis; we take the simpler route
+//! its optimizer also uses for small functions: statement-level calls to
+//! user functions (`x = f(a, b)` and `[x, y] = f(a)`) are inlined before
+//! HOP construction — parameters become assignments, body locals are
+//! renamed with a unique prefix, and return variables bind the targets.
+//! Nested calls inside larger expressions are not inlined (the compiler
+//! rejects them), which the bundled scripts respect.
+
+use reml_lang::ast::{Expr, FunctionDef, IndexRange, Program, Statement};
+
+use crate::config::CompileError;
+
+/// Maximum inlining depth (guards against recursive functions).
+const MAX_DEPTH: usize = 16;
+
+/// Inline all statement-level UDF calls in a program. Returns a program
+/// with no remaining user-function calls at statement level.
+pub fn inline_functions(program: &Program) -> Result<Program, CompileError> {
+    let mut counter = 0usize;
+    let statements = inline_statements(&program.statements, program, &mut counter, 0)?;
+    Ok(Program {
+        statements,
+        functions: Vec::new(),
+        num_lines: program.num_lines,
+    })
+}
+
+fn inline_statements(
+    statements: &[Statement],
+    program: &Program,
+    counter: &mut usize,
+    depth: usize,
+) -> Result<Vec<Statement>, CompileError> {
+    if depth > MAX_DEPTH {
+        return Err(CompileError::Unsupported(
+            "function inlining exceeded maximum depth (recursion?)".into(),
+        ));
+    }
+    let mut out = Vec::new();
+    for stmt in statements {
+        match stmt {
+            Statement::Assign {
+                target,
+                index: None,
+                expr: Expr::Call { name, args, .. },
+                line,
+            } if program.function(name).is_some() => {
+                let f = program.function(name).expect("checked");
+                if f.returns.len() != 1 {
+                    return Err(CompileError::Unsupported(format!(
+                        "function '{name}' returns {} values; use multi-assign",
+                        f.returns.len()
+                    )));
+                }
+                out.extend(expand_call(
+                    f,
+                    args,
+                    &[target.clone()],
+                    *line,
+                    program,
+                    counter,
+                    depth,
+                )?);
+            }
+            Statement::MultiAssign {
+                targets,
+                expr: Expr::Call { name, args, .. },
+                line,
+            } if program.function(name).is_some() => {
+                let f = program.function(name).expect("checked");
+                out.extend(expand_call(f, args, targets, *line, program, counter, depth)?);
+            }
+            Statement::If {
+                pred,
+                then_branch,
+                else_branch,
+                line,
+            } => out.push(Statement::If {
+                pred: pred.clone(),
+                then_branch: inline_statements(then_branch, program, counter, depth)?,
+                else_branch: inline_statements(else_branch, program, counter, depth)?,
+                line: *line,
+            }),
+            Statement::While { pred, body, line } => out.push(Statement::While {
+                pred: pred.clone(),
+                body: inline_statements(body, program, counter, depth)?,
+                line: *line,
+            }),
+            Statement::For {
+                var,
+                from,
+                to,
+                body,
+                line,
+            } => out.push(Statement::For {
+                var: var.clone(),
+                from: from.clone(),
+                to: to.clone(),
+                body: inline_statements(body, program, counter, depth)?,
+                line: *line,
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    Ok(out)
+}
+
+fn expand_call(
+    f: &FunctionDef,
+    args: &[Expr],
+    targets: &[String],
+    line: usize,
+    program: &Program,
+    counter: &mut usize,
+    depth: usize,
+) -> Result<Vec<Statement>, CompileError> {
+    *counter += 1;
+    let prefix = format!("__{}_{}_", f.name, counter);
+    let rename = |name: &str| format!("{prefix}{name}");
+    let mut out = Vec::new();
+    // Bind parameters.
+    for (param, arg) in f.params.iter().zip(args) {
+        out.push(Statement::Assign {
+            target: rename(param),
+            index: None,
+            expr: arg.clone(),
+            line,
+        });
+    }
+    // Body with renamed locals, recursively inlined.
+    let body = inline_statements(&f.body, program, counter, depth + 1)?;
+    for stmt in &body {
+        out.push(rename_statement(stmt, &rename));
+    }
+    // Bind return values.
+    for (target, ret) in targets.iter().zip(&f.returns) {
+        out.push(Statement::Assign {
+            target: target.clone(),
+            index: None,
+            expr: Expr::Ident(rename(ret)),
+            line,
+        });
+    }
+    Ok(out)
+}
+
+fn rename_statement(stmt: &Statement, rename: &impl Fn(&str) -> String) -> Statement {
+    match stmt {
+        Statement::Assign {
+            target,
+            index,
+            expr,
+            line,
+        } => Statement::Assign {
+            target: rename(target),
+            index: index.as_ref().map(|(r, c)| {
+                (rename_range(r, rename), rename_range(c, rename))
+            }),
+            expr: rename_expr(expr, rename),
+            line: *line,
+        },
+        Statement::MultiAssign { targets, expr, line } => Statement::MultiAssign {
+            targets: targets.iter().map(|t| rename(t)).collect(),
+            expr: rename_expr(expr, rename),
+            line: *line,
+        },
+        Statement::ExprStmt { expr, line } => Statement::ExprStmt {
+            expr: rename_expr(expr, rename),
+            line: *line,
+        },
+        Statement::If {
+            pred,
+            then_branch,
+            else_branch,
+            line,
+        } => Statement::If {
+            pred: rename_expr(pred, rename),
+            then_branch: then_branch.iter().map(|s| rename_statement(s, rename)).collect(),
+            else_branch: else_branch.iter().map(|s| rename_statement(s, rename)).collect(),
+            line: *line,
+        },
+        Statement::While { pred, body, line } => Statement::While {
+            pred: rename_expr(pred, rename),
+            body: body.iter().map(|s| rename_statement(s, rename)).collect(),
+            line: *line,
+        },
+        Statement::For {
+            var,
+            from,
+            to,
+            body,
+            line,
+        } => Statement::For {
+            var: rename(var),
+            from: rename_expr(from, rename),
+            to: rename_expr(to, rename),
+            body: body.iter().map(|s| rename_statement(s, rename)).collect(),
+            line: *line,
+        },
+    }
+}
+
+fn rename_range(range: &IndexRange, rename: &impl Fn(&str) -> String) -> IndexRange {
+    match range {
+        IndexRange::All => IndexRange::All,
+        IndexRange::Single(e) => IndexRange::Single(Box::new(rename_expr(e, rename))),
+        IndexRange::Range(lo, hi) => IndexRange::Range(
+            lo.as_ref().map(|e| Box::new(rename_expr(e, rename))),
+            hi.as_ref().map(|e| Box::new(rename_expr(e, rename))),
+        ),
+    }
+}
+
+fn rename_expr(expr: &Expr, rename: &impl Fn(&str) -> String) -> Expr {
+    match expr {
+        Expr::Ident(name) => Expr::Ident(rename(name)),
+        Expr::Binary { op, lhs, rhs, line } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, rename)),
+            rhs: Box::new(rename_expr(rhs, rename)),
+            line: *line,
+        },
+        Expr::Unary { op, expr, line } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rename_expr(expr, rename)),
+            line: *line,
+        },
+        Expr::Call {
+            name,
+            args,
+            named,
+            line,
+        } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| rename_expr(a, rename)).collect(),
+            named: named
+                .iter()
+                .map(|(n, a)| (n.clone(), rename_expr(a, rename)))
+                .collect(),
+            line: *line,
+        },
+        Expr::Index {
+            target,
+            rows,
+            cols,
+            line,
+        } => Expr::Index {
+            target: rename(target),
+            rows: rename_range(rows, rename),
+            cols: rename_range(cols, rename),
+            line: *line,
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reml_lang::parser::parse;
+
+    #[test]
+    fn simple_inline() {
+        let p = parse("f = function(a) return (b) { b = a * 2 }\nx = f(21)").unwrap();
+        let inlined = inline_functions(&p).unwrap();
+        assert!(inlined.functions.is_empty());
+        // param bind, body, return bind.
+        assert_eq!(inlined.statements.len(), 3);
+        match &inlined.statements[2] {
+            Statement::Assign { target, expr, .. } => {
+                assert_eq!(target, "x");
+                assert!(matches!(expr, Expr::Ident(n) if n.contains("__f_")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_return_inline() {
+        let p = parse("f = function(a) return (b, c) { b = a; c = a + 1 }\n[x, y] = f(5)")
+            .unwrap();
+        let inlined = inline_functions(&p).unwrap();
+        // 1 param + 2 body + 2 returns.
+        assert_eq!(inlined.statements.len(), 5);
+    }
+
+    #[test]
+    fn locals_renamed_no_capture() {
+        let src = "f = function(a) return (b) { tmp = a + 1; b = tmp }\ntmp = 99\nx = f(1)";
+        let p = parse(src).unwrap();
+        let inlined = inline_functions(&p).unwrap();
+        // The outer `tmp = 99` must survive untouched.
+        let outer_tmp = inlined
+            .statements
+            .iter()
+            .filter(|s| matches!(s, Statement::Assign { target, .. } if target == "tmp"))
+            .count();
+        assert_eq!(outer_tmp, 1);
+    }
+
+    #[test]
+    fn calls_in_control_flow_inlined() {
+        let src = r#"
+            f = function(a) return (b) { b = a * a }
+            s = 0
+            for (i in 1:3) { s2 = f(i); s = s + s2 }
+        "#;
+        let p = parse(src).unwrap();
+        let inlined = inline_functions(&p).unwrap();
+        let Statement::For { body, .. } = &inlined.statements[1] else {
+            panic!("expected for loop");
+        };
+        assert!(body.len() > 2, "call expanded inside loop body");
+    }
+
+    #[test]
+    fn two_calls_get_distinct_prefixes() {
+        let src = "f = function(a) return (b) { b = a }\nx = f(1)\ny = f(2)";
+        let p = parse(src).unwrap();
+        let inlined = inline_functions(&p).unwrap();
+        let names: Vec<String> = inlined
+            .statements
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Assign { target, .. } if target.starts_with("__f_") => {
+                    Some(target.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names.len(), 4); // 2 params + 2 returns... params+body merged
+        let distinct: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let src = "f = function(a) return (b) { b = f(a) }\nx = f(1)";
+        let p = parse(src).unwrap();
+        assert!(inline_functions(&p).is_err());
+    }
+
+    #[test]
+    fn function_calling_function() {
+        let src = r#"
+            g = function(a) return (b) { b = a + 1 }
+            f = function(a) return (b) { t = g(a); b = t * 2 }
+            x = f(10)
+        "#;
+        let p = parse(src).unwrap();
+        let inlined = inline_functions(&p).unwrap();
+        assert!(inlined.functions.is_empty());
+        // No remaining calls to f or g.
+        fn has_udf_call(stmts: &[Statement]) -> bool {
+            stmts.iter().any(|s| match s {
+                Statement::Assign { expr, .. } => {
+                    matches!(expr, Expr::Call { name, .. } if name == "f" || name == "g")
+                }
+                _ => false,
+            })
+        }
+        assert!(!has_udf_call(&inlined.statements));
+    }
+}

@@ -1,0 +1,244 @@
+//! Operator memory estimation.
+//!
+//! Every HOP gets a worst-case *operation memory estimate*: the memory the
+//! in-memory runtime needs to execute it — all pinned inputs, the output,
+//! and any operator-internal intermediate (§2.1, Appendix B). Estimates
+//! with unknown dimensions are `f64::INFINITY`, which makes the CP/MR
+//! selection heuristic conservatively choose MR and mark the block for
+//! dynamic recompilation.
+
+use reml_matrix::MatrixCharacteristics;
+
+use crate::hop::{HopDag, HopId, HopOp, VType};
+
+/// Bytes per MB as f64.
+const MBF: f64 = (1024 * 1024) as f64;
+
+/// Size of a value in MB; unknown dimensions give `INFINITY`, scalars are
+/// negligible but non-zero.
+pub fn size_mb(mc: &MatrixCharacteristics) -> f64 {
+    match mc.estimated_size_bytes() {
+        Some(bytes) => bytes as f64 / MBF,
+        None => f64::INFINITY,
+    }
+}
+
+/// Size of a value in MB assuming dense representation (used for
+/// intermediates that materialize densely).
+pub fn dense_size_mb(mc: &MatrixCharacteristics) -> f64 {
+    match mc.dense_size_bytes() {
+        Some(bytes) => bytes as f64 / MBF,
+        None => f64::INFINITY,
+    }
+}
+
+/// Compute and store `mem_mb` for every hop of a DAG.
+pub fn estimate_dag(dag: &mut HopDag) {
+    for i in 0..dag.hops.len() {
+        let estimate = estimate_hop(dag, HopId(i));
+        dag.hops[i].mem_mb = estimate;
+    }
+}
+
+/// Operation memory estimate of one hop, MB.
+pub fn estimate_hop(dag: &HopDag, id: HopId) -> f64 {
+    let hop = dag.hop(id);
+    // Scalars and string ops are negligible.
+    if hop.vtype != VType::Matrix
+        && !matches!(hop.op, HopOp::PWrite(_) | HopOp::TWrite(_) | HopOp::Print)
+    {
+        // Full-reduction aggregates still require their matrix input.
+        if let HopOp::Agg(_) | HopOp::CastScalar | HopOp::NRow | HopOp::NCol = hop.op {
+            let input_mb: f64 = hop
+                .inputs
+                .iter()
+                .map(|i| size_mb(&dag.hop(*i).mc))
+                .sum();
+            return input_mb;
+        }
+        return 1e-4;
+    }
+    let inputs_mb: f64 = hop
+        .inputs
+        .iter()
+        .map(|i| {
+            let h = dag.hop(*i);
+            if h.vtype == VType::Matrix {
+                size_mb(&h.mc)
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    let output_mb = size_mb(&hop.mc);
+    match &hop.op {
+        // Reads/writes move one value; the estimate is that value.
+        HopOp::TRead(_) | HopOp::PRead(_) => output_mb,
+        HopOp::TWrite(_) | HopOp::PWrite(_) | HopOp::Print => inputs_mb,
+        // Data generation holds only the output.
+        HopOp::DataGenConst | HopOp::DataGenSeq | HopOp::DataGenRand => output_mb,
+        // Solve factorizes a copy of A in place: A + copy + b + x.
+        HopOp::Solve => {
+            let a_mb = hop
+                .inputs
+                .first()
+                .map(|i| dense_size_mb(&dag.hop(*i).mc))
+                .unwrap_or(f64::INFINITY);
+            inputs_mb + output_mb + a_mb
+        }
+        // Sparse-unfriendly intermediates: matmult may densify the output.
+        HopOp::MatMult | HopOp::MmChain => inputs_mb + dense_size_mb(&hop.mc),
+        // Everything else: inputs + output.
+        _ => inputs_mb + output_mb,
+    }
+}
+
+/// Collect all finite matrix-op memory estimates of a DAG (fodder for the
+/// memory-based grid generator).
+pub fn finite_estimates_mb(dag: &HopDag) -> Vec<f64> {
+    dag.hops
+        .iter()
+        .filter(|h| h.op.is_matrix_op() && h.mem_mb.is_finite() && h.mem_mb > 0.0)
+        .map(|h| h.mem_mb)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hop::VType;
+    use reml_matrix::BinaryOp;
+
+    #[test]
+    fn read_estimate_is_data_size() {
+        let mut dag = HopDag::new();
+        // 1000 x 1000 dense = 8 MB.
+        dag.add(
+            HopOp::PRead("X".into()),
+            vec![],
+            VType::Matrix,
+            MatrixCharacteristics::dense(1000, 1000),
+        );
+        estimate_dag(&mut dag);
+        let est = dag.hops[0].mem_mb;
+        assert!((est - 7.629).abs() < 0.01, "{est}");
+    }
+
+    #[test]
+    fn binary_estimate_sums_inputs_and_output() {
+        let mut dag = HopDag::new();
+        let mc = MatrixCharacteristics::dense(1000, 1000);
+        let a = dag.add(HopOp::TRead("a".into()), vec![], VType::Matrix, mc);
+        let b = dag.add(HopOp::TRead("b".into()), vec![], VType::Matrix, mc);
+        dag.add(HopOp::BinaryMM(BinaryOp::Add), vec![a, b], VType::Matrix, mc);
+        estimate_dag(&mut dag);
+        let est = dag.hops[2].mem_mb;
+        // 3 x 8MB/1.048 ≈ 22.9 MB.
+        assert!((est - 22.888).abs() < 0.01, "{est}");
+    }
+
+    #[test]
+    fn unknown_dimensions_give_infinity() {
+        let mut dag = HopDag::new();
+        let y = dag.add(
+            HopOp::TRead("y".into()),
+            vec![],
+            VType::Matrix,
+            MatrixCharacteristics::dense(100, 1),
+        );
+        dag.add(
+            HopOp::TableSeq,
+            vec![y],
+            VType::Matrix,
+            MatrixCharacteristics {
+                rows: Some(100),
+                cols: None,
+                nnz: None,
+            },
+        );
+        estimate_dag(&mut dag);
+        assert!(dag.hops[1].mem_mb.is_infinite());
+    }
+
+    #[test]
+    fn scalar_ops_are_negligible() {
+        let mut dag = HopDag::new();
+        let a = dag.add(
+            HopOp::LitNum(1.0),
+            vec![],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        dag.add(
+            HopOp::BinarySS(BinaryOp::Add),
+            vec![a, a],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        estimate_dag(&mut dag);
+        assert!(dag.hops[1].mem_mb < 0.001);
+    }
+
+    #[test]
+    fn full_agg_charges_matrix_input() {
+        let mut dag = HopDag::new();
+        let mc = MatrixCharacteristics::dense(1000, 1000);
+        let x = dag.add(HopOp::TRead("x".into()), vec![], VType::Matrix, mc);
+        dag.add(
+            HopOp::Agg(reml_matrix::AggOp::Sum),
+            vec![x],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        estimate_dag(&mut dag);
+        assert!(dag.hops[1].mem_mb > 7.0);
+    }
+
+    #[test]
+    fn solve_charges_factorization_copy() {
+        let mut dag = HopDag::new();
+        let a_mc = MatrixCharacteristics::dense(1000, 1000);
+        let b_mc = MatrixCharacteristics::dense(1000, 1);
+        let a = dag.add(HopOp::TRead("A".into()), vec![], VType::Matrix, a_mc);
+        let b = dag.add(HopOp::TRead("b".into()), vec![], VType::Matrix, b_mc);
+        dag.add(HopOp::Solve, vec![a, b], VType::Matrix, b_mc);
+        estimate_dag(&mut dag);
+        // >= 2x the A matrix.
+        assert!(dag.hops[2].mem_mb > 15.0);
+    }
+
+    #[test]
+    fn matmult_sparse_inputs_dense_output_intermediate() {
+        let mut dag = HopDag::new();
+        // Two very sparse 10k x 10k inputs; output estimated near-sparse
+        // but we charge a dense intermediate.
+        let mc = MatrixCharacteristics::known(2000, 2000, 4000);
+        let a = dag.add(HopOp::TRead("a".into()), vec![], VType::Matrix, mc);
+        let b = dag.add(HopOp::TRead("b".into()), vec![], VType::Matrix, mc);
+        let out_mc = mc.matmult(&mc);
+        dag.add(HopOp::MatMult, vec![a, b], VType::Matrix, out_mc);
+        estimate_dag(&mut dag);
+        // Dense 2000x2000 = 30.5 MB dominates.
+        assert!(dag.hops[2].mem_mb > 30.0);
+    }
+
+    #[test]
+    fn finite_estimates_filter() {
+        let mut dag = HopDag::new();
+        let known = dag.add(
+            HopOp::TRead("x".into()),
+            vec![],
+            VType::Matrix,
+            MatrixCharacteristics::dense(1000, 100),
+        );
+        dag.add(
+            HopOp::TableSeq,
+            vec![known],
+            VType::Matrix,
+            MatrixCharacteristics::unknown(),
+        );
+        estimate_dag(&mut dag);
+        let finite = finite_estimates_mb(&dag);
+        assert_eq!(finite.len(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! HOP-level algebraic rewrites.
+//!
+//! Applied after DAG construction and size propagation, before memory
+//! estimation and lowering. Each rewrite rebinds consumers rather than
+//! deleting nodes; dead producers are dropped later by liveness
+//! (`HopDag::live_hops`).
+//!
+//! Implemented rewrites (Appendix B's examples):
+//!
+//! * **vector dot product**: `sum(v * v)` / `sum(v * w)` over column
+//!   vectors → `castScalar(t(v) %*% w)`, avoiding the elementwise
+//!   intermediate;
+//! * **MapMMChain fusion**: `t(X) %*% (X %*% v)` → fused `MmChain(X, v)`,
+//!   enabling the single-pass map-side physical operator;
+//! * **ppred-free comparison folding** is already handled during
+//!   construction (constant folding), so it does not reappear here.
+
+use crate::hop::{HopDag, HopId, HopOp, VType};
+
+/// Outcome counters of a rewrite pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// `sum(v*w)` → dot-product rewrites applied.
+    pub dot_products: u64,
+    /// MmChain fusions applied.
+    pub mm_chains: u64,
+}
+
+impl RewriteStats {
+    /// Total rewrites applied.
+    pub fn total(&self) -> u64 {
+        self.dot_products + self.mm_chains
+    }
+}
+
+/// Apply all rewrites to a DAG in place.
+pub fn apply_rewrites(dag: &mut HopDag) -> RewriteStats {
+    let mut stats = RewriteStats::default();
+    rewrite_dot_products(dag, &mut stats);
+    rewrite_mm_chains(dag, &mut stats);
+    stats
+}
+
+/// `sum(BinaryMM(*, v, w))` with column-vector operands becomes
+/// `CastScalar(MatMult(Transpose(v), w))`.
+fn rewrite_dot_products(dag: &mut HopDag, stats: &mut RewriteStats) {
+    for i in 0..dag.hops.len() {
+        let id = HopId(i);
+        let (mul_id, is_sum) = match &dag.hop(id).op {
+            HopOp::Agg(reml_matrix::AggOp::Sum) => {
+                (dag.hop(id).inputs.first().copied(), true)
+            }
+            _ => (None, false),
+        };
+        if !is_sum {
+            continue;
+        }
+        let Some(mul_id) = mul_id else { continue };
+        let mul = dag.hop(mul_id);
+        let HopOp::BinaryMM(reml_matrix::BinaryOp::Mul) = mul.op else {
+            continue;
+        };
+        // Both operands must be column vectors of equal known length.
+        let (a, b) = (mul.inputs[0], mul.inputs[1]);
+        let (amc, bmc) = (dag.hop(a).mc, dag.hop(b).mc);
+        if !(amc.is_col_vector() && bmc.is_col_vector() && amc.rows.is_some() && amc.rows == bmc.rows)
+        {
+            continue;
+        }
+        // Build t(a) %*% b and rebind the sum's consumerless body: we turn
+        // the Agg hop itself into a CastScalar over the new matmult so all
+        // existing consumers keep their HopId.
+        let t = dag.add(HopOp::Transpose, vec![a], VType::Matrix, amc.transpose());
+        let mm_mc = amc.transpose().matmult(&bmc);
+        let mm = dag.add(HopOp::MatMult, vec![t, b], VType::Matrix, mm_mc);
+        let agg = dag.hop_mut(id);
+        agg.op = HopOp::CastScalar;
+        agg.inputs = vec![mm];
+        stats.dot_products += 1;
+    }
+}
+
+/// `MatMult(Transpose(X), MatMult(X, v))` with vector `v` becomes
+/// `MmChain(X, v)`.
+fn rewrite_mm_chains(dag: &mut HopDag, stats: &mut RewriteStats) {
+    for i in 0..dag.hops.len() {
+        let id = HopId(i);
+        let HopOp::MatMult = dag.hop(id).op else { continue };
+        let [left, right] = dag.hop(id).inputs[..] else {
+            continue;
+        };
+        let HopOp::Transpose = dag.hop(left).op else {
+            continue;
+        };
+        let x_outer = dag.hop(left).inputs[0];
+        let HopOp::MatMult = dag.hop(right).op else {
+            continue;
+        };
+        let [x_inner, v] = dag.hop(right).inputs[..] else {
+            continue;
+        };
+        if x_inner != x_outer {
+            continue;
+        }
+        if !dag.hop(v).mc.is_col_vector() {
+            continue;
+        }
+        let out_mc = dag.hop(id).mc;
+        let hop = dag.hop_mut(id);
+        hop.op = HopOp::MmChain;
+        hop.inputs = vec![x_outer, v];
+        hop.mc = out_mc;
+        stats.mm_chains += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reml_matrix::{AggOp, BinaryOp, MatrixCharacteristics};
+
+    #[test]
+    fn dot_product_rewrite_applies() {
+        let mut dag = HopDag::new();
+        let vmc = MatrixCharacteristics::dense(100, 1);
+        let s = dag.add(HopOp::TRead("s".into()), vec![], VType::Matrix, vmc);
+        let mul = dag.add(HopOp::BinaryMM(BinaryOp::Mul), vec![s, s], VType::Matrix, vmc);
+        let sum = dag.add(
+            HopOp::Agg(AggOp::Sum),
+            vec![mul],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        dag.add(
+            HopOp::TWrite("dd".into()),
+            vec![sum],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        let stats = apply_rewrites(&mut dag);
+        assert_eq!(stats.dot_products, 1);
+        // The Agg hop becomes CastScalar over a MatMult(t(s), s).
+        assert!(matches!(dag.hop(sum).op, HopOp::CastScalar));
+        let mm = dag.hop(sum).inputs[0];
+        assert!(matches!(dag.hop(mm).op, HopOp::MatMult));
+        // The elementwise multiply is now dead.
+        let live = dag.live_hops(&[]);
+        assert!(!live.contains(&mul));
+    }
+
+    #[test]
+    fn dot_product_skips_matrices() {
+        let mut dag = HopDag::new();
+        let mmc = MatrixCharacteristics::dense(100, 10);
+        let x = dag.add(HopOp::TRead("X".into()), vec![], VType::Matrix, mmc);
+        let mul = dag.add(HopOp::BinaryMM(BinaryOp::Mul), vec![x, x], VType::Matrix, mmc);
+        let sum = dag.add(
+            HopOp::Agg(AggOp::Sum),
+            vec![mul],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        dag.add(
+            HopOp::TWrite("o".into()),
+            vec![sum],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        let stats = apply_rewrites(&mut dag);
+        assert_eq!(stats.dot_products, 0);
+        assert!(matches!(dag.hop(sum).op, HopOp::Agg(AggOp::Sum)));
+    }
+
+    #[test]
+    fn dot_product_skips_unknown_length() {
+        let mut dag = HopDag::new();
+        let vmc = MatrixCharacteristics {
+            rows: None,
+            cols: Some(1),
+            nnz: None,
+        };
+        let s = dag.add(HopOp::TRead("s".into()), vec![], VType::Matrix, vmc);
+        let mul = dag.add(HopOp::BinaryMM(BinaryOp::Mul), vec![s, s], VType::Matrix, vmc);
+        let sum = dag.add(
+            HopOp::Agg(AggOp::Sum),
+            vec![mul],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        dag.add(
+            HopOp::TWrite("o".into()),
+            vec![sum],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        assert_eq!(apply_rewrites(&mut dag).dot_products, 0);
+    }
+
+    #[test]
+    fn mm_chain_fusion() {
+        let mut dag = HopDag::new();
+        let xmc = MatrixCharacteristics::dense(1000, 100);
+        let vmc = MatrixCharacteristics::dense(100, 1);
+        let x = dag.add(HopOp::TRead("X".into()), vec![], VType::Matrix, xmc);
+        let v = dag.add(HopOp::TRead("v".into()), vec![], VType::Matrix, vmc);
+        let xv = dag.add(HopOp::MatMult, vec![x, v], VType::Matrix, xmc.matmult(&vmc));
+        let xt = dag.add(HopOp::Transpose, vec![x], VType::Matrix, xmc.transpose());
+        let chain_mc = xmc.transpose().matmult(&xmc.matmult(&vmc));
+        let out = dag.add(HopOp::MatMult, vec![xt, xv], VType::Matrix, chain_mc);
+        dag.add(HopOp::TWrite("g".into()), vec![out], VType::Matrix, chain_mc);
+        let stats = apply_rewrites(&mut dag);
+        assert_eq!(stats.mm_chains, 1);
+        assert!(matches!(dag.hop(out).op, HopOp::MmChain));
+        assert_eq!(dag.hop(out).inputs, vec![x, v]);
+    }
+
+    #[test]
+    fn mm_chain_requires_same_x() {
+        let mut dag = HopDag::new();
+        let xmc = MatrixCharacteristics::dense(1000, 100);
+        let vmc = MatrixCharacteristics::dense(100, 1);
+        let x = dag.add(HopOp::TRead("X".into()), vec![], VType::Matrix, xmc);
+        let y = dag.add(HopOp::TRead("Y".into()), vec![], VType::Matrix, xmc);
+        let v = dag.add(HopOp::TRead("v".into()), vec![], VType::Matrix, vmc);
+        let yv = dag.add(HopOp::MatMult, vec![y, v], VType::Matrix, xmc.matmult(&vmc));
+        let xt = dag.add(HopOp::Transpose, vec![x], VType::Matrix, xmc.transpose());
+        let out_mc = xmc.transpose().matmult(&xmc.matmult(&vmc));
+        let out = dag.add(HopOp::MatMult, vec![xt, yv], VType::Matrix, out_mc);
+        dag.add(HopOp::TWrite("g".into()), vec![out], VType::Matrix, out_mc);
+        assert_eq!(apply_rewrites(&mut dag).mm_chains, 0);
+    }
+}

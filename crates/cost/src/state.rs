@@ -1,0 +1,155 @@
+//! Live-variable state tracking for the plan scan.
+
+use std::collections::HashMap;
+
+/// Where a variable's current value lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarState {
+    /// Pinned in CP memory; matches HDFS (read from there, unmodified).
+    InMemoryClean,
+    /// Pinned in CP memory; differs from HDFS (computed in CP).
+    InMemoryDirty,
+    /// On HDFS only (persistent input or MR-job output).
+    OnHdfs,
+}
+
+impl VarState {
+    /// Whether a CP operand in this state needs an HDFS read first.
+    pub fn needs_read(self) -> bool {
+        matches!(self, VarState::OnHdfs)
+    }
+
+    /// Whether an MR job consuming this variable needs it exported first.
+    pub fn needs_export(self) -> bool {
+        matches!(self, VarState::InMemoryDirty)
+    }
+}
+
+/// The state map of the scan. Unknown variables are treated as on-HDFS
+/// (conservative: the first CP use pays a read).
+///
+/// The map also tracks an approximate *resident set* — the bytes of
+/// in-memory variables in FIFO order — so the cost model can partially
+/// account for buffer-pool evictions (§5: "buffer pool evictions (only
+/// partially considered by our cost model)"). Variables with unknown
+/// sizes are not tracked.
+#[derive(Debug, Clone, Default)]
+pub struct VarStates {
+    states: HashMap<String, VarState>,
+    resident: Vec<(String, u64)>,
+}
+
+impl VarStates {
+    /// Fresh state map.
+    pub fn new() -> Self {
+        VarStates::default()
+    }
+
+    /// Current state of a variable.
+    pub fn get(&self, name: &str) -> VarState {
+        self.states
+            .get(name)
+            .copied()
+            .unwrap_or(VarState::OnHdfs)
+    }
+
+    /// Set a variable's state.
+    pub fn set(&mut self, name: &str, state: VarState) {
+        self.states.insert(name.to_string(), state);
+        if state == VarState::OnHdfs {
+            self.drop_resident(name);
+        }
+    }
+
+    /// Note that a variable now occupies `bytes` of CP memory.
+    pub fn note_resident(&mut self, name: &str, bytes: u64) {
+        self.drop_resident(name);
+        self.resident.push((name.to_string(), bytes));
+    }
+
+    /// Remove a variable from the resident set.
+    pub fn drop_resident(&mut self, name: &str) {
+        self.resident.retain(|(n, _)| n != name);
+    }
+
+    /// Total tracked resident bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.iter().map(|(_, b)| *b).sum()
+    }
+
+    /// Evict oldest residents until the set fits `budget_bytes`.
+    /// Evicted variables transition to on-HDFS (their next use pays a
+    /// read); the returned value is the bytes evicted (the write cost the
+    /// caller charges). The most recent entry is never evicted (it is the
+    /// pinned output of the current instruction).
+    pub fn enforce_budget(&mut self, budget_bytes: u64) -> u64 {
+        let mut evicted = 0u64;
+        while self.resident_bytes() > budget_bytes && self.resident.len() > 1 {
+            let (name, bytes) = self.resident.remove(0);
+            self.states.insert(name, VarState::OnHdfs);
+            evicted += bytes;
+        }
+        evicted
+    }
+
+    /// Known variables (diagnostics).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no variables are tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_vars_default_on_hdfs() {
+        let s = VarStates::new();
+        assert_eq!(s.get("x"), VarState::OnHdfs);
+        assert!(s.get("x").needs_read());
+        assert!(!s.get("x").needs_export());
+    }
+
+    #[test]
+    fn resident_tracking_and_eviction() {
+        let mut s = VarStates::new();
+        s.set("x", VarState::InMemoryClean);
+        s.note_resident("x", 600);
+        s.set("y", VarState::InMemoryDirty);
+        s.note_resident("y", 600);
+        assert_eq!(s.resident_bytes(), 1200);
+        // Budget 1000: evict the oldest (x), keep the newest (y).
+        let evicted = s.enforce_budget(1000);
+        assert_eq!(evicted, 600);
+        assert_eq!(s.get("x"), VarState::OnHdfs);
+        assert_eq!(s.get("y"), VarState::InMemoryDirty);
+        // Newest entry is never evicted even when over budget.
+        let evicted2 = s.enforce_budget(100);
+        assert_eq!(evicted2, 0);
+    }
+
+    #[test]
+    fn on_hdfs_set_drops_residency() {
+        let mut s = VarStates::new();
+        s.set("x", VarState::InMemoryDirty);
+        s.note_resident("x", 100);
+        s.set("x", VarState::OnHdfs);
+        assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn transitions() {
+        let mut s = VarStates::new();
+        s.set("x", VarState::InMemoryDirty);
+        assert!(!s.get("x").needs_read());
+        assert!(s.get("x").needs_export());
+        s.set("x", VarState::InMemoryClean);
+        assert!(!s.get("x").needs_export());
+        assert!(!s.get("x").needs_read());
+    }
+}

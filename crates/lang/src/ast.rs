@@ -1,0 +1,326 @@
+//! Abstract syntax tree for the DML subset.
+
+use std::collections::BTreeSet;
+
+/// Binary expression operators (surface syntax level; scalar/matrix
+/// resolution happens in HOP construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^`
+    Pow,
+    /// `%%`
+    Mod,
+    /// `%*%`
+    MatMul,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+}
+
+/// Unary expression operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical negation `!x`.
+    Not,
+}
+
+/// One bound of a `[lower:upper]` index range; `None` means "open".
+pub type IndexBound = Option<Box<Expr>>;
+
+/// A row or column index specification inside `X[rows, cols]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexRange {
+    /// Omitted dimension (`X[, 1:k]` row part): all rows/cols.
+    All,
+    /// A single index expression.
+    Single(Box<Expr>),
+    /// `lower:upper` range with optionally open bounds.
+    Range(IndexBound, IndexBound),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Ident(String),
+    /// `$name` script parameter.
+    Param(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Function or builtin call `name(args..., kw=val...)`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Named arguments (e.g. `rows=`, `cols=` of `matrix`).
+        named: Vec<(String, Expr)>,
+        /// Source line.
+        line: usize,
+    },
+    /// Right indexing `X[rows, cols]`.
+    Index {
+        /// The indexed variable name.
+        target: String,
+        /// Row specification.
+        rows: IndexRange,
+        /// Column specification.
+        cols: IndexRange,
+        /// Source line.
+        line: usize,
+    },
+}
+
+impl Expr {
+    /// Source line of this expression (literals report line 0).
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Binary { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Index { line, .. } => *line,
+            _ => 0,
+        }
+    }
+
+    /// Collect the variable names read by this expression into `out`.
+    pub fn collect_reads(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Ident(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_reads(out);
+                rhs.collect_reads(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_reads(out),
+            Expr::Call { args, named, .. } => {
+                for a in args {
+                    a.collect_reads(out);
+                }
+                for (_, a) in named {
+                    a.collect_reads(out);
+                }
+            }
+            Expr::Index {
+                target, rows, cols, ..
+            } => {
+                out.insert(target.clone());
+                for range in [rows, cols] {
+                    match range {
+                        IndexRange::All => {}
+                        IndexRange::Single(e) => e.collect_reads(out),
+                        IndexRange::Range(lo, hi) => {
+                            if let Some(e) = lo {
+                                e.collect_reads(out);
+                            }
+                            if let Some(e) = hi {
+                                e.collect_reads(out);
+                            }
+                        }
+                    }
+                }
+            }
+            Expr::Num(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Param(_) => {}
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `x = expr` or `x[i, j] = expr` (left indexing when `index` is set).
+    Assign {
+        /// Target variable name.
+        target: String,
+        /// Optional left-indexing ranges.
+        index: Option<(IndexRange, IndexRange)>,
+        /// Right-hand side.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// Multi-assignment from a multi-return function:
+    /// `[a, b] = f(...)`.
+    MultiAssign {
+        /// Target variable names.
+        targets: Vec<String>,
+        /// The call expression.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// Expression statement (e.g. `print(...)`, `write(...)`).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `if (pred) { ... } else { ... }`.
+    If {
+        /// Branch predicate.
+        pred: Expr,
+        /// Then branch.
+        then_branch: Vec<Statement>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Statement>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while (pred) { ... }`.
+    While {
+        /// Loop predicate.
+        pred: Expr,
+        /// Loop body.
+        body: Vec<Statement>,
+        /// Source line.
+        line: usize,
+    },
+    /// `for (var in from:to) { ... }`.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Range start.
+        from: Expr,
+        /// Range end.
+        to: Expr,
+        /// Loop body.
+        body: Vec<Statement>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+impl Statement {
+    /// Source line of this statement.
+    pub fn line(&self) -> usize {
+        match self {
+            Statement::Assign { line, .. }
+            | Statement::MultiAssign { line, .. }
+            | Statement::ExprStmt { line, .. }
+            | Statement::If { line, .. }
+            | Statement::While { line, .. }
+            | Statement::For { line, .. } => *line,
+        }
+    }
+}
+
+/// A user-defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Return variable names (DML `return(x, y)` style).
+    pub returns: Vec<String>,
+    /// Function body.
+    pub body: Vec<Statement>,
+    /// Source line of the definition.
+    pub line: usize,
+}
+
+/// A parsed DML program: top-level statements plus function definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Main-scope statements in source order.
+    pub statements: Vec<Statement>,
+    /// User-defined functions by definition order.
+    pub functions: Vec<FunctionDef>,
+    /// Number of source lines (for Table 1 style reporting).
+    pub num_lines: usize,
+}
+
+impl Program {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_reads_walks_everything() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Ident("x".into())),
+            rhs: Box::new(Expr::Call {
+                name: "sum".into(),
+                args: vec![Expr::Index {
+                    target: "Y".into(),
+                    rows: IndexRange::All,
+                    cols: IndexRange::Range(
+                        Some(Box::new(Expr::Num(1.0))),
+                        Some(Box::new(Expr::Ident("k".into()))),
+                    ),
+                    line: 1,
+                }],
+                named: vec![("w".into(), Expr::Ident("z".into()))],
+                line: 1,
+            }),
+            line: 1,
+        };
+        let mut reads = BTreeSet::new();
+        e.collect_reads(&mut reads);
+        let got: Vec<&str> = reads.iter().map(String::as_str).collect();
+        assert_eq!(got, vec!["Y", "k", "x", "z"]);
+    }
+
+    #[test]
+    fn params_are_not_variable_reads() {
+        let mut reads = BTreeSet::new();
+        Expr::Param("tol".into()).collect_reads(&mut reads);
+        assert!(reads.is_empty());
+    }
+}

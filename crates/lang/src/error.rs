@@ -1,0 +1,78 @@
+//! Front-end error type with source positions.
+
+use std::fmt;
+
+/// An error raised by the lexer, parser, or validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Which phase produced the error.
+    pub phase: Phase,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Front-end phase identifiers for error attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic validation.
+    Validate,
+}
+
+impl LangError {
+    /// Lexer error at `line`.
+    pub fn lex(line: usize, message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Lex,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Parser error at `line`.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Parse,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Validation error at `line`.
+    pub fn validate(line: usize, message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Validate,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Validate => "validate",
+        };
+        write!(f, "{phase} error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_line() {
+        let e = LangError::parse(7, "unexpected token");
+        assert_eq!(e.to_string(), "parse error at line 7: unexpected token");
+    }
+}

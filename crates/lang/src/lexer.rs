@@ -1,0 +1,547 @@
+//! Tokenizer for the DML subset.
+
+use crate::error::LangError;
+
+/// A lexical token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+/// Token kinds of the DML subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal (integers and floats share one representation).
+    Number(f64),
+    /// Double-quoted string literal (escapes: `\"`, `\\`, `\n`, `\t`).
+    Str(String),
+    /// Identifier or keyword-free name.
+    Ident(String),
+    /// `$name` script-level parameter reference.
+    Dollar(String),
+    /// Keywords.
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in` (for-loop ranges)
+    In,
+    /// `function`
+    Function,
+    /// `return`
+    Return,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    // Operators and punctuation.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `%*%` matrix multiply
+    MatMul,
+    /// `%%` modulo
+    Modulo,
+    /// `=` or `<-`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `!`
+    Not,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// Tokenize DML source. Comments run from `#` to end of line.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' | '.' if c != '.' || bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                // Scientific notation: 1e-9, 2.5E+3.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &source[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| LangError::lex(line, format!("bad number literal '{text}'")))?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let kind = match word {
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "for" => TokenKind::For,
+                    "in" => TokenKind::In,
+                    "function" => TokenKind::Function,
+                    "return" => TokenKind::Return,
+                    "TRUE" => TokenKind::True,
+                    "FALSE" => TokenKind::False,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, line });
+            }
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(LangError::lex(line, "expected name after '$'"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Dollar(source[start..i].to_string()),
+                    line,
+                });
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LangError::lex(line, "unterminated string literal"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            let esc = bytes
+                                .get(i)
+                                .ok_or_else(|| LangError::lex(line, "dangling escape"))?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(LangError::lex(
+                                        line,
+                                        format!("unknown escape '\\{}'", *other as char),
+                                    ))
+                                }
+                            });
+                            i += 1;
+                        }
+                        b'\n' => return Err(LangError::lex(line, "newline in string literal")),
+                        other => {
+                            s.push(other as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+            }
+            '%' => {
+                if source[i..].starts_with("%*%") {
+                    tokens.push(Token {
+                        kind: TokenKind::MatMul,
+                        line,
+                    });
+                    i += 3;
+                } else if source[i..].starts_with("%%") {
+                    tokens.push(Token {
+                        kind: TokenKind::Modulo,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LangError::lex(line, "stray '%' (expected %*% or %%)"));
+                }
+            }
+            '<' => {
+                if source[i..].starts_with("<-") {
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        line,
+                    });
+                    i += 2;
+                } else if source[i..].starts_with("<=") {
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if source[i..].starts_with(">=") {
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if source[i..].starts_with("==") {
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if source[i..].starts_with("!=") {
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Not,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '&' => {
+                // Accept both & and && as logical and.
+                i += if source[i..].starts_with("&&") { 2 } else { 1 };
+                tokens.push(Token {
+                    kind: TokenKind::And,
+                    line,
+                });
+            }
+            '|' => {
+                i += if source[i..].starts_with("||") { 2 } else { 1 };
+                tokens.push(Token {
+                    kind: TokenKind::Or,
+                    line,
+                });
+            }
+            '+' => {
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    line,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    line,
+                });
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token {
+                    kind: TokenKind::Caret,
+                    line,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    line,
+                });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
+                i += 1;
+            }
+            other => {
+                return Err(LangError::lex(line, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        let k = kinds("x = 3.5");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Number(3.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(kinds("1e-9")[0], TokenKind::Number(1e-9));
+        assert_eq!(kinds("2.5E+3")[0], TokenKind::Number(2500.0));
+        // 'e' not followed by digits is not consumed.
+        let k = kinds("2e");
+        assert_eq!(k[0], TokenKind::Number(2.0));
+        assert_eq!(k[1], TokenKind::Ident("e".into()));
+    }
+
+    #[test]
+    fn matmul_vs_modulo() {
+        assert_eq!(kinds("A %*% B")[1], TokenKind::MatMul);
+        assert_eq!(kinds("a %% b")[1], TokenKind::Modulo);
+        assert!(tokenize("a % b").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("a <= b")[1], TokenKind::LtEq);
+        assert_eq!(kinds("a < b")[1], TokenKind::Lt);
+        assert_eq!(kinds("a >= b")[1], TokenKind::GtEq);
+        assert_eq!(kinds("a == b")[1], TokenKind::EqEq);
+        assert_eq!(kinds("a != b")[1], TokenKind::NotEq);
+    }
+
+    #[test]
+    fn arrow_assign() {
+        assert_eq!(kinds("x <- 1")[1], TokenKind::Assign);
+    }
+
+    #[test]
+    fn logical_double_and_single() {
+        assert_eq!(kinds("a & b")[1], TokenKind::And);
+        assert_eq!(kinds("a && b")[1], TokenKind::And);
+        assert_eq!(kinds("a | b")[1], TokenKind::Or);
+        assert_eq!(kinds("a || b")[1], TokenKind::Or);
+    }
+
+    #[test]
+    fn dollar_params() {
+        assert_eq!(kinds("$maxiter")[0], TokenKind::Dollar("maxiter".into()));
+        assert!(tokenize("$ x").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("\"it: \\\"q\\\"\\n\"")[0],
+            TokenKind::Str("it: \"q\"\n".into())
+        );
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("\"bad \\z\"").is_err());
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let toks = tokenize("x = 1 # set x\ny = 2").unwrap();
+        let y = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("y".into()))
+            .unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn keywords() {
+        let k = kinds("while if else for in function return TRUE FALSE");
+        assert_eq!(k[0], TokenKind::While);
+        assert_eq!(k[1], TokenKind::If);
+        assert_eq!(k[2], TokenKind::Else);
+        assert_eq!(k[3], TokenKind::For);
+        assert_eq!(k[4], TokenKind::In);
+        assert_eq!(k[5], TokenKind::Function);
+        assert_eq!(k[6], TokenKind::Return);
+        assert_eq!(k[7], TokenKind::True);
+        assert_eq!(k[8], TokenKind::False);
+    }
+
+    #[test]
+    fn unexpected_char_reports_line() {
+        let err = tokenize("x = 1\n@").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn leading_dot_number() {
+        // '.5' style is not supported by DML; '.' alone errors out.
+        assert!(tokenize(". x").is_err());
+    }
+}

@@ -1,0 +1,787 @@
+//! Recursive-descent parser with Pratt expression parsing.
+
+use crate::ast::{BinOp, Expr, FunctionDef, IndexRange, Program, Statement, UnOp};
+use crate::error::LangError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse DML source into a [`Program`].
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    let mut functions = Vec::new();
+    while !parser.at(&TokenKind::Eof) {
+        if parser.is_function_def() {
+            functions.push(parser.function_def()?);
+        } else {
+            statements.push(parser.statement()?);
+        }
+    }
+    Ok(Program {
+        statements,
+        functions,
+        num_lines: source.lines().count(),
+    })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), LangError> {
+        if self.at(kind) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn skip_semicolons(&mut self) {
+        while self.at(&TokenKind::Semicolon) {
+            self.bump();
+        }
+    }
+
+    /// `name = function(params) return (rets) { body }`
+    fn is_function_def(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(_))
+            && *self.peek_at(1) == TokenKind::Assign
+            && *self.peek_at(2) == TokenKind::Function
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.bump() {
+            TokenKind::Ident(name) => Ok(name),
+            other => Err(LangError::parse(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn function_def(&mut self) -> Result<FunctionDef, LangError> {
+        let line = self.line();
+        let name = self.ident()?;
+        self.expect(&TokenKind::Assign, "'='")?;
+        self.expect(&TokenKind::Function, "'function'")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if self.at(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        self.expect(&TokenKind::Return, "'return'")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut returns = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                returns.push(self.ident()?);
+                if self.at(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        let body = self.block()?;
+        Ok(FunctionDef {
+            name,
+            params,
+            returns,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Statement>, LangError> {
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(LangError::parse(self.line(), "unterminated block"));
+            }
+            body.push(self.statement()?);
+        }
+        self.bump(); // consume }
+        Ok(body)
+    }
+
+    fn statement(&mut self) -> Result<Statement, LangError> {
+        self.skip_semicolons();
+        let line = self.line();
+        let stmt = match self.peek().clone() {
+            TokenKind::If => self.if_statement()?,
+            TokenKind::While => self.while_statement()?,
+            TokenKind::For => self.for_statement()?,
+            TokenKind::LBracket => self.multi_assign()?,
+            TokenKind::Ident(name) => {
+                // Lookahead: assignment, indexed assignment, or expression.
+                match self.peek_at(1) {
+                    TokenKind::Assign => {
+                        self.bump();
+                        self.bump();
+                        let expr = self.expression(0)?;
+                        Statement::Assign {
+                            target: name,
+                            index: None,
+                            expr,
+                            line,
+                        }
+                    }
+                    TokenKind::LBracket if self.is_indexed_assign() => {
+                        self.bump(); // ident
+                        self.bump(); // [
+                        let (rows, cols) = self.index_ranges()?;
+                        self.expect(&TokenKind::RBracket, "']'")?;
+                        self.expect(&TokenKind::Assign, "'='")?;
+                        let expr = self.expression(0)?;
+                        Statement::Assign {
+                            target: name,
+                            index: Some((rows, cols)),
+                            expr,
+                            line,
+                        }
+                    }
+                    _ => {
+                        let expr = self.expression(0)?;
+                        Statement::ExprStmt { expr, line }
+                    }
+                }
+            }
+            _ => {
+                let expr = self.expression(0)?;
+                Statement::ExprStmt { expr, line }
+            }
+        };
+        self.skip_semicolons();
+        Ok(stmt)
+    }
+
+    /// Distinguish `x[i, j] = e` (indexed assign) from an `x[i, j]` read
+    /// used as an expression statement — scan for `] =` at bracket depth 0.
+    fn is_indexed_assign(&self) -> bool {
+        let mut depth = 0usize;
+        let mut i = self.pos + 1; // at '['
+        while i < self.tokens.len() {
+            match &self.tokens[i].kind {
+                TokenKind::LBracket => depth += 1,
+                TokenKind::RBracket => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return matches!(
+                            self.tokens.get(i + 1).map(|t| &t.kind),
+                            Some(TokenKind::Assign)
+                        );
+                    }
+                }
+                TokenKind::Eof => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn multi_assign(&mut self) -> Result<Statement, LangError> {
+        let line = self.line();
+        self.expect(&TokenKind::LBracket, "'['")?;
+        let mut targets = Vec::new();
+        loop {
+            targets.push(self.ident()?);
+            if self.at(&TokenKind::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBracket, "']'")?;
+        self.expect(&TokenKind::Assign, "'='")?;
+        let expr = self.expression(0)?;
+        if !matches!(expr, Expr::Call { .. }) {
+            return Err(LangError::parse(
+                line,
+                "multi-assignment requires a function call on the right",
+            ));
+        }
+        Ok(Statement::MultiAssign {
+            targets,
+            expr,
+            line,
+        })
+    }
+
+    fn if_statement(&mut self) -> Result<Statement, LangError> {
+        let line = self.line();
+        self.expect(&TokenKind::If, "'if'")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let pred = self.expression(0)?;
+        self.expect(&TokenKind::RParen, "')'")?;
+        let then_branch = if self.at(&TokenKind::LBrace) {
+            self.block()?
+        } else {
+            vec![self.statement()?]
+        };
+        let else_branch = if self.at(&TokenKind::Else) {
+            self.bump();
+            if self.at(&TokenKind::If) {
+                vec![self.if_statement()?]
+            } else if self.at(&TokenKind::LBrace) {
+                self.block()?
+            } else {
+                vec![self.statement()?]
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Statement::If {
+            pred,
+            then_branch,
+            else_branch,
+            line,
+        })
+    }
+
+    fn while_statement(&mut self) -> Result<Statement, LangError> {
+        let line = self.line();
+        self.expect(&TokenKind::While, "'while'")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let pred = self.expression(0)?;
+        self.expect(&TokenKind::RParen, "')'")?;
+        let body = if self.at(&TokenKind::LBrace) {
+            self.block()?
+        } else {
+            vec![self.statement()?]
+        };
+        Ok(Statement::While { pred, body, line })
+    }
+
+    fn for_statement(&mut self) -> Result<Statement, LangError> {
+        let line = self.line();
+        self.expect(&TokenKind::For, "'for'")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let var = self.ident()?;
+        self.expect(&TokenKind::In, "'in'")?;
+        let from = self.expression(0)?;
+        self.expect(&TokenKind::Colon, "':'")?;
+        let to = self.expression(0)?;
+        self.expect(&TokenKind::RParen, "')'")?;
+        let body = if self.at(&TokenKind::LBrace) {
+            self.block()?
+        } else {
+            vec![self.statement()?]
+        };
+        Ok(Statement::For {
+            var,
+            from,
+            to,
+            body,
+            line,
+        })
+    }
+
+    /// Pratt expression parser. `min_bp` is the minimum binding power.
+    fn expression(&mut self, min_bp: u8) -> Result<Expr, LangError> {
+        let line = self.line();
+        let mut lhs = match self.bump() {
+            TokenKind::Number(v) => Expr::Num(v),
+            TokenKind::Str(s) => Expr::Str(s),
+            TokenKind::True => Expr::Bool(true),
+            TokenKind::False => Expr::Bool(false),
+            TokenKind::Dollar(name) => Expr::Param(name),
+            TokenKind::Minus => {
+                let ((), rbp) = prefix_binding_power(UnOp::Neg);
+                let expr = self.expression(rbp)?;
+                Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(expr),
+                    line,
+                }
+            }
+            TokenKind::Not => {
+                let ((), rbp) = prefix_binding_power(UnOp::Not);
+                let expr = self.expression(rbp)?;
+                Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(expr),
+                    line,
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expression(0)?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                e
+            }
+            TokenKind::Ident(name) => {
+                if self.at(&TokenKind::LParen) {
+                    self.call(name, line)?
+                } else if self.at(&TokenKind::LBracket) {
+                    self.bump();
+                    let (rows, cols) = self.index_ranges()?;
+                    self.expect(&TokenKind::RBracket, "']'")?;
+                    Expr::Index {
+                        target: name,
+                        rows,
+                        cols,
+                        line,
+                    }
+                } else {
+                    Expr::Ident(name)
+                }
+            }
+            other => {
+                return Err(LangError::parse(
+                    line,
+                    format!("unexpected token in expression: {other:?}"),
+                ))
+            }
+        };
+
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Caret => BinOp::Pow,
+                TokenKind::Modulo => BinOp::Mod,
+                TokenKind::MatMul => BinOp::MatMul,
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::NotEq,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::LtEq => BinOp::LtEq,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::GtEq => BinOp::GtEq,
+                TokenKind::And => BinOp::And,
+                TokenKind::Or => BinOp::Or,
+                _ => break,
+            };
+            let (lbp, rbp) = infix_binding_power(op);
+            if lbp < min_bp {
+                break;
+            }
+            let op_line = self.line();
+            self.bump();
+            let rhs = self.expression(rbp)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line: op_line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn call(&mut self, name: String, line: usize) -> Result<Expr, LangError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut args = Vec::new();
+        let mut named = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                // Named argument: ident '=' expr (but not '==').
+                if let TokenKind::Ident(arg_name) = self.peek().clone() {
+                    if *self.peek_at(1) == TokenKind::Assign {
+                        self.bump();
+                        self.bump();
+                        let value = self.expression(0)?;
+                        named.push((arg_name, value));
+                        if self.at(&TokenKind::Comma) {
+                            self.bump();
+                            continue;
+                        }
+                        break;
+                    }
+                }
+                args.push(self.expression(0)?);
+                if self.at(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(Expr::Call {
+            name,
+            args,
+            named,
+            line,
+        })
+    }
+
+    fn index_ranges(&mut self) -> Result<(IndexRange, IndexRange), LangError> {
+        let rows = self.index_range()?;
+        let cols = if self.at(&TokenKind::Comma) {
+            self.bump();
+            self.index_range()?
+        } else {
+            IndexRange::All
+        };
+        Ok((rows, cols))
+    }
+
+    fn index_range(&mut self) -> Result<IndexRange, LangError> {
+        if self.at(&TokenKind::Comma) || self.at(&TokenKind::RBracket) {
+            return Ok(IndexRange::All);
+        }
+        if self.at(&TokenKind::Colon) {
+            self.bump();
+            if self.at(&TokenKind::Comma) || self.at(&TokenKind::RBracket) {
+                return Ok(IndexRange::Range(None, None));
+            }
+            let hi = self.expression(0)?;
+            return Ok(IndexRange::Range(None, Some(Box::new(hi))));
+        }
+        let lo = self.expression(0)?;
+        if self.at(&TokenKind::Colon) {
+            self.bump();
+            if self.at(&TokenKind::Comma) || self.at(&TokenKind::RBracket) {
+                return Ok(IndexRange::Range(Some(Box::new(lo)), None));
+            }
+            let hi = self.expression(0)?;
+            Ok(IndexRange::Range(Some(Box::new(lo)), Some(Box::new(hi))))
+        } else {
+            Ok(IndexRange::Single(Box::new(lo)))
+        }
+    }
+}
+
+/// Prefix operator binding powers.
+fn prefix_binding_power(op: UnOp) -> ((), u8) {
+    match op {
+        UnOp::Neg => ((), 13),
+        UnOp::Not => ((), 5),
+    }
+}
+
+/// Infix binding powers `(left, right)`; higher binds tighter. `^` is
+/// right-associative (left > right), everything else left-associative.
+fn infix_binding_power(op: BinOp) -> (u8, u8) {
+    match op {
+        BinOp::Or => (1, 2),
+        BinOp::And => (3, 4),
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => (7, 8),
+        BinOp::Add | BinOp::Sub => (9, 10),
+        BinOp::Mul | BinOp::Div | BinOp::Mod => (11, 12),
+        BinOp::MatMul => (15, 16),
+        BinOp::Pow => (18, 17),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn first_stmt(src: &str) -> Statement {
+        parse(src).unwrap().statements.into_iter().next().unwrap()
+    }
+
+    fn assign_expr(src: &str) -> Expr {
+        match first_stmt(src) {
+            Statement::Assign { expr, .. } => expr,
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_assign() {
+        let e = assign_expr("x = 1 + 2 * 3");
+        // Mul binds tighter than Add.
+        match e {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => match *rhs {
+                Expr::Binary { op: BinOp::Mul, .. } => {}
+                other => panic!("rhs {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pow_right_associative() {
+        let e = assign_expr("x = 2 ^ 3 ^ 2");
+        match e {
+            Expr::Binary {
+                op: BinOp::Pow,
+                lhs,
+                rhs,
+                ..
+            } => {
+                assert_eq!(*lhs, Expr::Num(2.0));
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Pow, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn matmul_binds_tighter_than_elementwise() {
+        // t(X) %*% Y * 2 parses as (t(X) %*% Y) ... wait: MatMul (15) binds
+        // tighter than Mul (11), so a %*% b * c == (a %*% b) * c.
+        let e = assign_expr("x = a %*% b * c");
+        match e {
+            Expr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => assert!(matches!(*lhs, Expr::Binary { op: BinOp::MatMul, .. })),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_and_power() {
+        // -x^2 should parse as -(x^2) in R; with neg bp 13 < pow 18 we get
+        // neg(pow) — check.
+        let e = assign_expr("y = -x ^ 2");
+        match e {
+            Expr::Unary { op: UnOp::Neg, expr, .. } => {
+                assert!(matches!(*expr, Expr::Binary { op: BinOp::Pow, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_with_named_args() {
+        let e = assign_expr("m = matrix(0, rows=10, cols=1)");
+        match e {
+            Expr::Call { name, args, named, .. } => {
+                assert_eq!(name, "matrix");
+                assert_eq!(args, vec![Expr::Num(0.0)]);
+                assert_eq!(named.len(), 2);
+                assert_eq!(named[0].0, "rows");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_named_arg_vs_comparison() {
+        // `f(a == b)` must not treat `a` as a named argument.
+        let e = assign_expr("x = f(a == b)");
+        match e {
+            Expr::Call { args, named, .. } => {
+                assert_eq!(named.len(), 0);
+                assert!(matches!(args[0], Expr::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexing_forms() {
+        let e = assign_expr("q = P[, 1:k]");
+        match e {
+            Expr::Index { target, rows, cols, .. } => {
+                assert_eq!(target, "P");
+                assert_eq!(rows, IndexRange::All);
+                assert!(matches!(cols, IndexRange::Range(Some(_), Some(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = assign_expr("q = X[i, ]");
+        match e {
+            Expr::Index { rows, cols, .. } => {
+                assert!(matches!(rows, IndexRange::Single(_)));
+                assert_eq!(cols, IndexRange::All);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_assignment() {
+        match first_stmt("X[1, 2] = 5") {
+            Statement::Assign { target, index, .. } => {
+                assert_eq!(target, "X");
+                assert!(index.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_read_as_expr_statement() {
+        // Without '=', an indexed read is an expression statement.
+        match first_stmt("print(X[1, 2])") {
+            Statement::ExprStmt { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let src = "if (x > 1) { y = 1 } else if (x > 0) { y = 2 } else { y = 3 }";
+        match first_stmt(src) {
+            Statement::If { else_branch, .. } => {
+                assert_eq!(else_branch.len(), 1);
+                assert!(matches!(else_branch[0], Statement::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_with_compound_predicate() {
+        let src = "while (continue & iter < maxi) { iter = iter + 1 }";
+        match first_stmt(src) {
+            Statement::While { pred, body, .. } => {
+                assert!(matches!(pred, Expr::Binary { op: BinOp::And, .. }));
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop() {
+        match first_stmt("for (i in 1:10) { s = s + i }") {
+            Statement::For { var, .. } => assert_eq!(var, "i"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_assign_parses() {
+        match first_stmt("[a, b] = f(x)") {
+            Statement::MultiAssign { targets, .. } => {
+                assert_eq!(targets, vec!["a".to_string(), "b".to_string()])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_assign_requires_call() {
+        assert!(parse("[a, b] = 3").is_err());
+    }
+
+    #[test]
+    fn function_definition() {
+        let src = "f = function(x, y) return (z) { z = x + y }\nq = f(1, 2)";
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params, vec!["x", "y"]);
+        assert_eq!(f.returns, vec!["z"]);
+        assert_eq!(p.statements.len(), 1);
+    }
+
+    #[test]
+    fn dollar_params_in_expression() {
+        let e = assign_expr("intercept = $icpt");
+        assert_eq!(e, Expr::Param("icpt".into()));
+    }
+
+    #[test]
+    fn semicolons_and_multiple_statements_per_line() {
+        let p = parse("a = 1; b = 2; c = a + b").unwrap();
+        assert_eq!(p.statements.len(), 3);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = parse("x = 1\ny = )").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unterminated_block_errors() {
+        assert!(parse("while (TRUE) { x = 1").is_err());
+    }
+
+    #[test]
+    fn l2svm_appendix_script_parses() {
+        // Abridged version of the paper's Appendix A script.
+        let src = r#"
+            X = read($X); Y = read($Y)
+            lambda = $reg; maxiterations = $maxiter
+            w = matrix(0, rows=ncol(X), cols=1)
+            g_old = t(X) %*% Y
+            s = g_old; iter = 0
+            Xw = matrix(0, rows=nrow(X), cols=1)
+            continue = TRUE
+            while (continue & iter < maxiterations) {
+                step_sz = 0
+                Xd = X %*% s
+                wd = lambda * sum(w * s)
+                dd = lambda * sum(s * s)
+                continue1 = TRUE
+                while (continue1) {
+                    tmp_Xw = Xw + step_sz * Xd
+                    out = 1 - Y * tmp_Xw
+                    sv = ppred(out, 0, ">")
+                    out = out * sv
+                    g = wd + step_sz * dd - sum(out * Y * Xd)
+                    h = dd + sum(Xd * sv * Xd)
+                    step_sz = step_sz - g / h
+                    if (g * g / h < 0.0000000001) {
+                        continue1 = FALSE
+                    }
+                }
+                w = w + step_sz * s
+                Xw = Xw + step_sz * Xd
+                out = 1 - Y * Xw
+                sv = ppred(out, 0, ">")
+                out = sv * out
+                obj = 0.5 * sum(out * out) + lambda / 2 * sum(w * w)
+                print("ITER " + iter + ": OBJ=" + obj)
+                g_new = t(X) %*% (out * Y) - lambda * w
+                tmp = sum(s * g_old)
+                if (step_sz * tmp < epsilon * obj) {
+                    continue = FALSE
+                }
+                be = sum(g_new * g_new) / sum(g_old * g_old)
+                s = be * s + g_new
+                g_old = g_new; iter = iter + 1
+            }
+            write(w, $model)
+        "#;
+        let p = parse(src).unwrap();
+        assert!(p.statements.len() >= 9);
+    }
+}

@@ -1,0 +1,455 @@
+//! Semantic validation: definite assignment, builtin signatures, and
+//! scalar/matrix typing of operators.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{BinOp, Expr, FunctionDef, IndexRange, Program, Statement};
+use crate::error::LangError;
+
+/// Inferred value type of an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// A numeric scalar.
+    Scalar,
+    /// A boolean scalar.
+    Boolean,
+    /// A string.
+    Str,
+    /// A matrix.
+    Matrix,
+    /// Not statically determined (e.g. `$param`, UDF result).
+    Unknown,
+}
+
+/// Signature of a builtin function: argument count range and result type.
+#[derive(Debug, Clone, Copy)]
+pub struct BuiltinSig {
+    /// Minimum positional argument count.
+    pub min_args: usize,
+    /// Maximum positional argument count.
+    pub max_args: usize,
+    /// Result type.
+    pub result: ValueType,
+}
+
+/// Look up a builtin by name. This is the single registry the validator
+/// and the HOP builder share conceptually; the compiler re-dispatches on
+/// names but relies on validation having enforced the arities here.
+pub fn builtin(name: &str) -> Option<BuiltinSig> {
+    let sig = |min_args, max_args, result| BuiltinSig {
+        min_args,
+        max_args,
+        result,
+    };
+    Some(match name {
+        "read" => sig(1, 1, ValueType::Matrix),
+        "write" => sig(2, 2, ValueType::Unknown),
+        "print" => sig(1, 1, ValueType::Unknown),
+        "stop" => sig(1, 1, ValueType::Unknown),
+        "matrix" => sig(1, 3, ValueType::Matrix),
+        "rand" => sig(0, 0, ValueType::Matrix), // rows=, cols= named
+        "seq" => sig(2, 3, ValueType::Matrix),
+        "table" => sig(2, 2, ValueType::Matrix),
+        "nrow" | "ncol" => sig(1, 1, ValueType::Scalar),
+        "sum" | "mean" | "trace" => sig(1, 1, ValueType::Scalar),
+        "min" | "max" => sig(1, 2, ValueType::Scalar),
+        "rowSums" | "colSums" | "rowMaxs" | "colMaxs" => sig(1, 1, ValueType::Matrix),
+        "t" => sig(1, 1, ValueType::Matrix),
+        "solve" => sig(2, 2, ValueType::Matrix),
+        "diag" => sig(1, 1, ValueType::Matrix),
+        "ppred" => sig(3, 3, ValueType::Matrix),
+        "append" | "cbind" | "rbind" => sig(2, 2, ValueType::Matrix),
+        "sqrt" | "abs" | "exp" | "log" | "round" | "sign" => sig(1, 1, ValueType::Unknown),
+        "as_scalar" | "castAsScalar" => sig(1, 1, ValueType::Scalar),
+        "as_matrix" => sig(1, 1, ValueType::Matrix),
+        _ => return None,
+    })
+}
+
+/// Validate a program. Returns the first error encountered in source
+/// order.
+pub fn validate(program: &Program) -> Result<(), LangError> {
+    // Validate function bodies first (params defined, returns assigned).
+    for f in &program.functions {
+        validate_function(program, f)?;
+    }
+    let mut defined: BTreeSet<String> = BTreeSet::new();
+    validate_statements(program, &program.statements, &mut defined)
+}
+
+fn validate_function(program: &Program, f: &FunctionDef) -> Result<(), LangError> {
+    let mut defined: BTreeSet<String> = f.params.iter().cloned().collect();
+    validate_statements(program, &f.body, &mut defined)?;
+    for ret in &f.returns {
+        if !defined.contains(ret) {
+            return Err(LangError::validate(
+                f.line,
+                format!("function '{}' never assigns return variable '{ret}'", f.name),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn validate_statements(
+    program: &Program,
+    statements: &[Statement],
+    defined: &mut BTreeSet<String>,
+) -> Result<(), LangError> {
+    for stmt in statements {
+        match stmt {
+            Statement::Assign {
+                target,
+                index,
+                expr,
+                line,
+            } => {
+                validate_expr(program, expr, defined)?;
+                if let Some((rows, cols)) = index {
+                    // Left-indexing requires the target to already exist.
+                    if !defined.contains(target) {
+                        return Err(LangError::validate(
+                            *line,
+                            format!("left-indexing into undefined variable '{target}'"),
+                        ));
+                    }
+                    validate_range(program, rows, defined, *line)?;
+                    validate_range(program, cols, defined, *line)?;
+                }
+                defined.insert(target.clone());
+            }
+            Statement::MultiAssign { targets, expr, line } => {
+                validate_expr(program, expr, defined)?;
+                if let Expr::Call { name, .. } = expr {
+                    if let Some(f) = program.function(name) {
+                        if f.returns.len() != targets.len() {
+                            return Err(LangError::validate(
+                                *line,
+                                format!(
+                                    "function '{name}' returns {} values, {} targets given",
+                                    f.returns.len(),
+                                    targets.len()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                for t in targets {
+                    defined.insert(t.clone());
+                }
+            }
+            Statement::ExprStmt { expr, line } => {
+                validate_expr(program, expr, defined)?;
+                // Only side-effecting calls make sense as statements.
+                if let Expr::Call { name, .. } = expr {
+                    if !matches!(name.as_str(), "print" | "write" | "stop")
+                        && program.function(name).is_none()
+                    {
+                        return Err(LangError::validate(
+                            *line,
+                            format!("result of '{name}(...)' is discarded"),
+                        ));
+                    }
+                }
+            }
+            Statement::If {
+                pred,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                validate_expr(program, pred, defined)?;
+                let mut then_defs = defined.clone();
+                validate_statements(program, then_branch, &mut then_defs)?;
+                let mut else_defs = defined.clone();
+                validate_statements(program, else_branch, &mut else_defs)?;
+                // DML semantics: a variable assigned in either branch is
+                // visible afterwards (it may be undefined at runtime; size
+                // propagation handles the uncertainty).
+                *defined = &then_defs | &else_defs;
+            }
+            Statement::While { pred, body, .. } => {
+                validate_expr(program, pred, defined)?;
+                validate_statements(program, body, defined)?;
+            }
+            Statement::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                validate_expr(program, from, defined)?;
+                validate_expr(program, to, defined)?;
+                defined.insert(var.clone());
+                validate_statements(program, body, defined)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_range(
+    program: &Program,
+    range: &IndexRange,
+    defined: &BTreeSet<String>,
+    _line: usize,
+) -> Result<(), LangError> {
+    match range {
+        IndexRange::All => Ok(()),
+        IndexRange::Single(e) => validate_expr(program, e, defined).map(|_| ()),
+        IndexRange::Range(lo, hi) => {
+            if let Some(e) = lo {
+                validate_expr(program, e, defined)?;
+            }
+            if let Some(e) = hi {
+                validate_expr(program, e, defined)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Validate an expression and infer its type.
+pub fn validate_expr(
+    program: &Program,
+    expr: &Expr,
+    defined: &BTreeSet<String>,
+) -> Result<ValueType, LangError> {
+    match expr {
+        Expr::Num(_) => Ok(ValueType::Scalar),
+        Expr::Str(_) => Ok(ValueType::Str),
+        Expr::Bool(_) => Ok(ValueType::Boolean),
+        Expr::Param(_) => Ok(ValueType::Unknown),
+        Expr::Ident(name) => {
+            if defined.contains(name) {
+                Ok(ValueType::Unknown)
+            } else {
+                Err(LangError::validate(
+                    0,
+                    format!("use of undefined variable '{name}'"),
+                ))
+            }
+        }
+        Expr::Unary { expr, line, .. } => {
+            let t = validate_expr(program, expr, defined)
+                .map_err(|e| at_line(e, *line))?;
+            Ok(t)
+        }
+        Expr::Binary { op, lhs, rhs, line } => {
+            let lt = validate_expr(program, lhs, defined).map_err(|e| at_line(e, *line))?;
+            let rt = validate_expr(program, rhs, defined).map_err(|e| at_line(e, *line))?;
+            match op {
+                BinOp::MatMul => {
+                    for (side, t) in [("left", lt), ("right", rt)] {
+                        if matches!(t, ValueType::Scalar | ValueType::Str | ValueType::Boolean) {
+                            return Err(LangError::validate(
+                                *line,
+                                format!("%*% requires matrix operands, {side} side is {t:?}"),
+                            ));
+                        }
+                    }
+                    Ok(ValueType::Matrix)
+                }
+                BinOp::Add => {
+                    // '+' doubles as string concatenation in print().
+                    if lt == ValueType::Str || rt == ValueType::Str {
+                        Ok(ValueType::Str)
+                    } else {
+                        Ok(join_types(lt, rt))
+                    }
+                }
+                BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow | BinOp::Mod => {
+                    for t in [lt, rt] {
+                        if t == ValueType::Str {
+                            return Err(LangError::validate(
+                                *line,
+                                "arithmetic on a string".to_string(),
+                            ));
+                        }
+                    }
+                    Ok(join_types(lt, rt))
+                }
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                    Ok(if lt == ValueType::Matrix || rt == ValueType::Matrix {
+                        ValueType::Matrix
+                    } else {
+                        ValueType::Boolean
+                    })
+                }
+                BinOp::And | BinOp::Or => Ok(ValueType::Boolean),
+            }
+        }
+        Expr::Call {
+            name,
+            args,
+            named,
+            line,
+        } => {
+            for a in args {
+                validate_expr(program, a, defined).map_err(|e| at_line(e, *line))?;
+            }
+            for (_, a) in named {
+                validate_expr(program, a, defined).map_err(|e| at_line(e, *line))?;
+            }
+            if let Some(sig) = builtin(name) {
+                if args.len() < sig.min_args || args.len() > sig.max_args {
+                    return Err(LangError::validate(
+                        *line,
+                        format!(
+                            "'{name}' expects {}..={} arguments, got {}",
+                            sig.min_args,
+                            sig.max_args,
+                            args.len()
+                        ),
+                    ));
+                }
+                Ok(sig.result)
+            } else if let Some(f) = program.function(name) {
+                if f.params.len() != args.len() {
+                    return Err(LangError::validate(
+                        *line,
+                        format!(
+                            "function '{name}' takes {} arguments, got {}",
+                            f.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                Ok(ValueType::Unknown)
+            } else {
+                Err(LangError::validate(
+                    *line,
+                    format!("unknown function '{name}'"),
+                ))
+            }
+        }
+        Expr::Index {
+            target,
+            rows,
+            cols,
+            line,
+        } => {
+            if !defined.contains(target) {
+                return Err(LangError::validate(
+                    *line,
+                    format!("indexing undefined variable '{target}'"),
+                ));
+            }
+            validate_range(program, rows, defined, *line)?;
+            validate_range(program, cols, defined, *line)?;
+            Ok(ValueType::Matrix)
+        }
+    }
+}
+
+fn join_types(a: ValueType, b: ValueType) -> ValueType {
+    use ValueType::*;
+    match (a, b) {
+        (Matrix, _) | (_, Matrix) => Matrix,
+        (Unknown, _) | (_, Unknown) => Unknown,
+        _ => Scalar,
+    }
+}
+
+fn at_line(mut e: LangError, line: usize) -> LangError {
+    if e.line == 0 {
+        e.line = line;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), LangError> {
+        validate(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn simple_program_validates() {
+        check("X = read($X)\ny = sum(X)\nprint(\"s=\" + y)").unwrap();
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        let err = check("y = x + 1").unwrap_err();
+        assert!(err.message.contains("undefined variable 'x'"));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let err = check("y = frobnicate(1)").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        assert!(check("y = sum(1, 2)").is_err());
+        assert!(check("X = read($X)\ny = solve(X)").is_err());
+    }
+
+    #[test]
+    fn matmul_rejects_scalar_operand() {
+        let err = check("X = read($X)\ny = 3 %*% X").unwrap_err();
+        assert!(err.message.contains("%*%"));
+    }
+
+    #[test]
+    fn branch_definitions_visible_after_if() {
+        check("c = 1\nif (c > 0) { y = 1 } else { z = 2 }\nq = y + 1").unwrap();
+    }
+
+    #[test]
+    fn while_body_sees_outer_defs() {
+        check("i = 0\nwhile (i < 3) { i = i + 1 }").unwrap();
+    }
+
+    #[test]
+    fn for_defines_loop_var() {
+        check("s = 0\nfor (i in 1:10) { s = s + i }").unwrap();
+    }
+
+    #[test]
+    fn left_index_requires_existing_target() {
+        assert!(check("X[1, 1] = 5").is_err());
+        check("X = matrix(0, rows=2, cols=2)\nX[1, 1] = 5").unwrap();
+    }
+
+    #[test]
+    fn discarded_result_rejected() {
+        assert!(check("X = read($X)\nsum(X)").is_err());
+        check("X = read($X)\nprint(sum(X))").unwrap();
+    }
+
+    #[test]
+    fn udf_arity_and_returns() {
+        let good = "f = function(a) return (b) { b = a * 2 }\nx = f(3)";
+        check(good).unwrap();
+        let wrong_arity = "f = function(a) return (b) { b = a * 2 }\nx = f(3, 4)";
+        assert!(check(wrong_arity).is_err());
+        let missing_return = "f = function(a) return (b) { c = a * 2 }\nx = f(3)";
+        assert!(check(missing_return).is_err());
+    }
+
+    #[test]
+    fn multi_assign_return_count_checked() {
+        let src = "f = function(a) return (b, c) { b = a; c = a }\n[x, y] = f(1)";
+        check(src).unwrap();
+        let bad = "f = function(a) return (b, c) { b = a; c = a }\n[x] = f(1)";
+        assert!(check(bad).is_err());
+    }
+
+    #[test]
+    fn string_concat_allowed_arith_rejected() {
+        check("x = 1\nprint(\"v\" + x)").unwrap();
+        assert!(check("x = \"s\" * 2").is_err());
+    }
+
+    #[test]
+    fn params_are_unknown_typed() {
+        check("maxi = $maxiter\ni = 0\nwhile (i < maxi) { i = i + 1 }").unwrap();
+    }
+}

@@ -1,0 +1,296 @@
+//! Matrix metadata: dimensions and non-zero counts.
+//!
+//! [`MatrixCharacteristics`] is the currency of the whole compiler stack:
+//! HOP size propagation, memory estimation, LOP operator selection and the
+//! cost model all consume and produce this type. Dimensions and nnz are
+//! `Option<u64>` because size inference over a DML program can fail (data
+//! dependent operations such as `table()`, conditional size changes, UDFs),
+//! and those *unknowns* are exactly what drives the paper's runtime
+//! re-optimization (§4).
+
+use crate::{DENSE_CELL_BYTES, SPARSE_FORMAT_THRESHOLD, SPARSE_NNZ_BYTES, SPARSE_ROW_BYTES};
+
+/// Metadata describing a matrix (or scalar) without its cell values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MatrixCharacteristics {
+    /// Number of rows, if known.
+    pub rows: Option<u64>,
+    /// Number of columns, if known.
+    pub cols: Option<u64>,
+    /// Number of non-zero cells, if known. `None` means unknown sparsity;
+    /// estimators then fall back to the dense worst case.
+    pub nnz: Option<u64>,
+}
+
+impl MatrixCharacteristics {
+    /// Fully known characteristics.
+    pub fn known(rows: u64, cols: u64, nnz: u64) -> Self {
+        MatrixCharacteristics {
+            rows: Some(rows),
+            cols: Some(cols),
+            nnz: Some(nnz),
+        }
+    }
+
+    /// Known dimensions, dense (nnz = rows·cols).
+    pub fn dense(rows: u64, cols: u64) -> Self {
+        MatrixCharacteristics::known(rows, cols, rows.saturating_mul(cols))
+    }
+
+    /// Known dimensions with unknown sparsity.
+    pub fn dims_only(rows: u64, cols: u64) -> Self {
+        MatrixCharacteristics {
+            rows: Some(rows),
+            cols: Some(cols),
+            nnz: None,
+        }
+    }
+
+    /// Completely unknown characteristics.
+    pub fn unknown() -> Self {
+        MatrixCharacteristics::default()
+    }
+
+    /// A 1×1 scalar treated as a dense single-cell matrix.
+    pub fn scalar() -> Self {
+        MatrixCharacteristics::dense(1, 1)
+    }
+
+    /// Whether both dimensions are known.
+    pub fn dims_known(&self) -> bool {
+        self.rows.is_some() && self.cols.is_some()
+    }
+
+    /// Whether dimensions *and* nnz are known.
+    pub fn fully_known(&self) -> bool {
+        self.dims_known() && self.nnz.is_some()
+    }
+
+    /// Total number of cells if dimensions are known.
+    pub fn cells(&self) -> Option<u64> {
+        Some(self.rows?.saturating_mul(self.cols?))
+    }
+
+    /// Fraction of non-zero cells, if known. An empty matrix reports
+    /// sparsity 0.
+    pub fn sparsity(&self) -> Option<f64> {
+        let cells = self.cells()?;
+        let nnz = self.nnz?;
+        if cells == 0 {
+            Some(0.0)
+        } else {
+            Some(nnz as f64 / cells as f64)
+        }
+    }
+
+    /// Whether this is a column vector (cols == 1), if known.
+    pub fn is_col_vector(&self) -> bool {
+        self.cols == Some(1)
+    }
+
+    /// Whether this is a row vector (rows == 1), if known.
+    pub fn is_row_vector(&self) -> bool {
+        self.rows == Some(1)
+    }
+
+    /// Whether this is a 1×1 scalar-like matrix.
+    pub fn is_scalar(&self) -> bool {
+        self.rows == Some(1) && self.cols == Some(1)
+    }
+
+    /// In-memory size of the dense representation, if dimensions are known.
+    pub fn dense_size_bytes(&self) -> Option<u64> {
+        Some(self.cells()?.saturating_mul(DENSE_CELL_BYTES))
+    }
+
+    /// In-memory size of the CSR sparse representation, if known.
+    pub fn sparse_size_bytes(&self) -> Option<u64> {
+        let rows = self.rows?;
+        let nnz = self.nnz?;
+        Some(
+            nnz.saturating_mul(SPARSE_NNZ_BYTES)
+                .saturating_add(rows.saturating_mul(SPARSE_ROW_BYTES)),
+        )
+    }
+
+    /// Estimated in-memory size under automatic format selection.
+    ///
+    /// This is the estimator the compiler uses for operator memory
+    /// estimates: sparse when sparsity is known and below
+    /// [`SPARSE_FORMAT_THRESHOLD`], else dense. Unknown dimensions yield
+    /// `None`, which memory estimation treats as "worst case / unknown".
+    pub fn estimated_size_bytes(&self) -> Option<u64> {
+        match self.sparsity() {
+            Some(sp) if sp < SPARSE_FORMAT_THRESHOLD => self.sparse_size_bytes(),
+            _ => self.dense_size_bytes(),
+        }
+    }
+
+    /// Size on HDFS in the binary block format. We model the serialized
+    /// form with the same constants as the in-memory form: the paper's
+    /// experiments use binary input data whose footprint matches the
+    /// in-memory block layout.
+    pub fn hdfs_size_bytes(&self) -> Option<u64> {
+        self.estimated_size_bytes()
+    }
+
+    /// Result characteristics of a matrix multiply `self %*% other`.
+    ///
+    /// nnz of the product is estimated with the standard independence
+    /// assumption on sparsity: `1 - (1 - sA·sB)^k` for inner dimension `k`
+    /// (SystemML's estimator, also used by SpMachO-style density models).
+    pub fn matmult(&self, other: &MatrixCharacteristics) -> MatrixCharacteristics {
+        let rows = self.rows;
+        let cols = other.cols;
+        let nnz = match (
+            self.sparsity(),
+            other.sparsity(),
+            self.cols,
+            rows,
+            cols,
+        ) {
+            (Some(sa), Some(sb), Some(k), Some(m), Some(n)) => {
+                let out_sp = 1.0 - (1.0 - sa * sb).powf(k as f64);
+                Some(((m as f64) * (n as f64) * out_sp).ceil() as u64)
+            }
+            _ => None,
+        };
+        MatrixCharacteristics { rows, cols, nnz }
+    }
+
+    /// Result characteristics of a transpose.
+    pub fn transpose(&self) -> MatrixCharacteristics {
+        MatrixCharacteristics {
+            rows: self.cols,
+            cols: self.rows,
+            nnz: self.nnz,
+        }
+    }
+
+    /// Merge with another estimate, keeping only components on which both
+    /// agree. Used when joining size information across conditional
+    /// branches: a dimension is only propagated past an `if` when both
+    /// branches produce the same value.
+    pub fn merge_branches(&self, other: &MatrixCharacteristics) -> MatrixCharacteristics {
+        fn join(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(x), Some(y)) if x == y => Some(x),
+                _ => None,
+            }
+        }
+        MatrixCharacteristics {
+            rows: join(self.rows, other.rows),
+            cols: join(self.cols, other.cols),
+            nnz: join(self.nnz, other.nnz),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_size() {
+        let mc = MatrixCharacteristics::dense(1000, 100);
+        assert_eq!(mc.dense_size_bytes(), Some(800_000));
+        assert_eq!(mc.estimated_size_bytes(), Some(800_000));
+        assert_eq!(mc.sparsity(), Some(1.0));
+    }
+
+    #[test]
+    fn sparse_size_selected_below_threshold() {
+        // sparsity 0.01 -> sparse representation selected.
+        let mc = MatrixCharacteristics::known(1000, 1000, 10_000);
+        assert_eq!(mc.sparsity(), Some(0.01));
+        let sparse = 10_000 * SPARSE_NNZ_BYTES + 1000 * SPARSE_ROW_BYTES;
+        assert_eq!(mc.estimated_size_bytes(), Some(sparse));
+        assert!(sparse < mc.dense_size_bytes().unwrap());
+    }
+
+    #[test]
+    fn dense_selected_at_threshold() {
+        // sparsity exactly at the threshold stays dense.
+        let mc = MatrixCharacteristics::known(10, 10, 40);
+        assert_eq!(mc.estimated_size_bytes(), mc.dense_size_bytes());
+    }
+
+    #[test]
+    fn unknown_dims_give_none() {
+        let mc = MatrixCharacteristics::unknown();
+        assert_eq!(mc.cells(), None);
+        assert_eq!(mc.estimated_size_bytes(), None);
+        assert!(!mc.dims_known());
+    }
+
+    #[test]
+    fn dims_only_is_dense_estimated() {
+        let mc = MatrixCharacteristics::dims_only(10, 10);
+        assert!(!mc.fully_known());
+        // unknown nnz -> fall back to dense estimate.
+        assert_eq!(mc.estimated_size_bytes(), Some(800));
+    }
+
+    #[test]
+    fn matmult_dims() {
+        let a = MatrixCharacteristics::dense(100, 10);
+        let b = MatrixCharacteristics::dense(10, 1);
+        let c = a.matmult(&b);
+        assert_eq!(c.rows, Some(100));
+        assert_eq!(c.cols, Some(1));
+        // dense times dense stays dense.
+        assert_eq!(c.nnz, Some(100));
+    }
+
+    #[test]
+    fn matmult_sparse_output_estimate() {
+        let a = MatrixCharacteristics::known(100, 100, 100); // sparsity 0.01
+        let b = MatrixCharacteristics::known(100, 100, 100);
+        let c = a.matmult(&b);
+        let sp = c.sparsity().unwrap();
+        assert!(sp > 0.0 && sp < 0.05, "sparsity {sp}");
+    }
+
+    #[test]
+    fn matmult_unknown_propagates() {
+        let a = MatrixCharacteristics::dims_only(100, 10);
+        let b = MatrixCharacteristics::dense(10, 5);
+        let c = a.matmult(&b);
+        assert_eq!(c.rows, Some(100));
+        assert_eq!(c.cols, Some(5));
+        assert_eq!(c.nnz, None);
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        let mc = MatrixCharacteristics::known(3, 7, 11);
+        let t = mc.transpose();
+        assert_eq!(t.rows, Some(7));
+        assert_eq!(t.cols, Some(3));
+        assert_eq!(t.nnz, Some(11));
+    }
+
+    #[test]
+    fn merge_branches_keeps_agreement() {
+        let a = MatrixCharacteristics::known(10, 5, 50);
+        let b = MatrixCharacteristics::known(10, 6, 50);
+        let m = a.merge_branches(&b);
+        assert_eq!(m.rows, Some(10));
+        assert_eq!(m.cols, None);
+        assert_eq!(m.nnz, Some(50));
+    }
+
+    #[test]
+    fn vector_predicates() {
+        assert!(MatrixCharacteristics::dense(10, 1).is_col_vector());
+        assert!(MatrixCharacteristics::dense(1, 10).is_row_vector());
+        assert!(MatrixCharacteristics::scalar().is_scalar());
+        assert!(!MatrixCharacteristics::dense(10, 10).is_col_vector());
+    }
+
+    #[test]
+    fn empty_matrix_sparsity_zero() {
+        let mc = MatrixCharacteristics::known(0, 0, 0);
+        assert_eq!(mc.sparsity(), Some(0.0));
+    }
+}

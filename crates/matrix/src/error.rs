@@ -1,0 +1,90 @@
+//! Error type for matrix operations.
+
+use std::fmt;
+
+/// Errors raised by matrix kernels.
+///
+/// Shape mismatches carry both shapes so compiler bugs (which should have
+/// validated shapes statically) produce actionable messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The two operand shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"matmult"`.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// The offending `(row, col)` index.
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+    /// A solve was attempted on a singular (or numerically singular) system.
+    SingularMatrix,
+    /// A solve was attempted on a non-square coefficient matrix.
+    NotSquare {
+        /// The offending shape.
+        shape: (usize, usize),
+    },
+    /// An operation received an argument outside its domain
+    /// (e.g. `table()` with a non-positive label).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left {}x{}, right {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            MatrixError::SingularMatrix => write!(f, "matrix is singular"),
+            MatrixError::NotSquare { shape } => {
+                write!(f, "expected square matrix, got {}x{}", shape.0, shape.1)
+            }
+            MatrixError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = MatrixError::ShapeMismatch {
+            op: "matmult",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmult: left 2x3, right 4x5"
+        );
+    }
+
+    #[test]
+    fn display_singular() {
+        assert_eq!(MatrixError::SingularMatrix.to_string(), "matrix is singular");
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = MatrixError::NotSquare { shape: (3, 4) };
+        assert_eq!(e.to_string(), "expected square matrix, got 3x4");
+    }
+}

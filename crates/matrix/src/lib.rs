@@ -1,0 +1,52 @@
+//! # reml-matrix — matrix substrate for the reml stack
+//!
+//! This crate provides the in-memory matrix runtime that the rest of the
+//! system (compiler, runtime executor, examples) builds on:
+//!
+//! * [`MatrixCharacteristics`] — the *metadata* view of a matrix (dimensions
+//!   and number of non-zeros). The compiler's size propagation, memory
+//!   estimation and the cost model operate exclusively on this type; actual
+//!   cell values are only needed by the CP executor.
+//! * [`DenseMatrix`] / [`SparseMatrix`] — row-major dense and CSR sparse
+//!   blocks with real linear-algebra kernels (matrix multiply, transpose,
+//!   elementwise maps, aggregations, dense solve).
+//! * [`Matrix`] — the runtime value: a tagged union over dense/sparse with
+//!   automatic format selection, mirroring SystemML's physical data
+//!   independence (the DML author never chooses a representation).
+//!
+//! Memory accounting follows the constants in the paper's §5.1 and
+//! SystemML's estimator: 8 bytes per dense cell, ~12 bytes per sparse
+//! non-zero plus 4 bytes of per-row structure (CSR).
+
+pub mod characteristics;
+pub mod dense;
+pub mod error;
+pub mod generate;
+pub mod matrix;
+pub mod ops;
+pub mod solve;
+pub mod sparse;
+
+pub use characteristics::MatrixCharacteristics;
+pub use dense::DenseMatrix;
+pub use error::MatrixError;
+pub use matrix::Matrix;
+pub use ops::{AggOp, BinaryOp, UnaryOp};
+pub use sparse::SparseMatrix;
+
+/// Bytes occupied by one dense cell (an `f64`).
+pub const DENSE_CELL_BYTES: u64 = 8;
+
+/// Approximate bytes per non-zero in the CSR representation: 8 bytes value
+/// + 4 bytes column index.
+pub const SPARSE_NNZ_BYTES: u64 = 12;
+
+/// Approximate per-row overhead of the CSR representation (row pointer).
+pub const SPARSE_ROW_BYTES: u64 = 4;
+
+/// Sparsity threshold below which the sparse representation is smaller and
+/// is therefore preferred by automatic format selection. With the constants
+/// above, sparse wins when `12·nnz + 4·rows < 8·rows·cols`, i.e. roughly
+/// `sparsity < 2/3`; SystemML uses 0.4 to also account for slower sparse
+/// kernels, and we follow that choice.
+pub const SPARSE_FORMAT_THRESHOLD: f64 = 0.4;

@@ -1,0 +1,269 @@
+//! Dense linear solvers for the CP runtime.
+//!
+//! The paper's direct-solve linear regression computes
+//! `beta = solve(t(X) %*% X + lambda*I, t(X) %*% y)` in the control
+//! program; this module provides the `solve()` builtin: Gaussian
+//! elimination with partial pivoting, plus a Cholesky path the executor
+//! prefers for symmetric positive-definite normal-equation systems.
+
+use crate::dense::DenseMatrix;
+use crate::error::MatrixError;
+
+/// Solve `A x = B` by Gaussian elimination with partial pivoting.
+///
+/// `A` must be square with `A.rows() == B.rows()`. Returns `x` with the
+/// shape of `B` (multiple right-hand sides are supported).
+pub fn solve(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MatrixError::NotSquare {
+            shape: (a.rows(), a.cols()),
+        });
+    }
+    if b.rows() != n {
+        return Err(MatrixError::ShapeMismatch {
+            op: "solve",
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+        });
+    }
+    let m = b.cols();
+    // Working copies: lu is the n x n system, x the right-hand sides.
+    let mut lu: Vec<f64> = a.data().to_vec();
+    let mut x: Vec<f64> = b.data().to_vec();
+
+    for col in 0..n {
+        // Partial pivot: find the largest magnitude in this column.
+        let mut pivot_row = col;
+        let mut pivot_val = lu[col * n + col].abs();
+        for r in (col + 1)..n {
+            let v = lu[r * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(MatrixError::SingularMatrix);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                lu.swap(col * n + c, pivot_row * n + c);
+            }
+            for c in 0..m {
+                x.swap(col * m + c, pivot_row * m + c);
+            }
+        }
+        let pivot = lu[col * n + col];
+        for r in (col + 1)..n {
+            let factor = lu[r * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            lu[r * n + col] = 0.0;
+            for c in (col + 1)..n {
+                lu[r * n + c] -= factor * lu[col * n + c];
+            }
+            for c in 0..m {
+                x[r * m + c] -= factor * x[col * m + c];
+            }
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let pivot = lu[col * n + col];
+        for c in 0..m {
+            let mut acc = x[col * m + c];
+            for k in (col + 1)..n {
+                acc -= lu[col * n + k] * x[k * m + c];
+            }
+            x[col * m + c] = acc / pivot;
+        }
+    }
+    DenseMatrix::from_vec(n, m, x)
+}
+
+/// Cholesky factorization `A = L L^T` for symmetric positive-definite `A`.
+///
+/// Returns the lower-triangular factor `L`, or `SingularMatrix` when a
+/// non-positive pivot is encountered (A not SPD / numerically singular).
+pub fn cholesky(a: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MatrixError::NotSquare {
+            shape: (a.rows(), a.cols()),
+        });
+    }
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(MatrixError::SingularMatrix);
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    DenseMatrix::from_vec(n, n, l)
+}
+
+/// Solve an SPD system via Cholesky (forward + back substitution).
+pub fn solve_spd(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+    let l = cholesky(a)?;
+    let n = a.rows();
+    if b.rows() != n {
+        return Err(MatrixError::ShapeMismatch {
+            op: "solve_spd",
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+        });
+    }
+    let m = b.cols();
+    let ld = l.data();
+    let mut y: Vec<f64> = b.data().to_vec();
+    // Forward substitution: L y = b.
+    for i in 0..n {
+        for c in 0..m {
+            let mut acc = y[i * m + c];
+            for k in 0..i {
+                acc -= ld[i * n + k] * y[k * m + c];
+            }
+            y[i * m + c] = acc / ld[i * n + i];
+        }
+    }
+    // Back substitution: L^T x = y.
+    for i in (0..n).rev() {
+        for c in 0..m {
+            let mut acc = y[i * m + c];
+            for k in (i + 1)..n {
+                acc -= ld[k * n + i] * y[k * m + c];
+            }
+            y[i * m + c] = acc / ld[i * n + i];
+        }
+    }
+    DenseMatrix::from_vec(n, m, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &DenseMatrix, b: &DenseMatrix, tol: f64) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solve_2x2() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[3.0], &[5.0]]).unwrap();
+        let x = solve(&a, &b).unwrap();
+        // 2x + y = 3, x + 3y = 5 -> x = 4/5, y = 7/5
+        assert_close(
+            &x,
+            &DenseMatrix::from_rows(&[&[0.8], &[1.4]]).unwrap(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[2.0], &[3.0]]).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert_close(
+            &x,
+            &DenseMatrix::from_rows(&[&[3.0], &[2.0]]).unwrap(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn solve_multiple_rhs() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[4.0, 8.0], &[2.0, 6.0]]).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert_close(
+            &x,
+            &DenseMatrix::from_rows(&[&[1.0, 2.0], &[1.0, 3.0]]).unwrap(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn solve_singular_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert_eq!(solve(&a, &b), Err(MatrixError::SingularMatrix));
+    }
+
+    #[test]
+    fn solve_not_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 1);
+        assert!(matches!(solve(&a, &b), Err(MatrixError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_rhs_mismatch() {
+        let a = DenseMatrix::identity(2);
+        let b = DenseMatrix::zeros(3, 1);
+        assert!(matches!(
+            solve(&a, &b),
+            Err(MatrixError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let l = cholesky(&a).unwrap();
+        let llt = l.matmult(&l.transpose()).unwrap();
+        assert_close(&llt, &a, 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert_eq!(cholesky(&a), Err(MatrixError::SingularMatrix));
+    }
+
+    #[test]
+    fn solve_spd_matches_lu() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 3.0, 0.4], &[0.6, 0.4, 2.0]])
+            .unwrap();
+        let b = DenseMatrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let x1 = solve(&a, &b).unwrap();
+        let x2 = solve_spd(&a, &b).unwrap();
+        assert_close(&x1, &x2, 1e-10);
+    }
+
+    #[test]
+    fn normal_equations_regression() {
+        // Recover beta from y = X beta exactly for well-conditioned X.
+        let x = DenseMatrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+        ])
+        .unwrap();
+        let beta_true = DenseMatrix::from_rows(&[&[2.0], &[0.5]]).unwrap();
+        let y = x.matmult(&beta_true).unwrap();
+        let xtx = x.tsmm();
+        let xty = x.transpose().matmult(&y).unwrap();
+        let beta = solve_spd(&xtx, &xty).unwrap();
+        assert_close(&beta, &beta_true, 1e-10);
+    }
+}

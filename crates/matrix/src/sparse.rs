@@ -1,0 +1,586 @@
+//! CSR sparse matrix block and its kernels.
+
+use crate::dense::DenseMatrix;
+use crate::error::MatrixError;
+use crate::ops::{AggOp, BinaryOp, UnaryOp};
+use crate::MatrixCharacteristics;
+
+/// A compressed-sparse-row matrix of `f64`.
+///
+/// Invariants (checked by the constructors and by property tests):
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[rows] == col_idx.len() == values.len()`;
+/// * within each row, column indices are strictly increasing;
+/// * stored values are non-zero (explicit zeros are dropped on build).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Empty (all-zero) sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from COO triplets `(row, col, value)`. Triplets may arrive in
+    /// any order; duplicates are summed; zeros (including zero sums) are
+    /// dropped.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        mut triplets: Vec<(usize, usize, f64)>,
+    ) -> Result<Self, MatrixError> {
+        for &(r, c, _) in &triplets {
+            if r >= rows || c >= cols {
+                return Err(MatrixError::IndexOutOfBounds {
+                    index: (r, c),
+                    shape: (rows, cols),
+                });
+            }
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicate cells by summation.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        // Build CSR, skipping zeros (explicit or cancelled).
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        let mut it = merged.into_iter().peekable();
+        for r in 0..rows {
+            while let Some(&(tr, c, v)) = it.peek() {
+                if tr != r {
+                    break;
+                }
+                it.next();
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        Ok(SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Convert from a dense block, dropping zeros.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..rows {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Convert to a dense block.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Metadata view of this block.
+    pub fn characteristics(&self) -> MatrixCharacteristics {
+        MatrixCharacteristics::known(self.rows as u64, self.cols as u64, self.nnz())
+    }
+
+    /// Iterate the `(col, value)` pairs of one row.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Cell accessor via binary search within the row.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        match self.col_idx[lo..hi].binary_search(&c) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse-times-dense matrix multiply producing a dense block — the
+    /// common case in the paper's workloads (sparse X times dense vector).
+    pub fn matmult_dense(&self, other: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+        if self.cols != other.rows() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "matmult",
+                left: (self.rows, self.cols),
+                right: (other.rows(), other.cols()),
+            });
+        }
+        let n = other.cols();
+        let mut out = DenseMatrix::zeros(self.rows, n);
+        for r in 0..self.rows {
+            for (k, v) in self.row_iter(r) {
+                let b_row = other.row(k);
+                for c in 0..n {
+                    let cur = out.get(r, c);
+                    out.set(r, c, cur + v * b_row[c]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sparse-times-sparse matrix multiply. Output is produced dense and
+    /// the caller (the [`crate::Matrix`] wrapper) re-sparsifies if the
+    /// result is sparse enough — matching SystemML's block-level behaviour.
+    pub fn matmult_sparse(&self, other: &SparseMatrix) -> Result<DenseMatrix, MatrixError> {
+        if self.cols != other.rows {
+            return Err(MatrixError::ShapeMismatch {
+                op: "matmult",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for (k, va) in self.row_iter(r) {
+                for (c, vb) in other.row_iter(k) {
+                    let cur = out.get(r, c);
+                    out.set(r, c, cur + va * vb);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose (CSR -> CSR of the transposed matrix via counting sort).
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 1..=self.cols {
+            counts[i] += counts[i - 1];
+        }
+        let row_ptr = counts.clone();
+        let mut next = counts;
+        let mut col_idx = vec![0usize; self.values.len()];
+        let mut values = vec![0f64; self.values.len()];
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                let pos = next[c];
+                next[c] += 1;
+                col_idx[pos] = r;
+                values[pos] = v;
+            }
+        }
+        SparseMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Elementwise unary; zero-preserving operations stay sparse, others
+    /// densify (e.g. `exp`).
+    pub fn unary(&self, op: UnaryOp) -> Result<SparseMatrix, DenseMatrix> {
+        if op.is_zero_preserving() {
+            let mut out = self.clone();
+            for v in &mut out.values {
+                *v = op.apply(*v);
+            }
+            // Applying the op may introduce zeros (e.g. round(0.4)); compact.
+            Ok(out.compact())
+        } else {
+            Err(self.to_dense().unary(op))
+        }
+    }
+
+    /// Elementwise multiply with an equally-shaped sparse matrix
+    /// (intersection of the non-zero patterns).
+    pub fn mul_sparse(&self, other: &SparseMatrix) -> Result<SparseMatrix, MatrixError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MatrixError::ShapeMismatch {
+                op: "mul",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut triplets = Vec::new();
+        for r in 0..self.rows {
+            let mut it_b = other.row_iter(r).peekable();
+            for (c, va) in self.row_iter(r) {
+                while let Some(&(cb, _)) = it_b.peek() {
+                    if cb < c {
+                        it_b.next();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(&(cb, vb)) = it_b.peek() {
+                    if cb == c {
+                        triplets.push((r, c, va * vb));
+                    }
+                }
+            }
+        }
+        SparseMatrix::from_triplets(self.rows, self.cols, triplets)
+    }
+
+    /// Elementwise binary with a scalar; zero-preserving results stay
+    /// sparse (`X * 2`), otherwise the result densifies (`X + 1`).
+    pub fn binary_scalar(&self, op: BinaryOp, scalar: f64) -> Result<SparseMatrix, DenseMatrix> {
+        if op.apply(0.0, scalar) == 0.0 {
+            let mut out = self.clone();
+            for v in &mut out.values {
+                *v = op.apply(*v, scalar);
+            }
+            Ok(out.compact())
+        } else {
+            Err(self.to_dense().binary_scalar(op, scalar))
+        }
+    }
+
+    /// Aggregation over the sparse representation without densifying.
+    pub fn aggregate(&self, op: AggOp) -> DenseMatrix {
+        match op {
+            AggOp::Sum => {
+                let s: f64 = self.values.iter().sum();
+                DenseMatrix::from_vec(1, 1, vec![s]).expect("1x1")
+            }
+            AggOp::Mean => {
+                let cells = (self.rows * self.cols).max(1) as f64;
+                let s: f64 = self.values.iter().sum();
+                DenseMatrix::from_vec(1, 1, vec![s / cells]).expect("1x1")
+            }
+            AggOp::Min => {
+                // Zeros participate when the matrix is not fully dense.
+                let mut m = if (self.values.len() as u64) < (self.rows * self.cols) as u64 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                };
+                for &v in &self.values {
+                    m = m.min(v);
+                }
+                DenseMatrix::from_vec(1, 1, vec![m]).expect("1x1")
+            }
+            AggOp::Max => {
+                let mut m = if (self.values.len() as u64) < (self.rows * self.cols) as u64 {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                };
+                for &v in &self.values {
+                    m = m.max(v);
+                }
+                DenseMatrix::from_vec(1, 1, vec![m]).expect("1x1")
+            }
+            AggOp::Trace => {
+                let n = self.rows.min(self.cols);
+                let s: f64 = (0..n).map(|i| self.get(i, i)).sum();
+                DenseMatrix::from_vec(1, 1, vec![s]).expect("1x1")
+            }
+            AggOp::RowSums => {
+                let data = (0..self.rows)
+                    .map(|r| self.row_iter(r).map(|(_, v)| v).sum())
+                    .collect();
+                DenseMatrix::from_vec(self.rows, 1, data).expect("rowSums shape")
+            }
+            AggOp::ColSums => {
+                let mut data = vec![0.0; self.cols];
+                for r in 0..self.rows {
+                    for (c, v) in self.row_iter(r) {
+                        data[c] += v;
+                    }
+                }
+                DenseMatrix::from_vec(1, self.cols, data).expect("colSums shape")
+            }
+            AggOp::RowMaxs | AggOp::ColMaxs => self.to_dense().aggregate(op),
+        }
+    }
+
+    /// Drop stored zeros (kernels may create them, e.g. `round`).
+    fn compact(self) -> SparseMatrix {
+        if self.values.iter().all(|&v| v != 0.0) {
+            return self;
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::with_capacity(self.col_idx.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        SparseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Validate CSR invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.rows + 1 {
+            return Err("row_ptr length".into());
+        }
+        if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() != self.values.len() {
+            return Err("row_ptr endpoints".into());
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err("col_idx/value length mismatch".into());
+        }
+        for r in 0..self.rows {
+            if self.row_ptr[r] > self.row_ptr[r + 1] {
+                return Err(format!("row_ptr not monotone at {r}"));
+            }
+            let mut prev: Option<usize> = None;
+            for (c, v) in self.row_iter(r) {
+                if c >= self.cols {
+                    return Err(format!("col {c} out of bounds"));
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(format!("cols not strictly increasing in row {r}"));
+                    }
+                }
+                if v == 0.0 {
+                    return Err(format!("stored zero at ({r}, {c})"));
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        SparseMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let s = sample();
+        s.check_invariants().unwrap();
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, 1), 0.0);
+        assert_eq!(s.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn triplets_out_of_order_and_duplicates() {
+        let s = SparseMatrix::from_triplets(2, 2, vec![(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)])
+            .unwrap();
+        s.check_invariants().unwrap();
+        assert_eq!(s.get(1, 1), 5.0);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn triplets_cancel_to_zero_dropped() {
+        let s =
+            SparseMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 0, 2.0)])
+                .unwrap();
+        s.check_invariants().unwrap();
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.get(0, 0), 0.0);
+        assert_eq!(s.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn triplets_bounds_checked() {
+        assert!(SparseMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let s = sample();
+        let d = s.to_dense();
+        let s2 = SparseMatrix::from_dense(&d);
+        s2.check_invariants().unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn matmult_dense_vector() {
+        let s = sample();
+        let v = DenseMatrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        let out = s.matmult_dense(&v).unwrap();
+        assert_eq!(out.data(), &[3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn matmult_sparse_matches_dense_path() {
+        let s = sample();
+        let expected = s.to_dense().matmult(&s.to_dense()).unwrap();
+        let got = s.matmult_sparse(&s).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn matmult_shape_errors() {
+        let s = sample();
+        assert!(s.matmult_dense(&DenseMatrix::zeros(2, 1)).is_err());
+        assert!(s.matmult_sparse(&SparseMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let s = sample();
+        let t = s.transpose();
+        t.check_invariants().unwrap();
+        assert_eq!(t.to_dense(), s.to_dense().transpose());
+    }
+
+    #[test]
+    fn unary_sparse_stays_sparse() {
+        let s = sample();
+        let out = s.unary(UnaryOp::Neg).unwrap();
+        out.check_invariants().unwrap();
+        assert_eq!(out.get(2, 1), -4.0);
+    }
+
+    #[test]
+    fn unary_densifying() {
+        let s = sample();
+        match s.unary(UnaryOp::Exp) {
+            Err(d) => assert_eq!(d.get(1, 1), 1.0),
+            Ok(_) => panic!("exp should densify"),
+        }
+    }
+
+    #[test]
+    fn mul_sparse_intersects_patterns() {
+        let a = sample();
+        let b = SparseMatrix::from_triplets(3, 3, vec![(0, 0, 10.0), (2, 1, 2.0), (1, 1, 5.0)])
+            .unwrap();
+        let out = a.mul_sparse(&b).unwrap();
+        out.check_invariants().unwrap();
+        assert_eq!(out.get(0, 0), 10.0);
+        assert_eq!(out.get(2, 1), 8.0);
+        assert_eq!(out.nnz(), 2);
+    }
+
+    #[test]
+    fn binary_scalar_sparse_and_densify() {
+        let s = sample();
+        let scaled = s.binary_scalar(BinaryOp::Mul, 2.0).unwrap();
+        assert_eq!(scaled.get(0, 2), 4.0);
+        match s.binary_scalar(BinaryOp::Add, 1.0) {
+            Err(d) => assert_eq!(d.get(1, 1), 1.0),
+            Ok(_) => panic!("add-scalar should densify"),
+        }
+    }
+
+    #[test]
+    fn binary_scalar_mul_zero_compacts() {
+        let s = sample();
+        let z = s.binary_scalar(BinaryOp::Mul, 0.0).unwrap();
+        z.check_invariants().unwrap();
+        assert_eq!(z.nnz(), 0);
+    }
+
+    #[test]
+    fn aggregates_match_dense() {
+        let s = sample();
+        let d = s.to_dense();
+        for op in [
+            AggOp::Sum,
+            AggOp::Mean,
+            AggOp::Min,
+            AggOp::Max,
+            AggOp::Trace,
+            AggOp::RowSums,
+            AggOp::ColSums,
+        ] {
+            assert_eq!(s.aggregate(op), d.aggregate(op), "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn min_max_consider_implicit_zeros() {
+        let s = SparseMatrix::from_triplets(2, 2, vec![(0, 0, 5.0)]).unwrap();
+        assert_eq!(s.aggregate(AggOp::Min).get(0, 0), 0.0);
+        assert_eq!(s.aggregate(AggOp::Max).get(0, 0), 5.0);
+        let neg = SparseMatrix::from_triplets(2, 2, vec![(0, 0, -5.0)]).unwrap();
+        assert_eq!(neg.aggregate(AggOp::Max).get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Runtime resource adaptation (§4): re-optimization scope, migration
+//! cost estimation, and the ΔC vs C_M decision.
+//!
+//! Triggered from dynamic recompilation when a recompiled block still
+//! contains MR jobs: the adaptation loop (1) expands the re-optimization
+//! scope from the current position to the enclosing top-level block
+//! through the end of the program, (2) re-runs the resource optimizer
+//! over that scope with the *actual* runtime sizes, (3) migrates the AM
+//! when the cost benefit amortizes the migration cost, and otherwise
+//! applies the locally optimal MR configuration in place.
+
+use reml_cluster::ClusterConfig;
+use reml_compiler::build::Env;
+use reml_compiler::pipeline::{top_level_index_of, AnalyzedProgram};
+use reml_compiler::{CompileConfig, CompileError};
+use reml_lang::BlockId;
+
+use crate::optimizer::ResourceOptimizer;
+use crate::resources::ResourceConfig;
+
+/// Estimated cost of an AM migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationCost {
+    /// Export of dirty live variables to HDFS plus restore at the new AM.
+    pub io_s: f64,
+    /// Allocation latency of the new container.
+    pub latency_s: f64,
+}
+
+impl MigrationCost {
+    /// Total migration cost C_M, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.io_s + self.latency_s
+    }
+}
+
+/// Estimate C_M: "the sum of IO costs for live variables and latency for
+/// allocating a new container" (§4.2). Dirty variables are written by the
+/// old AM and read back on first use by the new one.
+pub fn estimate_migration_cost(cc: &ClusterConfig, dirty_bytes: u64) -> MigrationCost {
+    let mb = dirty_bytes as f64 / (1024.0 * 1024.0);
+    MigrationCost {
+        io_s: mb / cc.hdfs_write_mbs + mb / cc.hdfs_read_mbs,
+        latency_s: cc.container_alloc_latency_s,
+    }
+}
+
+/// The adaptation decision.
+#[derive(Debug, Clone)]
+pub struct AdaptationDecision {
+    /// Whether to migrate the AM to the globally optimal configuration.
+    pub migrate: bool,
+    /// The configuration to run with after the decision (global optimum
+    /// if migrating, `R*|r_c` otherwise).
+    pub target: ResourceConfig,
+    /// The globally optimal configuration and its cost.
+    pub global: (ResourceConfig, f64),
+    /// The rc-constrained optimum and its cost.
+    pub local: (ResourceConfig, f64),
+    /// Cost benefit ΔC = C(P', R*) − C(P', R*|r_c) (≤ 0).
+    pub delta_cost_s: f64,
+    /// Estimated migration cost C_M.
+    pub migration_cost_s: f64,
+}
+
+/// Decide on runtime adaptation at a dynamic-recompilation point.
+///
+/// * `current_block` — the block being recompiled (scope anchor);
+/// * `runtime_env` — environment built from actual runtime sizes
+///   ([`reml_compiler::pipeline::env_from_runtime_state`]);
+/// * `current_cp_heap` — the AM's current heap;
+/// * `dirty_bytes` — total size of dirty live variables.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_adaptation(
+    optimizer: &ResourceOptimizer,
+    analyzed: &AnalyzedProgram,
+    base: &CompileConfig,
+    current_block: BlockId,
+    runtime_env: &Env,
+    current_cp_heap: u64,
+    dirty_bytes: u64,
+) -> Result<AdaptationDecision, CompileError> {
+    // (1) Re-optimization scope: enclosing top-level block → end.
+    let scope_start = top_level_index_of(analyzed, current_block).unwrap_or(0);
+
+    // (2) Re-run the resource optimizer over the scope with actual sizes.
+    let result = optimizer.optimize_scope(
+        analyzed,
+        base,
+        Some((scope_start, runtime_env)),
+        Some(current_cp_heap),
+    )?;
+    let global = (result.best.clone(), result.best_cost_s);
+    let local = result.best_local.clone().unwrap_or_else(|| {
+        // The current rc was not a grid point: approximate the local
+        // optimum by the global MR assignment under the current heap.
+        (
+            ResourceConfig {
+                cp_heap_mb: current_cp_heap,
+                mr_heap: result.best.mr_heap.clone(),
+            },
+            result.best_cost_s,
+        )
+    });
+
+    // (3) Migration decision: ΔC must amortize C_M.
+    let migration = estimate_migration_cost(&optimizer.cost_model.cluster, dirty_bytes);
+    let delta = global.1 - local.1; // ≤ 0 when migration helps
+    let migrate = global.0.cp_heap_mb != current_cp_heap && -delta > migration.total_s();
+    let target = if migrate {
+        global.0.clone()
+    } else {
+        local.0.clone()
+    };
+    Ok(AdaptationDecision {
+        migrate,
+        target,
+        global,
+        local,
+        delta_cost_s: delta,
+        migration_cost_s: migration.total_s(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reml_compiler::pipeline::{analyze_program, env_from_runtime_state};
+    use reml_compiler::MrHeapAssignment;
+    use reml_cost::CostModel;
+    use reml_matrix::MatrixCharacteristics;
+    use reml_runtime::ScalarValue;
+    use reml_scripts::{DataShape, Scenario};
+    use std::collections::HashMap;
+
+    #[test]
+    fn migration_cost_components() {
+        let cc = ClusterConfig::paper_cluster();
+        let c = estimate_migration_cost(&cc, 100 * 1024 * 1024);
+        assert!(c.io_s > 0.0);
+        assert_eq!(c.latency_s, cc.container_alloc_latency_s);
+        assert!(c.total_s() > c.io_s);
+        // Zero dirty bytes: latency only.
+        let c0 = estimate_migration_cost(&cc, 0);
+        assert_eq!(c0.io_s, 0.0);
+    }
+
+    #[test]
+    fn adaptation_migrates_when_k_becomes_known() {
+        // MLogreg on M data: initially unknown k prevents good initial
+        // configuration. At runtime, k is known: re-optimization over the
+        // core loop scope should prefer a larger CP than the minimum and
+        // migrate (the Figure 15 behaviour).
+        let script = reml_scripts::mlogreg();
+        let shape = DataShape {
+            scenario: Scenario::M,
+            cols: 100,
+            sparsity: 1.0,
+        };
+        let cc = ClusterConfig::paper_cluster();
+        let base = script.compile_config(shape, cc.clone(), 512, MrHeapAssignment::uniform(512));
+        let analyzed = analyze_program(&script.source).unwrap();
+
+        // Runtime state: Y materialized as n x 5, k = 5.
+        let n = shape.rows();
+        let mut mats = HashMap::new();
+        mats.insert("X".to_string(), shape.x_characteristics());
+        mats.insert(
+            "Y".to_string(),
+            MatrixCharacteristics::known(n, 5, n),
+        );
+        mats.insert("y".to_string(), MatrixCharacteristics::dense(n, 1));
+        mats.insert(
+            "B".to_string(),
+            MatrixCharacteristics::dense(100, 5),
+        );
+        mats.insert(
+            "scale_lambda".to_string(),
+            MatrixCharacteristics::dense(n, 1),
+        );
+        let mut scalars = HashMap::new();
+        scalars.insert("k".to_string(), ScalarValue::Num(5.0));
+        scalars.insert("n".to_string(), ScalarValue::Num(n as f64));
+        scalars.insert("m".to_string(), ScalarValue::Num(100.0));
+        scalars.insert("lambda".to_string(), ScalarValue::Num(0.01));
+        scalars.insert("eps".to_string(), ScalarValue::Num(1e-9));
+        scalars.insert("maxi".to_string(), ScalarValue::Num(5.0));
+        scalars.insert("iter".to_string(), ScalarValue::Num(0.0));
+        scalars.insert("delta_init".to_string(), ScalarValue::Num(1.0));
+        scalars.insert("converge".to_string(), ScalarValue::Bool(false));
+        let env = env_from_runtime_state(&mats, &scalars);
+
+        // Anchor at the core while loop.
+        let loop_block = analyzed
+            .blocks
+            .iter()
+            .find(|b| {
+                matches!(
+                    b.kind,
+                    reml_lang::StatementBlockKind::While { .. }
+                )
+            })
+            .map(|b| b.id)
+            .expect("mlogreg has a loop");
+
+        let optimizer = ResourceOptimizer::new(CostModel::new(cc));
+        let decision = decide_adaptation(
+            &optimizer,
+            &analyzed,
+            &base,
+            loop_block,
+            &env,
+            512,
+            8 * 1024 * 1024, // 8 MB dirty state
+        )
+        .unwrap();
+        assert!(
+            decision.migrate,
+            "expected migration; decision: global={} local={} dC={} CM={}",
+            decision.global.0.display_gb(),
+            decision.local.0.display_gb(),
+            decision.delta_cost_s,
+            decision.migration_cost_s
+        );
+        assert!(decision.target.cp_heap_mb > 512);
+    }
+
+    #[test]
+    fn no_migration_when_benefit_small() {
+        // LinregDS on XS: no benefit from moving; stay put.
+        let script = reml_scripts::linreg_ds();
+        let shape = DataShape {
+            scenario: Scenario::XS,
+            cols: 100,
+            sparsity: 1.0,
+        };
+        let cc = ClusterConfig::paper_cluster();
+        let base = script.compile_config(shape, cc.clone(), 512, MrHeapAssignment::uniform(512));
+        let analyzed = analyze_program(&script.source).unwrap();
+        let env = Env::new();
+        let optimizer = ResourceOptimizer::new(CostModel::new(cc));
+        let decision = decide_adaptation(
+            &optimizer,
+            &analyzed,
+            &base,
+            BlockId(0),
+            &env,
+            512,
+            0,
+        )
+        .unwrap();
+        assert!(!decision.migrate);
+        assert_eq!(decision.target.cp_heap_mb, 512);
+    }
+}

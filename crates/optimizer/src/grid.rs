@@ -1,0 +1,214 @@
+//! Grid-point generators (§3.3.2).
+//!
+//! All generators produce ascending, deduplicated heap sizes in MB within
+//! `[min_mb, max_mb]`:
+//!
+//! * **Equi-spaced**: fixed gaps, systematic coverage;
+//! * **Exp-spaced**: gap doubles each step — logarithmic point count,
+//!   exploiting that plan changes are denser at small configurations;
+//! * **Memory-based**: points bracketing the compiler's operator memory
+//!   estimates — plan changes happen exactly at those thresholds;
+//! * **Hybrid** (the default): union of memory-based and exp-spaced —
+//!   directed *and* systematic search.
+
+/// A grid-point generation strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GridStrategy {
+    /// Equi-spaced with a fixed number of points.
+    Equi {
+        /// Number of points (≥ 2).
+        points: usize,
+    },
+    /// Exponentially spaced: `g_i = w^(i-1) · min`.
+    Exp {
+        /// Gap growth factor (default 2.0).
+        factor: f64,
+    },
+    /// Memory-based: estimates bracketed onto an equi-spaced base grid.
+    MemBased {
+        /// Number of points of the underlying base grid.
+        base_points: usize,
+    },
+    /// Union of memory-based and exp-spaced (the paper's default).
+    Hybrid {
+        /// Number of points of the memory-based base grid.
+        base_points: usize,
+    },
+}
+
+impl GridStrategy {
+    /// The paper's default configuration (Hybrid, m=15).
+    pub fn default_hybrid() -> Self {
+        GridStrategy::Hybrid { base_points: 15 }
+    }
+
+    /// Generate ascending grid points.
+    ///
+    /// `mem_estimates_mb` are the compiler's operator memory estimates
+    /// (ignored by the program-independent strategies). Estimates outside
+    /// `[min, max]` clamp to the boundary values (§3.3.2).
+    pub fn generate(
+        &self,
+        min_mb: u64,
+        max_mb: u64,
+        mem_estimates_mb: &[f64],
+    ) -> Vec<u64> {
+        let mut points = match self {
+            GridStrategy::Equi { points } => equi_points(min_mb, max_mb, *points),
+            GridStrategy::Exp { factor } => exp_points(min_mb, max_mb, *factor),
+            GridStrategy::MemBased { base_points } => {
+                mem_points(min_mb, max_mb, *base_points, mem_estimates_mb)
+            }
+            GridStrategy::Hybrid { base_points } => {
+                let mut p = mem_points(min_mb, max_mb, *base_points, mem_estimates_mb);
+                p.extend(exp_points(min_mb, max_mb, 2.0));
+                p
+            }
+        };
+        points.push(min_mb);
+        points.retain(|p| *p >= min_mb && *p <= max_mb);
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+}
+
+fn equi_points(min_mb: u64, max_mb: u64, m: usize) -> Vec<u64> {
+    let m = m.max(2);
+    let gap = (max_mb.saturating_sub(min_mb)) as f64 / (m - 1) as f64;
+    (0..m)
+        .map(|i| (min_mb as f64 + gap * i as f64).round() as u64)
+        .collect()
+}
+
+fn exp_points(min_mb: u64, max_mb: u64, factor: f64) -> Vec<u64> {
+    let factor = factor.max(1.1);
+    let mut points = Vec::new();
+    let mut v = min_mb as f64;
+    let mut gap = min_mb as f64;
+    while v <= max_mb as f64 {
+        points.push(v.round() as u64);
+        v += gap;
+        gap *= factor;
+    }
+    points.push(max_mb);
+    points
+}
+
+/// Memory-based: start from an equi-spaced base grid, keep only points
+/// adjacent to an operator memory estimate, plus min/max.
+fn mem_points(min_mb: u64, max_mb: u64, base_points: usize, estimates: &[f64]) -> Vec<u64> {
+    let base = equi_points(min_mb, max_mb, base_points.max(2));
+    let mut out = vec![min_mb, max_mb];
+    // Heap sizes whose *budget* equals the estimate: heap = est / 0.7.
+    let thresholds: Vec<f64> = estimates
+        .iter()
+        .map(|est| est / reml_cluster::config::BUDGET_HEAP_RATIO)
+        .collect();
+    for window in base.windows(2) {
+        let (lo, hi) = (window[0] as f64, window[1] as f64);
+        if thresholds.iter().any(|t| {
+            let t = t.clamp(min_mb as f64, max_mb as f64);
+            t >= lo && t <= hi
+        }) {
+            out.push(window[0]);
+            out.push(window[1]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN: u64 = 512;
+    const MAX: u64 = 54_613; // paper max heap
+
+    #[test]
+    fn equi_count_and_bounds() {
+        let g = GridStrategy::Equi { points: 15 }.generate(MIN, MAX, &[]);
+        assert_eq!(g.len(), 15);
+        assert_eq!(*g.first().unwrap(), MIN);
+        assert_eq!(*g.last().unwrap(), MAX);
+        // Sorted ascending.
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn exp_is_logarithmic() {
+        let g = GridStrategy::Exp { factor: 2.0 }.generate(MIN, MAX, &[]);
+        // Paper: 8 points for this range (incl. forced max).
+        assert!(g.len() <= 9, "{g:?}");
+        assert!(g.len() >= 7, "{g:?}");
+        assert_eq!(*g.first().unwrap(), MIN);
+        assert_eq!(*g.last().unwrap(), MAX);
+    }
+
+    #[test]
+    fn mem_based_depends_on_data() {
+        // Small data: all estimates below min -> only min (and max).
+        let g_small = GridStrategy::MemBased { base_points: 15 }.generate(MIN, MAX, &[10.0]);
+        assert!(g_small.len() <= 3, "{g_small:?}");
+        // Medium data: estimates inside -> bracketing points appear.
+        let ests = [4_000.0, 9_000.0, 20_000.0];
+        let g_medium = GridStrategy::MemBased { base_points: 15 }.generate(MIN, MAX, &ests);
+        assert!(g_medium.len() > g_small.len(), "{g_medium:?}");
+        for est in ests {
+            let heap = est / 0.7;
+            // Some adjacent pair brackets the estimate threshold.
+            assert!(
+                g_medium.windows(2).any(|w| (w[0] as f64) <= heap && heap <= w[1] as f64),
+                "estimate {est} not bracketed in {g_medium:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mem_based_worst_case_equals_equi() {
+        // Estimates spread everywhere: the full base grid returns.
+        let ests: Vec<f64> = (0..100)
+            .map(|i| MIN as f64 + (MAX - MIN) as f64 * (i as f64 / 99.0) * 0.7)
+            .collect();
+        let g = GridStrategy::MemBased { base_points: 15 }.generate(MIN, MAX, &ests);
+        let e = GridStrategy::Equi { points: 15 }.generate(MIN, MAX, &[]);
+        assert_eq!(g, e);
+    }
+
+    #[test]
+    fn hybrid_superset_of_exp() {
+        let exp = GridStrategy::Exp { factor: 2.0 }.generate(MIN, MAX, &[4000.0]);
+        let hybrid = GridStrategy::default_hybrid().generate(MIN, MAX, &[4000.0]);
+        for p in &exp {
+            assert!(hybrid.contains(p), "{p} missing from hybrid {hybrid:?}");
+        }
+        assert!(hybrid.len() >= exp.len());
+    }
+
+    #[test]
+    fn estimates_clamped_to_bounds() {
+        // Estimate above max: clamps to max, bracketed by last window.
+        let g = GridStrategy::MemBased { base_points: 15 }.generate(MIN, MAX, &[1e9]);
+        assert!(g.contains(&MAX));
+        assert!(g.len() >= 2);
+    }
+
+    #[test]
+    fn min_always_present() {
+        for strategy in [
+            GridStrategy::Equi { points: 5 },
+            GridStrategy::Exp { factor: 2.0 },
+            GridStrategy::MemBased { base_points: 5 },
+            GridStrategy::default_hybrid(),
+        ] {
+            let g = strategy.generate(MIN, MAX, &[]);
+            assert_eq!(*g.first().unwrap(), MIN, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_range() {
+        let g = GridStrategy::Equi { points: 15 }.generate(1024, 1024, &[]);
+        assert_eq!(g, vec![1024]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # reml-optimizer — the resource optimizer (§3) and runtime adaptation (§4)
+//!
+//! Solves the ML Program Resource Allocation Problem (Definition 1): find
+//! the resource configuration `R_P = (r_c, r¹, …, rⁿ)` minimizing the
+//! estimated cost of the runtime plan the compiler generates, within the
+//! cluster's min/max allocation constraints — and, among cost ties, the
+//! *minimal* configuration (no over-provisioning).
+//!
+//! The optimizer is an **online what-if analysis**: for each enumerated
+//! configuration it recompiles (parts of) the program and costs the
+//! generated runtime plan, so every memory-sensitive compilation step is
+//! automatically reflected (§2.4's robustness argument).
+//!
+//! * [`grid`] — grid-point generators: equi-spaced, exponentially spaced,
+//!   memory-based (compiler estimates), and the hybrid composite (§3.3.2);
+//! * [`optimizer`] — Algorithm 1 with program-aware pruning (§3.4) and
+//!   memoization, plus the optimization-time budget;
+//! * [`parallel`] — the task-parallel master/worker optimizer of
+//!   Appendix C, exploiting the semi-independent-problems property;
+//! * [`adapt`] — runtime resource adaptation: re-optimization scope
+//!   expansion, the ΔC vs C_M migration decision, and migration cost
+//!   estimation (§4);
+//! * [`offers`] — the offer-based (Mesos) instantiation of the problem
+//!   formulation (§2.3): evaluate concrete resource offers with the same
+//!   what-if machinery.
+
+pub mod adapt;
+pub mod grid;
+pub mod offers;
+pub mod optimizer;
+pub mod parallel;
+pub mod resources;
+
+pub use adapt::{decide_adaptation, AdaptationDecision, MigrationCost};
+pub use grid::GridStrategy;
+pub use offers::{choose_offer, OfferDecision};
+pub use optimizer::{OptimizationResult, OptimizerConfig, OptimizerStats, ResourceOptimizer};
+pub use resources::ResourceConfig;

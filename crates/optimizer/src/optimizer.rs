@@ -1,0 +1,519 @@
+//! The core resource optimizer: Algorithm 1 with pruning and memoization.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use reml_compiler::build::Env;
+use reml_compiler::pipeline::{compile, compile_scope, compile_single_block, AnalyzedProgram, CompiledProgram};
+use reml_compiler::{CompileConfig, CompileError, MrHeapAssignment};
+use reml_cost::{CostModel, VarStates};
+use reml_lang::BlockId;
+use reml_runtime::program::RtBlock;
+
+use crate::grid::GridStrategy;
+use crate::resources::ResourceConfig;
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Grid strategy for the CP dimension.
+    pub cp_grid: GridStrategy,
+    /// Grid strategy for the MR dimension.
+    pub mr_grid: GridStrategy,
+    /// Prune blocks without MR jobs (§3.4, "blocks of small operations").
+    pub prune_small: bool,
+    /// Prune blocks where all MR operators have unknown dimensions
+    /// (§3.4, "blocks of unknowns").
+    pub prune_unknown: bool,
+    /// Optimization-time budget; enumeration stops when exceeded.
+    pub time_budget: Option<Duration>,
+    /// Worker threads for the parallel optimizer (1 = serial Algorithm 1).
+    pub workers: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            cp_grid: GridStrategy::default_hybrid(),
+            mr_grid: GridStrategy::default_hybrid(),
+            prune_small: true,
+            prune_unknown: true,
+            time_budget: None,
+            workers: 1,
+        }
+    }
+}
+
+/// Counters for the overhead experiments (Table 3, Figures 13/14/18).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptimizerStats {
+    /// Generic-block compilations performed ("# Comp.").
+    pub block_compilations: u64,
+    /// Cost-model invocations ("# Cost."; whole-program costing counts as
+    /// one invocation).
+    pub cost_invocations: u64,
+    /// Wall-clock optimization time.
+    pub opt_time: Duration,
+    /// Enumerated CP grid points.
+    pub cp_points: usize,
+    /// Enumerated MR grid points.
+    pub mr_points: usize,
+    /// Generic blocks before pruning, per CP point (first point recorded).
+    pub blocks_total: usize,
+    /// Generic blocks remaining after pruning (first CP point).
+    pub blocks_remaining: usize,
+    /// Whether the time budget cut enumeration short.
+    pub budget_exhausted: bool,
+}
+
+/// The optimization outcome.
+#[derive(Debug, Clone)]
+pub struct OptimizationResult {
+    /// Globally best configuration `R*_P`.
+    pub best: ResourceConfig,
+    /// Its estimated cost, seconds.
+    pub best_cost_s: f64,
+    /// Best configuration constrained to the current CP heap
+    /// (`R*_P | r_c`), when requested — the §4.2 extension.
+    pub best_local: Option<(ResourceConfig, f64)>,
+    /// Counters.
+    pub stats: OptimizerStats,
+}
+
+/// The resource optimizer over a cost model.
+#[derive(Debug, Clone)]
+pub struct ResourceOptimizer {
+    /// Optimizer knobs.
+    pub config: OptimizerConfig,
+    /// The cost model (carries the cluster).
+    pub cost_model: CostModel,
+}
+
+impl ResourceOptimizer {
+    /// Optimizer with default configuration over a cluster's cost model.
+    pub fn new(cost_model: CostModel) -> Self {
+        ResourceOptimizer {
+            config: OptimizerConfig::default(),
+            cost_model,
+        }
+    }
+
+    /// Optimize the resource configuration for a program
+    /// (Algorithm 1 / Appendix C when `workers > 1`).
+    ///
+    /// `base` provides params/inputs; its heap fields are ignored.
+    /// `current_cp_heap` requests the `R*|r_c` local optimum as well
+    /// (used by runtime re-optimization).
+    pub fn optimize(
+        &self,
+        analyzed: &AnalyzedProgram,
+        base: &CompileConfig,
+        current_cp_heap: Option<u64>,
+    ) -> Result<OptimizationResult, CompileError> {
+        self.optimize_scope(analyzed, base, None, current_cp_heap)
+    }
+
+    /// Optimize a *scope* of the program — the §4.2 re-optimization
+    /// entry point. `scope` is `(first top-level block index, entry
+    /// environment from runtime state)`; `None` optimizes the whole
+    /// program from an empty environment.
+    pub fn optimize_scope(
+        &self,
+        analyzed: &AnalyzedProgram,
+        base: &CompileConfig,
+        scope: Option<(usize, &Env)>,
+        current_cp_heap: Option<u64>,
+    ) -> Result<OptimizationResult, CompileError> {
+        if self.config.workers > 1 {
+            crate::parallel::optimize_parallel(self, analyzed, base, scope, current_cp_heap)
+        } else {
+            self.optimize_serial(analyzed, base, scope, current_cp_heap)
+        }
+    }
+
+    fn optimize_serial(
+        &self,
+        analyzed: &AnalyzedProgram,
+        base: &CompileConfig,
+        scope: Option<(usize, &Env)>,
+        current_cp_heap: Option<u64>,
+    ) -> Result<OptimizationResult, CompileError> {
+        let start = Instant::now();
+        let cc = &self.cost_model.cluster;
+        let (min_heap, max_heap) = (cc.min_heap_mb(), cc.max_heap_mb());
+        let mut stats = OptimizerStats::default();
+
+        // Step 2 of Figure 3: one HOP-level compile to obtain program
+        // info and memory estimates for grid generation.
+        let probe_cfg = with_resources(base, min_heap, MrHeapAssignment::uniform(min_heap));
+        let probe = compile_maybe_scoped(analyzed, &probe_cfg, scope)?;
+        stats.block_compilations += probe.stats.block_compilations;
+        let mem_estimates: Vec<f64> = probe
+            .summaries
+            .iter()
+            .flat_map(|s| s.mem_estimates_mb.iter().copied())
+            .collect();
+
+        let src = self
+            .config
+            .cp_grid
+            .generate(min_heap, max_heap, &mem_estimates);
+        let srm = self
+            .config
+            .mr_grid
+            .generate(min_heap, max_heap, &mem_estimates);
+        stats.cp_points = src.len();
+        stats.mr_points = srm.len();
+
+        let mut best: Option<(ResourceConfig, f64)> = None;
+        let mut best_local: Option<(ResourceConfig, f64)> = None;
+
+        'outer: for (rc_idx, &rc) in src.iter().enumerate() {
+            if self.out_of_budget(start) {
+                stats.budget_exhausted = true;
+                break 'outer;
+            }
+            // Baseline compilation at (rc, min) — unrolls P into blocks.
+            let base_cfg = with_resources(base, rc, MrHeapAssignment::uniform(min_heap));
+            let compiled = compile_maybe_scoped(analyzed, &base_cfg, scope)?;
+            stats.block_compilations += compiled.stats.block_compilations;
+
+            // Pruning (§3.4).
+            let (remaining, total) = self.prune_blocks(&compiled);
+            if rc_idx == 0 {
+                stats.blocks_total = total;
+                stats.blocks_remaining = remaining.len();
+            }
+
+            // Memo: best (ri, cost) per remaining block, initialized at
+            // (min, baseline cost).
+            let block_instr = collect_generic_instructions(&compiled);
+            let mut memo: BTreeMap<usize, (u64, f64)> = BTreeMap::new();
+            for &bid in &remaining {
+                let cost = self
+                    .cost_model
+                    .cost_instructions(&block_instr[&bid], rc, min_heap, &mut VarStates::new())
+                    .total_s();
+                stats.cost_invocations += 1;
+                memo.insert(bid, (min_heap, cost));
+            }
+
+            // Enumerate the second dimension per block.
+            for &bid in &remaining {
+                let entry_env = match compiled.entry_envs.get(&bid) {
+                    Some(env) => env,
+                    None => continue,
+                };
+                for &ri in &srm {
+                    if ri == min_heap {
+                        continue; // memo already holds the baseline
+                    }
+                    if self.out_of_budget(start) {
+                        stats.budget_exhausted = true;
+                        break;
+                    }
+                    let mut cfg = with_resources(base, rc, MrHeapAssignment::uniform(min_heap));
+                    cfg.mr_heap.set_block(bid, ri);
+                    let (instrs, _summary, cstats) =
+                        compile_single_block(analyzed, &cfg, BlockId(bid), entry_env)?;
+                    stats.block_compilations += cstats.block_compilations;
+                    let cost = self
+                        .cost_model
+                        .cost_instructions(&instrs, rc, ri, &mut VarStates::new())
+                        .total_s();
+                    stats.cost_invocations += 1;
+                    let entry = memo.get_mut(&bid).expect("memo initialized");
+                    if cost < entry.1 {
+                        *entry = (ri, cost);
+                    }
+                }
+            }
+
+            // Whole-program compile at the memoized assignment and global
+            // costing (takes loops/branches into account).
+            let mut mr_heap = MrHeapAssignment::uniform(min_heap);
+            for (bid, (ri, _)) in &memo {
+                if *ri != min_heap {
+                    mr_heap.set_block(*bid, *ri);
+                }
+            }
+            let full_cfg = with_resources(base, rc, mr_heap.clone());
+            let full = compile_maybe_scoped(analyzed, &full_cfg, scope)?;
+            stats.block_compilations += full.stats.block_compilations;
+            let heap_of = mr_heap.clone();
+            let cost = self
+                .cost_model
+                .cost_program(&full.runtime, rc, &|bid| heap_of.for_block(bid))
+                .total_s();
+            stats.cost_invocations += 1;
+
+            let candidate = ResourceConfig {
+                cp_heap_mb: rc,
+                mr_heap,
+            };
+            if improves(&best, &candidate, cost, cc) {
+                best = Some((candidate.clone(), cost));
+            }
+            if Some(rc) == current_cp_heap && improves(&best_local, &candidate, cost, cc) {
+                best_local = Some((candidate, cost));
+            }
+        }
+
+        stats.opt_time = start.elapsed();
+        let (best, best_cost_s) = best.ok_or_else(|| {
+            CompileError::Internal("optimizer enumerated no configurations".into())
+        })?;
+        Ok(OptimizationResult {
+            best,
+            best_cost_s,
+            best_local,
+            stats,
+        })
+    }
+
+    fn out_of_budget(&self, start: Instant) -> bool {
+        self.config
+            .time_budget
+            .map(|b| start.elapsed() > b)
+            .unwrap_or(false)
+    }
+
+    /// Apply §3.4 pruning to the generic-block list of a baseline
+    /// compilation; returns (remaining block ids, total count).
+    pub(crate) fn prune_blocks(&self, compiled: &CompiledProgram) -> (Vec<usize>, usize) {
+        let total = compiled.summaries.len();
+        let remaining = compiled
+            .summaries
+            .iter()
+            .filter(|s| {
+                if self.config.prune_small && s.mr_jobs == 0 {
+                    return false;
+                }
+                if self.config.prune_unknown && s.all_mr_unknown {
+                    return false;
+                }
+                true
+            })
+            .map(|s| s.block_id)
+            .collect();
+        (remaining, total)
+    }
+}
+
+/// Compile the whole program or a scope of it.
+pub(crate) fn compile_maybe_scoped(
+    analyzed: &AnalyzedProgram,
+    cfg: &CompileConfig,
+    scope: Option<(usize, &Env)>,
+) -> Result<CompiledProgram, CompileError> {
+    match scope {
+        None => compile(analyzed, cfg),
+        Some((start, env)) => compile_scope(analyzed, cfg, start, env),
+    }
+}
+
+/// Clone a base config with new resources.
+pub(crate) fn with_resources(
+    base: &CompileConfig,
+    cp_heap_mb: u64,
+    mr_heap: MrHeapAssignment,
+) -> CompileConfig {
+    let mut cfg = base.clone();
+    cfg.cp_heap_mb = cp_heap_mb;
+    cfg.mr_heap = mr_heap;
+    cfg
+}
+
+/// Collect instructions of every generic block, keyed by block id.
+pub(crate) fn collect_generic_instructions(
+    compiled: &CompiledProgram,
+) -> BTreeMap<usize, Vec<reml_runtime::Instruction>> {
+    let mut out = BTreeMap::new();
+    for top in &compiled.runtime.blocks {
+        top.visit_generic(&mut |b| {
+            if let RtBlock::Generic {
+                source,
+                instructions,
+                ..
+            } = b
+            {
+                out.insert(source.0, instructions.clone());
+            }
+        });
+    }
+    out
+}
+
+/// Whether `(candidate, cost)` beats the incumbent: lower cost, or equal
+/// cost (within 0.1%) and smaller resources (Definition 1's minimality).
+fn improves(
+    incumbent: &Option<(ResourceConfig, f64)>,
+    candidate: &ResourceConfig,
+    cost: f64,
+    cc: &reml_cluster::ClusterConfig,
+) -> bool {
+    match incumbent {
+        None => true,
+        Some((inc, inc_cost)) => {
+            let tie = (cost - inc_cost).abs() <= 0.001 * inc_cost.max(1e-9);
+            if tie {
+                candidate.magnitude(cc) < inc.magnitude(cc)
+            } else {
+                cost < *inc_cost
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reml_cluster::ClusterConfig;
+    use reml_compiler::pipeline::analyze_program;
+    use reml_scripts::{DataShape, Scenario};
+
+    fn optimizer() -> ResourceOptimizer {
+        ResourceOptimizer::new(CostModel::new(ClusterConfig::paper_cluster()))
+    }
+
+    fn setup(
+        script: &reml_scripts::ScriptSpec,
+        scenario: Scenario,
+        cols: u64,
+        sparsity: f64,
+    ) -> (AnalyzedProgram, CompileConfig) {
+        let shape = DataShape {
+            scenario,
+            cols,
+            sparsity,
+        };
+        let cfg = script.compile_config(
+            shape,
+            ClusterConfig::paper_cluster(),
+            512,
+            MrHeapAssignment::uniform(512),
+        );
+        let analyzed = analyze_program(&script.source).unwrap();
+        (analyzed, cfg)
+    }
+
+    #[test]
+    fn tiny_data_chooses_minimal_resources() {
+        // XS (80 MB): everything fits everywhere; minimality tie-break
+        // must select the smallest configuration.
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::XS, 100, 1.0);
+        let result = optimizer().optimize(&analyzed, &base, None).unwrap();
+        let cc = ClusterConfig::paper_cluster();
+        assert_eq!(result.best.cp_heap_mb, cc.min_heap_mb());
+        assert!(result.best_cost_s > 0.0);
+    }
+
+    #[test]
+    fn cg_on_medium_data_prefers_large_cp() {
+        // M dense (8 GB): iterative CG wants X in CP memory (Figure 1).
+        let script = reml_scripts::linreg_cg();
+        let (analyzed, base) = setup(&script, Scenario::M, 1000, 1.0);
+        let result = optimizer().optimize(&analyzed, &base, None).unwrap();
+        // The CP budget must hold the 8 GB X in memory (plus vectors):
+        // heap * 0.7 > 7630 MB.
+        assert!(
+            result.best.cp_heap_mb as f64 * 0.7 > 7630.0,
+            "chose {}",
+            result.best.display_gb()
+        );
+    }
+
+    #[test]
+    fn ds_on_medium_data_prefers_small_cp_parallel_mr() {
+        // M dense1000: DS is compute-intensive; distributed plans win
+        // (Figure 1 left).
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::M, 1000, 1.0);
+        let result = optimizer().optimize(&analyzed, &base, None).unwrap();
+        assert!(
+            result.best.cp_heap_mb < 12 * 1024,
+            "chose {}",
+            result.best.display_gb()
+        );
+    }
+
+    #[test]
+    fn pruning_removes_all_blocks_for_tiny_data() {
+        let script = reml_scripts::l2svm();
+        let (analyzed, base) = setup(&script, Scenario::XS, 100, 1.0);
+        let opt = optimizer();
+        let result = opt.optimize(&analyzed, &base, None).unwrap();
+        assert_eq!(result.stats.blocks_remaining, 0, "{:?}", result.stats);
+        assert!(result.stats.blocks_total > 0);
+    }
+
+    #[test]
+    fn pruning_disabled_keeps_blocks() {
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::M, 1000, 1.0);
+        let mut opt = optimizer();
+        opt.config.prune_small = false;
+        let with_blocks = opt.optimize(&analyzed, &base, None).unwrap();
+        assert!(with_blocks.stats.blocks_remaining > 0);
+        let mut opt2 = optimizer();
+        opt2.config.prune_small = true;
+        let pruned = opt2.optimize(&analyzed, &base, None).unwrap();
+        assert!(pruned.stats.cost_invocations <= with_blocks.stats.cost_invocations);
+    }
+
+    #[test]
+    fn unknown_blocks_pruned_for_mlogreg() {
+        let script = reml_scripts::mlogreg();
+        let (analyzed, base) = setup(&script, Scenario::S, 1000, 1.0);
+        let mut opt = optimizer();
+        opt.config.prune_unknown = true;
+        let a = opt.optimize(&analyzed, &base, None).unwrap();
+        opt.config.prune_unknown = false;
+        let b = opt.optimize(&analyzed, &base, None).unwrap();
+        assert!(
+            a.stats.blocks_remaining <= b.stats.blocks_remaining,
+            "{} vs {}",
+            a.stats.blocks_remaining,
+            b.stats.blocks_remaining
+        );
+    }
+
+    #[test]
+    fn local_optimum_reported_for_current_rc() {
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::S, 1000, 1.0);
+        let cc = ClusterConfig::paper_cluster();
+        let result = optimizer()
+            .optimize(&analyzed, &base, Some(cc.min_heap_mb()))
+            .unwrap();
+        let (local, local_cost) = result.best_local.expect("local requested");
+        assert_eq!(local.cp_heap_mb, cc.min_heap_mb());
+        assert!(local_cost >= result.best_cost_s - 1e-9);
+    }
+
+    #[test]
+    fn time_budget_stops_enumeration() {
+        let script = reml_scripts::glm();
+        let (analyzed, base) = setup(&script, Scenario::M, 1000, 1.0);
+        let mut opt = optimizer();
+        opt.config.time_budget = Some(Duration::from_millis(1));
+        let result = opt.optimize(&analyzed, &base, None);
+        // Either finished very fast or flagged exhaustion; in both cases
+        // a best configuration must exist if any point was evaluated.
+        if let Ok(r) = result {
+            assert!(r.stats.budget_exhausted || r.stats.opt_time < Duration::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn stats_track_compilations_and_costings() {
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::M, 1000, 1.0);
+        let result = optimizer().optimize(&analyzed, &base, None).unwrap();
+        assert!(result.stats.block_compilations > 0);
+        assert!(result.stats.cost_invocations > 0);
+        assert!(result.stats.cp_points >= 2);
+        assert!(result.stats.opt_time > Duration::ZERO);
+    }
+}

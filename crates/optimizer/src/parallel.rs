@@ -1,0 +1,505 @@
+//! Task-parallel resource optimization (Appendix C).
+//!
+//! Exploits the *semi-independent problems* property (§3.2): for a given
+//! CP memory `r_c`, the per-block MR dimensions are independent. The
+//! optimizer becomes a task system in the style of Orca's parallel query
+//! optimization (which Appendix C cites): a central queue feeds `k`
+//! workers three kinds of tasks —
+//!
+//! * **Baseline(r_c)** — compile the program at `(r_c, min)`, prune, and
+//!   produce the per-block memo seeds;
+//! * **Enum(r_c, block)** — enumerate the MR grid for one block,
+//!   returning the locally optimal `(rⁱ, cost)`;
+//! * **Agg(r_c)** — compile the whole program at the memoized assignment
+//!   and cost it globally.
+//!
+//! Dependencies are purely forward (Baseline → Enum* → Agg per `r_c`),
+//! so there are no global barriers: workers enumerate `r_c`'s blocks
+//! while another worker compiles the baseline of `r_c+1` — the pipelining
+//! effect of the paper's Figure 17. The master thread only schedules and
+//! merges results (lock-free via channels).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use reml_compiler::build::Env;
+use reml_compiler::pipeline::{compile_single_block, AnalyzedProgram, CompiledProgram};
+use reml_compiler::{CompileConfig, CompileError, MrHeapAssignment};
+use reml_cost::VarStates;
+use reml_lang::BlockId;
+
+use crate::optimizer::{
+    collect_generic_instructions, compile_maybe_scoped, with_resources, OptimizationResult,
+    OptimizerStats, ResourceOptimizer,
+};
+use crate::resources::ResourceConfig;
+
+enum Task {
+    Baseline {
+        rc_idx: usize,
+        rc: u64,
+    },
+    Enum {
+        rc_idx: usize,
+        rc: u64,
+        block_id: usize,
+        entry_env: Env,
+        baseline_cost: f64,
+    },
+    Agg {
+        rc: u64,
+        mr_heap: MrHeapAssignment,
+    },
+}
+
+enum Done {
+    Baseline {
+        rc_idx: usize,
+        rc: u64,
+        /// (block id, entry env, baseline cost) per unpruned block.
+        blocks: Vec<(usize, Env, f64)>,
+        compilations: u64,
+        costings: u64,
+        blocks_total: usize,
+    },
+    Enum {
+        rc_idx: usize,
+        block_id: usize,
+        best_ri: u64,
+        best_cost: f64,
+        compilations: u64,
+        costings: u64,
+    },
+    Agg {
+        candidate: ResourceConfig,
+        cost: f64,
+        compilations: u64,
+    },
+    Failed(CompileError),
+}
+
+/// Parallel variant of Algorithm 1 (see module docs).
+pub fn optimize_parallel(
+    opt: &ResourceOptimizer,
+    analyzed: &AnalyzedProgram,
+    base: &CompileConfig,
+    scope: Option<(usize, &Env)>,
+    current_cp_heap: Option<u64>,
+) -> Result<OptimizationResult, CompileError> {
+    let start = Instant::now();
+    let cc = &opt.cost_model.cluster;
+    let (min_heap, max_heap) = (cc.min_heap_mb(), cc.max_heap_mb());
+    let mut stats = OptimizerStats::default();
+
+    // Probe compile for grid generation (master, once).
+    let probe_cfg = with_resources(base, min_heap, MrHeapAssignment::uniform(min_heap));
+    let probe = compile_maybe_scoped(analyzed, &probe_cfg, scope)?;
+    stats.block_compilations += probe.stats.block_compilations;
+    let mem_estimates: Vec<f64> = probe
+        .summaries
+        .iter()
+        .flat_map(|s| s.mem_estimates_mb.iter().copied())
+        .collect();
+    let src = opt.config.cp_grid.generate(min_heap, max_heap, &mem_estimates);
+    let srm = opt.config.mr_grid.generate(min_heap, max_heap, &mem_estimates);
+    stats.cp_points = src.len();
+    stats.mr_points = srm.len();
+
+    let (task_tx, task_rx) = unbounded::<Task>();
+    let (done_tx, done_rx) = unbounded::<Done>();
+    let workers = opt.config.workers.max(2) - 1;
+    let deadline = opt.config.time_budget.map(|b| start + b);
+
+    let (best, best_local) = std::thread::scope(
+        |threads| -> Result<
+            (
+                Option<(ResourceConfig, f64)>,
+                Option<(ResourceConfig, f64)>,
+            ),
+            CompileError,
+        > {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let done_tx = done_tx.clone();
+            let srm = &srm;
+            threads.spawn(move || {
+                worker_loop(
+                    opt, analyzed, base, scope, min_heap, srm, deadline, task_rx, done_tx,
+                );
+            });
+        }
+        drop(task_rx);
+        drop(done_tx);
+
+        // Master: seed baseline tasks and run the scheduling loop.
+        for (rc_idx, &rc) in src.iter().enumerate() {
+            task_tx
+                .send(Task::Baseline { rc_idx, rc })
+                .expect("workers alive");
+        }
+
+        let mut memo_per_rc: Vec<BTreeMap<usize, (u64, f64)>> = vec![BTreeMap::new(); src.len()];
+        let mut pending_enums: Vec<usize> = vec![0; src.len()];
+        let mut completed = 0usize;
+        let mut best: Option<(ResourceConfig, f64)> = None;
+        let mut best_local: Option<(ResourceConfig, f64)> = None;
+        let mut first_error: Option<CompileError> = None;
+
+        while completed < src.len() {
+            let Ok(done) = done_rx.recv() else { break };
+            match done {
+                Done::Baseline {
+                    rc_idx,
+                    rc,
+                    blocks,
+                    compilations,
+                    costings,
+                    blocks_total,
+                } => {
+                    stats.block_compilations += compilations;
+                    stats.cost_invocations += costings;
+                    if rc_idx == 0 {
+                        stats.blocks_total = blocks_total;
+                        stats.blocks_remaining = blocks.len();
+                    }
+                    pending_enums[rc_idx] = blocks.len();
+                    if blocks.is_empty() {
+                        task_tx
+                            .send(Task::Agg {
+                                rc,
+                                mr_heap: MrHeapAssignment::uniform(min_heap),
+                            })
+                            .expect("workers alive");
+                    } else {
+                        for (block_id, entry_env, baseline_cost) in blocks {
+                            memo_per_rc[rc_idx].insert(block_id, (min_heap, baseline_cost));
+                            task_tx
+                                .send(Task::Enum {
+                                    rc_idx,
+                                    rc,
+                                    block_id,
+                                    entry_env,
+                                    baseline_cost,
+                                })
+                                .expect("workers alive");
+                        }
+                    }
+                }
+                Done::Enum {
+                    rc_idx,
+                    block_id,
+                    best_ri,
+                    best_cost,
+                    compilations,
+                    costings,
+                } => {
+                    stats.block_compilations += compilations;
+                    stats.cost_invocations += costings;
+                    let entry = memo_per_rc[rc_idx]
+                        .get_mut(&block_id)
+                        .expect("memo seeded at baseline");
+                    if best_cost < entry.1 {
+                        *entry = (best_ri, best_cost);
+                    }
+                    pending_enums[rc_idx] -= 1;
+                    if pending_enums[rc_idx] == 0 {
+                        let mut mr_heap = MrHeapAssignment::uniform(min_heap);
+                        for (bid, (ri, _)) in &memo_per_rc[rc_idx] {
+                            if *ri != min_heap {
+                                mr_heap.set_block(*bid, *ri);
+                            }
+                        }
+                        task_tx
+                            .send(Task::Agg {
+                                rc: src[rc_idx],
+                                mr_heap,
+                            })
+                            .expect("workers alive");
+                    }
+                }
+                Done::Agg {
+                    candidate,
+                    cost,
+                    compilations,
+                } => {
+                    stats.block_compilations += compilations;
+                    stats.cost_invocations += 1;
+                    completed += 1;
+                    let better = match &best {
+                        None => true,
+                        Some((inc, inc_cost)) => {
+                            let tie = (cost - inc_cost).abs() <= 0.001 * inc_cost.max(1e-9);
+                            if tie {
+                                candidate.magnitude(cc) < inc.magnitude(cc)
+                            } else {
+                                cost < *inc_cost
+                            }
+                        }
+                    };
+                    if better {
+                        best = Some((candidate.clone(), cost));
+                    }
+                    if Some(candidate.cp_heap_mb) == current_cp_heap {
+                        let better_local = match &best_local {
+                            None => true,
+                            Some((_, c)) => cost < *c,
+                        };
+                        if better_local {
+                            best_local = Some((candidate, cost));
+                        }
+                    }
+                }
+                Done::Failed(e) => {
+                    completed += 1;
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+            if deadline.map(|d| Instant::now() > d).unwrap_or(false) && best.is_some() {
+                stats.budget_exhausted = true;
+                break;
+            }
+        }
+        drop(task_tx);
+        if best.is_none() {
+            if let Some(e) = first_error {
+                return Err(e);
+            }
+        }
+        Ok((best, best_local))
+    },
+    )?;
+
+    stats.opt_time = start.elapsed();
+    let (best, best_cost_s) = best.ok_or_else(|| {
+        CompileError::Internal("parallel optimizer enumerated no configurations".into())
+    })?;
+    Ok(OptimizationResult {
+        best,
+        best_cost_s,
+        best_local,
+        stats,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    opt: &ResourceOptimizer,
+    analyzed: &AnalyzedProgram,
+    base: &CompileConfig,
+    scope: Option<(usize, &Env)>,
+    min_heap: u64,
+    srm: &[u64],
+    deadline: Option<Instant>,
+    task_rx: Receiver<Task>,
+    done_tx: Sender<Done>,
+) {
+    while let Ok(task) = task_rx.recv() {
+        let result = match task {
+            Task::Baseline { rc_idx, rc } => run_baseline(opt, analyzed, base, scope, min_heap, rc_idx, rc),
+            Task::Enum {
+                rc_idx,
+                rc,
+                block_id,
+                entry_env,
+                baseline_cost,
+            } => run_enum(
+                opt, analyzed, base, min_heap, srm, deadline, rc_idx, rc, block_id, &entry_env,
+                baseline_cost,
+            ),
+            Task::Agg { rc, mr_heap, .. } => {
+                run_agg(opt, analyzed, base, scope, rc, mr_heap)
+            }
+        };
+        if done_tx.send(result).is_err() {
+            break;
+        }
+    }
+}
+
+fn run_baseline(
+    opt: &ResourceOptimizer,
+    analyzed: &AnalyzedProgram,
+    base: &CompileConfig,
+    scope: Option<(usize, &Env)>,
+    min_heap: u64,
+    rc_idx: usize,
+    rc: u64,
+) -> Done {
+    let cfg = with_resources(base, rc, MrHeapAssignment::uniform(min_heap));
+    let compiled: CompiledProgram = match compile_maybe_scoped(analyzed, &cfg, scope) {
+        Ok(c) => c,
+        Err(e) => return Done::Failed(e),
+    };
+    let (remaining, total) = opt.prune_blocks(&compiled);
+    let block_instr = collect_generic_instructions(&compiled);
+    let mut blocks = Vec::new();
+    let mut costings = 0u64;
+    for bid in remaining {
+        let cost = opt
+            .cost_model
+            .cost_instructions(&block_instr[&bid], rc, min_heap, &mut VarStates::new())
+            .total_s();
+        costings += 1;
+        if let Some(env) = compiled.entry_envs.get(&bid) {
+            blocks.push((bid, env.clone(), cost));
+        }
+    }
+    Done::Baseline {
+        rc_idx,
+        rc,
+        blocks,
+        compilations: compiled.stats.block_compilations,
+        costings,
+        blocks_total: total,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_enum(
+    opt: &ResourceOptimizer,
+    analyzed: &AnalyzedProgram,
+    base: &CompileConfig,
+    min_heap: u64,
+    srm: &[u64],
+    deadline: Option<Instant>,
+    rc_idx: usize,
+    rc: u64,
+    block_id: usize,
+    entry_env: &Env,
+    baseline_cost: f64,
+) -> Done {
+    let mut best_ri = min_heap;
+    let mut best_cost = baseline_cost;
+    let mut compilations = 0u64;
+    let mut costings = 0u64;
+    for &ri in srm {
+        if ri == min_heap {
+            continue;
+        }
+        if deadline.map(|d| Instant::now() > d).unwrap_or(false) {
+            break;
+        }
+        let mut cfg = with_resources(base, rc, MrHeapAssignment::uniform(min_heap));
+        cfg.mr_heap.set_block(block_id, ri);
+        let Ok((instrs, _summary, cstats)) =
+            compile_single_block(analyzed, &cfg, BlockId(block_id), entry_env)
+        else {
+            continue;
+        };
+        compilations += cstats.block_compilations;
+        let cost = opt
+            .cost_model
+            .cost_instructions(&instrs, rc, ri, &mut VarStates::new())
+            .total_s();
+        costings += 1;
+        if cost < best_cost {
+            best_cost = cost;
+            best_ri = ri;
+        }
+    }
+    Done::Enum {
+        rc_idx,
+        block_id,
+        best_ri,
+        best_cost,
+        compilations,
+        costings,
+    }
+}
+
+fn run_agg(
+    opt: &ResourceOptimizer,
+    analyzed: &AnalyzedProgram,
+    base: &CompileConfig,
+    scope: Option<(usize, &Env)>,
+    rc: u64,
+    mr_heap: MrHeapAssignment,
+) -> Done {
+    let cfg = with_resources(base, rc, mr_heap.clone());
+    let full = match compile_maybe_scoped(analyzed, &cfg, scope) {
+        Ok(c) => c,
+        Err(e) => return Done::Failed(e),
+    };
+    let heap_of = mr_heap.clone();
+    let cost = opt
+        .cost_model
+        .cost_program(&full.runtime, rc, &|bid| heap_of.for_block(bid))
+        .total_s();
+    Done::Agg {
+        candidate: ResourceConfig {
+            cp_heap_mb: rc,
+            mr_heap,
+        },
+        cost,
+        compilations: full.stats.block_compilations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reml_cluster::ClusterConfig;
+    use reml_compiler::pipeline::analyze_program;
+    use reml_cost::CostModel;
+    use reml_scripts::{DataShape, Scenario};
+
+    fn setup(
+        script: &reml_scripts::ScriptSpec,
+        scenario: Scenario,
+    ) -> (AnalyzedProgram, CompileConfig) {
+        let shape = DataShape {
+            scenario,
+            cols: 1000,
+            sparsity: 1.0,
+        };
+        let cfg = script.compile_config(
+            shape,
+            ClusterConfig::paper_cluster(),
+            512,
+            MrHeapAssignment::uniform(512),
+        );
+        (analyze_program(&script.source).unwrap(), cfg)
+    }
+
+    #[test]
+    fn parallel_matches_serial_result() {
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::M);
+        let mut serial = ResourceOptimizer::new(CostModel::new(ClusterConfig::paper_cluster()));
+        serial.config.workers = 1;
+        let mut par = serial.clone();
+        par.config.workers = 4;
+        let rs = serial.optimize(&analyzed, &base, None).unwrap();
+        let rp = par.optimize(&analyzed, &base, None).unwrap();
+        assert_eq!(rs.best.cp_heap_mb, rp.best.cp_heap_mb);
+        assert!((rs.best_cost_s - rp.best_cost_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_on_glm_counts_work() {
+        let script = reml_scripts::glm();
+        let (analyzed, base) = setup(&script, Scenario::M);
+        let mut par = ResourceOptimizer::new(CostModel::new(ClusterConfig::paper_cluster()));
+        par.config.workers = 4;
+        let r = par.optimize(&analyzed, &base, None).unwrap();
+        assert!(r.stats.block_compilations > 0);
+        assert!(r.best_cost_s > 0.0);
+    }
+
+    #[test]
+    fn parallel_local_optimum_reported() {
+        let script = reml_scripts::linreg_cg();
+        let (analyzed, base) = setup(&script, Scenario::S);
+        let cc = ClusterConfig::paper_cluster();
+        let mut par = ResourceOptimizer::new(CostModel::new(cc.clone()));
+        par.config.workers = 4;
+        let r = par
+            .optimize(&analyzed, &base, Some(cc.min_heap_mb()))
+            .unwrap();
+        let (local, _) = r.best_local.expect("local requested");
+        assert_eq!(local.cp_heap_mb, cc.min_heap_mb());
+    }
+}

@@ -1,0 +1,88 @@
+//! Resource configuration vectors `R_P` and their ordering.
+
+use reml_cluster::ClusterConfig;
+use reml_compiler::MrHeapAssignment;
+
+/// A full resource configuration: CP heap plus the per-block MR heap
+/// assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceConfig {
+    /// Control-program max heap, MB (`r_c`).
+    pub cp_heap_mb: u64,
+    /// Per-block MR task heaps (`r¹ … rⁿ`).
+    pub mr_heap: MrHeapAssignment,
+}
+
+impl ResourceConfig {
+    /// Uniform configuration.
+    pub fn uniform(cp_heap_mb: u64, mr_heap_mb: u64) -> Self {
+        ResourceConfig {
+            cp_heap_mb,
+            mr_heap: MrHeapAssignment::uniform(mr_heap_mb),
+        }
+    }
+
+    /// Largest MR heap across blocks (Table 2's "max MR" report).
+    pub fn max_mr_mb(&self) -> u64 {
+        self.mr_heap.max_mb()
+    }
+
+    /// Resource-magnitude metric used to break cost ties toward minimal
+    /// configurations (Definition 1's `sum()` — a weighted sum of
+    /// requested container resources). The CP container runs for the
+    /// whole application; MR containers only during jobs, so CP memory
+    /// dominates the weighting.
+    pub fn magnitude(&self, cc: &ClusterConfig) -> f64 {
+        let cp = cc.container_mb_for_heap(self.cp_heap_mb) as f64;
+        let mr_default = cc.container_mb_for_heap(self.mr_heap.default_mb) as f64;
+        let mr_overrides: f64 = self
+            .mr_heap
+            .per_block
+            .values()
+            .map(|mb| cc.container_mb_for_heap(*mb) as f64)
+            .sum();
+        cp * 4.0 + mr_default + mr_overrides
+    }
+
+    /// Human-readable `CP/maxMR` in GB (the Table 2 format).
+    pub fn display_gb(&self) -> String {
+        format!(
+            "{:.1}/{:.1}",
+            self.cp_heap_mb as f64 / 1024.0,
+            self.max_mr_mb() as f64 / 1024.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_orders_configs() {
+        let cc = ClusterConfig::paper_cluster();
+        let small = ResourceConfig::uniform(512, 512);
+        let big_cp = ResourceConfig::uniform(8 * 1024, 512);
+        let big_mr = ResourceConfig::uniform(512, 8 * 1024);
+        assert!(small.magnitude(&cc) < big_cp.magnitude(&cc));
+        assert!(small.magnitude(&cc) < big_mr.magnitude(&cc));
+        // CP weighting dominates: same heap delta costs more on CP.
+        assert!(big_cp.magnitude(&cc) > big_mr.magnitude(&cc));
+    }
+
+    #[test]
+    fn per_block_overrides_add_magnitude() {
+        let cc = ClusterConfig::paper_cluster();
+        let mut a = ResourceConfig::uniform(512, 512);
+        let base = a.magnitude(&cc);
+        a.mr_heap.set_block(3, 4096);
+        assert!(a.magnitude(&cc) > base);
+        assert_eq!(a.max_mr_mb(), 4096);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = ResourceConfig::uniform(8 * 1024, 2 * 1024);
+        assert_eq!(r.display_gb(), "8.0/2.0");
+    }
+}

@@ -1,0 +1,308 @@
+//! SystemML-style buffer pool for matrix variables.
+//!
+//! The CP runtime "pins inputs and outputs into memory in order to prevent
+//! repeated deserialization" (§2.1). The pool holds matrix variables up to
+//! a byte capacity (the CP memory budget); when a new entry does not fit,
+//! least-recently-used unpinned entries are *evicted* to simulated local
+//! disk. Eviction/restore byte counters are the ground truth the
+//! discrete-event simulator charges extra IO time for — reproducing the
+//! paper's observation that buffer-pool evictions are a source of
+//! cost-model suboptimality (§5, "Sources of suboptimality").
+//!
+//! Entries also track a *dirty* flag (in-memory state differs from HDFS),
+//! which drives both `write()` elision and the migration cost model
+//! (§4.1: "we write all dirty variables").
+
+use std::collections::BTreeMap;
+
+use reml_matrix::Matrix;
+
+/// Eviction and restore accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Number of evictions performed.
+    pub evictions: u64,
+    /// Bytes written to local disk by evictions.
+    pub bytes_evicted: u64,
+    /// Number of restores of previously evicted entries.
+    pub restores: u64,
+    /// Bytes read back from local disk by restores.
+    pub bytes_restored: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    data: Matrix,
+    /// In memory (true) or evicted to local disk (false).
+    in_memory: bool,
+    /// Differs from its HDFS representation.
+    dirty: bool,
+    /// Pinned entries cannot be evicted (inputs/outputs of the currently
+    /// executing instruction).
+    pinned: bool,
+    /// LRU clock.
+    last_use: u64,
+}
+
+/// A capacity-bounded pool of named matrix variables.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    capacity_bytes: u64,
+    entries: BTreeMap<String, Entry>,
+    clock: u64,
+    stats: BufferPoolStats,
+}
+
+impl BufferPool {
+    /// Pool with the given capacity in bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        BufferPool {
+            capacity_bytes,
+            entries: BTreeMap::new(),
+            clock: 0,
+            stats: BufferPoolStats::default(),
+        }
+    }
+
+    /// The capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Resize the pool (AM migration to a container with more memory).
+    pub fn set_capacity_bytes(&mut self, capacity_bytes: u64) {
+        self.capacity_bytes = capacity_bytes;
+    }
+
+    /// Bytes of in-memory (non-evicted) entries.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.in_memory)
+            .map(|e| e.data.size_bytes())
+            .sum()
+    }
+
+    /// Insert or replace a variable. New entries are dirty by default
+    /// (they were just produced in memory).
+    pub fn put(&mut self, name: impl Into<String>, data: Matrix) {
+        self.put_with_dirty(name, data, true);
+    }
+
+    /// Insert with an explicit dirty flag (false for data just read from
+    /// HDFS — its on-disk representation matches).
+    pub fn put_with_dirty(&mut self, name: impl Into<String>, data: Matrix, dirty: bool) {
+        let name = name.into();
+        self.clock += 1;
+        self.entries.insert(
+            name.clone(),
+            Entry {
+                data,
+                in_memory: true,
+                dirty,
+                pinned: false,
+                last_use: self.clock,
+            },
+        );
+        self.make_room(Some(&name));
+    }
+
+    /// Fetch a variable, restoring it from local disk if evicted. Returns
+    /// a clone of the matrix (callers treat matrices as immutable values).
+    pub fn get(&mut self, name: &str) -> Option<Matrix> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (restored_bytes, data) = {
+            let e = self.entries.get_mut(name)?;
+            e.last_use = clock;
+            let restored = if !e.in_memory {
+                e.in_memory = true;
+                Some(e.data.size_bytes())
+            } else {
+                None
+            };
+            (restored, e.data.clone())
+        };
+        if let Some(bytes) = restored_bytes {
+            self.stats.restores += 1;
+            self.stats.bytes_restored += bytes;
+            self.make_room(Some(name));
+        }
+        Some(data)
+    }
+
+    /// Variable characteristics without touching LRU state.
+    pub fn peek(&self, name: &str) -> Option<&Matrix> {
+        self.entries.get(name).map(|e| &e.data)
+    }
+
+    /// Whether a variable exists in the pool (memory or evicted).
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Whether a variable is dirty (needs export before migration).
+    pub fn is_dirty(&self, name: &str) -> Option<bool> {
+        self.entries.get(name).map(|e| e.dirty)
+    }
+
+    /// Mark a variable clean (it was just exported to HDFS).
+    pub fn mark_clean(&mut self, name: &str) {
+        if let Some(e) = self.entries.get_mut(name) {
+            e.dirty = false;
+        }
+    }
+
+    /// Pin variables for the duration of an instruction.
+    pub fn pin(&mut self, names: &[&str]) {
+        for n in names {
+            if let Some(e) = self.entries.get_mut(*n) {
+                e.pinned = true;
+            }
+        }
+    }
+
+    /// Unpin all variables.
+    pub fn unpin_all(&mut self) {
+        for e in self.entries.values_mut() {
+            e.pinned = false;
+        }
+    }
+
+    /// Remove a variable entirely.
+    pub fn remove(&mut self, name: &str) -> Option<Matrix> {
+        self.entries.remove(name).map(|e| e.data)
+    }
+
+    /// Names of all dirty variables (the migration export set).
+    pub fn dirty_variables(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// All variable names.
+    pub fn variables(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BufferPoolStats {
+        self.stats
+    }
+
+    /// Evict LRU unpinned entries until resident bytes fit the capacity.
+    /// `protect` shields the entry just inserted or restored: it is the
+    /// hottest value and evicting it immediately would thrash.
+    fn make_room(&mut self, protect: Option<&str>) {
+        while self.resident_bytes() > self.capacity_bytes {
+            // Find LRU unpinned in-memory entry.
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(n, e)| e.in_memory && !e.pinned && Some(n.as_str()) != protect)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(n, _)| n.clone());
+            match victim {
+                Some(name) => {
+                    let e = self.entries.get_mut(&name).expect("victim exists");
+                    e.in_memory = false;
+                    self.stats.evictions += 1;
+                    self.stats.bytes_evicted += e.data.size_bytes();
+                }
+                // Everything resident is pinned: allow temporary overshoot
+                // (SystemML likewise cannot evict pinned operands).
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m_kb(kb: usize) -> Matrix {
+        // kb kilobytes dense: kb * 128 cells.
+        Matrix::constant(kb * 128, 1, 1.0)
+    }
+
+    #[test]
+    fn within_capacity_no_evictions() {
+        let mut pool = BufferPool::new(10 * 1024);
+        pool.put("a", m_kb(4));
+        pool.put("b", m_kb(4));
+        assert_eq!(pool.stats().evictions, 0);
+        assert!(pool.get("a").is_some());
+    }
+
+    #[test]
+    fn overflow_evicts_lru() {
+        let mut pool = BufferPool::new(10 * 1024);
+        pool.put("a", m_kb(4));
+        pool.put("b", m_kb(4));
+        let _ = pool.get("a"); // a is now more recent than b
+        pool.put("c", m_kb(4)); // overflow: b is LRU victim
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.stats().bytes_evicted, 4 * 1024);
+        // b still accessible, restored on demand.
+        assert!(pool.get("b").is_some());
+        assert_eq!(pool.stats().restores, 1);
+        assert_eq!(pool.stats().bytes_restored, 4 * 1024);
+    }
+
+    #[test]
+    fn pinned_entries_survive() {
+        let mut pool = BufferPool::new(10 * 1024);
+        pool.put("a", m_kb(4));
+        pool.put("b", m_kb(4));
+        pool.pin(&["a", "b"]);
+        pool.put("c", m_kb(4));
+        pool.pin(&["c"]);
+        // All pinned: overshoot allowed, no eviction of pinned entries.
+        assert!(pool.resident_bytes() > pool.capacity_bytes());
+        pool.unpin_all();
+        pool.put("d", m_kb(1));
+        assert!(pool.resident_bytes() <= pool.capacity_bytes());
+        assert!(pool.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut pool = BufferPool::new(1024 * 1024);
+        pool.put_with_dirty("X", m_kb(1), false); // read from HDFS
+        pool.put("g", m_kb(1)); // computed
+        assert_eq!(pool.is_dirty("X"), Some(false));
+        assert_eq!(pool.is_dirty("g"), Some(true));
+        assert_eq!(pool.dirty_variables(), vec!["g".to_string()]);
+        pool.mark_clean("g");
+        assert!(pool.dirty_variables().is_empty());
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut pool = BufferPool::new(1024);
+        pool.put("a", m_kb(1));
+        assert!(pool.contains("a"));
+        assert!(pool.remove("a").is_some());
+        assert!(!pool.contains("a"));
+        assert!(pool.get("a").is_none());
+    }
+
+    #[test]
+    fn grow_capacity_stops_thrashing() {
+        let mut pool = BufferPool::new(4 * 1024);
+        pool.put("a", m_kb(4));
+        pool.put("b", m_kb(4));
+        let evictions_before = pool.stats().evictions;
+        assert!(evictions_before > 0);
+        pool.set_capacity_bytes(64 * 1024);
+        let _ = pool.get("a");
+        let _ = pool.get("b");
+        pool.put("c", m_kb(4));
+        // No further evictions after the resize.
+        assert_eq!(pool.stats().evictions, evictions_before + 0);
+    }
+}

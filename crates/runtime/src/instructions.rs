@@ -1,0 +1,358 @@
+//! Executable instructions: CP (in-memory) and MR-job instructions.
+
+use reml_matrix::{AggOp, BinaryOp, MatrixCharacteristics, UnaryOp};
+
+use crate::value::Operand;
+
+/// Operation codes shared by CP instructions and MR operators.
+///
+/// The same vocabulary serves both execution (the executor dispatches on
+/// it) and costing (the cost model derives FLOP counts and IO sizes from
+/// the opcode plus operand characteristics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpCode {
+    /// Read a persistent dataset from HDFS into a variable.
+    PersistentRead {
+        /// HDFS path/name of the dataset.
+        path: String,
+    },
+    /// Write a variable to HDFS.
+    PersistentWrite {
+        /// HDFS path/name to write.
+        path: String,
+    },
+    /// `matrix(value, rows, cols)` — constant matrix generation.
+    DataGenConst,
+    /// `seq(from, to[, by])` — sequence generation.
+    DataGenSeq,
+    /// `rand(rows, cols, sparsity, seed)` — random generation.
+    DataGenRand,
+    /// Matrix multiply `A %*% B`.
+    MatMult,
+    /// Transpose-left matrix multiply `t(A) %*% B` (fused physical
+    /// operator: avoids materializing the large transpose, Appendix B's
+    /// transpose-mm rewrite).
+    MatMultTransLeft,
+    /// Transpose-self multiply `t(X) %*% X` (fused physical operator).
+    Tsmm,
+    /// Fused matrix-multiply chain `t(X) %*% (X %*% v)` (MapMMChain).
+    MmChain,
+    /// Dense linear solve.
+    Solve,
+    /// Transpose.
+    Transpose,
+    /// Diagonal extract/expand.
+    Diag,
+    /// Elementwise binary over matrices/vectors (broadcast per DML rules).
+    BinaryMM(BinaryOp),
+    /// Matrix (left) op scalar (right).
+    BinaryMS(BinaryOp),
+    /// Scalar (left) op matrix (right).
+    BinarySM(BinaryOp),
+    /// Scalar op scalar.
+    BinarySS(BinaryOp),
+    /// Elementwise unary on a matrix.
+    UnaryM(UnaryOp),
+    /// Unary on a scalar.
+    UnaryS(UnaryOp),
+    /// Aggregation (sum, rowSums, ...) — scalar or vector result.
+    Agg(AggOp),
+    /// `table(seq(1, nrow(y)), y)` contingency table.
+    TableSeq,
+    /// Right indexing; operands: matrix, row_lo, row_hi, col_lo, col_hi
+    /// (1-based inclusive, scalar operands).
+    RightIndex,
+    /// Left indexing; operands: target, value, row_lo, row_hi, col_lo,
+    /// col_hi.
+    LeftIndex,
+    /// Horizontal append (cbind).
+    Append,
+    /// Vertical append (rbind).
+    AppendR,
+    /// `nrow(X)` — scalar result.
+    NRow,
+    /// `ncol(X)` — scalar result.
+    NCol,
+    /// Cast a 1×1 matrix to scalar.
+    CastScalar,
+    /// Cast a scalar to a 1×1 matrix.
+    CastMatrix,
+    /// Copy/rename a value into a new variable.
+    Assign,
+    /// String concatenation (DML `+` over strings).
+    Concat,
+    /// Print to stdout (captured by the executor).
+    Print,
+    /// Remove a variable (end-of-block cleanup).
+    RmVar,
+}
+
+impl OpCode {
+    /// Short opcode mnemonic for EXPLAIN-style plan rendering.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            OpCode::PersistentRead { .. } => "pread".into(),
+            OpCode::PersistentWrite { .. } => "pwrite".into(),
+            OpCode::DataGenConst => "datagen-const".into(),
+            OpCode::DataGenSeq => "datagen-seq".into(),
+            OpCode::DataGenRand => "datagen-rand".into(),
+            OpCode::MatMult => "ba+*".into(),
+            OpCode::MatMultTransLeft => "tmm".into(),
+            OpCode::Tsmm => "tsmm".into(),
+            OpCode::MmChain => "mmchain".into(),
+            OpCode::Solve => "solve".into(),
+            OpCode::Transpose => "r'".into(),
+            OpCode::Diag => "rdiag".into(),
+            OpCode::BinaryMM(op) => format!("map{}", op.token()),
+            OpCode::BinaryMS(op) | OpCode::BinarySM(op) => format!("s{}", op.token()),
+            OpCode::BinarySS(op) => format!("ss{}", op.token()),
+            OpCode::UnaryM(op) => format!("u{}", op.token()),
+            OpCode::UnaryS(op) => format!("us{}", op.token()),
+            OpCode::Agg(op) => format!("ua{}", op.token()),
+            OpCode::TableSeq => "ctable".into(),
+            OpCode::RightIndex => "rix".into(),
+            OpCode::LeftIndex => "lix".into(),
+            OpCode::Append => "append".into(),
+            OpCode::AppendR => "rappend".into(),
+            OpCode::NRow => "nrow".into(),
+            OpCode::NCol => "ncol".into(),
+            OpCode::CastScalar => "castdts".into(),
+            OpCode::CastMatrix => "castdtm".into(),
+            OpCode::Assign => "assignvar".into(),
+            OpCode::Concat => "concat".into(),
+            OpCode::Print => "print".into(),
+            OpCode::RmVar => "rmvar".into(),
+        }
+    }
+}
+
+/// A CP (control-program, in-memory) instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpInstruction {
+    /// Operation.
+    pub opcode: OpCode,
+    /// Operands in positional order.
+    pub operands: Vec<Operand>,
+    /// Output variable (None for sinks like `print`/`pwrite`).
+    pub output: Option<String>,
+    /// Compile-time characteristics per operand (scalar operands use
+    /// [`MatrixCharacteristics::scalar`]).
+    pub operand_mcs: Vec<MatrixCharacteristics>,
+    /// Compile-time characteristics of the output.
+    pub output_mc: MatrixCharacteristics,
+}
+
+impl CpInstruction {
+    /// EXPLAIN rendering: `CP mnemonic in1 in2 -> out`.
+    pub fn render(&self) -> String {
+        let ins: Vec<String> = self
+            .operands
+            .iter()
+            .map(|o| match o {
+                Operand::Var(v) => v.clone(),
+                Operand::Lit(l) => l.render(),
+            })
+            .collect();
+        format!(
+            "CP {} {} -> {}",
+            self.opcode.mnemonic(),
+            ins.join(" "),
+            self.output.as_deref().unwrap_or("-")
+        )
+    }
+}
+
+/// Where an MR operator executes within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrLocation {
+    /// Map phase.
+    Map,
+    /// Reduce phase.
+    Reduce,
+}
+
+/// One operator packed into an MR job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MrOperator {
+    /// Operation (same vocabulary as CP).
+    pub opcode: OpCode,
+    /// Operands.
+    pub operands: Vec<Operand>,
+    /// Output variable (job-local intermediate or job output).
+    pub output: Option<String>,
+    /// Compile-time operand characteristics.
+    pub operand_mcs: Vec<MatrixCharacteristics>,
+    /// Compile-time output characteristics.
+    pub output_mc: MatrixCharacteristics,
+    /// Map or reduce side.
+    pub location: MrLocation,
+    /// Memory the operator needs inside each task (e.g. the broadcast
+    /// vector of a map-side multiply), MB. Constrains piggybacking.
+    pub task_mem_mb: f64,
+}
+
+/// An MR-job instruction: one Hadoop job running a pack of operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MrJobInstruction {
+    /// Variables read from HDFS by the map phase (with their compile-time
+    /// characteristics).
+    pub hdfs_inputs: Vec<(String, MatrixCharacteristics)>,
+    /// Variables broadcast to every map task via distributed cache.
+    pub broadcast_inputs: Vec<(String, MatrixCharacteristics)>,
+    /// Operators in the map phase, in execution order.
+    pub mappers: Vec<MrOperator>,
+    /// Operators in the reduce phase, in execution order.
+    pub reducers: Vec<MrOperator>,
+    /// Variables written to HDFS as job outputs.
+    pub outputs: Vec<(String, MatrixCharacteristics)>,
+    /// Characteristics of data shuffled from map to reduce (empty for
+    /// map-only jobs).
+    pub shuffle: Vec<MatrixCharacteristics>,
+}
+
+impl MrJobInstruction {
+    /// Whether this job has a reduce phase.
+    pub fn has_reduce(&self) -> bool {
+        !self.reducers.is_empty() || !self.shuffle.is_empty()
+    }
+
+    /// Total map-side broadcast memory requirement, MB.
+    pub fn broadcast_mb(&self) -> f64 {
+        self.broadcast_inputs
+            .iter()
+            .map(|(_, mc)| mc.estimated_size_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0))
+            .sum()
+    }
+
+    /// Total bytes read from HDFS by mappers.
+    pub fn input_bytes(&self) -> u64 {
+        self.hdfs_inputs
+            .iter()
+            .map(|(_, mc)| mc.hdfs_size_bytes().unwrap_or(0))
+            .sum()
+    }
+
+    /// Total bytes written to HDFS by the job.
+    pub fn output_bytes(&self) -> u64 {
+        self.outputs
+            .iter()
+            .map(|(_, mc)| mc.hdfs_size_bytes().unwrap_or(0))
+            .sum()
+    }
+
+    /// Total bytes shuffled.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.shuffle
+            .iter()
+            .map(|mc| mc.estimated_size_bytes().unwrap_or(0))
+            .sum()
+    }
+
+    /// EXPLAIN rendering.
+    pub fn render(&self) -> String {
+        let map: Vec<String> = self.mappers.iter().map(|m| m.opcode.mnemonic()).collect();
+        let red: Vec<String> = self.reducers.iter().map(|m| m.opcode.mnemonic()).collect();
+        format!(
+            "MR-Job map[{}] reduce[{}] in:{} bc:{} out:{}",
+            map.join(","),
+            red.join(","),
+            self.hdfs_inputs.len(),
+            self.broadcast_inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+/// A runtime instruction: CP or MR job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// In-memory control-program instruction.
+    Cp(CpInstruction),
+    /// Distributed MR-job instruction.
+    MrJob(MrJobInstruction),
+}
+
+impl Instruction {
+    /// Whether this is an MR job.
+    pub fn is_mr(&self) -> bool {
+        matches!(self, Instruction::MrJob(_))
+    }
+
+    /// EXPLAIN rendering.
+    pub fn render(&self) -> String {
+        match self {
+            Instruction::Cp(i) => i.render(),
+            Instruction::MrJob(j) => j.render(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc(r: u64, c: u64) -> MatrixCharacteristics {
+        MatrixCharacteristics::dense(r, c)
+    }
+
+    #[test]
+    fn cp_render() {
+        let i = CpInstruction {
+            opcode: OpCode::MatMult,
+            operands: vec![Operand::var("X"), Operand::var("y")],
+            output: Some("g".into()),
+            operand_mcs: vec![mc(10, 2), mc(2, 1)],
+            output_mc: mc(10, 1),
+        };
+        assert_eq!(i.render(), "CP ba+* X y -> g");
+    }
+
+    #[test]
+    fn mr_job_accounting() {
+        let job = MrJobInstruction {
+            hdfs_inputs: vec![("X".into(), mc(1024 * 128, 1024))], // 1 GB dense
+            broadcast_inputs: vec![("v".into(), mc(1024, 1))],
+            mappers: vec![MrOperator {
+                opcode: OpCode::MatMult,
+                operands: vec![Operand::var("X"), Operand::var("v")],
+                output: Some("q".into()),
+                operand_mcs: vec![mc(1024 * 128, 1024), mc(1024, 1)],
+                output_mc: mc(1024 * 128, 1),
+                location: MrLocation::Map,
+                task_mem_mb: 0.01,
+            }],
+            reducers: vec![],
+            outputs: vec![("q".into(), mc(1024 * 128, 1))],
+            shuffle: vec![],
+        };
+        assert!(!job.has_reduce());
+        assert_eq!(job.input_bytes(), 1024 * 128 * 1024 * 8);
+        assert_eq!(job.output_bytes(), 1024 * 128 * 8);
+        assert_eq!(job.shuffle_bytes(), 0);
+        assert!(job.broadcast_mb() > 0.0);
+        assert!(Instruction::MrJob(job).is_mr());
+    }
+
+    #[test]
+    fn shuffle_presence_implies_reduce() {
+        let job = MrJobInstruction {
+            hdfs_inputs: vec![],
+            broadcast_inputs: vec![],
+            mappers: vec![],
+            reducers: vec![],
+            outputs: vec![],
+            shuffle: vec![mc(10, 10)],
+        };
+        assert!(job.has_reduce());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(OpCode::Tsmm.mnemonic(), "tsmm");
+        assert_eq!(
+            OpCode::BinaryMM(BinaryOp::Mul).mnemonic(),
+            "map*"
+        );
+        assert_eq!(OpCode::Agg(AggOp::Sum).mnemonic(), "uasum");
+    }
+}

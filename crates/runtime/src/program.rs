@@ -1,0 +1,331 @@
+//! Runtime program representation: a tree of program blocks.
+
+use reml_lang::BlockId;
+use reml_matrix::MatrixCharacteristics;
+
+use crate::instructions::Instruction;
+use crate::value::ScalarValue;
+
+/// A compiled predicate: a short list of CP instructions ending in a
+/// scalar `result_var`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Instructions evaluating the predicate (CP only).
+    pub instructions: Vec<Instruction>,
+    /// Variable holding the boolean/numeric result.
+    pub result_var: String,
+}
+
+/// One runtime program block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtBlock {
+    /// Straight-line instruction block (last-level block; the granularity
+    /// of dynamic recompilation, §4.1).
+    Generic {
+        /// The statement block this was compiled from (recompile key).
+        source: BlockId,
+        /// Instructions in execution order.
+        instructions: Vec<Instruction>,
+        /// Marked when compile-time sizes were unknown; the executor
+        /// invokes the recompilation hook before running the block.
+        requires_recompile: bool,
+    },
+    /// Conditional block.
+    If {
+        /// Source statement block.
+        source: BlockId,
+        /// Compiled predicate.
+        pred: Predicate,
+        /// Then-branch blocks.
+        then_blocks: Vec<RtBlock>,
+        /// Else-branch blocks.
+        else_blocks: Vec<RtBlock>,
+    },
+    /// While-loop block.
+    While {
+        /// Source statement block.
+        source: BlockId,
+        /// Compiled predicate (re-evaluated each iteration).
+        pred: Predicate,
+        /// Body blocks.
+        body: Vec<RtBlock>,
+        /// Upper bound on iterations when derivable from the predicate
+        /// (e.g. `iter < maxiterations` with a known constant); used by
+        /// the cost model's loop scaling.
+        max_iter_hint: Option<u64>,
+    },
+    /// For-loop block.
+    For {
+        /// Source statement block.
+        source: BlockId,
+        /// Loop variable.
+        var: String,
+        /// Range start (compiled predicate-style, constant or variable).
+        from: Predicate,
+        /// Range end.
+        to: Predicate,
+        /// Body blocks.
+        body: Vec<RtBlock>,
+        /// Iteration count when statically known.
+        iterations_hint: Option<u64>,
+    },
+}
+
+impl RtBlock {
+    /// The source statement block id.
+    pub fn source(&self) -> BlockId {
+        match self {
+            RtBlock::Generic { source, .. }
+            | RtBlock::If { source, .. }
+            | RtBlock::While { source, .. }
+            | RtBlock::For { source, .. } => *source,
+        }
+    }
+
+    /// Number of MR-job instructions in this subtree.
+    pub fn count_mr_jobs(&self) -> usize {
+        match self {
+            RtBlock::Generic { instructions, .. } => {
+                instructions.iter().filter(|i| i.is_mr()).count()
+            }
+            RtBlock::If {
+                pred,
+                then_blocks,
+                else_blocks,
+                ..
+            } => {
+                pred.instructions.iter().filter(|i| i.is_mr()).count()
+                    + then_blocks.iter().map(RtBlock::count_mr_jobs).sum::<usize>()
+                    + else_blocks.iter().map(RtBlock::count_mr_jobs).sum::<usize>()
+            }
+            RtBlock::While { pred, body, .. } => {
+                pred.instructions.iter().filter(|i| i.is_mr()).count()
+                    + body.iter().map(RtBlock::count_mr_jobs).sum::<usize>()
+            }
+            RtBlock::For { body, .. } => body.iter().map(RtBlock::count_mr_jobs).sum(),
+        }
+    }
+
+    /// Visit all generic blocks in execution order.
+    pub fn visit_generic<'a>(&'a self, f: &mut impl FnMut(&'a RtBlock)) {
+        match self {
+            RtBlock::Generic { .. } => f(self),
+            RtBlock::If {
+                then_blocks,
+                else_blocks,
+                ..
+            } => {
+                for b in then_blocks.iter().chain(else_blocks) {
+                    b.visit_generic(f);
+                }
+            }
+            RtBlock::While { body, .. } | RtBlock::For { body, .. } => {
+                for b in body {
+                    b.visit_generic(f);
+                }
+            }
+        }
+    }
+}
+
+/// A complete runtime program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuntimeProgram {
+    /// Top-level blocks in execution order.
+    pub blocks: Vec<RtBlock>,
+    /// Known `$` parameter bindings used at compile time.
+    pub params: Vec<(String, ScalarValue)>,
+    /// Compile-time characteristics of persistent inputs (by read path).
+    pub inputs: Vec<(String, MatrixCharacteristics)>,
+}
+
+impl RuntimeProgram {
+    /// Total number of blocks (all levels).
+    pub fn num_blocks(&self) -> usize {
+        fn count(b: &RtBlock) -> usize {
+            1 + match b {
+                RtBlock::Generic { .. } => 0,
+                RtBlock::If {
+                    then_blocks,
+                    else_blocks,
+                    ..
+                } => {
+                    then_blocks.iter().map(count).sum::<usize>()
+                        + else_blocks.iter().map(count).sum::<usize>()
+                }
+                RtBlock::While { body, .. } | RtBlock::For { body, .. } => {
+                    body.iter().map(count).sum()
+                }
+            }
+        }
+        self.blocks.iter().map(count).sum()
+    }
+
+    /// Total number of MR-job instructions in the program.
+    pub fn count_mr_jobs(&self) -> usize {
+        self.blocks.iter().map(RtBlock::count_mr_jobs).sum()
+    }
+
+    /// EXPLAIN rendering of the whole program.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for b in &self.blocks {
+            explain_block(b, 0, &mut out);
+        }
+        out
+    }
+}
+
+fn explain_block(block: &RtBlock, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match block {
+        RtBlock::Generic {
+            source,
+            instructions,
+            requires_recompile,
+        } => {
+            out.push_str(&format!(
+                "{pad}GENERIC b{}{}\n",
+                source.0,
+                if *requires_recompile { " [recompile]" } else { "" }
+            ));
+            for i in instructions {
+                out.push_str(&format!("{pad}  {}\n", i.render()));
+            }
+        }
+        RtBlock::If {
+            source,
+            then_blocks,
+            else_blocks,
+            ..
+        } => {
+            out.push_str(&format!("{pad}IF b{}\n", source.0));
+            for b in then_blocks {
+                explain_block(b, depth + 1, out);
+            }
+            if !else_blocks.is_empty() {
+                out.push_str(&format!("{pad}ELSE\n"));
+                for b in else_blocks {
+                    explain_block(b, depth + 1, out);
+                }
+            }
+        }
+        RtBlock::While {
+            source,
+            body,
+            max_iter_hint,
+            ..
+        } => {
+            out.push_str(&format!(
+                "{pad}WHILE b{}{}\n",
+                source.0,
+                max_iter_hint
+                    .map(|n| format!(" [maxiter={n}]"))
+                    .unwrap_or_default()
+            ));
+            for b in body {
+                explain_block(b, depth + 1, out);
+            }
+        }
+        RtBlock::For {
+            source,
+            var,
+            body,
+            iterations_hint,
+            ..
+        } => {
+            out.push_str(&format!(
+                "{pad}FOR b{} {var}{}\n",
+                source.0,
+                iterations_hint
+                    .map(|n| format!(" [iters={n}]"))
+                    .unwrap_or_default()
+            ));
+            for b in body {
+                explain_block(b, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instructions::{CpInstruction, OpCode};
+    use crate::value::Operand;
+
+    fn cp_noop(out_name: &str) -> Instruction {
+        Instruction::Cp(CpInstruction {
+            opcode: OpCode::Assign,
+            operands: vec![Operand::num(1.0)],
+            output: Some(out_name.into()),
+            operand_mcs: vec![MatrixCharacteristics::scalar()],
+            output_mc: MatrixCharacteristics::scalar(),
+        })
+    }
+
+    fn generic(id: usize, n_instr: usize) -> RtBlock {
+        RtBlock::Generic {
+            source: BlockId(id),
+            instructions: (0..n_instr).map(|i| cp_noop(&format!("v{i}"))).collect(),
+            requires_recompile: false,
+        }
+    }
+
+    #[test]
+    fn block_counting() {
+        let prog = RuntimeProgram {
+            blocks: vec![
+                generic(0, 2),
+                RtBlock::While {
+                    source: BlockId(1),
+                    pred: Predicate {
+                        instructions: vec![cp_noop("p")],
+                        result_var: "p".into(),
+                    },
+                    body: vec![generic(2, 1)],
+                    max_iter_hint: Some(5),
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(prog.num_blocks(), 3);
+        assert_eq!(prog.count_mr_jobs(), 0);
+    }
+
+    #[test]
+    fn visit_generic_order() {
+        let tree = RtBlock::While {
+            source: BlockId(0),
+            pred: Predicate {
+                instructions: vec![],
+                result_var: "p".into(),
+            },
+            body: vec![generic(1, 0), generic(2, 0)],
+            max_iter_hint: None,
+        };
+        let mut seen = Vec::new();
+        tree.visit_generic(&mut |b| seen.push(b.source().0));
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn explain_renders_structure() {
+        let prog = RuntimeProgram {
+            blocks: vec![RtBlock::If {
+                source: BlockId(0),
+                pred: Predicate {
+                    instructions: vec![],
+                    result_var: "c".into(),
+                },
+                then_blocks: vec![generic(1, 1)],
+                else_blocks: vec![generic(2, 1)],
+            }],
+            ..Default::default()
+        };
+        let text = prog.explain();
+        assert!(text.contains("IF b0"));
+        assert!(text.contains("ELSE"));
+        assert!(text.contains("GENERIC b1"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # reml-scripts — the evaluation workloads (§5.1, Table 1)
+//!
+//! The five ML programs of the paper's evaluation as DML sources, plus the
+//! data scenarios (XS–XL × dense/sparse × 1000/100 columns) and generators
+//! for real (small) datasets used by the executor-backed examples.
+//!
+//! The scripts are faithful reductions of the originals: L2SVM follows
+//! Appendix A nearly verbatim; LinregDS/LinregCG implement the two linear
+//! regression algorithms of Figure 1; MLogreg and GLM keep the structural
+//! properties the experiments depend on — nested loops, the
+//! `table()`-induced unknown intermediate sizes (§4), and the relative
+//! program-size ordering GLM ≫ MLogreg > LinregCG > LinregDS ≈ L2SVM.
+
+pub mod data;
+pub mod scenario;
+pub mod sources;
+
+pub use data::{generate_dataset, Dataset};
+pub use scenario::{DataShape, Scenario};
+pub use sources::{all_scripts, glm, l2svm, linreg_cg, linreg_ds, mlogreg, ScriptSpec};

@@ -1,0 +1,160 @@
+//! Data scenarios of §5.1: XS (10⁷ cells) through XL (10¹¹ cells), with
+//! 1,000 or 100 columns and dense (1.0) or sparse (0.01) variants.
+
+use reml_matrix::MatrixCharacteristics;
+
+/// Scenario scale by total cell count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scenario {
+    /// 10⁷ cells (80 MB dense).
+    XS,
+    /// 10⁸ cells (800 MB dense).
+    S,
+    /// 10⁹ cells (8 GB dense).
+    M,
+    /// 10¹⁰ cells (80 GB dense).
+    L,
+    /// 10¹¹ cells (800 GB dense).
+    XL,
+}
+
+impl Scenario {
+    /// All scenarios in ascending order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::XS,
+        Scenario::S,
+        Scenario::M,
+        Scenario::L,
+        Scenario::XL,
+    ];
+
+    /// Total number of cells of the feature matrix.
+    pub fn cells(self) -> u64 {
+        match self {
+            Scenario::XS => 10_u64.pow(7),
+            Scenario::S => 10_u64.pow(8),
+            Scenario::M => 10_u64.pow(9),
+            Scenario::L => 10_u64.pow(10),
+            Scenario::XL => 10_u64.pow(11),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::XS => "XS",
+            Scenario::S => "S",
+            Scenario::M => "M",
+            Scenario::L => "L",
+            Scenario::XL => "XL",
+        }
+    }
+}
+
+/// One data configuration: a scenario scale, a column count, and a
+/// sparsity (the paper's dense1000 / sparse1000 / dense100 / sparse100).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataShape {
+    /// Scale.
+    pub scenario: Scenario,
+    /// Number of feature columns (1,000 or 100 in the paper).
+    pub cols: u64,
+    /// Fraction of non-zero cells (1.0 or 0.01 in the paper).
+    pub sparsity: f64,
+}
+
+impl DataShape {
+    /// The four standard configurations of the evaluation at a scale.
+    pub fn paper_variants(scenario: Scenario) -> [DataShape; 4] {
+        [
+            DataShape { scenario, cols: 1000, sparsity: 1.0 },
+            DataShape { scenario, cols: 1000, sparsity: 0.01 },
+            DataShape { scenario, cols: 100, sparsity: 1.0 },
+            DataShape { scenario, cols: 100, sparsity: 0.01 },
+        ]
+    }
+
+    /// Short label, e.g. `dense1000`.
+    pub fn label(&self) -> String {
+        let density = if self.sparsity >= 1.0 { "dense" } else { "sparse" };
+        format!("{density}{}", self.cols)
+    }
+
+    /// Number of rows (`cells / cols`).
+    pub fn rows(&self) -> u64 {
+        self.scenario.cells() / self.cols
+    }
+
+    /// Characteristics of the feature matrix `X`.
+    pub fn x_characteristics(&self) -> MatrixCharacteristics {
+        let rows = self.rows();
+        let nnz = ((self.scenario.cells() as f64) * self.sparsity).round() as u64;
+        MatrixCharacteristics {
+            rows: Some(rows),
+            cols: Some(self.cols),
+            nnz: Some(nnz),
+        }
+    }
+
+    /// Characteristics of the label/response vector `y` (dense n×1).
+    pub fn y_characteristics(&self) -> MatrixCharacteristics {
+        MatrixCharacteristics::dense(self.rows(), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_cells_scale_by_10x() {
+        for w in Scenario::ALL.windows(2) {
+            assert_eq!(w[1].cells(), w[0].cells() * 10);
+        }
+    }
+
+    #[test]
+    fn dense_m_is_8gb() {
+        let shape = DataShape {
+            scenario: Scenario::M,
+            cols: 1000,
+            sparsity: 1.0,
+        };
+        let bytes = shape.x_characteristics().estimated_size_bytes().unwrap();
+        assert_eq!(bytes, 8 * 10_u64.pow(9));
+        assert_eq!(shape.rows(), 1_000_000);
+    }
+
+    #[test]
+    fn sparse_scenario_much_smaller() {
+        let shape = DataShape {
+            scenario: Scenario::M,
+            cols: 1000,
+            sparsity: 0.01,
+        };
+        let mc = shape.x_characteristics();
+        assert_eq!(mc.nnz, Some(10_000_000));
+        let bytes = mc.estimated_size_bytes().unwrap();
+        assert!(bytes < 8 * 10_u64.pow(9) / 10);
+    }
+
+    #[test]
+    fn labels() {
+        let d = DataShape {
+            scenario: Scenario::S,
+            cols: 100,
+            sparsity: 0.01,
+        };
+        assert_eq!(d.label(), "sparse100");
+        assert_eq!(Scenario::S.name(), "S");
+    }
+
+    #[test]
+    fn variants_cover_four_shapes() {
+        let v = DataShape::paper_variants(Scenario::L);
+        assert_eq!(v.len(), 4);
+        let labels: Vec<String> = v.iter().map(DataShape::label).collect();
+        assert!(labels.contains(&"dense1000".to_string()));
+        assert!(labels.contains(&"sparse100".to_string()));
+    }
+}

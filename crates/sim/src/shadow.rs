@@ -1,0 +1,208 @@
+//! Size-only shadow of the CP buffer pool.
+//!
+//! Tracks variable footprints against the CP memory budget and accounts
+//! eviction/restore bytes — the real matrices never exist for the big
+//! scenarios; only their sizes do.
+
+use std::collections::HashMap;
+
+/// Shadow buffer pool over `(name, bytes)` entries with LRU eviction.
+#[derive(Debug, Clone)]
+pub struct ShadowPool {
+    capacity_bytes: u64,
+    entries: HashMap<String, ShadowEntry>,
+    clock: u64,
+    /// Bytes written to local disk by evictions.
+    pub bytes_evicted: u64,
+    /// Bytes read back by restores.
+    pub bytes_restored: u64,
+    /// Eviction events.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ShadowEntry {
+    bytes: u64,
+    resident: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+impl ShadowPool {
+    /// Pool with a byte capacity (the CP budget).
+    pub fn new(capacity_bytes: u64) -> Self {
+        ShadowPool {
+            capacity_bytes,
+            entries: HashMap::new(),
+            clock: 0,
+            bytes_evicted: 0,
+            bytes_restored: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Resize (AM migration).
+    pub fn set_capacity(&mut self, capacity_bytes: u64) {
+        self.capacity_bytes = capacity_bytes;
+    }
+
+    /// Record a variable produced in memory.
+    pub fn put(&mut self, name: &str, bytes: u64, dirty: bool) {
+        self.clock += 1;
+        self.entries.insert(
+            name.to_string(),
+            ShadowEntry {
+                bytes,
+                resident: true,
+                dirty,
+                last_use: self.clock,
+            },
+        );
+        self.evict_to_fit(Some(name));
+    }
+
+    /// Record a use; returns restored bytes if the entry had been evicted.
+    pub fn touch(&mut self, name: &str) -> u64 {
+        self.clock += 1;
+        let clock = self.clock;
+        let restored = match self.entries.get_mut(name) {
+            Some(e) => {
+                e.last_use = clock;
+                if !e.resident {
+                    e.resident = true;
+                    e.bytes
+                } else {
+                    0
+                }
+            }
+            None => 0,
+        };
+        if restored > 0 {
+            self.bytes_restored += restored;
+            self.evict_to_fit(Some(name));
+        }
+        restored
+    }
+
+    /// Drop a variable.
+    pub fn remove(&mut self, name: &str) {
+        self.entries.remove(name);
+    }
+
+    /// Whether a variable is currently dirty.
+    pub fn is_dirty(&self, name: &str) -> Option<bool> {
+        self.entries.get(name).map(|e| e.dirty)
+    }
+
+    /// Mark a variable clean (exported to HDFS).
+    pub fn mark_clean(&mut self, name: &str) {
+        if let Some(e) = self.entries.get_mut(name) {
+            e.dirty = false;
+        }
+    }
+
+    /// Mark every entry clean (post-migration: all dirty variables were
+    /// exported to HDFS).
+    pub fn mark_all_clean(&mut self) {
+        for e in self.entries.values_mut() {
+            e.dirty = false;
+        }
+    }
+
+    /// Total bytes of dirty entries (the migration export set).
+    pub fn dirty_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.dirty)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Resident bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.resident)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    fn evict_to_fit(&mut self, protect: Option<&str>) {
+        while self.resident_bytes() > self.capacity_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(n, e)| e.resident && protect != Some(n.as_str()))
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(n, _)| n.clone());
+            match victim {
+                Some(name) => {
+                    let e = self.entries.get_mut(&name).expect("victim exists");
+                    e.resident = false;
+                    self.bytes_evicted += e.bytes;
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_no_evictions() {
+        let mut p = ShadowPool::new(100);
+        p.put("a", 40, true);
+        p.put("b", 40, false);
+        assert_eq!(p.evictions, 0);
+        assert_eq!(p.resident_bytes(), 80);
+    }
+
+    #[test]
+    fn lru_eviction_and_restore() {
+        let mut p = ShadowPool::new(100);
+        p.put("a", 60, true);
+        p.put("b", 60, true); // evicts a
+        assert_eq!(p.evictions, 1);
+        assert_eq!(p.bytes_evicted, 60);
+        let restored = p.touch("a"); // brings a back, evicts b
+        assert_eq!(restored, 60);
+        assert_eq!(p.bytes_restored, 60);
+        assert_eq!(p.evictions, 2);
+    }
+
+    #[test]
+    fn dirty_accounting() {
+        let mut p = ShadowPool::new(1000);
+        p.put("x", 100, false);
+        p.put("g", 50, true);
+        p.put("w", 25, true);
+        assert_eq!(p.dirty_bytes(), 75);
+        p.mark_clean("g");
+        assert_eq!(p.dirty_bytes(), 25);
+        p.remove("w");
+        assert_eq!(p.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn grow_capacity_stops_evicting() {
+        let mut p = ShadowPool::new(50);
+        p.put("a", 40, true);
+        p.put("b", 40, true);
+        let before = p.evictions;
+        p.set_capacity(1000);
+        p.touch("a");
+        p.touch("b");
+        p.put("c", 40, true);
+        assert_eq!(p.evictions, before);
+    }
+
+    #[test]
+    fn touch_unknown_is_noop() {
+        let mut p = ShadowPool::new(10);
+        assert_eq!(p.touch("ghost"), 0);
+    }
+}

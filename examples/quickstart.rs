@@ -1,0 +1,69 @@
+//! Quickstart: memory-sensitive plans and the resource optimizer.
+//!
+//! Compiles the direct-solve linear regression under two memory
+//! configurations, shows how the runtime plan changes (CP vs MR), and
+//! then lets the resource optimizer pick a near-optimal configuration —
+//! the paper's Figure 1 story in one binary.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use reml::compiler::MrHeapAssignment;
+use reml::prelude::*;
+use reml::scripts::{DataShape, Scenario};
+
+fn main() {
+    let script = reml::scripts::linreg_ds();
+    // Scenario M, dense, 1,000 features: X is 8 GB — the Figure 1 case.
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 1000,
+        sparsity: 1.0,
+    };
+    let cluster = ClusterConfig::paper_cluster();
+
+    println!("== {} on {} {} ==", script.name, shape.scenario.name(), shape.label());
+    println!(
+        "X: {} x {} ({:.1} GB dense)\n",
+        shape.rows(),
+        shape.cols,
+        shape.x_characteristics().dense_size_bytes().unwrap() as f64 / 1e9
+    );
+
+    // Compile under a small and a large CP heap.
+    for (label, cp_heap_mb) in [("small CP (512 MB)", 512u64), ("large CP (48 GB)", 48 * 1024)] {
+        let cfg = script.compile_config(
+            shape,
+            cluster.clone(),
+            cp_heap_mb,
+            MrHeapAssignment::uniform(2 * 1024),
+        );
+        let compiled = compile_source(&script.source, &cfg).expect("compiles");
+        let cost = CostModel::new(cluster.clone())
+            .cost_program(&compiled.runtime, cp_heap_mb, &|b| cfg.mr_heap.for_block(b));
+        println!("--- {label} ---");
+        println!("MR jobs compiled : {}", compiled.mr_jobs());
+        println!("estimated time   : {:.1} s", cost.total_s());
+        println!(
+            "  io {:.1} s | compute {:.1} s | latency {:.1} s | shuffle {:.1} s\n",
+            cost.io_s, cost.compute_s, cost.latency_s, cost.shuffle_s
+        );
+    }
+
+    // Let the optimizer decide.
+    let analyzed = analyze_program(&script.source).expect("analyzes");
+    let base = script.compile_config(shape, cluster.clone(), 512, MrHeapAssignment::uniform(512));
+    let optimizer = ResourceOptimizer::new(CostModel::new(cluster));
+    let result = optimizer.optimize(&analyzed, &base, None).expect("optimizes");
+    println!("--- resource optimizer ---");
+    println!(
+        "chosen configuration : CP/MR = {} GB (heap)",
+        result.best.display_gb()
+    );
+    println!("estimated time       : {:.1} s", result.best_cost_s);
+    println!(
+        "optimization overhead: {:.0} ms ({} block compiles, {} costings)",
+        result.stats.opt_time.as_secs_f64() * 1000.0,
+        result.stats.block_compilations,
+        result.stats.cost_invocations
+    );
+}

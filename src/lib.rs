@@ -1,0 +1,56 @@
+//! # reml — Resource Elasticity for Large-Scale Machine Learning
+//!
+//! A from-scratch Rust reproduction of the SIGMOD 2015 paper's system: a
+//! declarative ML compiler (SystemML-style), a YARN cluster model, an
+//! analytic cost model, the cost-based **resource optimizer**, runtime
+//! plan adaptation with AM migration, and a cluster execution simulator.
+//! See README.md for the architecture and DESIGN.md for the
+//! paper-experiment index.
+//!
+//! ```
+//! use reml::prelude::*;
+//! use reml::compiler::MrHeapAssignment;
+//! use reml::scripts::{DataShape, Scenario};
+//!
+//! // Compile the direct-solve linear regression over an XS scenario.
+//! let script = reml::scripts::linreg_ds();
+//! let shape = DataShape { scenario: Scenario::XS, cols: 100, sparsity: 1.0 };
+//! let cfg = script.compile_config(
+//!     shape,
+//!     ClusterConfig::paper_cluster(),
+//!     4096,
+//!     MrHeapAssignment::uniform(1024),
+//! );
+//! let program = compile_source(&script.source, &cfg).unwrap();
+//! assert!(program.num_blocks() > 0);
+//!
+//! // Ask the resource optimizer for a near-optimal configuration.
+//! let optimizer = ResourceOptimizer::new(CostModel::new(ClusterConfig::paper_cluster()));
+//! let analyzed = reml::compiler::pipeline::analyze_program(&script.source).unwrap();
+//! let result = optimizer.optimize(&analyzed, &cfg, None).unwrap();
+//! assert!(result.best_cost_s > 0.0);
+//! ```
+
+pub use reml_cluster as cluster;
+pub use reml_compiler as compiler;
+pub use reml_cost as cost;
+pub use reml_lang as lang;
+pub use reml_matrix as matrix;
+pub use reml_optimizer as optimizer;
+pub use reml_runtime as runtime;
+pub use reml_scripts as scripts;
+pub use reml_sim as sim;
+
+/// Common imports: the compile pipeline, cluster configuration, the
+/// resource optimizer, and the simulator.
+pub mod prelude {
+    pub use reml_cluster::ClusterConfig;
+    pub use reml_compiler::pipeline::{analyze_program, compile, compile_source};
+    pub use reml_compiler::{CompileConfig, MrHeapAssignment};
+    pub use reml_cost::CostModel;
+    pub use reml_matrix::{Matrix, MatrixCharacteristics};
+    pub use reml_optimizer::{
+        GridStrategy, OptimizerConfig, ResourceConfig, ResourceOptimizer,
+    };
+    pub use reml_sim::{SimConfig, SimFacts, Simulator};
+}

@@ -1,0 +1,113 @@
+//! Integration: runtime plan adaptation (§4 / Figure 15) across the two
+//! unknown-size programs, MLogreg and GLM.
+
+use reml::compiler::MrHeapAssignment;
+use reml::prelude::*;
+use reml::scripts::{DataShape, Scenario, ScriptSpec};
+
+fn run(
+    script: &ScriptSpec,
+    shape: DataShape,
+    table_cols: u64,
+    reopt: bool,
+) -> reml::sim::AppOutcome {
+    let cluster = ClusterConfig::paper_cluster();
+    let analyzed = reml::compiler::pipeline::analyze_program(&script.source).unwrap();
+    let base = script.compile_config(shape, cluster.clone(), 512, MrHeapAssignment::uniform(512));
+    // Initial optimization under unknowns.
+    let optimizer = ResourceOptimizer::new(CostModel::new(cluster.clone()));
+    let initial = optimizer.optimize(&analyzed, &base, None).unwrap();
+    let sim = Simulator::new(cluster);
+    sim.run_app(
+        &analyzed,
+        &base,
+        &SimConfig {
+            resources: initial.best,
+            reopt,
+            facts: SimFacts {
+                table_cols,
+                ..SimFacts::default()
+            },
+            slot_availability: 1.0,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn mlogreg_m_reopt_improves_with_bounded_migrations() {
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 100,
+        sparsity: 1.0,
+    };
+    let static_run = run(&reml::scripts::mlogreg(), shape, 5, false);
+    let adaptive = run(&reml::scripts::mlogreg(), shape, 5, true);
+    assert!(
+        adaptive.elapsed_s < static_run.elapsed_s,
+        "adaptive {:.0}s vs static {:.0}s",
+        adaptive.elapsed_s,
+        static_run.elapsed_s
+    );
+    // The paper observed at most two migrations.
+    assert!(adaptive.migrations >= 1 && adaptive.migrations <= 2);
+}
+
+#[test]
+fn mlogreg_many_classes_does_not_regress() {
+    // With k = 200 the core loop is compute-heavy (the §4.2 "24 GB"
+    // illustration): distributed plans may genuinely win, so adaptation
+    // must not make things materially worse than the static run.
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 100,
+        sparsity: 1.0,
+    };
+    let static_run = run(&reml::scripts::mlogreg(), shape, 200, false);
+    let adaptive = run(&reml::scripts::mlogreg(), shape, 200, true);
+    assert!(
+        adaptive.elapsed_s <= static_run.elapsed_s * 1.25,
+        "adaptive {:.0}s vs static {:.0}s",
+        adaptive.elapsed_s,
+        static_run.elapsed_s
+    );
+    assert!(adaptive.migrations <= 2);
+}
+
+#[test]
+fn glm_m_adapts() {
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 100,
+        sparsity: 1.0,
+    };
+    let static_run = run(&reml::scripts::glm(), shape, 20, false);
+    let adaptive = run(&reml::scripts::glm(), shape, 20, true);
+    assert!(adaptive.migrations <= 2);
+    assert!(adaptive.elapsed_s <= static_run.elapsed_s * 1.05);
+}
+
+#[test]
+fn no_adaptation_needed_when_initial_config_good() {
+    // LinregDS has no unknowns: ReOpt must be a no-op.
+    let shape = DataShape {
+        scenario: Scenario::S,
+        cols: 1000,
+        sparsity: 1.0,
+    };
+    let adaptive = run(&reml::scripts::linreg_ds(), shape, 2, true);
+    assert_eq!(adaptive.migrations, 0);
+}
+
+#[test]
+fn adaptation_timeline_reaches_larger_container() {
+    let shape = DataShape {
+        scenario: Scenario::S,
+        cols: 100,
+        sparsity: 1.0,
+    };
+    let adaptive = run(&reml::scripts::mlogreg(), shape, 5, true);
+    if adaptive.migrations > 0 {
+        assert!(adaptive.final_resources.cp_heap_mb > 512);
+    }
+}

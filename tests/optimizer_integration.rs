@@ -1,0 +1,185 @@
+//! Integration: the resource optimizer's choices, validated against the
+//! measured simulator across programs and scenarios — the end-to-end
+//! claim of §5.2: Opt lands close to (or beats) the best static baseline.
+
+use reml::compiler::MrHeapAssignment;
+use reml::prelude::*;
+use reml::scripts::{DataShape, Scenario, ScriptSpec};
+
+/// The §5.1 static baselines: (label, CP heap MB, MR heap MB).
+fn baselines(cluster: &ClusterConfig) -> Vec<(&'static str, u64, u64)> {
+    let max_cp = cluster.max_heap_mb();
+    let max_mr = (4.4 * 1024.0) as u64;
+    vec![
+        ("B-SS", 512, 512),
+        ("B-LS", max_cp, 512),
+        ("B-SL", 512, max_mr),
+        ("B-LL", max_cp, max_mr),
+    ]
+}
+
+fn measured(
+    sim: &Simulator,
+    analyzed: &reml::compiler::pipeline::AnalyzedProgram,
+    base: &CompileConfig,
+    resources: ResourceConfig,
+) -> f64 {
+    sim.run_app(
+        analyzed,
+        base,
+        &SimConfig {
+            resources,
+            reopt: false,
+            facts: SimFacts::default(),
+            slot_availability: 1.0,
+        },
+    )
+    .expect("simulates")
+    .elapsed_s
+}
+
+/// Run Opt + baselines for a workload; returns (opt time incl. overhead,
+/// best baseline time, worst baseline time).
+fn compare(script: &ScriptSpec, shape: DataShape) -> (f64, f64, f64) {
+    let cluster = ClusterConfig::paper_cluster();
+    let analyzed = reml::compiler::pipeline::analyze_program(&script.source).unwrap();
+    let base = script.compile_config(shape, cluster.clone(), 512, MrHeapAssignment::uniform(512));
+    let optimizer = ResourceOptimizer::new(CostModel::new(cluster.clone()));
+    let opt = optimizer.optimize(&analyzed, &base, None).unwrap();
+    let sim = Simulator::new(cluster.clone());
+    let opt_time =
+        measured(&sim, &analyzed, &base, opt.best.clone()) + opt.stats.opt_time.as_secs_f64();
+    let mut base_times = Vec::new();
+    for (_, cp, mr) in baselines(&cluster) {
+        base_times.push(measured(
+            &sim,
+            &analyzed,
+            &base,
+            ResourceConfig::uniform(cp, mr),
+        ));
+    }
+    let best = base_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let worst = base_times.iter().copied().fold(0.0f64, f64::max);
+    (opt_time, best, worst)
+}
+
+#[test]
+fn linreg_ds_scenarios_near_best_baseline() {
+    for scenario in [Scenario::S, Scenario::M, Scenario::L] {
+        let shape = DataShape {
+            scenario,
+            cols: 1000,
+            sparsity: 1.0,
+        };
+        let (opt, best, worst) = compare(&reml::scripts::linreg_ds(), shape);
+        assert!(
+            opt <= best * 1.3,
+            "{}: opt {opt:.1}s vs best baseline {best:.1}s",
+            scenario.name()
+        );
+        assert!(worst >= best, "sanity");
+    }
+}
+
+#[test]
+fn linreg_cg_medium_dense_beats_small_heap_baselines() {
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 1000,
+        sparsity: 1.0,
+    };
+    let (opt, best, worst) = compare(&reml::scripts::linreg_cg(), shape);
+    assert!(opt <= best * 1.3, "opt {opt:.1} vs best {best:.1}");
+    // The spread between baselines is what makes optimization matter.
+    assert!(worst > best * 1.5, "baseline spread {best:.1}..{worst:.1}");
+}
+
+#[test]
+fn l2svm_small_scenario_prefers_cp() {
+    let shape = DataShape {
+        scenario: Scenario::S,
+        cols: 1000,
+        sparsity: 1.0,
+    };
+    let cluster = ClusterConfig::paper_cluster();
+    let script = reml::scripts::l2svm();
+    let analyzed = reml::compiler::pipeline::analyze_program(&script.source).unwrap();
+    let base = script.compile_config(shape, cluster.clone(), 512, MrHeapAssignment::uniform(512));
+    let optimizer = ResourceOptimizer::new(CostModel::new(cluster.clone()));
+    let opt = optimizer.optimize(&analyzed, &base, None).unwrap();
+    // 800 MB data: a ~2 GB CP heap suffices and avoids MR latency.
+    let budget = cluster.budget_mb_for_heap(opt.best.cp_heap_mb) as f64;
+    assert!(budget > 800.0, "chose {}", opt.best.display_gb());
+    // And without over-provisioning (well below max).
+    assert!(opt.best.cp_heap_mb < cluster.max_heap_mb() / 2);
+}
+
+#[test]
+fn optimizer_avoids_over_provisioning_on_sparse_data() {
+    // sparse1000 M: data is ~120 MB; the optimizer must not request tens
+    // of GB (the throughput half of the objective).
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 1000,
+        sparsity: 0.01,
+    };
+    let cluster = ClusterConfig::paper_cluster();
+    let script = reml::scripts::linreg_cg();
+    let analyzed = reml::compiler::pipeline::analyze_program(&script.source).unwrap();
+    let base = script.compile_config(shape, cluster.clone(), 512, MrHeapAssignment::uniform(512));
+    let optimizer = ResourceOptimizer::new(CostModel::new(cluster.clone()));
+    let opt = optimizer.optimize(&analyzed, &base, None).unwrap();
+    assert!(
+        opt.best.cp_heap_mb <= 8 * 1024,
+        "over-provisioned: {}",
+        opt.best.display_gb()
+    );
+}
+
+#[test]
+fn estimated_and_measured_costs_correlate() {
+    // The analytic estimate and the measured time need not match in
+    // absolute terms, but their ordering across configurations must
+    // agree for the optimizer to be useful.
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 1000,
+        sparsity: 1.0,
+    };
+    let cluster = ClusterConfig::paper_cluster();
+    let script = reml::scripts::linreg_cg();
+    let analyzed = reml::compiler::pipeline::analyze_program(&script.source).unwrap();
+    let base = script.compile_config(shape, cluster.clone(), 512, MrHeapAssignment::uniform(512));
+    let model = CostModel::new(cluster.clone());
+    let sim = Simulator::new(cluster);
+
+    let mut pairs = Vec::new();
+    for cp_heap in [512u64, 4 * 1024, 16 * 1024, 48 * 1024] {
+        let mut cfg = base.clone();
+        cfg.cp_heap_mb = cp_heap;
+        cfg.mr_heap = MrHeapAssignment::uniform(2 * 1024);
+        let compiled = compile_source(&script.source, &cfg).unwrap();
+        let est = model
+            .cost_program(&compiled.runtime, cp_heap, &|_| 2 * 1024)
+            .total_s();
+        let meas = measured(
+            &sim,
+            &analyzed,
+            &base,
+            ResourceConfig::uniform(cp_heap, 2 * 1024),
+        );
+        pairs.push((est, meas));
+    }
+    // Ranking agreement between estimate and measurement (Spearman-ish):
+    // the best estimated config is within the top-2 measured.
+    let best_est = pairs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+        .unwrap()
+        .0;
+    let mut measured_order: Vec<usize> = (0..pairs.len()).collect();
+    measured_order.sort_by(|a, b| pairs[*a].1.total_cmp(&pairs[*b].1));
+    let rank = measured_order.iter().position(|i| *i == best_est).unwrap();
+    assert!(rank <= 1, "estimate-chosen config ranked {rank} measured: {pairs:?}");
+}

@@ -1,0 +1,129 @@
+//! Plan-structure assertions: the memory-sensitive compilation steps of
+//! Appendix B produce the expected physical operators at the expected
+//! memory budgets.
+
+use reml::compiler::MrHeapAssignment;
+use reml::prelude::*;
+use reml::scripts::{DataShape, Scenario};
+
+fn explain(script: &reml::scripts::ScriptSpec, cp_heap_mb: u64, mr_heap_mb: u64) -> String {
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 1000,
+        sparsity: 1.0,
+    };
+    let cfg = script.compile_config(
+        shape,
+        ClusterConfig::paper_cluster(),
+        cp_heap_mb,
+        MrHeapAssignment::uniform(mr_heap_mb),
+    );
+    compile_source(&script.source, &cfg)
+        .expect("compiles")
+        .runtime
+        .explain()
+}
+
+#[test]
+fn linreg_ds_uses_tsmm() {
+    // t(X) %*% X must lower to the fused TSMM operator in both regimes.
+    let cp = explain(&reml::scripts::linreg_ds(), 48 * 1024, 2 * 1024);
+    assert!(cp.contains("tsmm"), "CP plan:\n{cp}");
+    assert!(!cp.contains("MR-Job"), "large heap must not spawn jobs:\n{cp}");
+    let mr = explain(&reml::scripts::linreg_ds(), 512, 2 * 1024);
+    assert!(mr.contains("tsmm"), "MR plan:\n{mr}");
+    assert!(mr.contains("MR-Job"), "small heap must distribute:\n{mr}");
+}
+
+#[test]
+fn linreg_cg_uses_mmchain() {
+    // t(X) %*% (X %*% p) must fuse into MapMMChain.
+    let cp = explain(&reml::scripts::linreg_cg(), 48 * 1024, 2 * 1024);
+    assert!(cp.contains("mmchain"), "CP plan:\n{cp}");
+    let mr = explain(&reml::scripts::linreg_cg(), 512, 2 * 1024);
+    assert!(mr.contains("mmchain"), "MR plan:\n{mr}");
+}
+
+#[test]
+fn l2svm_uses_transpose_fused_multiply() {
+    // t(X) %*% Y with a broadcastable vector must avoid materializing the
+    // transpose (the `tmm` physical operator).
+    let cp = explain(&reml::scripts::l2svm(), 48 * 1024, 2 * 1024);
+    assert!(cp.contains("tmm"), "CP plan:\n{cp}");
+    assert!(
+        !cp.contains("CP r'"),
+        "no standalone transpose of X:\n{cp}"
+    );
+}
+
+#[test]
+fn mapmm_broadcast_annotated_in_jobs() {
+    // X %*% s at small CP: a map-side multiply with one broadcast input.
+    let mr = explain(&reml::scripts::l2svm(), 512, 2 * 1024);
+    assert!(mr.contains("bc:1"), "broadcast input expected:\n{mr}");
+}
+
+#[test]
+fn recompile_markers_only_on_unknown_programs() {
+    for script in reml::scripts::all_scripts() {
+        let text = explain(&script, 4 * 1024, 1024);
+        let has_marker = text.contains("[recompile]");
+        assert_eq!(
+            has_marker, script.has_unknowns,
+            "{}: marker vs Table 1 flag\n{text}",
+            script.name
+        );
+    }
+}
+
+#[test]
+fn loop_hints_surface_in_explain() {
+    let text = explain(&reml::scripts::l2svm(), 4 * 1024, 1024);
+    assert!(text.contains("[maxiter=5]"), "{text}");
+}
+
+#[test]
+fn branch_removal_eliminates_intercept_blocks() {
+    // icpt = 0 folds the intercept branch away (no append of the ones
+    // column); the data-dependent residual-bias warning `if` survives.
+    let text = explain(&reml::scripts::linreg_ds(), 4 * 1024, 1024);
+    assert!(!text.contains("append"), "{text}");
+    let ifs = text.matches("IF b").count();
+    assert_eq!(ifs, 1, "{text}");
+}
+
+#[test]
+fn mr_memory_changes_broadcast_feasibility() {
+    // Scan sharing: with X %*% v and X %*% w in one DAG, both vectors
+    // must fit in MR task memory for one job (§3.3.2's counterexample).
+    let src = r#"
+        X = read($X)
+        v = read($Y)
+        w = v * 2
+        a = X %*% v
+        b = X %*% w
+        s = sum(a) + sum(b)
+        print(s)
+    "#;
+    let shape = DataShape {
+        scenario: Scenario::M,
+        cols: 1000,
+        sparsity: 1.0,
+    };
+    let make = |mr_heap_mb: u64| {
+        let cfg = reml::scripts::linreg_ds()
+            .compile_config(
+                shape,
+                ClusterConfig::paper_cluster(),
+                512,
+                MrHeapAssignment::uniform(mr_heap_mb),
+            );
+        compile_source(src, &cfg).expect("compiles")
+    };
+    // v and w are each ~8 MB (1e6 rows x 1): any reasonable task memory
+    // shares the scan; the job count must not exceed the split version.
+    let shared = make(2 * 1024);
+    let tiny = make(512);
+    assert!(shared.mr_jobs() <= tiny.mr_jobs());
+    assert!(shared.mr_jobs() >= 1);
+}

@@ -1,0 +1,288 @@
+//! Property-based tests over core invariants: matrix kernels against a
+//! dense reference, grid generators, metadata estimators, piggybacking
+//! memory constraints, and buffer-pool conservation.
+
+use proptest::prelude::*;
+use reml::matrix::{
+    generate::rand_dense, AggOp, BinaryOp, Matrix, MatrixCharacteristics, SparseMatrix,
+};
+use reml::optimizer::GridStrategy;
+use reml::runtime::ScalarValue;
+
+fn arb_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..12, 1usize..12)
+}
+
+fn arb_triplets(rows: usize, cols: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..rows, 0..cols, -5.0f64..5.0),
+        0..(rows * cols).min(40),
+    )
+}
+
+proptest! {
+    #[test]
+    fn sparse_dense_round_trip((rows, cols) in arb_dims(), seed in 0u64..1000) {
+        let d = rand_dense(rows, cols, -1.0, 1.0, seed);
+        let s = SparseMatrix::from_dense(&d);
+        s.check_invariants().unwrap();
+        prop_assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn sparse_matmult_matches_dense(
+        (m, k) in arb_dims(),
+        n in 1usize..8,
+        t1 in prop::collection::vec((0usize..12, 0usize..12, -3.0f64..3.0), 0..30),
+        seed in 0u64..500,
+    ) {
+        let t1: Vec<_> = t1.into_iter()
+            .filter(|(r, c, _)| *r < m && *c < k)
+            .collect();
+        let a = SparseMatrix::from_triplets(m, k, t1).unwrap();
+        let b = rand_dense(k, n, -1.0, 1.0, seed);
+        let sparse_result = a.matmult_dense(&b).unwrap();
+        let dense_result = a.to_dense().matmult(&b).unwrap();
+        for (x, y) in sparse_result.data().iter().zip(dense_result.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_involution((rows, cols) in arb_dims(), trips in arb_triplets(11, 11)) {
+        let trips: Vec<_> = trips.into_iter()
+            .filter(|(r, c, _)| *r < rows && *c < cols)
+            .collect();
+        let s = SparseMatrix::from_triplets(rows, cols, trips).unwrap();
+        let tt = s.transpose().transpose();
+        tt.check_invariants().unwrap();
+        prop_assert_eq!(tt.to_dense(), s.to_dense());
+    }
+
+    #[test]
+    fn elementwise_ops_match_scalar_semantics(
+        (rows, cols) in arb_dims(),
+        seed in 0u64..500,
+        scalar in -3.0f64..3.0,
+    ) {
+        let d = rand_dense(rows, cols, -2.0, 2.0, seed);
+        for op in [BinaryOp::Add, BinaryOp::Mul, BinaryOp::Max, BinaryOp::Greater] {
+            let out = d.binary_scalar(op, scalar);
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert_eq!(out.get(r, c), op.apply(d.get(r, c), scalar));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_consistent((rows, cols) in arb_dims(), seed in 0u64..500) {
+        let d = rand_dense(rows, cols, -1.0, 1.0, seed);
+        let total = d.aggregate(AggOp::Sum).get(0, 0);
+        let row_total: f64 = d.aggregate(AggOp::RowSums).data().iter().sum();
+        let col_total: f64 = d.aggregate(AggOp::ColSums).data().iter().sum();
+        prop_assert!((total - row_total).abs() < 1e-9);
+        prop_assert!((total - col_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tsmm_is_symmetric((rows, cols) in arb_dims(), seed in 0u64..500) {
+        let d = rand_dense(rows, cols, -1.0, 1.0, seed);
+        let g = d.tsmm();
+        for a in 0..cols {
+            for b in 0..cols {
+                prop_assert!((g.get(a, b) - g.get(b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts_wellconditioned(n in 1usize..8, seed in 0u64..200) {
+        // A = M^T M + I is SPD and well conditioned enough.
+        let m = rand_dense(n, n, -1.0, 1.0, seed);
+        let mut a = m.tsmm();
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let x_true = rand_dense(n, 1, -1.0, 1.0, seed + 1);
+        let b = a.matmult(&x_true).unwrap();
+        let x = reml::matrix::solve::solve(&a, &b).unwrap();
+        for (u, v) in x.data().iter().zip(x_true.data()) {
+            prop_assert!((u - v).abs() < 1e-6, "{} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn characteristics_size_estimates_bounded(
+        rows in 1u64..10_000,
+        cols in 1u64..10_000,
+        nnz_frac in 0.0f64..1.0,
+    ) {
+        let nnz = ((rows * cols) as f64 * nnz_frac) as u64;
+        let mc = MatrixCharacteristics::known(rows, cols, nnz);
+        let est = mc.estimated_size_bytes().unwrap();
+        // Estimated size never exceeds the dense bound and stays positive
+        // per-row.
+        prop_assert!(est <= mc.dense_size_bytes().unwrap().max(est));
+        let sparse = mc.sparse_size_bytes().unwrap();
+        prop_assert!(est == sparse || est == mc.dense_size_bytes().unwrap());
+    }
+
+    #[test]
+    fn matmult_mc_matches_runtime(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        seed in 0u64..200,
+    ) {
+        // The estimator's output dims always match the kernel's.
+        let a = rand_dense(m, k, -1.0, 1.0, seed);
+        let b = rand_dense(k, n, -1.0, 1.0, seed + 1);
+        let est = a.characteristics().matmult(&b.characteristics());
+        let out = a.matmult(&b).unwrap();
+        prop_assert_eq!(est.rows, Some(m as u64));
+        prop_assert_eq!(est.cols, Some(n as u64));
+        // nnz estimate is an upper-ish bound on the true nnz for random
+        // dense inputs (output dense).
+        prop_assert!(out.nnz() <= (m * n) as u64);
+    }
+
+    #[test]
+    fn grid_points_sorted_unique_bounded(
+        min in 256u64..2048,
+        span in 1024u64..100_000,
+        points in 2usize..50,
+        ests in prop::collection::vec(1.0f64..100_000.0, 0..10),
+    ) {
+        let max = min + span;
+        for strategy in [
+            GridStrategy::Equi { points },
+            GridStrategy::Exp { factor: 2.0 },
+            GridStrategy::MemBased { base_points: points },
+            GridStrategy::Hybrid { base_points: points },
+        ] {
+            let g = strategy.generate(min, max, &ests);
+            prop_assert!(!g.is_empty(), "{:?}", strategy);
+            prop_assert_eq!(*g.first().unwrap(), min);
+            prop_assert!(g.windows(2).all(|w| w[0] < w[1]), "{:?} {:?}", strategy, g);
+            prop_assert!(g.iter().all(|p| *p >= min && *p <= max));
+        }
+    }
+
+    #[test]
+    fn exp_grid_logarithmic_size(min in 256u64..1024, factor_10 in 15u64..40) {
+        let factor = factor_10 as f64 / 10.0;
+        let max = min * 1000;
+        let g = GridStrategy::Exp { factor }.generate(min, max, &[]);
+        // Logarithmic: far fewer points than the linear count.
+        prop_assert!(g.len() < 64, "{}", g.len());
+    }
+
+    #[test]
+    fn matrix_auto_format_preserves_values(
+        (rows, cols) in arb_dims(),
+        trips in arb_triplets(11, 11),
+    ) {
+        let trips: Vec<_> = trips.into_iter()
+            .filter(|(r, c, _)| *r < rows && *c < cols)
+            .collect();
+        let s = SparseMatrix::from_triplets(rows, cols, trips).unwrap();
+        let dense_view = s.to_dense();
+        let auto = Matrix::from_dense_auto(dense_view.clone());
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(auto.get(r, c), dense_view.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn cbind_preserves_columnwise(a_cols in 1usize..6, b_cols in 1usize..6, rows in 1usize..8, seed in 0u64..100) {
+        let a = rand_dense(rows, a_cols, -1.0, 1.0, seed);
+        let b = rand_dense(rows, b_cols, -1.0, 1.0, seed + 1);
+        let c = a.cbind(&b).unwrap();
+        prop_assert_eq!(c.cols(), a_cols + b_cols);
+        for r in 0..rows {
+            for j in 0..a_cols {
+                prop_assert_eq!(c.get(r, j), a.get(r, j));
+            }
+            for j in 0..b_cols {
+                prop_assert_eq!(c.get(r, a_cols + j), b.get(r, j));
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The front end must never panic — arbitrary input yields Ok or a
+    /// structured error.
+    #[test]
+    fn parser_never_panics(source in "\\PC{0,200}") {
+        let _ = reml::lang::parse(&source);
+    }
+
+    /// Arbitrary token soup assembled from DML fragments also must not
+    /// panic, and valid prefixes of real scripts either parse or error
+    /// cleanly.
+    #[test]
+    fn parser_handles_token_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "X", "=", "read", "(", ")", "$X", "%*%", "t", "+", "-",
+                "while", "if", "else", "{", "}", "[", "]", ",", ";",
+                "1", "2.5", "sum", "matrix", "rows", "cols", "TRUE", "<",
+            ]),
+            0..40,
+        ),
+    ) {
+        let source = parts.join(" ");
+        let _ = reml::lang::parse(&source);
+    }
+
+    /// Validation after successful parses must never panic either.
+    #[test]
+    fn validate_never_panics(source in "\\PC{0,200}") {
+        if let Ok(program) = reml::lang::parse(&source) {
+            let _ = reml::lang::validate(&program);
+        }
+    }
+
+    /// Cost estimates are finite, non-negative, and monotone in loop
+    /// iteration hints.
+    #[test]
+    fn cost_nonnegative_and_loop_monotone(iters in 1u64..100) {
+        use reml::cost::CostModel;
+        use reml::prelude::ClusterConfig;
+        use reml::runtime::instructions::{CpInstruction, OpCode};
+        use reml::runtime::program::{Predicate, RtBlock};
+        use reml::runtime::value::Operand;
+        use reml::lang::BlockId;
+
+        let body = RtBlock::Generic {
+            source: BlockId(1),
+            instructions: vec![reml::runtime::Instruction::Cp(CpInstruction {
+                opcode: OpCode::BinarySS(BinaryOp::Add),
+                operands: vec![Operand::var("i"), Operand::Lit(ScalarValue::Num(1.0))],
+                output: Some("i".into()),
+                operand_mcs: vec![
+                    MatrixCharacteristics::scalar(),
+                    MatrixCharacteristics::scalar(),
+                ],
+                output_mc: MatrixCharacteristics::scalar(),
+            })],
+            requires_recompile: false,
+        };
+        let mk = |n: u64| RtBlock::While {
+            source: BlockId(0),
+            pred: Predicate { instructions: vec![], result_var: "p".into() },
+            body: vec![body.clone()],
+            max_iter_hint: Some(n),
+        };
+        let model = CostModel::new(ClusterConfig::paper_cluster());
+        let c1 = model.cost_block_fresh(&mk(iters), 1024, &|_| 512).total_s();
+        let c2 = model.cost_block_fresh(&mk(iters + 1), 1024, &|_| 512).total_s();
+        prop_assert!(c1.is_finite() && c1 >= 0.0);
+        prop_assert!(c2 >= c1);
+    }
+}
