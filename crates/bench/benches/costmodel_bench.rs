@@ -51,5 +51,9 @@ fn bench_cost_scaling_with_scenario(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_program, bench_cost_scaling_with_scenario);
+criterion_group!(
+    benches,
+    bench_cost_program,
+    bench_cost_scaling_with_scenario
+);
 criterion_main!(benches);

@@ -38,7 +38,9 @@ fn bench_elementwise_and_agg(c: &mut Criterion) {
     group.bench_function("mul_scalar", |b| {
         b.iter(|| m.binary_scalar(BinaryOp::Mul, 2.0))
     });
-    group.bench_function("binary_mm", |b| b.iter(|| m.binary(BinaryOp::Add, &m).unwrap()));
+    group.bench_function("binary_mm", |b| {
+        b.iter(|| m.binary(BinaryOp::Add, &m).unwrap())
+    });
     group.bench_function("rowsums", |b| b.iter(|| m.aggregate(AggOp::RowSums)));
     group.bench_function("sum", |b| b.iter(|| m.aggregate(AggOp::Sum)));
     group.finish();

@@ -53,6 +53,22 @@ fn bench_grid_strategies(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_plan_cache(c: &mut Criterion) {
+    // The what-if session's breakpoint-keyed plan cache, on vs off: same
+    // grid walk, same result, different number of actual compilations.
+    let mut group = c.benchmark_group("optimize_glm_plan_cache");
+    group.sample_size(10);
+    let wl = Workload::new(reml_scripts::glm(), shape());
+    for (label, enabled) in [("cached", true), ("bypass", false)] {
+        let mut optimizer = ResourceOptimizer::new(CostModel::new(wl.cluster.clone()));
+        optimizer.config.plan_cache = enabled;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| wl.optimize_with(&optimizer))
+        });
+    }
+    group.finish();
+}
+
 fn bench_parallel_workers(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimize_glm_workers");
     group.sample_size(10);
@@ -71,6 +87,7 @@ criterion_group!(
     benches,
     bench_optimize_per_program,
     bench_grid_strategies,
+    bench_plan_cache,
     bench_parallel_workers
 );
 criterion_main!(benches);

@@ -78,10 +78,7 @@ fn main() {
 
     // --- Pruning ablation on GLM (many blocks). ---
     let wl = Workload::new(reml_scripts::glm(), shape);
-    let mut result = ExperimentResult::new(
-        "ablation_pruning",
-        "GLM M dense1000: pruning on/off",
-    );
+    let mut result = ExperimentResult::new("ablation_pruning", "GLM M dense1000: pruning on/off");
     for (label, small, unknown) in [
         ("prune both", true, true),
         ("no small-prune", false, true),

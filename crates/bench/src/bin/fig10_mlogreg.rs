@@ -8,7 +8,10 @@
 use reml_sim::SimFacts;
 
 fn main() {
-    let facts = SimFacts { table_cols: 5, ..SimFacts::default() };
+    let facts = SimFacts {
+        table_cols: 5,
+        ..SimFacts::default()
+    };
     reml_bench::run_baseline_family("fig10", reml_scripts::mlogreg, false, facts);
     println!(
         "Paper shape: unknowns are the major problem on dense M; see fig15 for \

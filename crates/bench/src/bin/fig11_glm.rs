@@ -3,7 +3,10 @@
 use reml_sim::SimFacts;
 
 fn main() {
-    let facts = SimFacts { table_cols: 20, ..SimFacts::default() };
+    let facts = SimFacts {
+        table_cols: 20,
+        ..SimFacts::default()
+    };
     reml_bench::run_baseline_family("fig11", reml_scripts::glm, false, facts);
     println!(
         "Paper shape: like MLogreg, GLM suffers unknowns on dense M, but a few \

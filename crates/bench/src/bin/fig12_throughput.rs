@@ -44,7 +44,9 @@ fn main() {
         let opt_duration = wl
             .measure(opt.best.clone(), false, SimFacts::default())
             .elapsed_s;
-        let bll_duration = wl.measure(bll.clone(), false, SimFacts::default()).elapsed_s;
+        let bll_duration = wl
+            .measure(bll.clone(), false, SimFacts::default())
+            .elapsed_s;
         let opt_slots = wl.cluster.max_parallel_apps(opt.best.cp_heap_mb);
         let bll_slots = wl.cluster.max_parallel_apps(bll.cp_heap_mb);
         println!(

@@ -33,9 +33,8 @@ fn main() {
                 .iter()
                 .flat_map(|s| s.mem_estimates_mb.iter().copied())
                 .collect();
-            let count = |strategy: GridStrategy| {
-                strategy.generate(min_heap, max_heap, &ests).len() as f64
-            };
+            let count =
+                |strategy: GridStrategy| strategy.generate(min_heap, max_heap, &ests).len() as f64;
             result.push_row(
                 scenario.name(),
                 vec![

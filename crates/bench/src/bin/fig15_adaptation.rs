@@ -31,13 +31,10 @@ fn main() {
                     table_cols: if wl.script.name == "MLogreg" { 5 } else { 20 },
                     ..SimFacts::default()
                 };
-                let bll =
-                    ResourceConfig::uniform(wl.cluster.max_heap_mb(), (4.4 * 1024.0) as u64);
+                let bll = ResourceConfig::uniform(wl.cluster.max_heap_mb(), (4.4 * 1024.0) as u64);
                 let t_bll = wl.measure(bll, false, facts.clone()).elapsed_s;
                 let opt = wl.optimize();
-                let t_opt = wl
-                    .measure(opt.best.clone(), false, facts.clone())
-                    .elapsed_s
+                let t_opt = wl.measure(opt.best.clone(), false, facts.clone()).elapsed_s
                     + opt.stats.opt_time.as_secs_f64();
                 let reopt_run = wl.measure(opt.best.clone(), true, facts.clone());
                 let t_reopt = reopt_run.elapsed_s + opt.stats.opt_time.as_secs_f64();

@@ -31,16 +31,22 @@ fn main() {
         if threads == 1 {
             serial_time = t;
         }
+        let requests = r.stats.plan_cache_hits + r.stats.plan_cache_misses;
         result.push_row(
             format!("{threads} threads"),
             vec![
                 ("time[s]".to_string(), t),
                 ("speedup".to_string(), serial_time / t.max(1e-9)),
+                ("#CacheHit".to_string(), r.stats.plan_cache_hits as f64),
+                (
+                    "hit%".to_string(),
+                    100.0 * r.stats.plan_cache_hits as f64 / requests.max(1) as f64,
+                ),
             ],
         );
     }
-    result.notes = "Paper: 4.9x at 16 threads, with a pipelining gain already at 1 worker."
-        .to_string();
+    result.notes =
+        "Paper: 4.9x at 16 threads, with a pipelining gain already at 1 worker.".to_string();
     result.print();
     result.save();
 
@@ -60,13 +66,21 @@ fn main() {
         serial.config.workers = 1;
         let mut parallel = serial.clone();
         parallel.config.workers = 8;
-        let ts = wl.optimize_with(&serial).stats.opt_time.as_secs_f64();
-        let tp = wl.optimize_with(&parallel).stats.opt_time.as_secs_f64();
+        let rs = wl.optimize_with(&serial);
+        let rp = wl.optimize_with(&parallel);
+        let (ts, tp) = (
+            rs.stats.opt_time.as_secs_f64(),
+            rp.stats.opt_time.as_secs_f64(),
+        );
         result_b.push_row(
             scenario.name(),
             vec![
                 ("serial[s]".to_string(), ts),
                 ("parallel[s]".to_string(), tp),
+                (
+                    "#CompAvoided".to_string(),
+                    rp.stats.compilations_avoided as f64,
+                ),
             ],
         );
     }

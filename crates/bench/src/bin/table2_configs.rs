@@ -24,14 +24,8 @@ fn main() {
             };
             let wl = Workload::new(reml_scripts::linreg_ds(), shape);
             let opt = wl.optimize();
-            values.push((
-                format!("{label}-CP"),
-                opt.best.cp_heap_mb as f64 / 1024.0,
-            ));
-            values.push((
-                format!("{label}-MR"),
-                opt.best.max_mr_mb() as f64 / 1024.0,
-            ));
+            values.push((format!("{label}-CP"), opt.best.cp_heap_mb as f64 / 1024.0));
+            values.push((format!("{label}-MR"), opt.best.max_mr_mb() as f64 / 1024.0));
         }
         result.push_row(scenario.name(), values);
     }

@@ -20,7 +20,13 @@ fn main() {
     ] {
         // XL only for the non-iterative DS, matching the paper's table.
         let scenarios: &[Scenario] = if script_ctor().name == "LinregDS" {
-            &[Scenario::XS, Scenario::S, Scenario::M, Scenario::L, Scenario::XL]
+            &[
+                Scenario::XS,
+                Scenario::S,
+                Scenario::M,
+                Scenario::L,
+                Scenario::XL,
+            ]
         } else {
             &[Scenario::XS, Scenario::S, Scenario::M, Scenario::L]
         };
@@ -36,6 +42,7 @@ fn main() {
                 .measure(opt.best.clone(), false, SimFacts::default())
                 .elapsed_s;
             let opt_s = opt.stats.opt_time.as_secs_f64();
+            let requests = opt.stats.plan_cache_hits + opt.stats.plan_cache_misses;
             result.push_row(
                 format!("{} {}", wl.script.name, scenario.name()),
                 vec![
@@ -43,6 +50,16 @@ fn main() {
                     ("#Cost".to_string(), opt.stats.cost_invocations as f64),
                     ("OptTime[s]".to_string(), opt_s),
                     ("%overhead".to_string(), 100.0 * opt_s / (opt_s + exec_s)),
+                    ("#CacheHit".to_string(), opt.stats.plan_cache_hits as f64),
+                    ("#CacheMiss".to_string(), opt.stats.plan_cache_misses as f64),
+                    (
+                        "#CompAvoided".to_string(),
+                        opt.stats.compilations_avoided as f64,
+                    ),
+                    (
+                        "hit%".to_string(),
+                        100.0 * opt.stats.plan_cache_hits as f64 / requests.max(1) as f64,
+                    ),
                 ],
             );
         }

@@ -26,8 +26,7 @@ fn main() {
             .elapsed_s
             + opt.stats.opt_time.as_secs_f64();
         let data_mb = shape.x_characteristics().estimated_size_bytes().unwrap() / (1024 * 1024);
-        let t_hybrid =
-            simulate_spark_iterative(&wl.cluster, &spark, SparkPlan::Hybrid, data_mb, 5);
+        let t_hybrid = simulate_spark_iterative(&wl.cluster, &spark, SparkPlan::Hybrid, data_mb, 5);
         let t_full = simulate_spark_iterative(&wl.cluster, &spark, SparkPlan::Full, data_mb, 5);
         result.push_row(
             scenario.name(),

@@ -30,8 +30,7 @@ fn main() {
     let mut spark = SparkConfig::paper_config();
     spark.driver_mem_mb = 512;
     let data_mb = shape.x_characteristics().estimated_size_bytes().unwrap() / (1024 * 1024);
-    let spark_duration =
-        simulate_spark_iterative(&wl.cluster, &spark, SparkPlan::Full, data_mb, 5);
+    let spark_duration = simulate_spark_iterative(&wl.cluster, &spark, SparkPlan::Full, data_mb, 5);
     let spark_slots = spark.max_parallel_apps(&wl.cluster);
 
     println!(

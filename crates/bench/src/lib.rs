@@ -55,12 +55,8 @@ impl Workload {
     pub fn new(script: ScriptSpec, shape: DataShape) -> Self {
         let cluster = ClusterConfig::paper_cluster();
         let analyzed = analyze_program(&script.source).expect("script analyzes");
-        let base = script.compile_config(
-            shape,
-            cluster.clone(),
-            512,
-            MrHeapAssignment::uniform(512),
-        );
+        let base =
+            script.compile_config(shape, cluster.clone(), 512, MrHeapAssignment::uniform(512));
         Workload {
             script,
             shape,
@@ -239,11 +235,7 @@ pub fn run_baseline_family(
     for (cols, sparsity, suffix) in shapes {
         let mut result = ExperimentResult::new(
             &format!("{fig_id}{}", &suffix[..1]),
-            &format!(
-                "{} end-to-end [s], {}",
-                script_ctor().name,
-                &suffix[2..]
-            ),
+            &format!("{} end-to-end [s], {}", script_ctor().name, &suffix[2..]),
         );
         for scenario in fig_scenarios(include_xl) {
             // XL sparse/medium shapes are allowed; keep symmetric.
@@ -259,9 +251,7 @@ pub fn run_baseline_family(
                 values.push((label.to_string(), t));
             }
             let opt = wl.optimize();
-            let t = wl
-                .measure(opt.best.clone(), false, facts.clone())
-                .elapsed_s
+            let t = wl.measure(opt.best.clone(), false, facts.clone()).elapsed_s
                 + opt.stats.opt_time.as_secs_f64();
             values.push(("Opt".to_string(), t));
             result.push_row(Scenario::name(scenario), values);

@@ -46,8 +46,7 @@ impl SparkConfig {
 
     /// Aggregate RDD storage memory across executors, MB.
     pub fn aggregate_storage_mb(&self) -> u64 {
-        ((self.num_executors as u64 * self.executor_mem_mb) as f64 * self.storage_fraction)
-            as u64
+        ((self.num_executors as u64 * self.executor_mem_mb) as f64 * self.storage_fraction) as u64
     }
 
     /// Total concurrent task slots.
@@ -80,8 +79,7 @@ impl SparkConfig {
 
     fn fits_minimum(&self, cc: &ClusterConfig) -> bool {
         // At least the driver must fit somewhere.
-        (self.driver_mem_mb as f64 * crate::config::CONTAINER_HEAP_RATIO) as u64
-            <= cc.node_mem_mb
+        (self.driver_mem_mb as f64 * crate::config::CONTAINER_HEAP_RATIO) as u64 <= cc.node_mem_mb
     }
 }
 

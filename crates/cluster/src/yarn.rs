@@ -42,7 +42,10 @@ pub enum YarnError {
 impl std::fmt::Display for YarnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            YarnError::ExceedsMaxAllocation { requested_mb, max_mb } => write!(
+            YarnError::ExceedsMaxAllocation {
+                requested_mb,
+                max_mb,
+            } => write!(
                 f,
                 "request of {requested_mb} MB exceeds max allocation {max_mb} MB"
             ),
@@ -211,7 +214,9 @@ mod tests {
         // 2 nodes x 8 GB; 8 GB requests fit twice, then fail.
         rm.allocate(ContainerRequest { mem_mb: 8 * 1024 }).unwrap();
         rm.allocate(ContainerRequest { mem_mb: 8 * 1024 }).unwrap();
-        let err = rm.allocate(ContainerRequest { mem_mb: 8 * 1024 }).unwrap_err();
+        let err = rm
+            .allocate(ContainerRequest { mem_mb: 8 * 1024 })
+            .unwrap_err();
         assert!(matches!(err, YarnError::InsufficientResources { .. }));
         assert_eq!(rm.utilization(), 1.0);
     }

@@ -202,7 +202,8 @@ impl<'a> BlockBuilder<'a> {
             let id = self.bindings[name];
             let hop = self.dag.hop(id);
             let (vtype, mc) = (hop.vtype, hop.mc);
-            self.dag.add(HopOp::TWrite(name.clone()), vec![id], vtype, mc);
+            self.dag
+                .add(HopOp::TWrite(name.clone()), vec![id], vtype, mc);
         }
         Ok(BuiltDag {
             dag: self.dag,
@@ -304,7 +305,12 @@ impl<'a> BlockBuilder<'a> {
                 let r = self.build_expr(rhs, env)?;
                 self.build_binary(*op, l, r)
             }
-            Expr::Call { name, args, named, line } => self.build_call(name, args, named, *line, env),
+            Expr::Call {
+                name,
+                args,
+                named,
+                line,
+            } => self.build_call(name, args, named, *line, env),
             Expr::Index {
                 target, rows, cols, ..
             } => {
@@ -375,7 +381,9 @@ impl<'a> BlockBuilder<'a> {
         };
         if is_matrix {
             let mc = hop_in.mc;
-            Ok(self.dag.add(HopOp::UnaryM(uop), vec![input], VType::Matrix, mc))
+            Ok(self
+                .dag
+                .add(HopOp::UnaryM(uop), vec![input], VType::Matrix, mc))
         } else {
             if let Some(v) = self.const_num(input) {
                 self.constants_folded += 1;
@@ -479,11 +487,13 @@ impl<'a> BlockBuilder<'a> {
                 let cols = self.named_arg(named, "cols", env)?;
                 let mc = match (self.const_num(rows), self.const_num(cols)) {
                     (Some(r), Some(c)) => {
-                        let nnz = match self.const_num(value) {
-                            Some(v) if v == 0.0 => Some(0),
-                            Some(_) => Some((r as u64) * (c as u64)),
-                            None => None,
-                        };
+                        let nnz = self.const_num(value).map(|v| {
+                            if v == 0.0 {
+                                0
+                            } else {
+                                (r as u64) * (c as u64)
+                            }
+                        });
                         MatrixCharacteristics {
                             rows: Some(r as u64),
                             cols: Some(c as u64),
@@ -585,7 +595,11 @@ impl<'a> BlockBuilder<'a> {
                     self.constants_folded += 1;
                     return Ok(self.literal(ScalarValue::Num(v as f64)));
                 }
-                let op = if name == "nrow" { HopOp::NRow } else { HopOp::NCol };
+                let op = if name == "nrow" {
+                    HopOp::NRow
+                } else {
+                    HopOp::NCol
+                };
                 Ok(self
                     .dag
                     .add(op, vec![m], VType::Scalar, MatrixCharacteristics::scalar()))
@@ -616,7 +630,11 @@ impl<'a> BlockBuilder<'a> {
                     return self.build_binary_direct(bop, l, r);
                 }
                 let m = self.build_expr(&args[0], env)?;
-                let agg = if name == "min" { AggOp::Min } else { AggOp::Max };
+                let agg = if name == "min" {
+                    AggOp::Min
+                } else {
+                    AggOp::Max
+                };
                 Ok(self.dag.add(
                     HopOp::Agg(agg),
                     vec![m],
@@ -661,7 +679,9 @@ impl<'a> BlockBuilder<'a> {
                         },
                     ),
                 };
-                Ok(self.dag.add(HopOp::Agg(agg), vec![m], VType::Matrix, out_mc))
+                Ok(self
+                    .dag
+                    .add(HopOp::Agg(agg), vec![m], VType::Matrix, out_mc))
             }
             "t" => {
                 let m = self.build_expr(&args[0], env)?;
@@ -1150,10 +1170,9 @@ mod tests {
 
     #[test]
     fn table_produces_unknown_cols() {
-        let cfg = config().with_param("Y", ScalarValue::Str("hdfs:Y".into())).with_input(
-            "hdfs:Y",
-            MatrixCharacteristics::dense(1000, 1),
-        );
+        let cfg = config()
+            .with_param("Y", ScalarValue::Str("hdfs:Y".into()))
+            .with_input("hdfs:Y", MatrixCharacteristics::dense(1000, 1));
         let program = parse("y = read($Y)\nY = table(seq(1, nrow(y)), y)\nk = ncol(Y)").unwrap();
         let mut env = Env::new();
         BlockBuilder::new(&cfg)
@@ -1200,9 +1219,8 @@ mod tests {
 
     #[test]
     fn append_adds_columns() {
-        let (_, env) = build(
-            "X = read($X)\nones = matrix(1, rows=nrow(X), cols=1)\nX2 = append(X, ones)",
-        );
+        let (_, env) =
+            build("X = read($X)\nones = matrix(1, rows=nrow(X), cols=1)\nX2 = append(X, ones)");
         assert_eq!(env["X2"].mc.cols, Some(101));
         assert_eq!(env["X2"].mc.rows, Some(1000));
     }
@@ -1245,10 +1263,16 @@ mod tests {
     #[test]
     fn merge_env_branches_semantics() {
         let mut a = Env::new();
-        a.insert("x".into(), VarInfo::matrix(MatrixCharacteristics::dense(10, 5)));
+        a.insert(
+            "x".into(),
+            VarInfo::matrix(MatrixCharacteristics::dense(10, 5)),
+        );
         a.insert("k".into(), VarInfo::constant(ScalarValue::Num(2.0)));
         let mut b = Env::new();
-        b.insert("x".into(), VarInfo::matrix(MatrixCharacteristics::dense(10, 6)));
+        b.insert(
+            "x".into(),
+            VarInfo::matrix(MatrixCharacteristics::dense(10, 6)),
+        );
         b.insert("k".into(), VarInfo::constant(ScalarValue::Num(2.0)));
         b.insert("only_b".into(), VarInfo::scalar());
         let m = merge_env_branches(&a, &b);

@@ -181,7 +181,13 @@ impl HopDag {
 
     /// Append a hop, applying CSE: if an identical (op, inputs) node
     /// exists, return its id instead of appending.
-    pub fn add(&mut self, op: HopOp, inputs: Vec<HopId>, vtype: VType, mc: MatrixCharacteristics) -> HopId {
+    pub fn add(
+        &mut self,
+        op: HopOp,
+        inputs: Vec<HopId>,
+        vtype: VType,
+        mc: MatrixCharacteristics,
+    ) -> HopId {
         if let Some(key) = op.cse_key() {
             if let Some(&existing) = self.cse.get(&(key.clone(), inputs.clone())) {
                 self.cse_hits += 1;
@@ -232,9 +238,7 @@ impl HopDag {
             .hops
             .iter()
             .enumerate()
-            .filter(|(_, h)| {
-                matches!(h.op, HopOp::TWrite(_) | HopOp::PWrite(_) | HopOp::Print)
-            })
+            .filter(|(_, h)| matches!(h.op, HopOp::TWrite(_) | HopOp::PWrite(_) | HopOp::Print))
             .map(|(i, _)| HopId(i))
             .collect();
         roots.extend_from_slice(extra_roots);
@@ -302,9 +306,24 @@ mod tests {
     #[test]
     fn writes_never_merged() {
         let mut dag = HopDag::new();
-        let x = dag.add(HopOp::LitNum(1.0), vec![], VType::Scalar, MatrixCharacteristics::scalar());
-        let w1 = dag.add(HopOp::TWrite("a".into()), vec![x], VType::Scalar, MatrixCharacteristics::scalar());
-        let w2 = dag.add(HopOp::TWrite("a".into()), vec![x], VType::Scalar, MatrixCharacteristics::scalar());
+        let x = dag.add(
+            HopOp::LitNum(1.0),
+            vec![],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        let w1 = dag.add(
+            HopOp::TWrite("a".into()),
+            vec![x],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
+        let w2 = dag.add(
+            HopOp::TWrite("a".into()),
+            vec![x],
+            VType::Scalar,
+            MatrixCharacteristics::scalar(),
+        );
         assert_ne!(w1, w2);
     }
 

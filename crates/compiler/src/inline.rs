@@ -57,7 +57,7 @@ fn inline_statements(
                 out.extend(expand_call(
                     f,
                     args,
-                    &[target.clone()],
+                    std::slice::from_ref(target),
                     *line,
                     program,
                     counter,
@@ -70,7 +70,9 @@ fn inline_statements(
                 line,
             } if program.function(name).is_some() => {
                 let f = program.function(name).expect("checked");
-                out.extend(expand_call(f, args, targets, *line, program, counter, depth)?);
+                out.extend(expand_call(
+                    f, args, targets, *line, program, counter, depth,
+                )?);
             }
             Statement::If {
                 pred,
@@ -155,13 +157,17 @@ fn rename_statement(stmt: &Statement, rename: &impl Fn(&str) -> String) -> State
             line,
         } => Statement::Assign {
             target: rename(target),
-            index: index.as_ref().map(|(r, c)| {
-                (rename_range(r, rename), rename_range(c, rename))
-            }),
+            index: index
+                .as_ref()
+                .map(|(r, c)| (rename_range(r, rename), rename_range(c, rename))),
             expr: rename_expr(expr, rename),
             line: *line,
         },
-        Statement::MultiAssign { targets, expr, line } => Statement::MultiAssign {
+        Statement::MultiAssign {
+            targets,
+            expr,
+            line,
+        } => Statement::MultiAssign {
             targets: targets.iter().map(|t| rename(t)).collect(),
             expr: rename_expr(expr, rename),
             line: *line,
@@ -177,8 +183,14 @@ fn rename_statement(stmt: &Statement, rename: &impl Fn(&str) -> String) -> State
             line,
         } => Statement::If {
             pred: rename_expr(pred, rename),
-            then_branch: then_branch.iter().map(|s| rename_statement(s, rename)).collect(),
-            else_branch: else_branch.iter().map(|s| rename_statement(s, rename)).collect(),
+            then_branch: then_branch
+                .iter()
+                .map(|s| rename_statement(s, rename))
+                .collect(),
+            else_branch: else_branch
+                .iter()
+                .map(|s| rename_statement(s, rename))
+                .collect(),
             line: *line,
         },
         Statement::While { pred, body, line } => Statement::While {
@@ -279,8 +291,7 @@ mod tests {
 
     #[test]
     fn multi_return_inline() {
-        let p = parse("f = function(a) return (b, c) { b = a; c = a + 1 }\n[x, y] = f(5)")
-            .unwrap();
+        let p = parse("f = function(a) return (b, c) { b = a; c = a + 1 }\n[x, y] = f(5)").unwrap();
         let inlined = inline_functions(&p).unwrap();
         // 1 param + 2 body + 2 returns.
         assert_eq!(inlined.statements.len(), 5);

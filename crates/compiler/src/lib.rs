@@ -36,6 +36,7 @@ pub mod memest;
 pub mod piggyback;
 pub mod pipeline;
 pub mod rewrites;
+pub mod session;
 
 pub use config::{CompileConfig, CompileError, CompileStats, MrHeapAssignment};
 pub use hop::{Hop, HopDag, HopId, HopOp, VType};
@@ -43,3 +44,4 @@ pub use pipeline::{
     analyze_program, compile, compile_source, compile_source_with_inputs, AnalyzedProgram,
     BlockSummary, CompiledProgram,
 };
+pub use session::{CompiledBlock, PlanHandle, SessionStats, WhatIfSession};

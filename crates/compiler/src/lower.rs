@@ -44,6 +44,13 @@ pub struct LoweredDag {
     /// Finite operator memory estimates, MB (input to the memory-based
     /// grid generator).
     pub mem_estimates_mb: Vec<f64>,
+    /// Memory thresholds (MB) at which any lowering decision of this DAG
+    /// can flip: operator memory estimates (the CP/MR execution choice),
+    /// matrix sizes (fusion and broadcast-side selection), and sums of
+    /// broadcast candidates (piggybacking's job-packing constraint). Two
+    /// memory budgets with no threshold between them produce an identical
+    /// plan — the what-if session's cache keys on this property.
+    pub decision_estimates_mb: Vec<f64>,
 }
 
 impl LoweredDag {
@@ -241,7 +248,13 @@ impl<'a> Lowering<'a> {
                 }
             }
         }
-        self.flush(&mut pending, &mut pending_set, &mut out, &consumers, &external);
+        self.flush(
+            &mut pending,
+            &mut pending_set,
+            &mut out,
+            &consumers,
+            &external,
+        );
 
         // Bind predicate roots to their result variables.
         for (root, var) in extra_roots {
@@ -257,8 +270,72 @@ impl<'a> Lowering<'a> {
         Ok(LoweredDag {
             instructions: out,
             requires_recompile,
+            decision_estimates_mb: self.decision_estimates(&live, &mem_estimates),
             mem_estimates_mb: mem_estimates,
         })
+    }
+
+    /// All memory values the lowering of this DAG compares against a
+    /// budget, independent of any particular budget:
+    ///
+    /// * operator memory estimates ([`Lowering::decide_exec`]);
+    /// * sizes of live matrices (transpose fusion and the `small()`
+    ///   broadcast-side checks of [`Lowering::plan_mr`]);
+    /// * sums over broadcast candidates (the cumulative broadcast-memory
+    ///   constraint of [`pack_jobs`]). Each MR operator broadcasts at most
+    ///   one of its matrix inputs, so candidate sums range over subsets of
+    ///   the distinct matrix inputs of MR-capable operators; for large
+    ///   candidate counts this falls back to contiguous-run sums, which
+    ///   covers the packer's consecutive-pending-run accumulation.
+    fn decision_estimates(&self, live: &[HopId], mem_estimates: &[f64]) -> Vec<f64> {
+        let mut out: Vec<f64> = mem_estimates.to_vec();
+        let mut candidates: Vec<f64> = Vec::new();
+        let mut seen_inputs: HashSet<HopId> = HashSet::new();
+        for &id in live {
+            let hop = self.dag.hop(id);
+            if hop.vtype == VType::Matrix {
+                let s = size_mb(&hop.mc);
+                if s.is_finite() && s > 0.0 {
+                    out.push(s);
+                }
+            }
+            if hop.op.is_matrix_op() && self.is_mr_capable(&hop.op) {
+                for &input in &hop.inputs {
+                    if self.dag.hop(input).vtype == VType::Matrix && seen_inputs.insert(input) {
+                        // Broadcast sizes are capped like `broadcasts_full`.
+                        let s = size_mb(&self.dag.hop(input).mc).min(1e9);
+                        if s.is_finite() && s > 0.0 {
+                            candidates.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        if candidates.len() <= 12 {
+            // All subset sums of two or more candidates (singletons are
+            // already covered by the size thresholds above).
+            for mask in 1u32..(1u32 << candidates.len()) {
+                if mask.count_ones() < 2 {
+                    continue;
+                }
+                let sum: f64 = candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << *i) != 0)
+                    .map(|(_, s)| *s)
+                    .sum();
+                out.push(sum);
+            }
+        } else {
+            for i in 0..candidates.len() {
+                let mut sum = candidates[i];
+                for c in &candidates[i + 1..] {
+                    sum += c;
+                    out.push(sum);
+                }
+            }
+        }
+        out
     }
 
     fn is_unknown_matrix_op(&self, id: HopId) -> bool {
@@ -403,7 +480,9 @@ impl<'a> Lowering<'a> {
 
         match &hop.op {
             HopOp::MatMult => {
-                let [l, r] = hop.inputs[..] else { unreachable!() };
+                let [l, r] = hop.inputs[..] else {
+                    unreachable!()
+                };
                 if fused.contains(&l) {
                     let x = self.dag.hop(l).inputs[0];
                     if x == r {
@@ -439,7 +518,9 @@ impl<'a> Lowering<'a> {
                 }
             }
             HopOp::MmChain => {
-                let [x, v] = hop.inputs[..] else { unreachable!() };
+                let [x, v] = hop.inputs[..] else {
+                    unreachable!()
+                };
                 if small(&v) {
                     kind = MrOpKind::MapWithAgg;
                     broadcasts.push(v);
@@ -451,7 +532,9 @@ impl<'a> Lowering<'a> {
                 }
             }
             HopOp::BinaryMM(_) => {
-                let [l, r] = hop.inputs[..] else { unreachable!() };
+                let [l, r] = hop.inputs[..] else {
+                    unreachable!()
+                };
                 let lmc = self.dag.hop(l).mc;
                 let rmc = self.dag.hop(r).mc;
                 let l_vec = lmc.is_col_vector() || lmc.is_row_vector();
@@ -624,13 +707,7 @@ mod tests {
         let mut dag = built.dag;
         apply_rewrites(&mut dag);
         estimate_dag(&mut dag);
-        lower_dag(
-            &dag,
-            cfg.cp_budget_mb(),
-            cfg.mr_budget_mb(0),
-            &[],
-        )
-        .unwrap()
+        lower_dag(&dag, cfg.cp_budget_mb(), cfg.mr_budget_mb(0), &[]).unwrap()
     }
 
     #[test]
@@ -670,18 +747,10 @@ mod tests {
     fn tsmm_detected_mr() {
         let l = lower_src("X = read($X)\ng = t(X) %*% X", 512, 2048);
         assert_eq!(l.mr_jobs(), 1);
-        let Instruction::MrJob(job) = l
-            .instructions
-            .iter()
-            .find(|i| i.is_mr())
-            .unwrap()
-        else {
+        let Instruction::MrJob(job) = l.instructions.iter().find(|i| i.is_mr()).unwrap() else {
             panic!()
         };
-        assert!(job
-            .reducers
-            .iter()
-            .any(|r| r.opcode == OpCode::Tsmm));
+        assert!(job.reducers.iter().any(|r| r.opcode == OpCode::Tsmm));
         assert!(job.has_reduce());
     }
 

@@ -49,11 +49,7 @@ pub fn estimate_hop(dag: &HopDag, id: HopId) -> f64 {
     {
         // Full-reduction aggregates still require their matrix input.
         if let HopOp::Agg(_) | HopOp::CastScalar | HopOp::NRow | HopOp::NCol = hop.op {
-            let input_mb: f64 = hop
-                .inputs
-                .iter()
-                .map(|i| size_mb(&dag.hop(*i).mc))
-                .sum();
+            let input_mb: f64 = hop.inputs.iter().map(|i| size_mb(&dag.hop(*i).mc)).sum();
             return input_mb;
         }
         return 1e-4;
@@ -130,7 +126,12 @@ mod tests {
         let mc = MatrixCharacteristics::dense(1000, 1000);
         let a = dag.add(HopOp::TRead("a".into()), vec![], VType::Matrix, mc);
         let b = dag.add(HopOp::TRead("b".into()), vec![], VType::Matrix, mc);
-        dag.add(HopOp::BinaryMM(BinaryOp::Add), vec![a, b], VType::Matrix, mc);
+        dag.add(
+            HopOp::BinaryMM(BinaryOp::Add),
+            vec![a, b],
+            VType::Matrix,
+            mc,
+        );
         estimate_dag(&mut dag);
         let est = dag.hops[2].mem_mb;
         // 3 x 8MB/1.048 ≈ 22.9 MB.

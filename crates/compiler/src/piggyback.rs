@@ -201,11 +201,7 @@ impl JobBuilder {
         is_consumed_outside: impl Fn(HopId, &HashSet<HopId>) -> bool,
     ) -> MrJobInstruction {
         let mut outputs = Vec::new();
-        for hop in self
-            .produced_map
-            .iter()
-            .chain(self.produced_reduce.iter())
-        {
+        for hop in self.produced_map.iter().chain(self.produced_reduce.iter()) {
             if is_consumed_outside(*hop, &self.members) {
                 if let Some((name, mc)) = plans.get(hop) {
                     outputs.push((name.clone(), *mc));
@@ -362,7 +358,13 @@ mod tests {
     fn map_op_on_reduce_output_forces_new_job_for_matmult() {
         // A ShuffleJoin consuming a reduce output must start a new job.
         let p1 = plan(10, MrOpKind::MapWithAgg, vec![(0, "X", big())], vec![], "r");
-        let mut p2 = plan(11, MrOpKind::ShuffleJoin, vec![(10, "r", big())], vec![], "z");
+        let mut p2 = plan(
+            11,
+            MrOpKind::ShuffleJoin,
+            vec![(10, "r", big())],
+            vec![],
+            "z",
+        );
         p2.opcode = OpCode::MatMult;
         let consumers: HashMap<HopId, Vec<HopId>> =
             [(HopId(10), vec![HopId(11)])].into_iter().collect();
@@ -424,7 +426,13 @@ mod tests {
 
     #[test]
     fn shuffle_collected() {
-        let p1 = plan(10, MrOpKind::ShuffleJoin, vec![(0, "X", big())], vec![], "t");
+        let p1 = plan(
+            10,
+            MrOpKind::ShuffleJoin,
+            vec![(0, "X", big())],
+            vec![],
+            "t",
+        );
         let consumers = HashMap::new();
         let external: HashSet<HopId> = [HopId(10)].into_iter().collect();
         let jobs = pack_jobs(&[p1], 1000.0, &consumers, &external);

@@ -102,6 +102,10 @@ pub struct BlockSummary {
     pub all_mr_unknown: bool,
     /// Finite operator memory estimates, MB (memory-based grid fodder).
     pub mem_estimates_mb: Vec<f64>,
+    /// Memory thresholds (MB) at which this block's plan can change —
+    /// see [`crate::lower::LoweredDag::decision_estimates_mb`]. The
+    /// what-if session derives its cache fingerprints from these.
+    pub decision_estimates_mb: Vec<f64>,
 }
 
 /// A compiled program plus optimizer-facing metadata.
@@ -117,6 +121,11 @@ pub struct CompiledProgram {
     /// statement-block id). Resource-independent; enables per-block
     /// what-if recompilation without re-walking the program.
     pub entry_envs: BTreeMap<usize, Env>,
+    /// Decision thresholds of predicate lowerings (if/while/for
+    /// conditions), which are not covered by the per-block summaries but
+    /// still budget-sensitive; whole-program cache fingerprints must
+    /// include them.
+    pub predicate_decision_estimates_mb: Vec<f64>,
 }
 
 impl CompiledProgram {
@@ -141,6 +150,7 @@ pub fn compile(
         stats: CompileStats::default(),
         summaries: Vec::new(),
         entry_envs: BTreeMap::new(),
+        predicate_estimates: Vec::new(),
         record: true,
     };
     let mut env = Env::new();
@@ -153,15 +163,12 @@ pub fn compile(
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
-            inputs: config
-                .inputs
-                .iter()
-                .map(|(k, v)| (k.clone(), *v))
-                .collect(),
+            inputs: config.inputs.iter().map(|(k, v)| (k.clone(), *v)).collect(),
         },
         stats: walker.stats,
         summaries: walker.summaries,
         entry_envs: walker.entry_envs,
+        predicate_decision_estimates_mb: walker.predicate_estimates,
     })
 }
 
@@ -199,6 +206,7 @@ pub fn compile_scope(
         stats: CompileStats::default(),
         summaries: Vec::new(),
         entry_envs: BTreeMap::new(),
+        predicate_estimates: Vec::new(),
         record: true,
     };
     let mut env = entry_env.clone();
@@ -213,6 +221,7 @@ pub fn compile_scope(
         stats: walker.stats,
         summaries: walker.summaries,
         entry_envs: walker.entry_envs,
+        predicate_decision_estimates_mb: walker.predicate_estimates,
     })
 }
 
@@ -263,6 +272,7 @@ pub fn compile_block_with_env(
         stats: CompileStats::default(),
         summaries: Vec::new(),
         entry_envs: BTreeMap::new(),
+        predicate_estimates: Vec::new(),
         record: false,
     };
     let rt = walker.compile_generic(block_id, statements, env)?;
@@ -291,6 +301,7 @@ pub fn propagate_blocks_env(
         stats: CompileStats::default(),
         summaries: Vec::new(),
         entry_envs: BTreeMap::new(),
+        predicate_estimates: Vec::new(),
         record: false,
     };
     walker.propagate_blocks(blocks, env)
@@ -316,6 +327,7 @@ struct Walker<'a> {
     stats: CompileStats,
     summaries: Vec<BlockSummary>,
     entry_envs: BTreeMap<usize, Env>,
+    predicate_estimates: Vec<f64>,
     /// Record entry envs (disabled for single-block recompiles).
     record: bool,
 }
@@ -499,6 +511,7 @@ impl<'a> Walker<'a> {
             requires_recompile: lowered.requires_recompile,
             all_mr_unknown,
             mem_estimates_mb: lowered.mem_estimates_mb.clone(),
+            decision_estimates_mb: lowered.decision_estimates_mb.clone(),
         });
         Ok(RtBlock::Generic {
             source: id,
@@ -508,11 +521,7 @@ impl<'a> Walker<'a> {
     }
 
     /// Fold a predicate to a constant when possible (without emitting).
-    fn fold_predicate(
-        &self,
-        pred: &Expr,
-        env: &Env,
-    ) -> Result<Option<ScalarValue>, CompileError> {
+    fn fold_predicate(&self, pred: &Expr, env: &Env) -> Result<Option<ScalarValue>, CompileError> {
         let mut env2 = env.clone();
         let builder = BlockBuilder::new(self.config);
         let (_, _, konst) = builder.build_predicate(pred, &mut env2)?;
@@ -538,6 +547,8 @@ impl<'a> Walker<'a> {
             self.config.mr_budget_mb(block.0),
             &[(root, result_var.clone())],
         )?;
+        self.predicate_estimates
+            .extend(lowered.decision_estimates_mb);
         Ok(Predicate {
             instructions: lowered.instructions,
             result_var,
@@ -649,7 +660,9 @@ pub fn env_from_runtime_state(
 
 /// Check whether an environment entry is a matrix (test/diagnostic aid).
 pub fn is_matrix_var(env: &Env, name: &str) -> bool {
-    env.get(name).map(|v| v.vtype == VType::Matrix).unwrap_or(false)
+    env.get(name)
+        .map(|v| v.vtype == VType::Matrix)
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -670,9 +683,11 @@ mod tests {
     #[test]
     fn straight_line_program_compiles() {
         let cfg = paper_cfg(48 * 1024, 512);
-        let compiled =
-            compile_source("X = read($X)\nY = read($Y)\ng = t(X) %*% Y\nwrite(g, \"out\")", &cfg)
-                .unwrap();
+        let compiled = compile_source(
+            "X = read($X)\nY = read($Y)\ng = t(X) %*% Y\nwrite(g, \"out\")",
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(compiled.runtime.blocks.len(), 1);
         assert_eq!(compiled.mr_jobs(), 0);
         assert_eq!(compiled.stats.block_compilations, 1);
@@ -762,11 +777,7 @@ mod tests {
         "#;
         let compiled = compile_source(src, &cfg).unwrap();
         // Entry env of the post-loop block: X cols unknown.
-        let post_env = compiled
-            .entry_envs
-            .values()
-            .last()
-            .expect("post-loop env");
+        let post_env = compiled.entry_envs.values().last().expect("post-loop env");
         assert_eq!(post_env["X"].mc.cols, None);
         assert_eq!(post_env["X"].mc.rows, Some(10_000_000));
     }
@@ -802,10 +813,7 @@ mod tests {
             print(sum(grad))
         "#;
         let compiled = compile_source(src, &cfg).unwrap();
-        let has_recompile = compiled
-            .summaries
-            .iter()
-            .any(|s| s.requires_recompile);
+        let has_recompile = compiled.summaries.iter().any(|s| s.requires_recompile);
         assert!(has_recompile);
     }
 
@@ -847,7 +855,9 @@ mod tests {
         let src = "s = 0\nfor (i in 1:10) { s = s + i }\nprint(s)";
         let compiled = compile_source(src, &cfg).unwrap();
         let hint = compiled.runtime.blocks.iter().find_map(|b| match b {
-            RtBlock::For { iterations_hint, .. } => Some(*iterations_hint),
+            RtBlock::For {
+                iterations_hint, ..
+            } => Some(*iterations_hint),
             _ => None,
         });
         assert_eq!(hint, Some(Some(10)));

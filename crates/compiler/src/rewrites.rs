@@ -47,9 +47,7 @@ fn rewrite_dot_products(dag: &mut HopDag, stats: &mut RewriteStats) {
     for i in 0..dag.hops.len() {
         let id = HopId(i);
         let (mul_id, is_sum) = match &dag.hop(id).op {
-            HopOp::Agg(reml_matrix::AggOp::Sum) => {
-                (dag.hop(id).inputs.first().copied(), true)
-            }
+            HopOp::Agg(reml_matrix::AggOp::Sum) => (dag.hop(id).inputs.first().copied(), true),
             _ => (None, false),
         };
         if !is_sum {
@@ -63,7 +61,10 @@ fn rewrite_dot_products(dag: &mut HopDag, stats: &mut RewriteStats) {
         // Both operands must be column vectors of equal known length.
         let (a, b) = (mul.inputs[0], mul.inputs[1]);
         let (amc, bmc) = (dag.hop(a).mc, dag.hop(b).mc);
-        if !(amc.is_col_vector() && bmc.is_col_vector() && amc.rows.is_some() && amc.rows == bmc.rows)
+        if !(amc.is_col_vector()
+            && bmc.is_col_vector()
+            && amc.rows.is_some()
+            && amc.rows == bmc.rows)
         {
             continue;
         }
@@ -85,7 +86,9 @@ fn rewrite_dot_products(dag: &mut HopDag, stats: &mut RewriteStats) {
 fn rewrite_mm_chains(dag: &mut HopDag, stats: &mut RewriteStats) {
     for i in 0..dag.hops.len() {
         let id = HopId(i);
-        let HopOp::MatMult = dag.hop(id).op else { continue };
+        let HopOp::MatMult = dag.hop(id).op else {
+            continue;
+        };
         let [left, right] = dag.hop(id).inputs[..] else {
             continue;
         };
@@ -124,7 +127,12 @@ mod tests {
         let mut dag = HopDag::new();
         let vmc = MatrixCharacteristics::dense(100, 1);
         let s = dag.add(HopOp::TRead("s".into()), vec![], VType::Matrix, vmc);
-        let mul = dag.add(HopOp::BinaryMM(BinaryOp::Mul), vec![s, s], VType::Matrix, vmc);
+        let mul = dag.add(
+            HopOp::BinaryMM(BinaryOp::Mul),
+            vec![s, s],
+            VType::Matrix,
+            vmc,
+        );
         let sum = dag.add(
             HopOp::Agg(AggOp::Sum),
             vec![mul],
@@ -153,7 +161,12 @@ mod tests {
         let mut dag = HopDag::new();
         let mmc = MatrixCharacteristics::dense(100, 10);
         let x = dag.add(HopOp::TRead("X".into()), vec![], VType::Matrix, mmc);
-        let mul = dag.add(HopOp::BinaryMM(BinaryOp::Mul), vec![x, x], VType::Matrix, mmc);
+        let mul = dag.add(
+            HopOp::BinaryMM(BinaryOp::Mul),
+            vec![x, x],
+            VType::Matrix,
+            mmc,
+        );
         let sum = dag.add(
             HopOp::Agg(AggOp::Sum),
             vec![mul],
@@ -180,7 +193,12 @@ mod tests {
             nnz: None,
         };
         let s = dag.add(HopOp::TRead("s".into()), vec![], VType::Matrix, vmc);
-        let mul = dag.add(HopOp::BinaryMM(BinaryOp::Mul), vec![s, s], VType::Matrix, vmc);
+        let mul = dag.add(
+            HopOp::BinaryMM(BinaryOp::Mul),
+            vec![s, s],
+            VType::Matrix,
+            vmc,
+        );
         let sum = dag.add(
             HopOp::Agg(AggOp::Sum),
             vec![mul],
@@ -207,7 +225,12 @@ mod tests {
         let xt = dag.add(HopOp::Transpose, vec![x], VType::Matrix, xmc.transpose());
         let chain_mc = xmc.transpose().matmult(&xmc.matmult(&vmc));
         let out = dag.add(HopOp::MatMult, vec![xt, xv], VType::Matrix, chain_mc);
-        dag.add(HopOp::TWrite("g".into()), vec![out], VType::Matrix, chain_mc);
+        dag.add(
+            HopOp::TWrite("g".into()),
+            vec![out],
+            VType::Matrix,
+            chain_mc,
+        );
         let stats = apply_rewrites(&mut dag);
         assert_eq!(stats.mm_chains, 1);
         assert!(matches!(dag.hop(out).op, HopOp::MmChain));

@@ -1,0 +1,487 @@
+//! What-if compilation sessions: breakpoint-keyed plan caching for the
+//! resource optimizer.
+//!
+//! A [`WhatIfSession`] pins one [`AnalyzedProgram`] and cluster and
+//! serves every what-if compilation the optimizer requests against them
+//! — whole-program plans ([`WhatIfSession::compile_plan`]) and
+//! single-block recompilations ([`WhatIfSession::compile_block`]).
+//!
+//! The cache key is a *decision fingerprint*, not the raw heap sizes.
+//! Every lowering decision the compiler makes under a memory budget —
+//! the CP/MR execution choice, physical-operator selection, fusion,
+//! broadcast-side selection, and piggybacking's job packing — flips only
+//! at a finite set of memory thresholds collected per block during the
+//! probe compilation (see
+//! [`crate::lower::LoweredDag::decision_estimates_mb`]). Two budgets
+//! with no threshold between them therefore produce bit-identical plans,
+//! so a fingerprint is simply the index of the budget's interval in the
+//! sorted threshold list. Grid enumeration over tens of heap sizes
+//! collapses to a handful of distinct compilations; all other grid
+//! points are cache hits.
+//!
+//! Sessions are `Sync`: the parallel optimizer shares one session across
+//! its worker threads, so a plan compiled for one grid point is reused
+//! by every other worker whose budgets land in the same intervals.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use reml_runtime::program::RtBlock;
+use reml_runtime::Instruction;
+
+use crate::build::Env;
+use crate::config::{CompileConfig, CompileError, MrHeapAssignment};
+use crate::pipeline::{
+    compile, compile_scope, compile_single_block, AnalyzedProgram, BlockSummary, CompiledProgram,
+};
+
+/// Tag bit marking a raw-heap (fingerprint-less) key component, used for
+/// block ids the probe compilation did not see.
+const RAW_HEAP_TAG: u64 = 1 << 63;
+
+/// A cached whole-program compilation: the plan plus its per-block
+/// instruction vectors (keyed by statement-block id), pre-extracted so
+/// cost memoization does not re-walk the runtime program.
+#[derive(Debug, Clone)]
+pub struct PlanHandle {
+    /// The compiled program.
+    pub compiled: Arc<CompiledProgram>,
+    /// Instructions of every generic block, keyed by block id.
+    pub generic_instructions: Arc<BTreeMap<usize, Vec<Instruction>>>,
+}
+
+/// A cached single-block what-if recompilation.
+#[derive(Debug, Clone)]
+pub struct CompiledBlock {
+    /// The block's instructions under the requested budgets.
+    pub instructions: Vec<Instruction>,
+    /// The block's summary under the requested budgets.
+    pub summary: BlockSummary,
+}
+
+/// Cache counters of one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Plan- and block-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan- and block-cache misses (actual compilations triggered).
+    pub plan_cache_misses: u64,
+    /// Generic-block compilations actually performed.
+    pub block_compilations: u64,
+    /// Generic-block compilations avoided by cache hits.
+    pub compilations_avoided: u64,
+}
+
+/// Whole-program cache key: CP fingerprint, default-MR fingerprint, and
+/// the per-block override fingerprints that differ from the default's
+/// interval on their block (sorted by block id).
+type PlanKey = (u64, u64, Vec<(usize, u64)>);
+
+/// Single-block cache key: (block id, CP fingerprint, MR fingerprint)
+/// over that block's own thresholds.
+type BlockKey = (usize, u64, u64);
+
+/// One analyzed program + cluster, with breakpoint-keyed caches over
+/// every what-if compilation requested against them.
+pub struct WhatIfSession<'a> {
+    analyzed: &'a AnalyzedProgram,
+    base: CompileConfig,
+    scope: Option<(usize, Env)>,
+    caching: bool,
+    min_heap_mb: u64,
+    probe: Arc<PlanHandle>,
+    /// Sorted, deduplicated decision thresholds per generic block.
+    block_thresholds: BTreeMap<usize, Vec<f64>>,
+    /// Union of all block thresholds plus predicate-lowering thresholds.
+    program_thresholds: Vec<f64>,
+    plans: Mutex<HashMap<PlanKey, Arc<PlanHandle>>>,
+    blocks: Mutex<HashMap<BlockKey, Arc<CompiledBlock>>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    compilations: AtomicU64,
+    avoided: AtomicU64,
+}
+
+impl<'a> WhatIfSession<'a> {
+    /// Open a session: compile the probe plan at minimal resources and
+    /// derive the decision thresholds from its block summaries. `scope`
+    /// restricts every compilation to the top-level blocks from the
+    /// given index onward, starting from the given environment (the §4.2
+    /// re-optimization scope).
+    pub fn new(
+        analyzed: &'a AnalyzedProgram,
+        base: &CompileConfig,
+        scope: Option<(usize, &Env)>,
+        caching: bool,
+    ) -> Result<Self, CompileError> {
+        let min_heap_mb = base.cluster.min_heap_mb();
+        let base = base.clone();
+        let scope = scope.map(|(start, env)| (start, env.clone()));
+        let probe_cfg = with_resources(&base, min_heap_mb, MrHeapAssignment::uniform(min_heap_mb));
+        let probe_compiled = match &scope {
+            None => compile(analyzed, &probe_cfg)?,
+            Some((start, env)) => compile_scope(analyzed, &probe_cfg, *start, env)?,
+        };
+
+        let mut block_thresholds: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        for s in &probe_compiled.summaries {
+            block_thresholds
+                .entry(s.block_id)
+                .or_default()
+                .extend_from_slice(&s.decision_estimates_mb);
+        }
+        let mut program_thresholds: Vec<f64> = block_thresholds
+            .values()
+            .flatten()
+            .copied()
+            .chain(
+                probe_compiled
+                    .predicate_decision_estimates_mb
+                    .iter()
+                    .copied(),
+            )
+            .collect();
+        for th in block_thresholds.values_mut() {
+            sort_dedup(th);
+        }
+        sort_dedup(&mut program_thresholds);
+
+        let compilations = probe_compiled.stats.block_compilations;
+        let probe = Arc::new(PlanHandle {
+            generic_instructions: Arc::new(collect_generic_instructions(&probe_compiled)),
+            compiled: Arc::new(probe_compiled),
+        });
+
+        let session = WhatIfSession {
+            analyzed,
+            base,
+            scope,
+            caching,
+            min_heap_mb,
+            probe: probe.clone(),
+            block_thresholds,
+            program_thresholds,
+            plans: Mutex::new(HashMap::new()),
+            blocks: Mutex::new(HashMap::new()),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            compilations: AtomicU64::new(compilations),
+            avoided: AtomicU64::new(0),
+        };
+        if session.caching {
+            let key = session.plan_key(min_heap_mb, &MrHeapAssignment::uniform(min_heap_mb));
+            session.plans.lock().insert(key, probe);
+        }
+        Ok(session)
+    }
+
+    /// The probe plan (compiled at minimal resources).
+    pub fn probe(&self) -> &Arc<PlanHandle> {
+        &self.probe
+    }
+
+    /// The cluster's minimum heap, MB.
+    pub fn min_heap_mb(&self) -> u64 {
+        self.min_heap_mb
+    }
+
+    /// The analyzed program this session serves.
+    pub fn analyzed(&self) -> &'a AnalyzedProgram {
+        self.analyzed
+    }
+
+    /// The base compile configuration (cluster, params, inputs).
+    pub fn base(&self) -> &CompileConfig {
+        &self.base
+    }
+
+    /// The recorded entry environment of a generic block, if the probe
+    /// compilation reached it.
+    pub fn entry_env(&self, block_id: usize) -> Option<&Env> {
+        self.probe.compiled.entry_envs.get(&block_id)
+    }
+
+    /// Fingerprint of a budget over a sorted threshold list: the index
+    /// of the interval the budget falls into. Budgets in the same
+    /// interval make identical decisions everywhere the thresholds came
+    /// from.
+    fn fingerprint(&self, thresholds: &[f64], heap_mb: u64) -> u64 {
+        let budget = self.base.cluster.budget_mb_for_heap(heap_mb) as f64;
+        thresholds.partition_point(|t| *t <= budget) as u64
+    }
+
+    fn plan_key(&self, cp_heap_mb: u64, mr_heap: &MrHeapAssignment) -> PlanKey {
+        let cp_fp = self.fingerprint(&self.program_thresholds, cp_heap_mb);
+        let default_fp = self.fingerprint(&self.program_thresholds, mr_heap.default_mb);
+        let mut overrides = Vec::new();
+        for (&bid, &heap) in &mr_heap.per_block {
+            match self.block_thresholds.get(&bid) {
+                Some(th) => {
+                    let fp = self.fingerprint(th, heap);
+                    // An override in the same interval as the default is
+                    // indistinguishable from no override on this block.
+                    if fp != self.fingerprint(th, mr_heap.default_mb) {
+                        overrides.push((bid, fp));
+                    }
+                }
+                None => overrides.push((bid, heap | RAW_HEAP_TAG)),
+            }
+        }
+        (cp_fp, default_fp, overrides)
+    }
+
+    fn block_key(&self, block_id: usize, cp_heap_mb: u64, mr_heap_mb: u64) -> BlockKey {
+        match self.block_thresholds.get(&block_id) {
+            Some(th) => (
+                block_id,
+                self.fingerprint(th, cp_heap_mb),
+                self.fingerprint(th, mr_heap_mb),
+            ),
+            None => (
+                block_id,
+                cp_heap_mb | RAW_HEAP_TAG,
+                mr_heap_mb | RAW_HEAP_TAG,
+            ),
+        }
+    }
+
+    fn compile_cfg(&self, cfg: &CompileConfig) -> Result<CompiledProgram, CompileError> {
+        match &self.scope {
+            None => compile(self.analyzed, cfg),
+            Some((start, env)) => compile_scope(self.analyzed, cfg, *start, env),
+        }
+    }
+
+    /// What-if compile the whole program (or session scope) under the
+    /// given resources, serving from the plan cache when the requested
+    /// budgets fingerprint-match an earlier compilation.
+    pub fn compile_plan(
+        &self,
+        cp_heap_mb: u64,
+        mr_heap: &MrHeapAssignment,
+    ) -> Result<Arc<PlanHandle>, CompileError> {
+        if self.caching {
+            let key = self.plan_key(cp_heap_mb, mr_heap);
+            if let Some(hit) = self.plans.lock().get(&key).cloned() {
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                self.avoided
+                    .fetch_add(hit.compiled.stats.block_compilations, Ordering::Relaxed);
+                return Ok(hit);
+            }
+            // The lock is released during compilation: a racing worker
+            // may compile the same key, but both compilations are
+            // deterministic and identical, so last-insert-wins is fine.
+            let handle = self.compile_plan_fresh(cp_heap_mb, mr_heap)?;
+            self.plans.lock().insert(key, handle.clone());
+            Ok(handle)
+        } else {
+            self.compile_plan_fresh(cp_heap_mb, mr_heap)
+        }
+    }
+
+    fn compile_plan_fresh(
+        &self,
+        cp_heap_mb: u64,
+        mr_heap: &MrHeapAssignment,
+    ) -> Result<Arc<PlanHandle>, CompileError> {
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let cfg = with_resources(&self.base, cp_heap_mb, mr_heap.clone());
+        let compiled = self.compile_cfg(&cfg)?;
+        self.compilations
+            .fetch_add(compiled.stats.block_compilations, Ordering::Relaxed);
+        Ok(Arc::new(PlanHandle {
+            generic_instructions: Arc::new(collect_generic_instructions(&compiled)),
+            compiled: Arc::new(compiled),
+        }))
+    }
+
+    /// What-if recompile a single generic block under `(cp, mr)` heaps,
+    /// starting from the probe's recorded entry environment (entry
+    /// environments are resource-independent).
+    pub fn compile_block(
+        &self,
+        block_id: usize,
+        cp_heap_mb: u64,
+        mr_heap_mb: u64,
+    ) -> Result<Arc<CompiledBlock>, CompileError> {
+        let key = self.block_key(block_id, cp_heap_mb, mr_heap_mb);
+        if self.caching {
+            if let Some(hit) = self.blocks.lock().get(&key).cloned() {
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                self.avoided.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let entry_env = self.entry_env(block_id).ok_or_else(|| {
+            CompileError::Internal(format!("no entry environment for block {block_id}"))
+        })?;
+        let mut cfg = with_resources(
+            &self.base,
+            cp_heap_mb,
+            MrHeapAssignment::uniform(self.min_heap_mb),
+        );
+        cfg.mr_heap.set_block(block_id, mr_heap_mb);
+        let (instructions, summary, stats) =
+            compile_single_block(self.analyzed, &cfg, reml_lang::BlockId(block_id), entry_env)?;
+        self.compilations
+            .fetch_add(stats.block_compilations, Ordering::Relaxed);
+        let block = Arc::new(CompiledBlock {
+            instructions,
+            summary,
+        });
+        if self.caching {
+            self.blocks.lock().insert(key, block.clone());
+        }
+        Ok(block)
+    }
+
+    /// Snapshot of the session's cache counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            plan_cache_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_misses.load(Ordering::Relaxed),
+            block_compilations: self.compilations.load(Ordering::Relaxed),
+            compilations_avoided: self.avoided.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Clone a base config with new resources.
+pub fn with_resources(
+    base: &CompileConfig,
+    cp_heap_mb: u64,
+    mr_heap: MrHeapAssignment,
+) -> CompileConfig {
+    let mut cfg = base.clone();
+    cfg.cp_heap_mb = cp_heap_mb;
+    cfg.mr_heap = mr_heap;
+    cfg
+}
+
+/// Collect instructions of every generic block, keyed by block id.
+pub fn collect_generic_instructions(
+    compiled: &CompiledProgram,
+) -> BTreeMap<usize, Vec<Instruction>> {
+    let mut out = BTreeMap::new();
+    for top in &compiled.runtime.blocks {
+        top.visit_generic(&mut |b| {
+            if let RtBlock::Generic {
+                source,
+                instructions,
+                ..
+            } = b
+            {
+                out.insert(source.0, instructions.clone());
+            }
+        });
+    }
+    out
+}
+
+fn sort_dedup(values: &mut Vec<f64>) {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+    values.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze_program;
+    use reml_cluster::ClusterConfig;
+    use reml_matrix::MatrixCharacteristics;
+
+    fn setup() -> (AnalyzedProgram, CompileConfig) {
+        let src = r#"
+            X = read("X");
+            y = read("y");
+            w = t(X) %*% (X %*% t(X) %*% y);
+            z = sum(w * y);
+            print(z);
+        "#;
+        let analyzed = analyze_program(src).unwrap();
+        let cfg = CompileConfig::new(ClusterConfig::paper_cluster(), 512, 512)
+            .with_input("X", MatrixCharacteristics::dense(100_000, 1_000))
+            .with_input("y", MatrixCharacteristics::dense(100_000, 1));
+        (analyzed, cfg)
+    }
+
+    #[test]
+    fn same_interval_heaps_hit_the_cache() {
+        let (analyzed, cfg) = setup();
+        let session = WhatIfSession::new(&analyzed, &cfg, None, true).unwrap();
+        let mr = MrHeapAssignment::uniform(512);
+        let a = session.compile_plan(4096, &mr).unwrap();
+        // 4097 MB heap lands in the same budget interval as 4096 unless a
+        // threshold separates them — and thresholds are sparse.
+        let key_a = session.plan_key(4096, &mr);
+        let key_b = session.plan_key(4097, &mr);
+        if key_a == key_b {
+            let b = session.compile_plan(4097, &mr).unwrap();
+            assert!(Arc::ptr_eq(&a.compiled, &b.compiled));
+            assert!(session.stats().plan_cache_hits >= 1);
+        }
+    }
+
+    #[test]
+    fn probe_resources_are_served_from_cache() {
+        let (analyzed, cfg) = setup();
+        let session = WhatIfSession::new(&analyzed, &cfg, None, true).unwrap();
+        let min = session.min_heap_mb();
+        let before = session.stats().block_compilations;
+        let plan = session
+            .compile_plan(min, &MrHeapAssignment::uniform(min))
+            .unwrap();
+        assert!(Arc::ptr_eq(&plan.compiled, &session.probe().compiled));
+        assert_eq!(session.stats().block_compilations, before);
+        assert!(session.stats().compilations_avoided > 0);
+    }
+
+    #[test]
+    fn bypass_mode_always_recompiles() {
+        let (analyzed, cfg) = setup();
+        let session = WhatIfSession::new(&analyzed, &cfg, None, false).unwrap();
+        let mr = MrHeapAssignment::uniform(512);
+        let before = session.stats().block_compilations;
+        session.compile_plan(4096, &mr).unwrap();
+        session.compile_plan(4096, &mr).unwrap();
+        let after = session.stats().block_compilations;
+        assert!(after >= before + 2);
+        assert_eq!(session.stats().plan_cache_hits, 0);
+    }
+
+    #[test]
+    fn cached_and_fresh_plans_agree_across_the_grid() {
+        let (analyzed, cfg) = setup();
+        let cached = WhatIfSession::new(&analyzed, &cfg, None, true).unwrap();
+        let fresh = WhatIfSession::new(&analyzed, &cfg, None, false).unwrap();
+        for heap in [512u64, 1024, 2048, 4096, 8192, 16384, 32768] {
+            let mr = MrHeapAssignment::uniform(512);
+            let a = cached.compile_plan(heap, &mr).unwrap();
+            let b = fresh.compile_plan(heap, &mr).unwrap();
+            assert_eq!(
+                format!("{:?}", a.compiled.runtime),
+                format!("{:?}", b.compiled.runtime),
+                "plans diverge at cp heap {heap}"
+            );
+        }
+        assert!(cached.stats().block_compilations < fresh.stats().block_compilations);
+    }
+
+    #[test]
+    fn block_recompilation_is_cached() {
+        let (analyzed, cfg) = setup();
+        let session = WhatIfSession::new(&analyzed, &cfg, None, true).unwrap();
+        let bid = session.probe().compiled.summaries[0].block_id;
+        let before = session.stats().block_compilations;
+        let a = session.compile_block(bid, 512, 4096).unwrap();
+        let mid = session.stats().block_compilations;
+        let b = session.compile_block(bid, 512, 4096).unwrap();
+        assert_eq!(session.stats().block_compilations, mid);
+        assert!(mid > before);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(session.stats().compilations_avoided, 1);
+    }
+}

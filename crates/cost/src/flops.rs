@@ -63,7 +63,9 @@ pub fn instruction_flops(
         }
         OpCode::Tsmm => {
             // Symmetric product: nnz(X) * ncol(X) (half of 2·nnz·n).
-            let Some(x) = operands.first() else { return unknown };
+            let Some(x) = operands.first() else {
+                return unknown;
+            };
             match (nnz_or_cells(x), x.cols) {
                 (Some(nnz), Some(n)) => nnz * n as f64,
                 _ => unknown,
@@ -71,12 +73,16 @@ pub fn instruction_flops(
         }
         OpCode::MmChain => {
             // Two passes over X: 4 * nnz(X).
-            let Some(x) = operands.first() else { return unknown };
+            let Some(x) = operands.first() else {
+                return unknown;
+            };
             nnz_or_cells(x).map(|n| 4.0 * n).unwrap_or(unknown)
         }
         OpCode::Solve => {
             // LU factorization (2/3)n^3 + substitution 2 n^2 m.
-            let Some(a) = operands.first() else { return unknown };
+            let Some(a) = operands.first() else {
+                return unknown;
+            };
             match (a.rows, output.cols) {
                 (Some(n), Some(m)) => {
                     let n = n as f64;
@@ -85,8 +91,12 @@ pub fn instruction_flops(
                 _ => unknown,
             }
         }
-        OpCode::Transpose | OpCode::Diag | OpCode::RightIndex | OpCode::LeftIndex
-        | OpCode::Append | OpCode::AppendR => {
+        OpCode::Transpose
+        | OpCode::Diag
+        | OpCode::RightIndex
+        | OpCode::LeftIndex
+        | OpCode::Append
+        | OpCode::AppendR => {
             // Movement-dominated: one op per output cell (or nnz).
             nnz_or_cells(output).unwrap_or(unknown)
         }
@@ -98,13 +108,13 @@ pub fn instruction_flops(
             };
             touched.unwrap_or(unknown)
         }
-        OpCode::BinaryMS(_) | OpCode::BinarySM(_) | OpCode::UnaryM(_) => {
-            nnz_or_cells(output)
-                .or_else(|| operands.first().and_then(nnz_or_cells))
-                .unwrap_or(unknown)
-        }
+        OpCode::BinaryMS(_) | OpCode::BinarySM(_) | OpCode::UnaryM(_) => nnz_or_cells(output)
+            .or_else(|| operands.first().and_then(nnz_or_cells))
+            .unwrap_or(unknown),
         OpCode::Agg(a) => {
-            let Some(input) = operands.first() else { return unknown };
+            let Some(input) = operands.first() else {
+                return unknown;
+            };
             match a {
                 AggOp::Trace => input.rows.map(|r| r as f64).unwrap_or(unknown),
                 _ => nnz_or_cells(input).unwrap_or(unknown),
@@ -154,11 +164,7 @@ mod tests {
     #[test]
     fn tsmm_half_of_full_product() {
         let x = dense(1000, 100);
-        let full = instruction_flops(
-            &OpCode::MatMult,
-            &[x.transpose(), x],
-            &dense(100, 100),
-        );
+        let full = instruction_flops(&OpCode::MatMult, &[x.transpose(), x], &dense(100, 100));
         let tsmm = instruction_flops(&OpCode::Tsmm, &[x], &dense(100, 100));
         assert_eq!(tsmm * 2.0, full);
     }
@@ -212,7 +218,10 @@ mod tests {
         assert_eq!(
             instruction_flops(
                 &OpCode::BinarySS(reml_matrix::BinaryOp::Add),
-                &[MatrixCharacteristics::scalar(), MatrixCharacteristics::scalar()],
+                &[
+                    MatrixCharacteristics::scalar(),
+                    MatrixCharacteristics::scalar()
+                ],
                 &MatrixCharacteristics::scalar()
             ),
             1.0

@@ -157,8 +157,7 @@ impl CostModel {
                 then_blocks,
                 else_blocks,
             } => {
-                let mut total =
-                    self.cost_predicate(pred, cp_heap_mb, mr_heap_mb(source.0), states);
+                let mut total = self.cost_predicate(pred, cp_heap_mb, mr_heap_mb(source.0), states);
                 // Weighted sum over branches; states explored on clones so
                 // neither branch's effects are assumed.
                 let mut then_states = states.clone();
@@ -213,8 +212,7 @@ impl CostModel {
                 ..
             } => {
                 let iters = iterations_hint.unwrap_or(DEFAULT_UNKNOWN_ITERATIONS).max(1);
-                let mut total =
-                    self.cost_predicate(from, cp_heap_mb, mr_heap_mb(source.0), states);
+                let mut total = self.cost_predicate(from, cp_heap_mb, mr_heap_mb(source.0), states);
                 total.add(&self.cost_predicate(to, cp_heap_mb, mr_heap_mb(source.0), states));
                 let mut one_iter = CostBreakdown::default();
                 for b in body {
@@ -480,7 +478,7 @@ mod tests {
         let mut states = VarStates::new();
         // 8 GB dense X.
         let x_mc = dense(10_000_000, 100);
-        let instrs = vec![
+        let instrs = [
             cp(
                 OpCode::PersistentRead { path: "X".into() },
                 vec![],
@@ -579,7 +577,11 @@ mod tests {
                     vec![],
                     Some(("X", x_mc)),
                 ),
-                cp(OpCode::Tsmm, vec![(Operand::var("X"), x_mc)], Some(("G", out))),
+                cp(
+                    OpCode::Tsmm,
+                    vec![(Operand::var("X"), x_mc)],
+                    Some(("G", out)),
+                ),
             ],
             1_000_000,
             512,

@@ -47,10 +47,7 @@ impl VarStates {
 
     /// Current state of a variable.
     pub fn get(&self, name: &str) -> VarState {
-        self.states
-            .get(name)
-            .copied()
-            .unwrap_or(VarState::OnHdfs)
+        self.states.get(name).copied().unwrap_or(VarState::OnHdfs)
     }
 
     /// Set a variable's state.

@@ -269,7 +269,12 @@ fn analyze(block: &mut StatementBlock) {
 fn statement_reads(stmt: &Statement, local_defs: &BTreeSet<String>, out: &mut BTreeSet<String>) {
     let mut uses = BTreeSet::new();
     match stmt {
-        Statement::Assign { index, expr, target, .. } => {
+        Statement::Assign {
+            index,
+            expr,
+            target,
+            ..
+        } => {
             expr.collect_reads(&mut uses);
             if let Some((rows, cols)) = index {
                 // Left-indexing reads the previous value of the target.

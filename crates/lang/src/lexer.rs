@@ -145,9 +145,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &source[start..i];
@@ -168,9 +166,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
             '$' => {
                 i += 1;
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 if start == i {
@@ -421,7 +417,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
                 i += 1;
             }
             other => {
-                return Err(LangError::lex(line, format!("unexpected character '{other}'")));
+                return Err(LangError::lex(
+                    line,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }

@@ -566,7 +566,13 @@ mod tests {
                 op: BinOp::Mul,
                 lhs,
                 ..
-            } => assert!(matches!(*lhs, Expr::Binary { op: BinOp::MatMul, .. })),
+            } => assert!(matches!(
+                *lhs,
+                Expr::Binary {
+                    op: BinOp::MatMul,
+                    ..
+                }
+            )),
             other => panic!("{other:?}"),
         }
     }
@@ -577,7 +583,11 @@ mod tests {
         // neg(pow) — check.
         let e = assign_expr("y = -x ^ 2");
         match e {
-            Expr::Unary { op: UnOp::Neg, expr, .. } => {
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+                ..
+            } => {
                 assert!(matches!(*expr, Expr::Binary { op: BinOp::Pow, .. }));
             }
             other => panic!("{other:?}"),
@@ -588,7 +598,9 @@ mod tests {
     fn call_with_named_args() {
         let e = assign_expr("m = matrix(0, rows=10, cols=1)");
         match e {
-            Expr::Call { name, args, named, .. } => {
+            Expr::Call {
+                name, args, named, ..
+            } => {
                 assert_eq!(name, "matrix");
                 assert_eq!(args, vec![Expr::Num(0.0)]);
                 assert_eq!(named.len(), 2);
@@ -615,7 +627,9 @@ mod tests {
     fn indexing_forms() {
         let e = assign_expr("q = P[, 1:k]");
         match e {
-            Expr::Index { target, rows, cols, .. } => {
+            Expr::Index {
+                target, rows, cols, ..
+            } => {
                 assert_eq!(target, "P");
                 assert_eq!(rows, IndexRange::All);
                 assert!(matches!(cols, IndexRange::Range(Some(_), Some(_))));

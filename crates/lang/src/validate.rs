@@ -84,7 +84,10 @@ fn validate_function(program: &Program, f: &FunctionDef) -> Result<(), LangError
         if !defined.contains(ret) {
             return Err(LangError::validate(
                 f.line,
-                format!("function '{}' never assigns return variable '{ret}'", f.name),
+                format!(
+                    "function '{}' never assigns return variable '{ret}'",
+                    f.name
+                ),
             ));
         }
     }
@@ -118,7 +121,11 @@ fn validate_statements(
                 }
                 defined.insert(target.clone());
             }
-            Statement::MultiAssign { targets, expr, line } => {
+            Statement::MultiAssign {
+                targets,
+                expr,
+                line,
+            } => {
                 validate_expr(program, expr, defined)?;
                 if let Expr::Call { name, .. } = expr {
                     if let Some(f) = program.function(name) {
@@ -232,8 +239,7 @@ pub fn validate_expr(
             }
         }
         Expr::Unary { expr, line, .. } => {
-            let t = validate_expr(program, expr, defined)
-                .map_err(|e| at_line(e, *line))?;
+            let t = validate_expr(program, expr, defined).map_err(|e| at_line(e, *line))?;
             Ok(t)
         }
         Expr::Binary { op, lhs, rhs, line } => {

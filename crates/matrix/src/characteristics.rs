@@ -142,13 +142,7 @@ impl MatrixCharacteristics {
     pub fn matmult(&self, other: &MatrixCharacteristics) -> MatrixCharacteristics {
         let rows = self.rows;
         let cols = other.cols;
-        let nnz = match (
-            self.sparsity(),
-            other.sparsity(),
-            self.cols,
-            rows,
-            cols,
-        ) {
+        let nnz = match (self.sparsity(), other.sparsity(), self.cols, rows, cols) {
             (Some(sa), Some(sb), Some(k), Some(m), Some(n)) => {
                 let out_sp = 1.0 - (1.0 - sa * sb).powf(k as f64);
                 Some(((m as f64) * (n as f64) * out_sp).ceil() as u64)

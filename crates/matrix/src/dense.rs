@@ -64,7 +64,11 @@ impl DenseMatrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(DenseMatrix { rows: r, cols: c, data })
+        Ok(DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -293,11 +297,7 @@ impl DenseMatrix {
             AggOp::Max => DenseMatrix {
                 rows: 1,
                 cols: 1,
-                data: vec![self
-                    .data
-                    .iter()
-                    .copied()
-                    .fold(f64::NEG_INFINITY, f64::max)],
+                data: vec![self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)],
             },
             AggOp::Trace => {
                 let n = self.rows.min(self.cols);
@@ -308,9 +308,7 @@ impl DenseMatrix {
                 }
             }
             AggOp::RowSums => {
-                let data = (0..self.rows)
-                    .map(|r| self.row(r).iter().sum())
-                    .collect();
+                let data = (0..self.rows).map(|r| self.row(r).iter().sum()).collect();
                 DenseMatrix {
                     rows: self.rows,
                     cols: 1,
@@ -332,7 +330,12 @@ impl DenseMatrix {
             }
             AggOp::RowMaxs => {
                 let data = (0..self.rows)
-                    .map(|r| self.row(r).iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                    .map(|r| {
+                        self.row(r)
+                            .iter()
+                            .copied()
+                            .fold(f64::NEG_INFINITY, f64::max)
+                    })
                     .collect();
                 DenseMatrix {
                     rows: self.rows,
@@ -616,9 +619,6 @@ mod tests {
     fn nnz_counts() {
         let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]).unwrap();
         assert_eq!(a.nnz(), 2);
-        assert_eq!(
-            a.characteristics(),
-            MatrixCharacteristics::known(2, 2, 2)
-        );
+        assert_eq!(a.characteristics(), MatrixCharacteristics::known(2, 2, 2));
     }
 }

@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_singular() {
-        assert_eq!(MatrixError::SingularMatrix.to_string(), "matrix is singular");
+        assert_eq!(
+            MatrixError::SingularMatrix.to_string(),
+            "matrix is singular"
+        );
     }
 
     #[test]

@@ -60,9 +60,8 @@ pub fn table_seq(y: &DenseMatrix) -> Result<Matrix, MatrixError> {
         }
         k = k.max(v as usize);
     }
-    let triplets: Vec<(usize, usize, f64)> = (0..n)
-        .map(|r| (r, y.get(r, 0) as usize - 1, 1.0))
-        .collect();
+    let triplets: Vec<(usize, usize, f64)> =
+        (0..n).map(|r| (r, y.get(r, 0) as usize - 1, 1.0)).collect();
     let s = SparseMatrix::from_triplets(n, k, triplets)?;
     Ok(Matrix::from_sparse_auto(s))
 }
@@ -71,9 +70,7 @@ pub fn table_seq(y: &DenseMatrix) -> Result<Matrix, MatrixError> {
 /// reproducibility.
 pub fn rand_dense(rows: usize, cols: usize, min: f64, max: f64, seed: u64) -> DenseMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    let data = (0..rows * cols)
-        .map(|_| rng.gen_range(min..max))
-        .collect();
+    let data = (0..rows * cols).map(|_| rng.gen_range(min..max)).collect();
     DenseMatrix::from_vec(rows, cols, data).expect("rand shape")
 }
 
@@ -107,9 +104,7 @@ pub fn rand_sparse(
 /// data feeding `table()`).
 pub fn rand_labels(rows: usize, k: usize, seed: u64) -> DenseMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    let data = (0..rows)
-        .map(|_| rng.gen_range(1..=k) as f64)
-        .collect();
+    let data = (0..rows).map(|_| rng.gen_range(1..=k) as f64).collect();
     DenseMatrix::from_vec(rows, 1, data).expect("labels shape")
 }
 
@@ -192,7 +187,7 @@ mod tests {
         let mut seen = [false; 5];
         for r in 0..1000 {
             let v = y.get(r, 0);
-            assert!(v >= 1.0 && v <= 5.0 && v.fract() == 0.0);
+            assert!((1.0..=5.0).contains(&v) && v.fract() == 0.0);
             seen[v as usize - 1] = true;
         }
         assert!(seen.iter().all(|&s| s), "all classes drawn at n=1000");

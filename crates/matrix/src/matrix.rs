@@ -147,9 +147,7 @@ impl Matrix {
             Matrix::Dense(d) => Matrix::from_dense_auto(d.tsmm()),
             Matrix::Sparse(s) => {
                 let t = s.transpose();
-                Matrix::from_dense_auto(
-                    t.matmult_sparse(s).expect("tsmm shapes always conform"),
-                )
+                Matrix::from_dense_auto(t.matmult_sparse(s).expect("tsmm shapes always conform"))
             }
         }
     }
@@ -225,13 +223,7 @@ impl Matrix {
     }
 
     /// Right indexing with inclusive 0-based bounds.
-    pub fn slice(
-        &self,
-        r0: usize,
-        r1: usize,
-        c0: usize,
-        c1: usize,
-    ) -> Result<Matrix, MatrixError> {
+    pub fn slice(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Result<Matrix, MatrixError> {
         Ok(Matrix::from_dense_auto(
             self.to_dense().slice(r0, r1, c0, c1)?,
         ))

@@ -252,13 +252,8 @@ mod tests {
     #[test]
     fn normal_equations_regression() {
         // Recover beta from y = X beta exactly for well-conditioned X.
-        let x = DenseMatrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let x =
+            DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let beta_true = DenseMatrix::from_rows(&[&[2.0], &[0.5]]).unwrap();
         let y = x.matmult(&beta_true).unwrap();
         let xtx = x.tsmm();

@@ -176,9 +176,9 @@ impl SparseMatrix {
         for r in 0..self.rows {
             for (k, v) in self.row_iter(r) {
                 let b_row = other.row(k);
-                for c in 0..n {
+                for (c, &b) in b_row.iter().enumerate() {
                     let cur = out.get(r, c);
-                    out.set(r, c, cur + v * b_row[c]);
+                    out.set(r, c, cur + v * b);
                 }
             }
         }
@@ -447,8 +447,8 @@ mod tests {
 
     #[test]
     fn triplets_out_of_order_and_duplicates() {
-        let s = SparseMatrix::from_triplets(2, 2, vec![(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)])
-            .unwrap();
+        let s =
+            SparseMatrix::from_triplets(2, 2, vec![(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)]).unwrap();
         s.check_invariants().unwrap();
         assert_eq!(s.get(1, 1), 5.0);
         assert_eq!(s.nnz(), 2);
@@ -456,9 +456,8 @@ mod tests {
 
     #[test]
     fn triplets_cancel_to_zero_dropped() {
-        let s =
-            SparseMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 0, 2.0)])
-                .unwrap();
+        let s = SparseMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 0, 2.0)])
+            .unwrap();
         s.check_invariants().unwrap();
         assert_eq!(s.nnz(), 1);
         assert_eq!(s.get(0, 0), 0.0);

@@ -165,15 +165,9 @@ mod tests {
         let n = shape.rows();
         let mut mats = HashMap::new();
         mats.insert("X".to_string(), shape.x_characteristics());
-        mats.insert(
-            "Y".to_string(),
-            MatrixCharacteristics::known(n, 5, n),
-        );
+        mats.insert("Y".to_string(), MatrixCharacteristics::known(n, 5, n));
         mats.insert("y".to_string(), MatrixCharacteristics::dense(n, 1));
-        mats.insert(
-            "B".to_string(),
-            MatrixCharacteristics::dense(100, 5),
-        );
+        mats.insert("B".to_string(), MatrixCharacteristics::dense(100, 5));
         mats.insert(
             "scale_lambda".to_string(),
             MatrixCharacteristics::dense(n, 1),
@@ -194,12 +188,7 @@ mod tests {
         let loop_block = analyzed
             .blocks
             .iter()
-            .find(|b| {
-                matches!(
-                    b.kind,
-                    reml_lang::StatementBlockKind::While { .. }
-                )
-            })
+            .find(|b| matches!(b.kind, reml_lang::StatementBlockKind::While { .. }))
             .map(|b| b.id)
             .expect("mlogreg has a loop");
 
@@ -239,16 +228,8 @@ mod tests {
         let analyzed = analyze_program(&script.source).unwrap();
         let env = Env::new();
         let optimizer = ResourceOptimizer::new(CostModel::new(cc));
-        let decision = decide_adaptation(
-            &optimizer,
-            &analyzed,
-            &base,
-            BlockId(0),
-            &env,
-            512,
-            0,
-        )
-        .unwrap();
+        let decision =
+            decide_adaptation(&optimizer, &analyzed, &base, BlockId(0), &env, 512, 0).unwrap();
         assert!(!decision.migrate);
         assert_eq!(decision.target.cp_heap_mb, 512);
     }

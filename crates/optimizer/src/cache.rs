@@ -1,0 +1,215 @@
+//! Shared grid-walk stages and cost memoization over a what-if session.
+//!
+//! Algorithm 1's inner loop — baseline compile, per-block MR
+//! enumeration, aggregate compile-and-cost — used to be duplicated
+//! across the serial optimizer, the parallel task system, offer
+//! evaluation, and runtime re-optimization. This module holds the
+//! single implementation of those stages; each optimizer front end only
+//! decides *which* grid points to walk and in what order. All
+//! compilation goes through the [`WhatIfSession`]'s breakpoint-keyed
+//! caches, and per-block costing is memoized here keyed by
+//! `(block, r_c, rⁱ)` (the cost model reads the actual heap sizes, not
+//! just the plan, so the raw heaps stay in the key).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use reml_compiler::session::{PlanHandle, WhatIfSession};
+use reml_compiler::{CompileError, MrHeapAssignment};
+use reml_cost::VarStates;
+use reml_runtime::Instruction;
+
+use crate::optimizer::ResourceOptimizer;
+use crate::resources::ResourceConfig;
+
+/// Memoized per-block costing. `runs` counts actual cost-model
+/// executions (the paper's "# Cost."); hits return the stored value
+/// without running the model.
+pub(crate) struct CostMemo {
+    enabled: bool,
+    /// (block id, cp heap, mr heap) → cost in f64 bits.
+    map: Mutex<HashMap<(usize, u64, u64), u64>>,
+    runs: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl CostMemo {
+    pub(crate) fn new(enabled: bool) -> Self {
+        CostMemo {
+            enabled,
+            map: Mutex::new(HashMap::new()),
+            runs: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Cost a block's instructions under `(rc, ri)`, memoized.
+    pub(crate) fn cost_block(
+        &self,
+        opt: &ResourceOptimizer,
+        instructions: &[Instruction],
+        block_id: usize,
+        rc: u64,
+        ri: u64,
+    ) -> f64 {
+        let key = (block_id, rc, ri);
+        if self.enabled {
+            if let Some(bits) = self.map.lock().get(&key).copied() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return f64::from_bits(bits);
+            }
+        }
+        let cost = opt
+            .cost_model
+            .cost_instructions(instructions, rc, ri, &mut VarStates::new())
+            .total_s();
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        if self.enabled {
+            self.map.lock().insert(key, cost.to_bits());
+        }
+        cost
+    }
+
+    /// Record an unmemoized cost-model run (whole-program costing).
+    pub(crate) fn count_direct(&self) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Actual cost-model executions so far.
+    pub(crate) fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+}
+
+/// Output of the baseline stage for one CP grid point.
+pub(crate) struct BaselineOut {
+    /// The `(r_c, min)` plan.
+    #[allow(dead_code)]
+    pub plan: Arc<PlanHandle>,
+    /// `(block id, baseline cost)` for every unpruned block with a
+    /// recorded entry environment.
+    pub blocks: Vec<(usize, f64)>,
+    /// Generic-block count before pruning.
+    pub blocks_total: usize,
+}
+
+/// Baseline stage: compile at `(r_c, min)`, prune, and cost every
+/// remaining block at the minimum MR heap (the memo seed).
+pub(crate) fn stage_baseline(
+    opt: &ResourceOptimizer,
+    session: &WhatIfSession<'_>,
+    memo: &CostMemo,
+    rc: u64,
+) -> Result<BaselineOut, CompileError> {
+    let min = session.min_heap_mb();
+    let plan = session.compile_plan(rc, &MrHeapAssignment::uniform(min))?;
+    let (remaining, blocks_total) = opt.prune_blocks(&plan.compiled);
+    let mut blocks = Vec::with_capacity(remaining.len());
+    for bid in remaining {
+        if session.entry_env(bid).is_none() {
+            continue;
+        }
+        let instrs = &plan.generic_instructions[&bid];
+        let cost = memo.cost_block(opt, instrs, bid, rc, min);
+        blocks.push((bid, cost));
+    }
+    Ok(BaselineOut {
+        plan,
+        blocks,
+        blocks_total,
+    })
+}
+
+/// Enumeration stage: walk the MR grid for one block at a fixed `r_c`,
+/// returning the best `(rⁱ, cost)` found and whether the deadline cut
+/// the walk short. A per-point compile error skips that point. Strict
+/// `<` keeps the smaller, earlier grid point on cost ties.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stage_enum_block(
+    opt: &ResourceOptimizer,
+    session: &WhatIfSession<'_>,
+    memo: &CostMemo,
+    srm: &[u64],
+    deadline: Option<Instant>,
+    rc: u64,
+    block_id: usize,
+    baseline_cost: f64,
+) -> ((u64, f64), bool) {
+    let min = session.min_heap_mb();
+    let mut best = (min, baseline_cost);
+    let mut exhausted = false;
+    for &ri in srm {
+        if ri == min {
+            continue; // the baseline stage already costed this point
+        }
+        if deadline.map(|d| Instant::now() > d).unwrap_or(false) {
+            exhausted = true;
+            break;
+        }
+        let Ok(block) = session.compile_block(block_id, rc, ri) else {
+            continue;
+        };
+        let cost = memo.cost_block(opt, &block.instructions, block_id, rc, ri);
+        if cost < best.1 {
+            best = (ri, cost);
+        }
+    }
+    (best, exhausted)
+}
+
+/// Aggregation stage: assemble the memoized MR assignment for `r_c`,
+/// compile the whole program (or scope) under it, and cost it globally
+/// (loops and branches included).
+pub(crate) fn stage_agg(
+    opt: &ResourceOptimizer,
+    session: &WhatIfSession<'_>,
+    memo: &CostMemo,
+    rc: u64,
+    enums: &BTreeMap<usize, (u64, f64)>,
+) -> Result<(ResourceConfig, f64), CompileError> {
+    let min = session.min_heap_mb();
+    let mut mr_heap = MrHeapAssignment::uniform(min);
+    for (bid, (ri, _)) in enums {
+        if *ri != min {
+            mr_heap.set_block(*bid, *ri);
+        }
+    }
+    let plan = session.compile_plan(rc, &mr_heap)?;
+    let heap_of = mr_heap.clone();
+    let cost = opt
+        .cost_model
+        .cost_program(&plan.compiled.runtime, rc, &|bid| heap_of.for_block(bid))
+        .total_s();
+    memo.count_direct();
+    Ok((
+        ResourceConfig {
+            cp_heap_mb: rc,
+            mr_heap,
+        },
+        cost,
+    ))
+}
+
+/// Whether `(candidate, cost)` beats the incumbent: lower cost, or equal
+/// cost (within 0.1%) and smaller resources (Definition 1's minimality).
+pub(crate) fn improves(
+    incumbent: &Option<(ResourceConfig, f64)>,
+    candidate: &ResourceConfig,
+    cost: f64,
+    cc: &reml_cluster::ClusterConfig,
+) -> bool {
+    match incumbent {
+        None => true,
+        Some((inc, inc_cost)) => {
+            let tie = (cost - inc_cost).abs() <= 0.001 * inc_cost.max(1e-9);
+            if tie {
+                candidate.magnitude(cc) < inc.magnitude(cc)
+            } else {
+                cost < *inc_cost
+            }
+        }
+    }
+}

@@ -47,12 +47,7 @@ impl GridStrategy {
     /// `mem_estimates_mb` are the compiler's operator memory estimates
     /// (ignored by the program-independent strategies). Estimates outside
     /// `[min, max]` clamp to the boundary values (§3.3.2).
-    pub fn generate(
-        &self,
-        min_mb: u64,
-        max_mb: u64,
-        mem_estimates_mb: &[f64],
-    ) -> Vec<u64> {
+    pub fn generate(&self, min_mb: u64, max_mb: u64, mem_estimates_mb: &[f64]) -> Vec<u64> {
         let mut points = match self {
             GridStrategy::Equi { points } => equi_points(min_mb, max_mb, *points),
             GridStrategy::Exp { factor } => exp_points(min_mb, max_mb, *factor),
@@ -158,7 +153,9 @@ mod tests {
             let heap = est / 0.7;
             // Some adjacent pair brackets the estimate threshold.
             assert!(
-                g_medium.windows(2).any(|w| (w[0] as f64) <= heap && heap <= w[1] as f64),
+                g_medium
+                    .windows(2)
+                    .any(|w| (w[0] as f64) <= heap && heap <= w[1] as f64),
                 "estimate {est} not bracketed in {g_medium:?}"
             );
         }

@@ -23,8 +23,22 @@
 //! * [`offers`] — the offer-based (Mesos) instantiation of the problem
 //!   formulation (§2.3): evaluate concrete resource offers with the same
 //!   what-if machinery.
+//!
+//! All four optimizer front ends (serial, parallel, offers, adaptation)
+//! enumerate through one `reml_compiler::session::WhatIfSession` per
+//! optimization round: what-if compilations are cached keyed by
+//! *decision fingerprints* (the interval of the memory budget between
+//! two plan-changing breakpoints), so grid points whose budgets cannot
+//! change any compilation decision are served without recompiling.
+//! [`OptimizerStats`] reports the cache behaviour alongside the paper's
+//! overhead counters: `plan_cache_hits` / `plan_cache_misses` count
+//! what-if requests served from / missing the session caches, and
+//! `compilations_avoided` counts the generic-block compilations those
+//! hits saved relative to a cache-bypass run (`OptimizerConfig::
+//! plan_cache = false` forces that bypass for differential testing).
 
 pub mod adapt;
+mod cache;
 pub mod grid;
 pub mod offers;
 pub mod optimizer;

@@ -12,9 +12,10 @@
 
 use reml_compiler::build::Env;
 use reml_compiler::pipeline::AnalyzedProgram;
+use reml_compiler::session::WhatIfSession;
 use reml_compiler::{CompileConfig, CompileError};
 
-use crate::optimizer::{compile_maybe_scoped, with_resources, ResourceOptimizer};
+use crate::optimizer::ResourceOptimizer;
 use crate::resources::ResourceConfig;
 
 /// Outcome of evaluating a round of offers.
@@ -41,15 +42,23 @@ pub fn choose_offer(
     scope: Option<(usize, &Env)>,
 ) -> Result<OfferDecision, CompileError> {
     let cc = &optimizer.cost_model.cluster;
+    if offers.is_empty() {
+        return Ok(OfferDecision {
+            accepted: None,
+            costs_s: Vec::new(),
+        });
+    }
+    // One what-if session per offer round: similar offers (budgets in the
+    // same decision intervals) share compiled plans.
+    let session = WhatIfSession::new(analyzed, base, scope, optimizer.config.plan_cache)?;
     let mut costs_s = Vec::with_capacity(offers.len());
     let mut best: Option<(usize, f64)> = None;
     for (idx, offer) in offers.iter().enumerate() {
-        let cfg = with_resources(base, offer.cp_heap_mb, offer.mr_heap.clone());
-        let compiled = compile_maybe_scoped(analyzed, &cfg, scope)?;
+        let plan = session.compile_plan(offer.cp_heap_mb, &offer.mr_heap)?;
         let heap_of = offer.mr_heap.clone();
         let cost = optimizer
             .cost_model
-            .cost_program(&compiled.runtime, offer.cp_heap_mb, &|bid| {
+            .cost_program(&plan.compiled.runtime, offer.cp_heap_mb, &|bid| {
                 heap_of.for_block(bid)
             })
             .total_s();

@@ -1,15 +1,16 @@
-//! The core resource optimizer: Algorithm 1 with pruning and memoization.
+//! The core resource optimizer: Algorithm 1 with pruning and memoization,
+//! enumerated through a what-if compilation session (plan caching).
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use reml_compiler::build::Env;
-use reml_compiler::pipeline::{compile, compile_scope, compile_single_block, AnalyzedProgram, CompiledProgram};
-use reml_compiler::{CompileConfig, CompileError, MrHeapAssignment};
-use reml_cost::{CostModel, VarStates};
-use reml_lang::BlockId;
-use reml_runtime::program::RtBlock;
+use reml_compiler::pipeline::{AnalyzedProgram, CompiledProgram};
+use reml_compiler::session::WhatIfSession;
+use reml_compiler::{CompileConfig, CompileError};
+use reml_cost::CostModel;
 
+use crate::cache::{improves, stage_agg, stage_baseline, stage_enum_block, CostMemo};
 use crate::grid::GridStrategy;
 use crate::resources::ResourceConfig;
 
@@ -29,6 +30,10 @@ pub struct OptimizerConfig {
     pub time_budget: Option<Duration>,
     /// Worker threads for the parallel optimizer (1 = serial Algorithm 1).
     pub workers: usize,
+    /// Serve what-if compilations from the session's breakpoint-keyed
+    /// plan cache (§3.3 memoization). Disable to force a fresh
+    /// compilation per grid point (the differential-testing baseline).
+    pub plan_cache: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -40,12 +45,13 @@ impl Default for OptimizerConfig {
             prune_unknown: true,
             time_budget: None,
             workers: 1,
+            plan_cache: true,
         }
     }
 }
 
 /// Counters for the overhead experiments (Table 3, Figures 13/14/18).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct OptimizerStats {
     /// Generic-block compilations performed ("# Comp.").
     pub block_compilations: u64,
@@ -64,6 +70,13 @@ pub struct OptimizerStats {
     pub blocks_remaining: usize,
     /// Whether the time budget cut enumeration short.
     pub budget_exhausted: bool,
+    /// What-if compilations served from the session's plan/block caches.
+    pub plan_cache_hits: u64,
+    /// What-if compilations that missed the caches (actual compiles).
+    pub plan_cache_misses: u64,
+    /// Generic-block compilations avoided by cache hits (the work the
+    /// session saved relative to a cache-bypass run).
+    pub compilations_avoided: u64,
 }
 
 /// The optimization outcome.
@@ -143,12 +156,13 @@ impl ResourceOptimizer {
         let (min_heap, max_heap) = (cc.min_heap_mb(), cc.max_heap_mb());
         let mut stats = OptimizerStats::default();
 
-        // Step 2 of Figure 3: one HOP-level compile to obtain program
-        // info and memory estimates for grid generation.
-        let probe_cfg = with_resources(base, min_heap, MrHeapAssignment::uniform(min_heap));
-        let probe = compile_maybe_scoped(analyzed, &probe_cfg, scope)?;
-        stats.block_compilations += probe.stats.block_compilations;
-        let mem_estimates: Vec<f64> = probe
+        // Step 2 of Figure 3: the session's probe compile provides
+        // program info and memory estimates for grid generation, and
+        // seeds the plan cache.
+        let session = WhatIfSession::new(analyzed, base, scope, self.config.plan_cache)?;
+        let mem_estimates: Vec<f64> = session
+            .probe()
+            .compiled
             .summaries
             .iter()
             .flat_map(|s| s.mem_estimates_mb.iter().copied())
@@ -165,100 +179,76 @@ impl ResourceOptimizer {
         stats.cp_points = src.len();
         stats.mr_points = srm.len();
 
+        let memo = CostMemo::new(self.config.plan_cache);
+        let deadline = self.config.time_budget.map(|b| start + b);
         let mut best: Option<(ResourceConfig, f64)> = None;
         let mut best_local: Option<(ResourceConfig, f64)> = None;
 
         'outer: for (rc_idx, &rc) in src.iter().enumerate() {
-            if self.out_of_budget(start) {
+            let mut exhausted = deadline.map(|d| Instant::now() > d).unwrap_or(false);
+            if exhausted && best.is_some() {
                 stats.budget_exhausted = true;
                 break 'outer;
             }
-            // Baseline compilation at (rc, min) — unrolls P into blocks.
-            let base_cfg = with_resources(base, rc, MrHeapAssignment::uniform(min_heap));
-            let compiled = compile_maybe_scoped(analyzed, &base_cfg, scope)?;
-            stats.block_compilations += compiled.stats.block_compilations;
-
-            // Pruning (§3.4).
-            let (remaining, total) = self.prune_blocks(&compiled);
+            // Baseline compilation at (rc, min) — unrolls P into blocks,
+            // prunes (§3.4), and seeds the per-block memo.
+            let bl = stage_baseline(self, &session, &memo, rc)?;
             if rc_idx == 0 {
-                stats.blocks_total = total;
-                stats.blocks_remaining = remaining.len();
+                stats.blocks_total = bl.blocks_total;
+                stats.blocks_remaining = bl.blocks.len();
+            }
+            let mut enums: BTreeMap<usize, (u64, f64)> = BTreeMap::new();
+            for &(bid, cost) in &bl.blocks {
+                enums.entry(bid).or_insert((min_heap, cost));
             }
 
-            // Memo: best (ri, cost) per remaining block, initialized at
-            // (min, baseline cost).
-            let block_instr = collect_generic_instructions(&compiled);
-            let mut memo: BTreeMap<usize, (u64, f64)> = BTreeMap::new();
-            for &bid in &remaining {
-                let cost = self
-                    .cost_model
-                    .cost_instructions(&block_instr[&bid], rc, min_heap, &mut VarStates::new())
-                    .total_s();
-                stats.cost_invocations += 1;
-                memo.insert(bid, (min_heap, cost));
-            }
-
-            // Enumerate the second dimension per block.
-            for &bid in &remaining {
-                let entry_env = match compiled.entry_envs.get(&bid) {
-                    Some(env) => env,
-                    None => continue,
-                };
-                for &ri in &srm {
-                    if ri == min_heap {
-                        continue; // memo already holds the baseline
+            // Enumerate the second dimension per block — skipped when the
+            // budget is already exhausted, so a valid (if unrefined)
+            // configuration still comes out of the aggregation below.
+            if !exhausted {
+                for &(bid, baseline_cost) in &bl.blocks {
+                    let (found, cut) = stage_enum_block(
+                        self,
+                        &session,
+                        &memo,
+                        &srm,
+                        deadline,
+                        rc,
+                        bid,
+                        baseline_cost,
+                    );
+                    let entry = enums.get_mut(&bid).expect("memo seeded at baseline");
+                    if found.1 < entry.1 {
+                        *entry = found;
                     }
-                    if self.out_of_budget(start) {
-                        stats.budget_exhausted = true;
+                    if cut {
+                        exhausted = true;
                         break;
-                    }
-                    let mut cfg = with_resources(base, rc, MrHeapAssignment::uniform(min_heap));
-                    cfg.mr_heap.set_block(bid, ri);
-                    let (instrs, _summary, cstats) =
-                        compile_single_block(analyzed, &cfg, BlockId(bid), entry_env)?;
-                    stats.block_compilations += cstats.block_compilations;
-                    let cost = self
-                        .cost_model
-                        .cost_instructions(&instrs, rc, ri, &mut VarStates::new())
-                        .total_s();
-                    stats.cost_invocations += 1;
-                    let entry = memo.get_mut(&bid).expect("memo initialized");
-                    if cost < entry.1 {
-                        *entry = (ri, cost);
                     }
                 }
             }
 
             // Whole-program compile at the memoized assignment and global
             // costing (takes loops/branches into account).
-            let mut mr_heap = MrHeapAssignment::uniform(min_heap);
-            for (bid, (ri, _)) in &memo {
-                if *ri != min_heap {
-                    mr_heap.set_block(*bid, *ri);
-                }
-            }
-            let full_cfg = with_resources(base, rc, mr_heap.clone());
-            let full = compile_maybe_scoped(analyzed, &full_cfg, scope)?;
-            stats.block_compilations += full.stats.block_compilations;
-            let heap_of = mr_heap.clone();
-            let cost = self
-                .cost_model
-                .cost_program(&full.runtime, rc, &|bid| heap_of.for_block(bid))
-                .total_s();
-            stats.cost_invocations += 1;
-
-            let candidate = ResourceConfig {
-                cp_heap_mb: rc,
-                mr_heap,
-            };
+            let (candidate, cost) = stage_agg(self, &session, &memo, rc, &enums)?;
             if improves(&best, &candidate, cost, cc) {
                 best = Some((candidate.clone(), cost));
             }
             if Some(rc) == current_cp_heap && improves(&best_local, &candidate, cost, cc) {
                 best_local = Some((candidate, cost));
             }
+            if exhausted {
+                stats.budget_exhausted = true;
+                break 'outer;
+            }
         }
 
+        let session_stats = session.stats();
+        stats.block_compilations = session_stats.block_compilations;
+        stats.plan_cache_hits = session_stats.plan_cache_hits;
+        stats.plan_cache_misses = session_stats.plan_cache_misses;
+        stats.compilations_avoided = session_stats.compilations_avoided;
+        stats.cost_invocations = memo.runs();
         stats.opt_time = start.elapsed();
         let (best, best_cost_s) = best.ok_or_else(|| {
             CompileError::Internal("optimizer enumerated no configurations".into())
@@ -269,13 +259,6 @@ impl ResourceOptimizer {
             best_local,
             stats,
         })
-    }
-
-    fn out_of_budget(&self, start: Instant) -> bool {
-        self.config
-            .time_budget
-            .map(|b| start.elapsed() > b)
-            .unwrap_or(false)
     }
 
     /// Apply §3.4 pruning to the generic-block list of a baseline
@@ -300,76 +283,12 @@ impl ResourceOptimizer {
     }
 }
 
-/// Compile the whole program or a scope of it.
-pub(crate) fn compile_maybe_scoped(
-    analyzed: &AnalyzedProgram,
-    cfg: &CompileConfig,
-    scope: Option<(usize, &Env)>,
-) -> Result<CompiledProgram, CompileError> {
-    match scope {
-        None => compile(analyzed, cfg),
-        Some((start, env)) => compile_scope(analyzed, cfg, start, env),
-    }
-}
-
-/// Clone a base config with new resources.
-pub(crate) fn with_resources(
-    base: &CompileConfig,
-    cp_heap_mb: u64,
-    mr_heap: MrHeapAssignment,
-) -> CompileConfig {
-    let mut cfg = base.clone();
-    cfg.cp_heap_mb = cp_heap_mb;
-    cfg.mr_heap = mr_heap;
-    cfg
-}
-
-/// Collect instructions of every generic block, keyed by block id.
-pub(crate) fn collect_generic_instructions(
-    compiled: &CompiledProgram,
-) -> BTreeMap<usize, Vec<reml_runtime::Instruction>> {
-    let mut out = BTreeMap::new();
-    for top in &compiled.runtime.blocks {
-        top.visit_generic(&mut |b| {
-            if let RtBlock::Generic {
-                source,
-                instructions,
-                ..
-            } = b
-            {
-                out.insert(source.0, instructions.clone());
-            }
-        });
-    }
-    out
-}
-
-/// Whether `(candidate, cost)` beats the incumbent: lower cost, or equal
-/// cost (within 0.1%) and smaller resources (Definition 1's minimality).
-fn improves(
-    incumbent: &Option<(ResourceConfig, f64)>,
-    candidate: &ResourceConfig,
-    cost: f64,
-    cc: &reml_cluster::ClusterConfig,
-) -> bool {
-    match incumbent {
-        None => true,
-        Some((inc, inc_cost)) => {
-            let tie = (cost - inc_cost).abs() <= 0.001 * inc_cost.max(1e-9);
-            if tie {
-                candidate.magnitude(cc) < inc.magnitude(cc)
-            } else {
-                cost < *inc_cost
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use reml_cluster::ClusterConfig;
     use reml_compiler::pipeline::analyze_program;
+    use reml_compiler::MrHeapAssignment;
     use reml_scripts::{DataShape, Scenario};
 
     fn optimizer() -> ResourceOptimizer {
@@ -504,6 +423,95 @@ mod tests {
         if let Ok(r) = result {
             assert!(r.stats.budget_exhausted || r.stats.opt_time < Duration::from_secs(2));
         }
+    }
+
+    #[test]
+    fn zero_time_budget_still_returns_a_configuration() {
+        // Satellite of the session refactor: an exhausted budget used to
+        // leak out of the MR loop only, silently continuing with the next
+        // CP point. Now exhaustion propagates to the outer loop — and a
+        // budget that is exhausted before any point is evaluated still
+        // produces a valid (baseline-only) configuration.
+        let script = reml_scripts::glm();
+        let (analyzed, base) = setup(&script, Scenario::M, 1000, 1.0);
+        let mut opt = optimizer();
+        opt.config.time_budget = Some(Duration::ZERO);
+        let r = opt.optimize(&analyzed, &base, None).unwrap();
+        assert!(r.stats.budget_exhausted);
+        assert!(r.best_cost_s > 0.0);
+        // Only the probe, one baseline, and one aggregate were compiled.
+        let full = optimizer().optimize(&analyzed, &base, None).unwrap();
+        assert!(
+            r.stats.block_compilations < full.stats.block_compilations,
+            "{} vs {}",
+            r.stats.block_compilations,
+            full.stats.block_compilations
+        );
+    }
+
+    #[test]
+    fn plan_cache_and_bypass_agree_on_the_paper_scripts() {
+        // The decision-fingerprint cache must be semantically invisible:
+        // for every paper script, the cached optimizer returns the exact
+        // configuration and cost of a cache-bypass run — while compiling
+        // at least 2x fewer blocks.
+        for ctor in [
+            reml_scripts::linreg_ds,
+            reml_scripts::linreg_cg,
+            reml_scripts::l2svm,
+            reml_scripts::glm,
+            reml_scripts::mlogreg,
+        ] {
+            let script = ctor();
+            let (analyzed, base) = setup(&script, Scenario::M, 1000, 1.0);
+            let cc = ClusterConfig::paper_cluster();
+            let mut cached = optimizer();
+            cached.config.plan_cache = true;
+            let mut bypass = optimizer();
+            bypass.config.plan_cache = false;
+            let rc = cached
+                .optimize(&analyzed, &base, Some(cc.min_heap_mb()))
+                .unwrap();
+            let rb = bypass
+                .optimize(&analyzed, &base, Some(cc.min_heap_mb()))
+                .unwrap();
+            assert_eq!(rc.best, rb.best, "{}", script.name);
+            assert_eq!(
+                rc.best_cost_s.to_bits(),
+                rb.best_cost_s.to_bits(),
+                "{}",
+                script.name
+            );
+            assert_eq!(
+                rc.best_local
+                    .as_ref()
+                    .map(|(c, s)| (c.clone(), s.to_bits())),
+                rb.best_local
+                    .as_ref()
+                    .map(|(c, s)| (c.clone(), s.to_bits())),
+                "{}",
+                script.name
+            );
+            assert_eq!(rb.stats.plan_cache_hits, 0);
+            assert_eq!(rb.stats.compilations_avoided, 0);
+            assert!(
+                rc.stats.block_compilations * 2 <= rb.stats.block_compilations,
+                "{}: {} cached vs {} bypassed",
+                script.name,
+                rc.stats.block_compilations,
+                rb.stats.block_compilations
+            );
+        }
+    }
+
+    #[test]
+    fn stats_report_cache_behaviour() {
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::M, 1000, 1.0);
+        let r = optimizer().optimize(&analyzed, &base, None).unwrap();
+        assert!(r.stats.plan_cache_hits > 0, "{:?}", r.stats);
+        assert!(r.stats.compilations_avoided > 0);
+        assert!(r.stats.plan_cache_hits + r.stats.plan_cache_misses >= 1);
     }
 
     #[test]

@@ -18,21 +18,25 @@
 //! while another worker compiles the baseline of `r_c+1` — the pipelining
 //! effect of the paper's Figure 17. The master thread only schedules and
 //! merges results (lock-free via channels).
+//!
+//! All workers share one [`WhatIfSession`]: a plan compiled for one grid
+//! point is served from the breakpoint-keyed cache to every other worker
+//! whose budgets fall in the same decision intervals. Candidate results
+//! are buffered per CP index and folded in ascending grid order after
+//! the scheduling loop, so the parallel optimizer returns bit-identical
+//! results to the serial one regardless of task completion order.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use reml_compiler::build::Env;
-use reml_compiler::pipeline::{compile_single_block, AnalyzedProgram, CompiledProgram};
-use reml_compiler::{CompileConfig, CompileError, MrHeapAssignment};
-use reml_cost::VarStates;
-use reml_lang::BlockId;
+use reml_compiler::pipeline::AnalyzedProgram;
+use reml_compiler::session::WhatIfSession;
+use reml_compiler::{CompileConfig, CompileError};
 
-use crate::optimizer::{
-    collect_generic_instructions, compile_maybe_scoped, with_resources, OptimizationResult,
-    OptimizerStats, ResourceOptimizer,
-};
+use crate::cache::{improves, stage_agg, stage_baseline, stage_enum_block, CostMemo};
+use crate::optimizer::{OptimizationResult, OptimizerStats, ResourceOptimizer};
 use crate::resources::ResourceConfig;
 
 enum Task {
@@ -44,12 +48,12 @@ enum Task {
         rc_idx: usize,
         rc: u64,
         block_id: usize,
-        entry_env: Env,
         baseline_cost: f64,
     },
     Agg {
+        rc_idx: usize,
         rc: u64,
-        mr_heap: MrHeapAssignment,
+        enums: BTreeMap<usize, (u64, f64)>,
     },
 }
 
@@ -57,10 +61,8 @@ enum Done {
     Baseline {
         rc_idx: usize,
         rc: u64,
-        /// (block id, entry env, baseline cost) per unpruned block.
-        blocks: Vec<(usize, Env, f64)>,
-        compilations: u64,
-        costings: u64,
+        /// (block id, baseline cost) per unpruned block.
+        blocks: Vec<(usize, f64)>,
         blocks_total: usize,
     },
     Enum {
@@ -68,13 +70,11 @@ enum Done {
         block_id: usize,
         best_ri: u64,
         best_cost: f64,
-        compilations: u64,
-        costings: u64,
     },
     Agg {
+        rc_idx: usize,
         candidate: ResourceConfig,
         cost: f64,
-        compilations: u64,
     },
     Failed(CompileError),
 }
@@ -92,17 +92,26 @@ pub fn optimize_parallel(
     let (min_heap, max_heap) = (cc.min_heap_mb(), cc.max_heap_mb());
     let mut stats = OptimizerStats::default();
 
-    // Probe compile for grid generation (master, once).
-    let probe_cfg = with_resources(base, min_heap, MrHeapAssignment::uniform(min_heap));
-    let probe = compile_maybe_scoped(analyzed, &probe_cfg, scope)?;
-    stats.block_compilations += probe.stats.block_compilations;
-    let mem_estimates: Vec<f64> = probe
+    // The shared what-if session (master, once): probe compile for grid
+    // generation, breakpoint thresholds, and the plan caches all workers
+    // serve from.
+    let session = WhatIfSession::new(analyzed, base, scope, opt.config.plan_cache)?;
+    let memo = CostMemo::new(opt.config.plan_cache);
+    let mem_estimates: Vec<f64> = session
+        .probe()
+        .compiled
         .summaries
         .iter()
         .flat_map(|s| s.mem_estimates_mb.iter().copied())
         .collect();
-    let src = opt.config.cp_grid.generate(min_heap, max_heap, &mem_estimates);
-    let srm = opt.config.mr_grid.generate(min_heap, max_heap, &mem_estimates);
+    let src = opt
+        .config
+        .cp_grid
+        .generate(min_heap, max_heap, &mem_estimates);
+    let srm = opt
+        .config
+        .mr_grid
+        .generate(min_heap, max_heap, &mem_estimates);
     stats.cp_points = src.len();
     stats.mr_points = srm.len();
 
@@ -111,167 +120,149 @@ pub fn optimize_parallel(
     let workers = opt.config.workers.max(2) - 1;
     let deadline = opt.config.time_budget.map(|b| start + b);
 
-    let (best, best_local) = std::thread::scope(
-        |threads| -> Result<
-            (
-                Option<(ResourceConfig, f64)>,
-                Option<(ResourceConfig, f64)>,
-            ),
-            CompileError,
-        > {
-        for _ in 0..workers {
-            let task_rx = task_rx.clone();
-            let done_tx = done_tx.clone();
-            let srm = &srm;
-            threads.spawn(move || {
-                worker_loop(
-                    opt, analyzed, base, scope, min_heap, srm, deadline, task_rx, done_tx,
-                );
-            });
-        }
-        drop(task_rx);
-        drop(done_tx);
+    let candidates = std::thread::scope(
+        |threads| -> Result<Vec<Option<(ResourceConfig, f64)>>, CompileError> {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                let (session, memo, srm) = (&session, &memo, &srm);
+                threads.spawn(move || {
+                    worker_loop(opt, session, memo, srm, deadline, task_rx, done_tx);
+                });
+            }
+            drop(task_rx);
+            drop(done_tx);
 
-        // Master: seed baseline tasks and run the scheduling loop.
-        for (rc_idx, &rc) in src.iter().enumerate() {
-            task_tx
-                .send(Task::Baseline { rc_idx, rc })
-                .expect("workers alive");
-        }
+            // Master: seed baseline tasks and run the scheduling loop.
+            for (rc_idx, &rc) in src.iter().enumerate() {
+                task_tx
+                    .send(Task::Baseline { rc_idx, rc })
+                    .expect("workers alive");
+            }
 
-        let mut memo_per_rc: Vec<BTreeMap<usize, (u64, f64)>> = vec![BTreeMap::new(); src.len()];
-        let mut pending_enums: Vec<usize> = vec![0; src.len()];
-        let mut completed = 0usize;
-        let mut best: Option<(ResourceConfig, f64)> = None;
-        let mut best_local: Option<(ResourceConfig, f64)> = None;
-        let mut first_error: Option<CompileError> = None;
+            let mut memo_per_rc: Vec<BTreeMap<usize, (u64, f64)>> =
+                vec![BTreeMap::new(); src.len()];
+            let mut pending_enums: Vec<usize> = vec![0; src.len()];
+            let mut candidates: Vec<Option<(ResourceConfig, f64)>> = vec![None; src.len()];
+            let mut completed = 0usize;
+            let mut first_error: Option<CompileError> = None;
 
-        while completed < src.len() {
-            let Ok(done) = done_rx.recv() else { break };
-            match done {
-                Done::Baseline {
-                    rc_idx,
-                    rc,
-                    blocks,
-                    compilations,
-                    costings,
-                    blocks_total,
-                } => {
-                    stats.block_compilations += compilations;
-                    stats.cost_invocations += costings;
-                    if rc_idx == 0 {
-                        stats.blocks_total = blocks_total;
-                        stats.blocks_remaining = blocks.len();
-                    }
-                    pending_enums[rc_idx] = blocks.len();
-                    if blocks.is_empty() {
-                        task_tx
-                            .send(Task::Agg {
-                                rc,
-                                mr_heap: MrHeapAssignment::uniform(min_heap),
-                            })
-                            .expect("workers alive");
-                    } else {
-                        for (block_id, entry_env, baseline_cost) in blocks {
-                            memo_per_rc[rc_idx].insert(block_id, (min_heap, baseline_cost));
+            while completed < src.len() {
+                let Ok(done) = done_rx.recv() else { break };
+                match done {
+                    Done::Baseline {
+                        rc_idx,
+                        rc,
+                        blocks,
+                        blocks_total,
+                    } => {
+                        if rc_idx == 0 {
+                            stats.blocks_total = blocks_total;
+                            stats.blocks_remaining = blocks.len();
+                        }
+                        pending_enums[rc_idx] = blocks.len();
+                        for &(block_id, cost) in &blocks {
+                            memo_per_rc[rc_idx]
+                                .entry(block_id)
+                                .or_insert((min_heap, cost));
+                        }
+                        if blocks.is_empty() {
                             task_tx
-                                .send(Task::Enum {
+                                .send(Task::Agg {
                                     rc_idx,
                                     rc,
-                                    block_id,
-                                    entry_env,
-                                    baseline_cost,
+                                    enums: BTreeMap::new(),
+                                })
+                                .expect("workers alive");
+                        } else {
+                            for (block_id, baseline_cost) in blocks {
+                                task_tx
+                                    .send(Task::Enum {
+                                        rc_idx,
+                                        rc,
+                                        block_id,
+                                        baseline_cost,
+                                    })
+                                    .expect("workers alive");
+                            }
+                        }
+                    }
+                    Done::Enum {
+                        rc_idx,
+                        block_id,
+                        best_ri,
+                        best_cost,
+                    } => {
+                        let entry = memo_per_rc[rc_idx]
+                            .get_mut(&block_id)
+                            .expect("memo seeded at baseline");
+                        if best_cost < entry.1 {
+                            *entry = (best_ri, best_cost);
+                        }
+                        pending_enums[rc_idx] -= 1;
+                        if pending_enums[rc_idx] == 0 {
+                            task_tx
+                                .send(Task::Agg {
+                                    rc_idx,
+                                    rc: src[rc_idx],
+                                    enums: memo_per_rc[rc_idx].clone(),
                                 })
                                 .expect("workers alive");
                         }
                     }
-                }
-                Done::Enum {
-                    rc_idx,
-                    block_id,
-                    best_ri,
-                    best_cost,
-                    compilations,
-                    costings,
-                } => {
-                    stats.block_compilations += compilations;
-                    stats.cost_invocations += costings;
-                    let entry = memo_per_rc[rc_idx]
-                        .get_mut(&block_id)
-                        .expect("memo seeded at baseline");
-                    if best_cost < entry.1 {
-                        *entry = (best_ri, best_cost);
+                    Done::Agg {
+                        rc_idx,
+                        candidate,
+                        cost,
+                    } => {
+                        candidates[rc_idx] = Some((candidate, cost));
+                        completed += 1;
                     }
-                    pending_enums[rc_idx] -= 1;
-                    if pending_enums[rc_idx] == 0 {
-                        let mut mr_heap = MrHeapAssignment::uniform(min_heap);
-                        for (bid, (ri, _)) in &memo_per_rc[rc_idx] {
-                            if *ri != min_heap {
-                                mr_heap.set_block(*bid, *ri);
-                            }
-                        }
-                        task_tx
-                            .send(Task::Agg {
-                                rc: src[rc_idx],
-                                mr_heap,
-                            })
-                            .expect("workers alive");
-                    }
-                }
-                Done::Agg {
-                    candidate,
-                    cost,
-                    compilations,
-                } => {
-                    stats.block_compilations += compilations;
-                    stats.cost_invocations += 1;
-                    completed += 1;
-                    let better = match &best {
-                        None => true,
-                        Some((inc, inc_cost)) => {
-                            let tie = (cost - inc_cost).abs() <= 0.001 * inc_cost.max(1e-9);
-                            if tie {
-                                candidate.magnitude(cc) < inc.magnitude(cc)
-                            } else {
-                                cost < *inc_cost
-                            }
-                        }
-                    };
-                    if better {
-                        best = Some((candidate.clone(), cost));
-                    }
-                    if Some(candidate.cp_heap_mb) == current_cp_heap {
-                        let better_local = match &best_local {
-                            None => true,
-                            Some((_, c)) => cost < *c,
-                        };
-                        if better_local {
-                            best_local = Some((candidate, cost));
+                    Done::Failed(error) => {
+                        completed += 1;
+                        if first_error.is_none() {
+                            first_error = Some(error);
                         }
                     }
                 }
-                Done::Failed(e) => {
-                    completed += 1;
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    }
+                if deadline.map(|d| Instant::now() > d).unwrap_or(false)
+                    && candidates.iter().any(Option::is_some)
+                {
+                    stats.budget_exhausted = true;
+                    break;
                 }
             }
-            if deadline.map(|d| Instant::now() > d).unwrap_or(false) && best.is_some() {
-                stats.budget_exhausted = true;
-                break;
+            drop(task_tx);
+            if candidates.iter().all(Option::is_none) {
+                if let Some(e) = first_error {
+                    return Err(e);
+                }
             }
-        }
-        drop(task_tx);
-        if best.is_none() {
-            if let Some(e) = first_error {
-                return Err(e);
-            }
-        }
-        Ok((best, best_local))
-    },
+            Ok(candidates)
+        },
     )?;
 
+    // Deterministic merge: fold candidates in ascending CP grid order,
+    // exactly like the serial loop would.
+    let mut best: Option<(ResourceConfig, f64)> = None;
+    let mut best_local: Option<(ResourceConfig, f64)> = None;
+    for (candidate, cost) in candidates.into_iter().flatten() {
+        if improves(&best, &candidate, cost, cc) {
+            best = Some((candidate.clone(), cost));
+        }
+        if Some(candidate.cp_heap_mb) == current_cp_heap
+            && improves(&best_local, &candidate, cost, cc)
+        {
+            best_local = Some((candidate, cost));
+        }
+    }
+
+    let session_stats = session.stats();
+    stats.block_compilations = session_stats.block_compilations;
+    stats.plan_cache_hits = session_stats.plan_cache_hits;
+    stats.plan_cache_misses = session_stats.plan_cache_misses;
+    stats.compilations_avoided = session_stats.compilations_avoided;
+    stats.cost_invocations = memo.runs();
     stats.opt_time = start.elapsed();
     let (best, best_cost_s) = best.ok_or_else(|| {
         CompileError::Internal("parallel optimizer enumerated no configurations".into())
@@ -284,13 +275,10 @@ pub fn optimize_parallel(
     })
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     opt: &ResourceOptimizer,
-    analyzed: &AnalyzedProgram,
-    base: &CompileConfig,
-    scope: Option<(usize, &Env)>,
-    min_heap: u64,
+    session: &WhatIfSession<'_>,
+    memo: &CostMemo,
     srm: &[u64],
     deadline: Option<Instant>,
     task_rx: Receiver<Task>,
@@ -298,143 +286,50 @@ fn worker_loop(
 ) {
     while let Ok(task) = task_rx.recv() {
         let result = match task {
-            Task::Baseline { rc_idx, rc } => run_baseline(opt, analyzed, base, scope, min_heap, rc_idx, rc),
+            Task::Baseline { rc_idx, rc } => match stage_baseline(opt, session, memo, rc) {
+                Ok(bl) => Done::Baseline {
+                    rc_idx,
+                    rc,
+                    blocks: bl.blocks,
+                    blocks_total: bl.blocks_total,
+                },
+                Err(error) => Done::Failed(error),
+            },
             Task::Enum {
                 rc_idx,
                 rc,
                 block_id,
-                entry_env,
                 baseline_cost,
-            } => run_enum(
-                opt, analyzed, base, min_heap, srm, deadline, rc_idx, rc, block_id, &entry_env,
-                baseline_cost,
-            ),
-            Task::Agg { rc, mr_heap, .. } => {
-                run_agg(opt, analyzed, base, scope, rc, mr_heap)
+            } => {
+                let ((best_ri, best_cost), _cut) = stage_enum_block(
+                    opt,
+                    session,
+                    memo,
+                    srm,
+                    deadline,
+                    rc,
+                    block_id,
+                    baseline_cost,
+                );
+                Done::Enum {
+                    rc_idx,
+                    block_id,
+                    best_ri,
+                    best_cost,
+                }
             }
+            Task::Agg { rc_idx, rc, enums } => match stage_agg(opt, session, memo, rc, &enums) {
+                Ok((candidate, cost)) => Done::Agg {
+                    rc_idx,
+                    candidate,
+                    cost,
+                },
+                Err(error) => Done::Failed(error),
+            },
         };
         if done_tx.send(result).is_err() {
             break;
         }
-    }
-}
-
-fn run_baseline(
-    opt: &ResourceOptimizer,
-    analyzed: &AnalyzedProgram,
-    base: &CompileConfig,
-    scope: Option<(usize, &Env)>,
-    min_heap: u64,
-    rc_idx: usize,
-    rc: u64,
-) -> Done {
-    let cfg = with_resources(base, rc, MrHeapAssignment::uniform(min_heap));
-    let compiled: CompiledProgram = match compile_maybe_scoped(analyzed, &cfg, scope) {
-        Ok(c) => c,
-        Err(e) => return Done::Failed(e),
-    };
-    let (remaining, total) = opt.prune_blocks(&compiled);
-    let block_instr = collect_generic_instructions(&compiled);
-    let mut blocks = Vec::new();
-    let mut costings = 0u64;
-    for bid in remaining {
-        let cost = opt
-            .cost_model
-            .cost_instructions(&block_instr[&bid], rc, min_heap, &mut VarStates::new())
-            .total_s();
-        costings += 1;
-        if let Some(env) = compiled.entry_envs.get(&bid) {
-            blocks.push((bid, env.clone(), cost));
-        }
-    }
-    Done::Baseline {
-        rc_idx,
-        rc,
-        blocks,
-        compilations: compiled.stats.block_compilations,
-        costings,
-        blocks_total: total,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_enum(
-    opt: &ResourceOptimizer,
-    analyzed: &AnalyzedProgram,
-    base: &CompileConfig,
-    min_heap: u64,
-    srm: &[u64],
-    deadline: Option<Instant>,
-    rc_idx: usize,
-    rc: u64,
-    block_id: usize,
-    entry_env: &Env,
-    baseline_cost: f64,
-) -> Done {
-    let mut best_ri = min_heap;
-    let mut best_cost = baseline_cost;
-    let mut compilations = 0u64;
-    let mut costings = 0u64;
-    for &ri in srm {
-        if ri == min_heap {
-            continue;
-        }
-        if deadline.map(|d| Instant::now() > d).unwrap_or(false) {
-            break;
-        }
-        let mut cfg = with_resources(base, rc, MrHeapAssignment::uniform(min_heap));
-        cfg.mr_heap.set_block(block_id, ri);
-        let Ok((instrs, _summary, cstats)) =
-            compile_single_block(analyzed, &cfg, BlockId(block_id), entry_env)
-        else {
-            continue;
-        };
-        compilations += cstats.block_compilations;
-        let cost = opt
-            .cost_model
-            .cost_instructions(&instrs, rc, ri, &mut VarStates::new())
-            .total_s();
-        costings += 1;
-        if cost < best_cost {
-            best_cost = cost;
-            best_ri = ri;
-        }
-    }
-    Done::Enum {
-        rc_idx,
-        block_id,
-        best_ri,
-        best_cost,
-        compilations,
-        costings,
-    }
-}
-
-fn run_agg(
-    opt: &ResourceOptimizer,
-    analyzed: &AnalyzedProgram,
-    base: &CompileConfig,
-    scope: Option<(usize, &Env)>,
-    rc: u64,
-    mr_heap: MrHeapAssignment,
-) -> Done {
-    let cfg = with_resources(base, rc, mr_heap.clone());
-    let full = match compile_maybe_scoped(analyzed, &cfg, scope) {
-        Ok(c) => c,
-        Err(e) => return Done::Failed(e),
-    };
-    let heap_of = mr_heap.clone();
-    let cost = opt
-        .cost_model
-        .cost_program(&full.runtime, rc, &|bid| heap_of.for_block(bid))
-        .total_s();
-    Done::Agg {
-        candidate: ResourceConfig {
-            cp_heap_mb: rc,
-            mr_heap,
-        },
-        cost,
-        compilations: full.stats.block_compilations,
     }
 }
 
@@ -443,6 +338,7 @@ mod tests {
     use super::*;
     use reml_cluster::ClusterConfig;
     use reml_compiler::pipeline::analyze_program;
+    use reml_compiler::MrHeapAssignment;
     use reml_cost::CostModel;
     use reml_scripts::{DataShape, Scenario};
 
@@ -479,6 +375,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_identical_to_serial_bit_for_bit() {
+        // The shared stage implementation plus rc-ordered candidate
+        // folding makes the parallel optimizer deterministic: the full
+        // configuration (including per-block MR overrides) and the cost
+        // must match the serial result exactly.
+        for script in [reml_scripts::linreg_cg(), reml_scripts::glm()] {
+            let (analyzed, base) = setup(&script, Scenario::S);
+            let cc = ClusterConfig::paper_cluster();
+            let mut serial = ResourceOptimizer::new(CostModel::new(cc.clone()));
+            serial.config.workers = 1;
+            let mut par = serial.clone();
+            par.config.workers = 4;
+            let rs = serial
+                .optimize(&analyzed, &base, Some(cc.min_heap_mb()))
+                .unwrap();
+            let rp = par
+                .optimize(&analyzed, &base, Some(cc.min_heap_mb()))
+                .unwrap();
+            assert_eq!(rs.best, rp.best, "{}", script.name);
+            assert_eq!(rs.best_cost_s.to_bits(), rp.best_cost_s.to_bits());
+            assert_eq!(
+                rs.best_local
+                    .as_ref()
+                    .map(|(c, s)| (c.clone(), s.to_bits())),
+                rp.best_local
+                    .as_ref()
+                    .map(|(c, s)| (c.clone(), s.to_bits())),
+            );
+        }
+    }
+
+    #[test]
     fn parallel_on_glm_counts_work() {
         let script = reml_scripts::glm();
         let (analyzed, base) = setup(&script, Scenario::M);
@@ -501,5 +429,16 @@ mod tests {
             .unwrap();
         let (local, _) = r.best_local.expect("local requested");
         assert_eq!(local.cp_heap_mb, cc.min_heap_mb());
+    }
+
+    #[test]
+    fn parallel_shares_the_plan_cache_across_workers() {
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::M);
+        let mut par = ResourceOptimizer::new(CostModel::new(ClusterConfig::paper_cluster()));
+        par.config.workers = 4;
+        let r = par.optimize(&analyzed, &base, None).unwrap();
+        assert!(r.stats.plan_cache_hits > 0, "{:?}", r.stats);
+        assert!(r.stats.compilations_avoided > 0);
     }
 }

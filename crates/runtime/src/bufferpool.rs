@@ -303,6 +303,6 @@ mod tests {
         let _ = pool.get("b");
         pool.put("c", m_kb(4));
         // No further evictions after the resize.
-        assert_eq!(pool.stats().evictions, evictions_before + 0);
+        assert_eq!(pool.stats().evictions, evictions_before);
     }
 }

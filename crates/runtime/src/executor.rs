@@ -287,8 +287,9 @@ impl Executor {
             .scalars
             .get(&pred.result_var)
             .ok_or_else(|| ExecError::UnknownVariable(pred.result_var.clone()))?;
-        v.as_bool()
-            .ok_or_else(|| ExecError::TypeError(format!("predicate '{}' not boolean", pred.result_var)))
+        v.as_bool().ok_or_else(|| {
+            ExecError::TypeError(format!("predicate '{}' not boolean", pred.result_var))
+        })
     }
 
     fn eval_predicate_num(&mut self, pred: &Predicate) -> Result<f64, ExecError> {
@@ -450,7 +451,9 @@ impl Executor {
                 let sparsity = self.scalar_num(&operands[2])?;
                 let seed = self.scalar_num(&operands[3])? as u64;
                 let m = if sparsity >= 1.0 {
-                    Matrix::Dense(reml_matrix::generate::rand_dense(rows, cols, 0.0, 1.0, seed))
+                    Matrix::Dense(reml_matrix::generate::rand_dense(
+                        rows, cols, 0.0, 1.0, seed,
+                    ))
                 } else {
                     Matrix::from_sparse_auto(reml_matrix::generate::rand_sparse(
                         rows, cols, sparsity, 0.0, 1.0, seed,
@@ -671,7 +674,10 @@ impl Executor {
             OpCode::Concat => {
                 let a = self.scalar_operand(&operands[0])?;
                 let b = self.scalar_operand(&operands[1])?;
-                self.put_scalar(output, ScalarValue::Str(format!("{}{}", a.render(), b.render())));
+                self.put_scalar(
+                    output,
+                    ScalarValue::Str(format!("{}{}", a.render(), b.render())),
+                );
                 Ok(())
             }
             OpCode::Print => {
@@ -739,8 +745,12 @@ mod tests {
             Some("A"),
         ))
         .unwrap();
-        e.execute(&cp(OpCode::Agg(AggOp::Sum), vec![Operand::var("A")], Some("s")))
-            .unwrap();
+        e.execute(&cp(
+            OpCode::Agg(AggOp::Sum),
+            vec![Operand::var("A")],
+            Some("s"),
+        ))
+        .unwrap();
         assert_eq!(e.scalars["s"], ScalarValue::Num(24.0));
     }
 
@@ -769,7 +779,9 @@ mod tests {
         let mut e = exec();
         let err = e
             .execute(&cp(
-                OpCode::PersistentRead { path: "gone".into() },
+                OpCode::PersistentRead {
+                    path: "gone".into(),
+                },
                 vec![],
                 Some("X"),
             ))
@@ -786,8 +798,12 @@ mod tests {
                 reml_matrix::DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap(),
             ),
         );
-        e.execute(&cp(OpCode::PersistentRead { path: "X".into() }, vec![], Some("X")))
-            .unwrap();
+        e.execute(&cp(
+            OpCode::PersistentRead { path: "X".into() },
+            vec![],
+            Some("X"),
+        ))
+        .unwrap();
         e.execute(&cp(OpCode::Transpose, vec![Operand::var("X")], Some("Xt")))
             .unwrap();
         e.execute(&cp(
@@ -862,8 +878,7 @@ mod tests {
         e.pool.put(
             "P",
             Matrix::Dense(
-                reml_matrix::DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
-                    .unwrap(),
+                reml_matrix::DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap(),
             ),
         );
         // P[, 1:2]
@@ -957,11 +972,7 @@ mod tests {
         let prog = RuntimeProgram {
             blocks: vec![RtBlock::Generic {
                 source: reml_lang::BlockId(0),
-                instructions: vec![cp(
-                    OpCode::Assign,
-                    vec![Operand::num(1.0)],
-                    Some("x"),
-                )],
+                instructions: vec![cp(OpCode::Assign, vec![Operand::num(1.0)], Some("x"))],
                 requires_recompile: true,
             }],
             ..Default::default()

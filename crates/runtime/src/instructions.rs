@@ -349,10 +349,7 @@ mod tests {
     #[test]
     fn mnemonics() {
         assert_eq!(OpCode::Tsmm.mnemonic(), "tsmm");
-        assert_eq!(
-            OpCode::BinaryMM(BinaryOp::Mul).mnemonic(),
-            "map*"
-        );
+        assert_eq!(OpCode::BinaryMM(BinaryOp::Mul).mnemonic(), "map*");
         assert_eq!(OpCode::Agg(AggOp::Sum).mnemonic(), "uasum");
     }
 }

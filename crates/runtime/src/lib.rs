@@ -33,6 +33,8 @@ pub mod value;
 pub use bufferpool::{BufferPool, BufferPoolStats};
 pub use executor::{ExecStats, Executor, MigrationReport, RecompileHook};
 pub use hdfs::HdfsStore;
-pub use instructions::{CpInstruction, Instruction, MrJobInstruction, MrLocation, MrOperator, OpCode};
+pub use instructions::{
+    CpInstruction, Instruction, MrJobInstruction, MrLocation, MrOperator, OpCode,
+};
 pub use program::{Predicate, RtBlock, RuntimeProgram};
 pub use value::{Operand, ScalarValue};

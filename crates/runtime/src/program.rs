@@ -95,8 +95,14 @@ impl RtBlock {
                 ..
             } => {
                 pred.instructions.iter().filter(|i| i.is_mr()).count()
-                    + then_blocks.iter().map(RtBlock::count_mr_jobs).sum::<usize>()
-                    + else_blocks.iter().map(RtBlock::count_mr_jobs).sum::<usize>()
+                    + then_blocks
+                        .iter()
+                        .map(RtBlock::count_mr_jobs)
+                        .sum::<usize>()
+                    + else_blocks
+                        .iter()
+                        .map(RtBlock::count_mr_jobs)
+                        .sum::<usize>()
             }
             RtBlock::While { pred, body, .. } => {
                 pred.instructions.iter().filter(|i| i.is_mr()).count()
@@ -187,7 +193,11 @@ fn explain_block(block: &RtBlock, depth: usize, out: &mut String) {
             out.push_str(&format!(
                 "{pad}GENERIC b{}{}\n",
                 source.0,
-                if *requires_recompile { " [recompile]" } else { "" }
+                if *requires_recompile {
+                    " [recompile]"
+                } else {
+                    ""
+                }
             ));
             for i in instructions {
                 out.push_str(&format!("{pad}  {}\n", i.render()));

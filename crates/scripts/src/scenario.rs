@@ -67,16 +67,36 @@ impl DataShape {
     /// The four standard configurations of the evaluation at a scale.
     pub fn paper_variants(scenario: Scenario) -> [DataShape; 4] {
         [
-            DataShape { scenario, cols: 1000, sparsity: 1.0 },
-            DataShape { scenario, cols: 1000, sparsity: 0.01 },
-            DataShape { scenario, cols: 100, sparsity: 1.0 },
-            DataShape { scenario, cols: 100, sparsity: 0.01 },
+            DataShape {
+                scenario,
+                cols: 1000,
+                sparsity: 1.0,
+            },
+            DataShape {
+                scenario,
+                cols: 1000,
+                sparsity: 0.01,
+            },
+            DataShape {
+                scenario,
+                cols: 100,
+                sparsity: 1.0,
+            },
+            DataShape {
+                scenario,
+                cols: 100,
+                sparsity: 0.01,
+            },
         ]
     }
 
     /// Short label, e.g. `dense1000`.
     pub fn label(&self) -> String {
-        let density = if self.sparsity >= 1.0 { "dense" } else { "sparse" };
+        let density = if self.sparsity >= 1.0 {
+            "dense"
+        } else {
+            "sparse"
+        };
         format!("{density}{}", self.cols)
     }
 

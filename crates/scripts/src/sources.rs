@@ -48,8 +48,10 @@ impl ScriptSpec {
         for (name, value) in &self.params {
             cfg.params.insert((*name).to_string(), value.clone());
         }
-        cfg.inputs.insert("X".to_string(), shape.x_characteristics());
-        cfg.inputs.insert("y".to_string(), shape.y_characteristics());
+        cfg.inputs
+            .insert("X".to_string(), shape.x_characteristics());
+        cfg.inputs
+            .insert("y".to_string(), shape.y_characteristics());
         cfg
     }
 }
@@ -538,8 +540,8 @@ mod tests {
     #[test]
     fn all_scripts_analyze() {
         for script in all_scripts() {
-            let analyzed = analyze_program(&script.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", script.name));
+            let analyzed =
+                analyze_program(&script.source).unwrap_or_else(|e| panic!("{}: {e}", script.name));
             assert!(analyzed.num_blocks() > 0, "{}", script.name);
         }
     }
@@ -571,8 +573,7 @@ mod tests {
                 4096,
                 MrHeapAssignment::uniform(1024),
             );
-            let compiled =
-                reml_compiler::pipeline::compile_source(&script.source, &cfg).unwrap();
+            let compiled = reml_compiler::pipeline::compile_source(&script.source, &cfg).unwrap();
             let any_recompile = compiled.summaries.iter().any(|s| s.requires_recompile);
             assert_eq!(
                 any_recompile, script.has_unknowns,
@@ -602,15 +603,10 @@ mod tests {
     fn iterative_scripts_have_while_blocks() {
         for script in all_scripts() {
             let analyzed = analyze_program(&script.source).unwrap();
-            let has_while = analyzed.num_blocks()
-                > analyzed
-                    .blocks
-                    .iter()
-                    .filter(|b| b.is_generic())
-                    .count();
-            assert_eq!(
+            let has_while =
+                analyzed.num_blocks() > analyzed.blocks.iter().filter(|b| b.is_generic()).count();
+            assert!(
                 has_while || !script.iterative,
-                true,
                 "{} iterative flag",
                 script.name
             );

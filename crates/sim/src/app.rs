@@ -17,8 +17,7 @@ use rand::{Rng, SeedableRng};
 use reml_cluster::ClusterConfig;
 use reml_compiler::build::Env;
 use reml_compiler::pipeline::{
-    compile, compile_block_with_env, fold_predicate_with_env, propagate_blocks_env,
-    AnalyzedProgram,
+    compile, compile_block_with_env, fold_predicate_with_env, propagate_blocks_env, AnalyzedProgram,
 };
 use reml_compiler::{CompileConfig, CompileError};
 use reml_cost::{CostModel, VarStates};
@@ -263,8 +262,12 @@ impl<'a> SimState<'a> {
                     else_blocks,
                 } => {
                     self.outcome.compute_s += PREDICATE_COST_S;
-                    let konst =
-                        fold_predicate_with_env(self.analyzed, &self.current_cfg(), pred, &self.env)?;
+                    let konst = fold_predicate_with_env(
+                        self.analyzed,
+                        &self.current_cfg(),
+                        pred,
+                        &self.env,
+                    )?;
                     match konst.and_then(|v| v.as_bool()) {
                         Some(true) => self.sim_blocks(then_blocks)?,
                         Some(false) => self.sim_blocks(else_blocks)?,
@@ -444,8 +447,9 @@ impl<'a> SimState<'a> {
                     if let Operand::Var(name) = operand {
                         if !mc.is_scalar() {
                             let restored = self.pool.touch(name);
-                            self.outcome.eviction_s +=
-                                restored as f64 / (1024.0 * 1024.0) / self.facts.local_disk_read_mbs;
+                            self.outcome.eviction_s += restored as f64
+                                / (1024.0 * 1024.0)
+                                / self.facts.local_disk_read_mbs;
                         }
                     }
                 }
@@ -517,7 +521,11 @@ fn patch_unknowns(instr: &Instruction, facts: &SimFacts) -> Instruction {
         }
         Instruction::MrJob(job) => {
             let mut job = job.clone();
-            for (_, mc) in job.hdfs_inputs.iter_mut().chain(job.broadcast_inputs.iter_mut()) {
+            for (_, mc) in job
+                .hdfs_inputs
+                .iter_mut()
+                .chain(job.broadcast_inputs.iter_mut())
+            {
                 *mc = patch_mc(mc, false);
             }
             for op in job.mappers.iter_mut().chain(job.reducers.iter_mut()) {
@@ -922,7 +930,14 @@ mod tests {
         // L2SVM runs maxiter outer iterations: more work than LinregDS on
         // the same data at the same (large) memory.
         let res = ResourceConfig::uniform(16 * 1024, 2 * 1024);
-        let ds = run(&reml_scripts::linreg_ds(), Scenario::S, 100, 1.0, res.clone(), false);
+        let ds = run(
+            &reml_scripts::linreg_ds(),
+            Scenario::S,
+            100,
+            1.0,
+            res.clone(),
+            false,
+        );
         let svm = run(&reml_scripts::l2svm(), Scenario::S, 100, 1.0, res, false);
         assert!(svm.recompilations > ds.recompilations);
     }

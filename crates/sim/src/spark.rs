@@ -85,8 +85,7 @@ pub fn simulate_spark_iterative(
         // distributed stages: one short pass each plus shuffles.
         if plan == SparkPlan::Full {
             let vector_mb = data / 1000.0; // n×1 vs n×1000 features
-            t += STAGES_PER_ITER_FULL_EXTRA
-                * (vector_mb / AGG_CACHE_SCAN_MBS + 0.4);
+            t += STAGES_PER_ITER_FULL_EXTRA * (vector_mb / AGG_CACHE_SCAN_MBS + 0.4);
         }
     }
     t
@@ -184,13 +183,16 @@ mod tests {
         // to 55 GB.
         let (cc, sc) = setup();
         let candidates = [8 * 1024, 16 * 1024, 24 * 1024, 55 * 1024];
-        let (cfg, t) = recommend_executor_memory(
-            &cc, &sc, SparkPlan::Hybrid, 80_000, 5, &candidates,
+        let (cfg, t) =
+            recommend_executor_memory(&cc, &sc, SparkPlan::Hybrid, 80_000, 5, &candidates);
+        assert_eq!(
+            cfg.executor_mem_mb,
+            24 * 1024,
+            "picked {} ({t} s)",
+            cfg.executor_mem_mb
         );
-        assert_eq!(cfg.executor_mem_mb, 24 * 1024, "picked {} ({t} s)", cfg.executor_mem_mb);
-        let (cfg_small, t_small) = recommend_executor_memory(
-            &cc, &sc, SparkPlan::Hybrid, 80_000, 5, &[8 * 1024],
-        );
+        let (cfg_small, t_small) =
+            recommend_executor_memory(&cc, &sc, SparkPlan::Hybrid, 80_000, 5, &[8 * 1024]);
         assert_eq!(cfg_small.executor_mem_mb, 8 * 1024);
         assert!(t < t_small);
     }
@@ -199,9 +201,7 @@ mod tests {
     fn executor_sizing_small_data_picks_minimum() {
         let (cc, sc) = setup();
         let candidates = [4 * 1024, 16 * 1024, 55 * 1024];
-        let (cfg, _) = recommend_executor_memory(
-            &cc, &sc, SparkPlan::Hybrid, 800, 5, &candidates,
-        );
+        let (cfg, _) = recommend_executor_memory(&cc, &sc, SparkPlan::Hybrid, 800, 5, &candidates);
         assert_eq!(cfg.executor_mem_mb, 4 * 1024);
     }
 

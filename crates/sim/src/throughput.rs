@@ -47,10 +47,7 @@ pub fn simulate_throughput(
         // Submit from every ready user while slots remain.
         let mut progressed = false;
         for u in 0..num_users as usize {
-            if remaining[u] > 0
-                && user_ready[u] <= clock
-                && (running.len() as u32) < max_parallel
-            {
+            if remaining[u] > 0 && user_ready[u] <= clock && (running.len() as u32) < max_parallel {
                 remaining[u] -= 1;
                 let finish = clock + app_duration_s;
                 running.push(finish);
@@ -113,7 +110,11 @@ mod tests {
         let r = simulate_throughput(60.0, 6, 128, 8, 0.0);
         assert_eq!(r.peak_parallel, 6);
         // 1024 apps at 6/min: ~170 min.
-        assert!((r.throughput_apps_per_min - 6.0).abs() < 0.3, "{}", r.throughput_apps_per_min);
+        assert!(
+            (r.throughput_apps_per_min - 6.0).abs() < 0.3,
+            "{}",
+            r.throughput_apps_per_min
+        );
     }
 
     #[test]

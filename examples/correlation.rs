@@ -30,7 +30,8 @@ fn main() {
     let x = reml::matrix::generate::rand_dense(rows, cols, -1.0, 1.0, 99);
     let mut cfg = CompileConfig::new(ClusterConfig::paper_cluster(), 4 * 1024, 1024);
     cfg.params.insert("X".into(), ScalarValue::Str("X".into()));
-    cfg.params.insert("model".into(), ScalarValue::Str("model".into()));
+    cfg.params
+        .insert("model".into(), ScalarValue::Str("model".into()));
     cfg.inputs.insert(
         "X".into(),
         reml::matrix::MatrixCharacteristics::dense(rows as u64, cols as u64),
@@ -68,12 +69,15 @@ fn main() {
     };
     let mut big = CompileConfig::new(ClusterConfig::paper_cluster(), 512, 512);
     big.params.insert("X".into(), ScalarValue::Str("X".into()));
-    big.params.insert("model".into(), ScalarValue::Str("model".into()));
+    big.params
+        .insert("model".into(), ScalarValue::Str("model".into()));
     big.inputs.insert("X".into(), shape.x_characteristics());
     big.mr_heap = MrHeapAssignment::uniform(512);
     let analyzed = analyze_program(SCRIPT).expect("analyzes");
     let optimizer = ResourceOptimizer::new(CostModel::new(ClusterConfig::paper_cluster()));
-    let result = optimizer.optimize(&analyzed, &big, None).expect("optimizes");
+    let result = optimizer
+        .optimize(&analyzed, &big, None)
+        .expect("optimizes");
     println!(
         "\ncluster-scale (80 GB X): optimizer requests CP/MR = {} GB, estimated {:.0} s",
         result.best.display_gb(),

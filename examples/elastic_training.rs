@@ -24,11 +24,18 @@ fn main() {
     let analyzed = analyze_program(&script.source).expect("analyzes");
     let base = script.compile_config(shape, cluster.clone(), 512, MrHeapAssignment::uniform(512));
 
-    println!("== {} on {} {} (k unknown at compile time) ==\n", script.name, shape.scenario.name(), shape.label());
+    println!(
+        "== {} on {} {} (k unknown at compile time) ==\n",
+        script.name,
+        shape.scenario.name(),
+        shape.label()
+    );
 
     // 1. Initial resource optimization (under unknowns).
     let optimizer = ResourceOptimizer::new(CostModel::new(cluster.clone()));
-    let initial = optimizer.optimize(&analyzed, &base, None).expect("optimizes");
+    let initial = optimizer
+        .optimize(&analyzed, &base, None)
+        .expect("optimizes");
     println!(
         "initial optimization: CP/MR = {} GB, estimated {:.0} s (unknown-size blocks pruned: {})",
         initial.best.display_gb(),

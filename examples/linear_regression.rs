@@ -8,7 +8,6 @@
 //!
 //! Run with: `cargo run --example linear_regression`
 
-use reml::compiler::MrHeapAssignment;
 use reml::prelude::*;
 use reml::runtime::executor::NoRecompile;
 use reml::runtime::{Executor, HdfsStore};
@@ -23,18 +22,12 @@ fn main() {
         println!("== {} on {rows}x{cols} generated data ==", script.name);
 
         // Compile with the real data's characteristics.
-        let mut cfg = CompileConfig::new(
-            ClusterConfig::paper_cluster(),
-            4 * 1024,
-            1024,
-        );
+        let mut cfg = CompileConfig::new(ClusterConfig::paper_cluster(), 4 * 1024, 1024);
         for (name, value) in &script.params {
             cfg.params.insert((*name).to_string(), value.clone());
         }
-        cfg.inputs
-            .insert("X".to_string(), data.x.characteristics());
-        cfg.inputs
-            .insert("y".to_string(), data.y.characteristics());
+        cfg.inputs.insert("X".to_string(), data.x.characteristics());
+        cfg.inputs.insert("y".to_string(), data.y.characteristics());
         let compiled = compile_source(&script.source, &cfg).expect("compiles");
 
         // Execute on the real matrices.

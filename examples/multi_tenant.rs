@@ -24,14 +24,24 @@ fn main() {
 
     // Optimizer-chosen configuration vs the B-LL baseline.
     let optimizer = ResourceOptimizer::new(CostModel::new(cluster.clone()));
-    let opt = optimizer.optimize(&analyzed, &base, None).expect("optimizes");
+    let opt = optimizer
+        .optimize(&analyzed, &base, None)
+        .expect("optimizes");
     let bll = ResourceConfig::uniform(cluster.max_heap_mb(), (4.4 * 1024.0) as u64);
 
     let sim = Simulator::new(cluster.clone());
-    println!("== {} {} {}: throughput vs #users ==\n", script.name, shape.scenario.name(), shape.label());
+    println!(
+        "== {} {} {}: throughput vs #users ==\n",
+        script.name,
+        shape.scenario.name(),
+        shape.label()
+    );
     println!("Opt  : CP/MR = {} GB", opt.best.display_gb());
     println!("B-LL : CP/MR = {} GB\n", bll.display_gb());
-    println!("{:>7} {:>14} {:>14} {:>8}", "#users", "Opt [app/min]", "B-LL [app/min]", "speedup");
+    println!(
+        "{:>7} {:>14} {:>14} {:>8}",
+        "#users", "Opt [app/min]", "B-LL [app/min]", "speedup"
+    );
 
     for users in [1u32, 2, 4, 8, 16, 32, 64, 128] {
         let mut rows = Vec::new();
@@ -44,7 +54,7 @@ fn main() {
                         resources: config.clone(),
                         reopt: false,
                         facts: SimFacts::default(),
-                    slot_availability: 1.0,
+                        slot_availability: 1.0,
                     },
                 )
                 .expect("simulates");

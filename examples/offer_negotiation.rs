@@ -37,11 +37,20 @@ fn main() {
         ResourceConfig::uniform(16 * 1024, 1024),
         ResourceConfig::uniform(48 * 1024, 4 * 1024),
     ];
-    println!("== offer round for {} on {} {} ==", script.name, shape.scenario.name(), shape.label());
+    println!(
+        "== offer round for {} on {} {} ==",
+        script.name,
+        shape.scenario.name(),
+        shape.label()
+    );
     let decision = choose_offer(&optimizer, &analyzed, &base, &offers, f64::INFINITY, None)
         .expect("offer evaluation");
     for (i, (offer, cost)) in offers.iter().zip(&decision.costs_s).enumerate() {
-        let marker = if decision.accepted == Some(i) { "  <== accepted" } else { "" };
+        let marker = if decision.accepted == Some(i) {
+            "  <== accepted"
+        } else {
+            ""
+        };
         println!(
             "offer {i}: CP/MR = {:>9} GB  -> estimated {:>7.1} s{marker}",
             offer.display_gb(),

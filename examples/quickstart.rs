@@ -21,7 +21,12 @@ fn main() {
     };
     let cluster = ClusterConfig::paper_cluster();
 
-    println!("== {} on {} {} ==", script.name, shape.scenario.name(), shape.label());
+    println!(
+        "== {} on {} {} ==",
+        script.name,
+        shape.scenario.name(),
+        shape.label()
+    );
     println!(
         "X: {} x {} ({:.1} GB dense)\n",
         shape.rows(),
@@ -30,7 +35,10 @@ fn main() {
     );
 
     // Compile under a small and a large CP heap.
-    for (label, cp_heap_mb) in [("small CP (512 MB)", 512u64), ("large CP (48 GB)", 48 * 1024)] {
+    for (label, cp_heap_mb) in [
+        ("small CP (512 MB)", 512u64),
+        ("large CP (48 GB)", 48 * 1024),
+    ] {
         let cfg = script.compile_config(
             shape,
             cluster.clone(),
@@ -38,8 +46,9 @@ fn main() {
             MrHeapAssignment::uniform(2 * 1024),
         );
         let compiled = compile_source(&script.source, &cfg).expect("compiles");
-        let cost = CostModel::new(cluster.clone())
-            .cost_program(&compiled.runtime, cp_heap_mb, &|b| cfg.mr_heap.for_block(b));
+        let cost =
+            CostModel::new(cluster.clone())
+                .cost_program(&compiled.runtime, cp_heap_mb, &|b| cfg.mr_heap.for_block(b));
         println!("--- {label} ---");
         println!("MR jobs compiled : {}", compiled.mr_jobs());
         println!("estimated time   : {:.1} s", cost.total_s());
@@ -53,7 +62,9 @@ fn main() {
     let analyzed = analyze_program(&script.source).expect("analyzes");
     let base = script.compile_config(shape, cluster.clone(), 512, MrHeapAssignment::uniform(512));
     let optimizer = ResourceOptimizer::new(CostModel::new(cluster));
-    let result = optimizer.optimize(&analyzed, &base, None).expect("optimizes");
+    let result = optimizer
+        .optimize(&analyzed, &base, None)
+        .expect("optimizes");
     println!("--- resource optimizer ---");
     println!(
         "chosen configuration : CP/MR = {} GB (heap)",

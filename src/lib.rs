@@ -49,8 +49,6 @@ pub mod prelude {
     pub use reml_compiler::{CompileConfig, MrHeapAssignment};
     pub use reml_cost::CostModel;
     pub use reml_matrix::{Matrix, MatrixCharacteristics};
-    pub use reml_optimizer::{
-        GridStrategy, OptimizerConfig, ResourceConfig, ResourceOptimizer,
-    };
+    pub use reml_optimizer::{GridStrategy, OptimizerConfig, ResourceConfig, ResourceOptimizer};
     pub use reml_sim::{SimConfig, SimFacts, Simulator};
 }

@@ -128,7 +128,11 @@ impl ProgGen {
                     .map(|(n, s)| (n.clone(), *s))
                     .collect::<Vec<_>>();
                 if let Some((b, bs)) = partner_shape
-                    .get(self.rng.gen_range(0..partner_shape.len().max(1)).min(partner_shape.len().saturating_sub(1)))
+                    .get(
+                        self.rng
+                            .gen_range(0..partner_shape.len().max(1))
+                            .min(partner_shape.len().saturating_sub(1)),
+                    )
                     .cloned()
                     .filter(|_| !partner_shape.is_empty())
                 {
@@ -220,7 +224,8 @@ impl ProgGen {
             sum_terms.push(s);
         }
         let total = sum_terms.join(" + ");
-        self.lines.push(format!("out = matrix(1, rows=2, cols=1) * ({total})"));
+        self.lines
+            .push(format!("out = matrix(1, rows=2, cols=1) * ({total})"));
         self.lines.push("write(out, $model)".to_string());
         self.lines.join("\n")
     }
@@ -264,7 +269,9 @@ fn eval(expr: &Expr, env: &HashMap<String, Val>) -> Val {
                 (Val::S(a), Val::S(b)) => Val::S(bop.apply(a, b)),
             }
         }
-        Expr::Call { name, args, named, .. } => match name.as_str() {
+        Expr::Call {
+            name, args, named, ..
+        } => match name.as_str() {
             "sum" => {
                 let Val::M(m) = eval(&args[0], env) else {
                     panic!("sum of scalar")
@@ -272,15 +279,21 @@ fn eval(expr: &Expr, env: &HashMap<String, Val>) -> Val {
                 Val::S(m.aggregate(AggOp::Sum).as_scalar().unwrap())
             }
             "rowSums" => {
-                let Val::M(m) = eval(&args[0], env) else { panic!() };
+                let Val::M(m) = eval(&args[0], env) else {
+                    panic!()
+                };
                 Val::M(m.aggregate(AggOp::RowSums))
             }
             "colSums" => {
-                let Val::M(m) = eval(&args[0], env) else { panic!() };
+                let Val::M(m) = eval(&args[0], env) else {
+                    panic!()
+                };
                 Val::M(m.aggregate(AggOp::ColSums))
             }
             "t" => {
-                let Val::M(m) = eval(&args[0], env) else { panic!() };
+                let Val::M(m) = eval(&args[0], env) else {
+                    panic!()
+                };
                 Val::M(m.transpose())
             }
             "abs" | "round" | "sign" => {
@@ -295,26 +308,30 @@ fn eval(expr: &Expr, env: &HashMap<String, Val>) -> Val {
                 }
             }
             "ppred" => {
-                let Val::M(m) = eval(&args[0], env) else { panic!() };
-                let Val::S(s) = eval(&args[1], env) else { panic!() };
+                let Val::M(m) = eval(&args[0], env) else {
+                    panic!()
+                };
+                let Val::S(s) = eval(&args[1], env) else {
+                    panic!()
+                };
                 Val::M(m.binary_scalar(BinaryOp::Greater, s))
             }
             "append" | "cbind" => {
-                let (Val::M(a), Val::M(b)) = (eval(&args[0], env), eval(&args[1], env))
-                else {
+                let (Val::M(a), Val::M(b)) = (eval(&args[0], env), eval(&args[1], env)) else {
                     panic!()
                 };
                 Val::M(a.cbind(&b).unwrap())
             }
             "rbind" => {
-                let (Val::M(a), Val::M(b)) = (eval(&args[0], env), eval(&args[1], env))
-                else {
+                let (Val::M(a), Val::M(b)) = (eval(&args[0], env), eval(&args[1], env)) else {
                     panic!()
                 };
                 Val::M(a.rbind(&b).unwrap())
             }
             "matrix" => {
-                let Val::S(v) = eval(&args[0], env) else { panic!() };
+                let Val::S(v) = eval(&args[0], env) else {
+                    panic!()
+                };
                 let get = |key: &str| -> usize {
                     let e = &named.iter().find(|(n, _)| n == key).unwrap().1;
                     let Val::S(s) = eval(e, env) else { panic!() };
@@ -361,14 +378,10 @@ fn interpret(source: &str, x: &Matrix, y: &Matrix) -> Matrix {
 /// Compile + execute the same program through the full chain.
 fn compile_and_run(source: &str, x: &Matrix, y: &Matrix) -> Matrix {
     let mut cfg = CompileConfig::new(ClusterConfig::paper_cluster(), 4 * 1024, 1024);
-    cfg.params.insert(
-        "X".into(),
-        reml::runtime::ScalarValue::Str("X".into()),
-    );
-    cfg.params.insert(
-        "Y".into(),
-        reml::runtime::ScalarValue::Str("y".into()),
-    );
+    cfg.params
+        .insert("X".into(), reml::runtime::ScalarValue::Str("X".into()));
+    cfg.params
+        .insert("Y".into(), reml::runtime::ScalarValue::Str("y".into()));
     cfg.params.insert(
         "model".into(),
         reml::runtime::ScalarValue::Str("model".into()),
@@ -387,11 +400,7 @@ fn compile_and_run(source: &str, x: &Matrix, y: &Matrix) -> Matrix {
 fn run_differential(seed: u64) {
     let shape = Shape { rows: 12, cols: 5 };
     let x = Matrix::Dense(reml::matrix::generate::rand_dense(
-        shape.rows,
-        shape.cols,
-        -2.0,
-        2.0,
-        seed,
+        shape.rows, shape.cols, -2.0, 2.0, seed,
     ));
     let y = Matrix::Dense(reml::matrix::generate::rand_dense(
         shape.rows,
@@ -431,12 +440,17 @@ fn differential_small_mr_budget_plans_agree() {
     // Same differential but compiled with a tiny CP heap so some
     // operators go through the MR path of the executor.
     let shape = Shape { rows: 12, cols: 5 };
+    let mut mr_seeds = 0usize;
     for seed in 100..110 {
         let x = Matrix::Dense(reml::matrix::generate::rand_dense(
             shape.rows, shape.cols, -2.0, 2.0, seed,
         ));
         let y = Matrix::Dense(reml::matrix::generate::rand_dense(
-            shape.rows, 1, -2.0, 2.0, seed + 1,
+            shape.rows,
+            1,
+            -2.0,
+            2.0,
+            seed + 1,
         ));
         let mut generator = ProgGen::new(seed, shape);
         for _ in 0..10 {
@@ -451,9 +465,14 @@ fn differential_small_mr_budget_plans_agree() {
         // Shrink the budget far below even these small matrices by
         // scaling the metadata up: instead, just use a custom tiny-budget
         // cluster via heap of the minimum and oversized input metadata.
-        cfg.params.insert("X".into(), reml::runtime::ScalarValue::Str("X".into()));
-        cfg.params.insert("Y".into(), reml::runtime::ScalarValue::Str("y".into()));
-        cfg.params.insert("model".into(), reml::runtime::ScalarValue::Str("model".into()));
+        cfg.params
+            .insert("X".into(), reml::runtime::ScalarValue::Str("X".into()));
+        cfg.params
+            .insert("Y".into(), reml::runtime::ScalarValue::Str("y".into()));
+        cfg.params.insert(
+            "model".into(),
+            reml::runtime::ScalarValue::Str("model".into()),
+        );
         // Lie about the input sizes so the compiler plans MR jobs, while
         // execution uses the real small matrices (value semantics are
         // identical; only plan shape changes).
@@ -466,10 +485,11 @@ fn differential_small_mr_budget_plans_agree() {
             reml::matrix::MatrixCharacteristics::dense(10_000_000, 1),
         );
         let compiled = compile_source(&source, &cfg).expect("compiles");
-        assert!(
-            compiled.mr_jobs() > 0,
-            "expected MR jobs in the tiny-budget plan"
-        );
+        // Programs whose matrix ops only ever touch y-descendants
+        // (80 MB under the lied metadata) fit the CP budget and plan no
+        // MR jobs; which seeds those are depends on the RNG stream, so
+        // the MR requirement is asserted over the whole seed set below.
+        mr_seeds += (compiled.mr_jobs() > 0) as usize;
         let mut hdfs = HdfsStore::new();
         hdfs.stage("X", x.clone());
         hdfs.stage("y", y.clone());
@@ -485,4 +505,8 @@ fn differential_small_mr_budget_plans_agree() {
             );
         }
     }
+    assert!(
+        mr_seeds > 0,
+        "no seed in 100..110 produced an MR plan under the tiny budget"
+    );
 }

@@ -2,7 +2,6 @@
 //! small generated data through the CP executor, producing correct
 //! models where ground truth exists.
 
-use reml::compiler::MrHeapAssignment;
 use reml::prelude::*;
 use reml::runtime::executor::NoRecompile;
 use reml::runtime::{Executor, HdfsStore};
@@ -13,20 +12,14 @@ fn run_script(script: &ScriptSpec, data: &Dataset) -> Executor {
     run_script_with(script, data, &[])
 }
 
-fn run_script_with(
-    script: &ScriptSpec,
-    data: &Dataset,
-    overrides: &[(&str, f64)],
-) -> Executor {
+fn run_script_with(script: &ScriptSpec, data: &Dataset, overrides: &[(&str, f64)]) -> Executor {
     let mut cfg = CompileConfig::new(ClusterConfig::paper_cluster(), 4 * 1024, 1024);
     for (name, value) in &script.params {
         cfg.params.insert((*name).to_string(), value.clone());
     }
     for (name, value) in overrides {
-        cfg.params.insert(
-            (*name).to_string(),
-            reml::runtime::ScalarValue::Num(*value),
-        );
+        cfg.params
+            .insert((*name).to_string(), reml::runtime::ScalarValue::Num(*value));
     }
     cfg.inputs.insert("X".to_string(), data.x.characteristics());
     cfg.inputs.insert("y".to_string(), data.y.characteristics());

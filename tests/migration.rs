@@ -5,7 +5,6 @@
 //! boundaries ... all intermediates are bound to logical variable
 //! names").
 
-use reml::compiler::MrHeapAssignment;
 use reml::prelude::*;
 use reml::runtime::executor::NoRecompile;
 use reml::runtime::{Executor, HdfsStore, RuntimeProgram};

@@ -181,5 +181,8 @@ fn estimated_and_measured_costs_correlate() {
     let mut measured_order: Vec<usize> = (0..pairs.len()).collect();
     measured_order.sort_by(|a, b| pairs[*a].1.total_cmp(&pairs[*b].1));
     let rank = measured_order.iter().position(|i| *i == best_est).unwrap();
-    assert!(rank <= 1, "estimate-chosen config ranked {rank} measured: {pairs:?}");
+    assert!(
+        rank <= 1,
+        "estimate-chosen config ranked {rank} measured: {pairs:?}"
+    );
 }

@@ -29,7 +29,10 @@ fn linreg_ds_uses_tsmm() {
     // t(X) %*% X must lower to the fused TSMM operator in both regimes.
     let cp = explain(&reml::scripts::linreg_ds(), 48 * 1024, 2 * 1024);
     assert!(cp.contains("tsmm"), "CP plan:\n{cp}");
-    assert!(!cp.contains("MR-Job"), "large heap must not spawn jobs:\n{cp}");
+    assert!(
+        !cp.contains("MR-Job"),
+        "large heap must not spawn jobs:\n{cp}"
+    );
     let mr = explain(&reml::scripts::linreg_ds(), 512, 2 * 1024);
     assert!(mr.contains("tsmm"), "MR plan:\n{mr}");
     assert!(mr.contains("MR-Job"), "small heap must distribute:\n{mr}");
@@ -50,10 +53,7 @@ fn l2svm_uses_transpose_fused_multiply() {
     // transpose (the `tmm` physical operator).
     let cp = explain(&reml::scripts::l2svm(), 48 * 1024, 2 * 1024);
     assert!(cp.contains("tmm"), "CP plan:\n{cp}");
-    assert!(
-        !cp.contains("CP r'"),
-        "no standalone transpose of X:\n{cp}"
-    );
+    assert!(!cp.contains("CP r'"), "no standalone transpose of X:\n{cp}");
 }
 
 #[test]
@@ -111,13 +111,12 @@ fn mr_memory_changes_broadcast_feasibility() {
         sparsity: 1.0,
     };
     let make = |mr_heap_mb: u64| {
-        let cfg = reml::scripts::linreg_ds()
-            .compile_config(
-                shape,
-                ClusterConfig::paper_cluster(),
-                512,
-                MrHeapAssignment::uniform(mr_heap_mb),
-            );
+        let cfg = reml::scripts::linreg_ds().compile_config(
+            shape,
+            ClusterConfig::paper_cluster(),
+            512,
+            MrHeapAssignment::uniform(mr_heap_mb),
+        );
         compile_source(src, &cfg).expect("compiles")
     };
     // v and w are each ~8 MB (1e6 rows x 1): any reasonable task memory

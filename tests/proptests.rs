@@ -14,10 +14,7 @@ fn arb_dims() -> impl Strategy<Value = (usize, usize)> {
 }
 
 fn arb_triplets(rows: usize, cols: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0..rows, 0..cols, -5.0f64..5.0),
-        0..(rows * cols).min(40),
-    )
+    prop::collection::vec((0..rows, 0..cols, -5.0f64..5.0), 0..(rows * cols).min(40))
 }
 
 proptest! {
@@ -284,5 +281,81 @@ proptest! {
         let c2 = model.cost_block_fresh(&mk(iters + 1), 1024, &|_| 512).total_s();
         prop_assert!(c1.is_finite() && c1 >= 0.0);
         prop_assert!(c2 >= c1);
+    }
+}
+
+proptest! {
+    /// The what-if session's breakpoint-keyed plan cache must be
+    /// semantically invisible: for any paper script and data scenario,
+    /// optimizing with the cache enabled returns exactly the same best
+    /// configuration, cost, and local optimum as a cache-bypass run.
+    #[test]
+    fn plan_cache_is_semantically_invisible(
+        script_idx in 0usize..5,
+        scenario_idx in 0usize..3,
+    ) {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        use reml::cost::CostModel;
+        use reml::optimizer::{OptimizationResult, ResourceOptimizer};
+        use reml::prelude::ClusterConfig;
+        use reml::compiler::MrHeapAssignment;
+        use reml::scripts::{DataShape, Scenario};
+
+        // The sample space is only 15 combinations; memoize each so
+        // repeated proptest cases don't re-run the optimizer.
+        type Key = (usize, usize);
+        type Outcome = (OptimizationResult, OptimizationResult);
+        static MEMO: Mutex<Option<HashMap<Key, Outcome>>> = Mutex::new(None);
+
+        let scripts = [
+            reml::scripts::linreg_ds,
+            reml::scripts::linreg_cg,
+            reml::scripts::l2svm,
+            reml::scripts::glm,
+            reml::scripts::mlogreg,
+        ];
+        let scenarios = [Scenario::XS, Scenario::S, Scenario::M];
+
+        let mut memo = MEMO.lock().unwrap();
+        let memo = memo.get_or_insert_with(HashMap::new);
+        let (cached, bypass) = memo
+            .entry((script_idx, scenario_idx))
+            .or_insert_with(|| {
+                let script = scripts[script_idx]();
+                let shape = DataShape {
+                    scenario: scenarios[scenario_idx],
+                    cols: 1000,
+                    sparsity: 1.0,
+                };
+                let cc = ClusterConfig::paper_cluster();
+                let base = script.compile_config(
+                    shape,
+                    cc.clone(),
+                    512,
+                    MrHeapAssignment::uniform(512),
+                );
+                let analyzed =
+                    reml::compiler::analyze_program(&script.source).expect("script parses");
+                let mut opt = ResourceOptimizer::new(CostModel::new(cc.clone()));
+                opt.config.plan_cache = true;
+                let rc = opt
+                    .optimize(&analyzed, &base, Some(cc.min_heap_mb()))
+                    .expect("cached optimize succeeds");
+                opt.config.plan_cache = false;
+                let rb = opt
+                    .optimize(&analyzed, &base, Some(cc.min_heap_mb()))
+                    .expect("bypass optimize succeeds");
+                (rc, rb)
+            });
+
+        prop_assert_eq!(&cached.best, &bypass.best);
+        prop_assert_eq!(cached.best_cost_s.to_bits(), bypass.best_cost_s.to_bits());
+        prop_assert_eq!(
+            cached.best_local.as_ref().map(|(c, s)| (c.clone(), s.to_bits())),
+            bypass.best_local.as_ref().map(|(c, s)| (c.clone(), s.to_bits()))
+        );
+        prop_assert!(cached.stats.block_compilations <= bypass.stats.block_compilations);
+        prop_assert_eq!(bypass.stats.plan_cache_hits, 0);
     }
 }

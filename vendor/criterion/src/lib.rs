@@ -1,0 +1,202 @@
+//! Offline stand-in for `criterion` 0.5 (see `vendor/README.md`).
+//!
+//! Same authoring API (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`), two run
+//! modes:
+//!
+//! - default (how `cargo test` invokes harness=false benches): each
+//!   benchmark body runs twice as a smoke test, no timing output;
+//! - `--bench` in argv (how `cargo bench` invokes them): each
+//!   benchmark runs `sample_size` measured iterations after one warmup
+//!   and prints mean/min/max wall time.
+//!
+//! A positional CLI filter (substring match on the benchmark id, as in
+//! real criterion) is honored in both modes.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `group/function` or `group/function/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Opaque black box: defeats constant-folding of benchmark inputs.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy)]
+struct RunConfig {
+    measure: bool,
+    sample_size: usize,
+}
+
+/// Top-level driver, created by `criterion_main!`.
+pub struct Criterion {
+    filter: Option<String>,
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut measure = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => measure = true,
+                // Flags cargo/libtest may pass through; all ignored.
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, measure }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        let cfg = RunConfig {
+            measure: self.measure,
+            sample_size: 10,
+        };
+        run_one(&self.filter, &id, cfg, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let cfg = RunConfig {
+            measure: self.criterion.measure,
+            sample_size: self.sample_size,
+        };
+        run_one(&self.criterion.filter, &id, cfg, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(filter: &Option<String>, id: &str, cfg: RunConfig, mut f: F) {
+    if let Some(filter) = filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters: if cfg.measure { cfg.sample_size } else { 2 },
+    };
+    f(&mut bencher);
+    if !cfg.measure {
+        println!("bench {id}: ok (validation mode; pass --bench to measure)");
+        return;
+    }
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("bench {id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "bench {id}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+        samples.len()
+    );
+}
+
+/// Passed to each benchmark body; `iter` runs and times the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup (untimed).
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}

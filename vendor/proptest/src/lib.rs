@@ -1,0 +1,388 @@
+//! Offline stand-in for `proptest` 1 (see `vendor/README.md`).
+//!
+//! A randomized-case runner with proptest's authoring surface:
+//! `proptest! { fn name(pat in strategy, ...) { .. } }`, `prop_assert*`,
+//! and the strategies this workspace uses (numeric ranges, tuples,
+//! `prop::collection::vec`, `prop::sample::select`, and simple string
+//! patterns). No shrinking, no failure persistence. Case count is 64,
+//! overridable via `PROPTEST_CASES`. Seeds are derived from the test
+//! name, so runs are deterministic.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// SplitMix64 — deterministic per (test name, case index).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Number of cases each `proptest!` test runs
+    /// (`PROPTEST_CASES` env override, default 64).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or(64)
+    }
+
+    /// Stable FNV-1a hash of the test name, used as the seed base.
+    pub fn seed_for(name: &str, case: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values for one `proptest!` argument.
+pub trait Strategy {
+    type Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = if span > u64::MAX as u128 {
+                    rng.next_u64()
+                } else {
+                    rng.below(span as u64)
+                };
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn new_value(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "empty range strategy");
+        loop {
+            if let Some(c) = char::from_u32(lo + rng.below((hi - lo) as u64) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for bool {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// String *patterns*: a tiny subset of proptest's regex strings. The
+/// supported shape is `BODY{m,n}` (or a bare body, length 1), where
+/// BODY is `\PC` (any printable char), a `[a-z0-9]`-style class, or a
+/// literal. Anything else falls back to the literal text.
+impl Strategy for str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        pattern_value(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        pattern_value(self, rng)
+    }
+}
+
+fn pattern_value(pattern: &str, rng: &mut TestRng) -> String {
+    let (body, min_len, max_len) = match pattern.rfind('{') {
+        Some(open) if pattern.ends_with('}') => {
+            let counts = &pattern[open + 1..pattern.len() - 1];
+            let parse = |s: &str| s.trim().parse::<usize>().ok();
+            let (m, n) = match counts.split_once(',') {
+                Some((m, n)) => (parse(m), parse(n)),
+                None => (parse(counts), parse(counts)),
+            };
+            match (m, n) {
+                (Some(m), Some(n)) if m <= n => (&pattern[..open], m, n),
+                _ => (pattern, 1, 1),
+            }
+        }
+        _ => (pattern, 1, 1),
+    };
+    let len = min_len + rng.below((max_len - min_len + 1) as u64) as usize;
+    match classify(body) {
+        CharClass::Printable => (0..len).map(|_| printable(rng)).collect(),
+        CharClass::Set(chars) => (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect(),
+        CharClass::Literal => body.repeat(len),
+    }
+}
+
+enum CharClass {
+    Printable,
+    Set(Vec<char>),
+    Literal,
+}
+
+fn classify(body: &str) -> CharClass {
+    if body == "\\PC" || body == "\\p{C}" || body == "." {
+        return CharClass::Printable;
+    }
+    if let Some(inner) = body.strip_prefix('[').and_then(|b| b.strip_suffix(']')) {
+        let mut chars = Vec::new();
+        let cs: Vec<char> = inner.chars().collect();
+        let mut i = 0;
+        while i < cs.len() {
+            if i + 2 < cs.len() && cs[i + 1] == '-' {
+                let (lo, hi) = (cs[i] as u32, cs[i + 2] as u32);
+                chars.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(cs[i]);
+                i += 1;
+            }
+        }
+        if !chars.is_empty() {
+            return CharClass::Set(chars);
+        }
+    }
+    CharClass::Literal
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    // Mostly ASCII printable, occasionally another printable scalar.
+    if rng.below(8) < 7 {
+        char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+    } else {
+        loop {
+            let c = char::from_u32(rng.below(0x2_0000) as u32);
+            if let Some(c) = c {
+                if !c.is_control() {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Wrapper for a strategy that already *is* a fixed value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop::collection` / `prop::sample` namespaces.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `vec(element_strategy, len_range)`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.len.end.saturating_sub(self.len.start).max(1);
+                let len = self.len.start + rng.below(span as u64) as usize;
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        /// Uniformly select one of the given options.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select of no options");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn new_value(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The test-authoring macro. Each listed function becomes a `#[test]`
+/// (the attribute comes from the written-out `#[test]` meta, exactly as
+/// in real proptest) that runs `cases()` random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                for case in 0..cases {
+                    let seed = $crate::test_runner::seed_for(stringify!($name), case);
+                    let rng = &mut $crate::test_runner::TestRng::new(seed);
+                    $(let $pat = $crate::Strategy::new_value(&($strategy), rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            (a, b) in (1usize..10, 0u64..5),
+            v in prop::collection::vec(-1.0f64..1.0, 0..8),
+            s in "\\PC{0,20}",
+            pick in prop::sample::select(vec!["x", "y"]),
+        ) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+            prop_assert!(s.chars().count() <= 20);
+            prop_assert!(pick == "x" || pick == "y");
+        }
+    }
+
+    #[test]
+    fn char_class_parses() {
+        let rng = &mut crate::test_runner::TestRng::new(3);
+        let s = crate::pattern_value("[a-c]{5,5}", rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for `rand` 0.8 (see `vendor/README.md`).
+//!
+//! Provides the small slice of the rand API this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen`, `gen_range`, and `gen_bool`. The generator is xoshiro256++
+//! seeded via SplitMix64 — high quality for simulation/test data, but a
+//! different stream than real rand's ChaCha12 for the same seed.
+
+/// Core RNG trait: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, matching the subset of `rand::SeedableRng`
+/// the workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, auto-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample a value distributed per `Standard` — only `f64` (uniform
+    /// in `[0, 1)`) is supported.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut |_| self.next_u64())
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Marker for `gen::<T>()`-style standard sampling.
+pub trait Standard {
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Element types uniformly samplable from a range (mirrors
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self;
+    fn sample_inclusive(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly. The single generic impl per
+/// range shape keeps type inference working for literals like
+/// `gen_range(0.0..1.0)`.
+pub trait SampleRange<T> {
+    fn sample(self, next: &mut dyn FnMut(()) -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, next: &mut dyn FnMut(()) -> u64) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, &mut || next(()))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, next: &mut dyn FnMut(()) -> u64) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_inclusive(start, end, &mut || next(()))
+    }
+}
+
+/// Uniform value in `[0, span)` via 128-bit multiply-shift reduction.
+fn bounded(next: &mut dyn FnMut() -> u64, span: u128) -> u64 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        return next();
+    }
+    ((next() as u128 * span) >> 64) as u64
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: $t, end: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                let span = (end as i128 - start as i128) as u128;
+                (start as i128 + bounded(next, span) as i128) as $t
+            }
+            fn sample_inclusive(start: $t, end: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + bounded(next, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: $t, end: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                let unit = f64::sample(next()) as $t;
+                start + unit * (end - start)
+            }
+            fn sample_inclusive(start: $t, end: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                Self::sample_half_open(start, end, next)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`: xoshiro256++
+    /// seeded by SplitMix64. Different stream than real StdRng for the
+    /// same seed — nothing in this workspace depends on exact values.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut split = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [split(), split(), split(), split()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_per_seed() {
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn ranges_in_bounds() {
+            let mut r = StdRng::seed_from_u64(1);
+            for _ in 0..1000 {
+                let v = r.gen_range(3usize..17);
+                assert!((3..17).contains(&v));
+                let w = r.gen_range(1u64..=4);
+                assert!((1..=4).contains(&w));
+                let f = r.gen_range(-2.0f64..3.0);
+                assert!((-2.0..3.0).contains(&f));
+                let u = r.gen::<f64>();
+                assert!((0.0..1.0).contains(&u));
+            }
+        }
+    }
+}

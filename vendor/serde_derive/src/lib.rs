@@ -1,0 +1,116 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! `#[derive(Serialize)]` for structs with named fields only: emits an
+//! `impl serde::Serialize` that builds a `serde::Value::Object` with
+//! one entry per field, in declaration order. No attribute support.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => i += 1,
+        _ => return Err("derive(Serialize): only structs are supported".into()),
+    }
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return Err("derive(Serialize): expected struct name".into()),
+    };
+    i += 1;
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("derive(Serialize): unit/tuple structs are not supported".into())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("derive(Serialize): generic structs are not supported".into())
+            }
+            Some(_) => i += 1,
+            None => return Err("derive(Serialize): struct body not found".into()),
+        }
+    };
+
+    let fields = field_names(body.stream())?;
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    code.parse()
+        .map_err(|e| format!("derive(Serialize): generated code failed to parse: {e:?}"))
+}
+
+/// Field names of a named-field struct body: for each top-level
+/// comma-separated chunk, the last ident before the first `:`.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false; // between `:` and the next top-level `,`
+    let mut angle = 0i32; // `<...>` nesting depth inside a type
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' && in_type => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && in_type => {
+                angle = (angle - 1).max(0)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                in_type = false;
+                last_ident = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !in_type => {
+                match last_ident.take() {
+                    Some(name) => fields.push(name),
+                    None => {
+                        return Err(
+                            "derive(Serialize): expected field name before `:`".into()
+                        )
+                    }
+                }
+                in_type = true;
+            }
+            TokenTree::Ident(id) if !in_type => last_ident = Some(id.to_string()),
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
