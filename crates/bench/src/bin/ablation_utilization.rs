@@ -10,7 +10,7 @@ use reml_bench::{ExperimentResult, Workload};
 use reml_cost::CostModel;
 use reml_optimizer::{ResourceConfig, ResourceOptimizer};
 use reml_scripts::{DataShape, Scenario};
-use reml_sim::{SimConfig, SimFacts, Simulator};
+use reml_sim::{FaultPlan, SimConfig, SimFacts, Simulator};
 
 fn main() {
     let shape = DataShape {
@@ -40,6 +40,7 @@ fn main() {
                     reopt: false,
                     facts: SimFacts::default(),
                     slot_availability: availability,
+                    faults: FaultPlan::none(),
                 },
             )
             .expect("simulates");
@@ -57,6 +58,7 @@ fn main() {
                     reopt: false,
                     facts: SimFacts::default(),
                     slot_availability: availability,
+                    faults: FaultPlan::none(),
                 },
             )
             .expect("simulates");

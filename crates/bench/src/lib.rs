@@ -20,7 +20,7 @@ use reml_compiler::{CompileConfig, MrHeapAssignment};
 use reml_cost::CostModel;
 use reml_optimizer::{OptimizationResult, ResourceConfig, ResourceOptimizer};
 use reml_scripts::{DataShape, ScriptSpec};
-use reml_sim::{AppOutcome, SimConfig, SimFacts, Simulator};
+use reml_sim::{AppOutcome, FaultPlan, SimConfig, SimFacts, Simulator};
 
 /// The §5.1 static baselines: minimum, large-CP, large-MR, and both.
 /// 53.3 GB is the largest CP container request; 4.4 GB tasks are the
@@ -92,6 +92,7 @@ impl Workload {
                 reopt,
                 facts,
                 slot_availability: 1.0,
+                faults: FaultPlan::none(),
             },
         )
         .expect("simulation succeeds")
@@ -100,6 +101,29 @@ impl Workload {
     /// Measure with default facts and no adaptation.
     pub fn measure_static(&self, resources: ResourceConfig) -> AppOutcome {
         self.measure(resources, false, SimFacts::default())
+    }
+
+    /// Measure an execution under fixed resources with fault injection.
+    pub fn measure_faulted(
+        &self,
+        resources: ResourceConfig,
+        reopt: bool,
+        facts: SimFacts,
+        faults: FaultPlan,
+    ) -> AppOutcome {
+        let sim = Simulator::new(self.cluster.clone());
+        sim.run_app(
+            &self.analyzed,
+            &self.base,
+            &SimConfig {
+                resources,
+                reopt,
+                facts,
+                slot_availability: 1.0,
+                faults,
+            },
+        )
+        .expect("simulation succeeds")
     }
 }
 

@@ -74,17 +74,30 @@ pub struct YarnState {
     free_mb: Vec<u64>,
     grants: Vec<Grant>,
     next_id: u64,
+    /// Per-node liveness; lost nodes accept no allocations until restored.
+    down: Vec<bool>,
+    /// Containers preempted by the RM (fault injection / rebalancing).
+    pub preemptions: u64,
+    /// Containers lost to node failures.
+    pub containers_lost: u64,
+    /// Containers re-queued after a preemption or node loss.
+    pub requeues: u64,
 }
 
 impl YarnState {
     /// Fresh RM over an idle cluster.
     pub fn new(config: ClusterConfig) -> Self {
         let free_mb = vec![config.node_mem_mb; config.num_nodes as usize];
+        let down = vec![false; config.num_nodes as usize];
         YarnState {
             config,
             free_mb,
             grants: Vec::new(),
             next_id: 0,
+            down,
+            preemptions: 0,
+            containers_lost: 0,
+            requeues: 0,
         }
     }
 
@@ -109,7 +122,7 @@ impl YarnState {
             .free_mb
             .iter()
             .enumerate()
-            .filter(|(_, free)| **free >= mem)
+            .filter(|(i, free)| !self.down[*i] && **free >= mem)
             .max_by_key(|(_, free)| **free)
             .map(|(i, _)| i as u32)
             .ok_or(YarnError::InsufficientResources { requested_mb: mem })?;
@@ -134,6 +147,86 @@ impl YarnState {
         let grant = self.grants.swap_remove(idx);
         self.free_mb[grant.node as usize] += grant.mem_mb;
         Ok(())
+    }
+
+    /// Preempt a container: the RM reclaims the memory (counted
+    /// separately from voluntary releases) and the owner is expected to
+    /// [`Self::requeue`] the work. Returns the reclaimed memory, MB.
+    pub fn preempt(&mut self, id: ContainerId) -> Result<u64, YarnError> {
+        let idx = self
+            .grants
+            .iter()
+            .position(|g| g.id == id)
+            .ok_or(YarnError::UnknownContainer(id))?;
+        let grant = self.grants.swap_remove(idx);
+        self.free_mb[grant.node as usize] += grant.mem_mb;
+        self.preemptions += 1;
+        Ok(grant.mem_mb)
+    }
+
+    /// Re-queue previously preempted/lost work: a fresh allocation that
+    /// is accounted as a requeue (re-execution pays scheduling delay on
+    /// top of the work itself; the caller charges the time).
+    pub fn requeue(&mut self, req: ContainerRequest) -> Result<ContainerId, YarnError> {
+        let id = self.allocate(req)?;
+        self.requeues += 1;
+        Ok(id)
+    }
+
+    /// A NodeManager is lost: every container on it dies (counted in
+    /// `containers_lost`) and the node accepts no further allocations
+    /// until [`Self::restore_node`]. Returns the killed container ids.
+    pub fn fail_node(&mut self, node: u32) -> Vec<ContainerId> {
+        let n = node as usize;
+        if n >= self.down.len() || self.down[n] {
+            return Vec::new();
+        }
+        self.down[n] = true;
+        self.free_mb[n] = 0;
+        let mut killed = Vec::new();
+        self.grants.retain(|g| {
+            if g.node == node {
+                killed.push(g.id);
+                false
+            } else {
+                true
+            }
+        });
+        self.containers_lost += killed.len() as u64;
+        killed
+    }
+
+    /// A lost node rejoins with its full (idle) capacity.
+    pub fn restore_node(&mut self, node: u32) {
+        let n = node as usize;
+        if n < self.down.len() && self.down[n] {
+            self.down[n] = false;
+            self.free_mb[n] = self.config.node_mem_mb;
+        }
+    }
+
+    /// Whether a node is currently down.
+    pub fn is_node_down(&self, node: u32) -> bool {
+        self.down.get(node as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of live (not-down) nodes.
+    pub fn active_nodes(&self) -> u32 {
+        self.down.iter().filter(|d| !**d).count() as u32
+    }
+
+    /// Containers currently placed on a node.
+    pub fn containers_on(&self, node: u32) -> Vec<ContainerId> {
+        self.grants
+            .iter()
+            .filter(|g| g.node == node)
+            .map(|g| g.id)
+            .collect()
+    }
+
+    /// Node hosting a container.
+    pub fn node_of(&self, id: ContainerId) -> Option<u32> {
+        self.grants.iter().find(|g| g.id == id).map(|g| g.node)
     }
 
     /// Memory currently allocated, MB.
@@ -241,6 +334,66 @@ mod tests {
             rm.release(ContainerId(99)),
             Err(YarnError::UnknownContainer(_))
         ));
+    }
+
+    #[test]
+    fn preemption_accounting_and_requeue() {
+        let mut rm = rm();
+        let a = rm.allocate(ContainerRequest { mem_mb: 1024 }).unwrap();
+        let freed = rm.preempt(a).unwrap();
+        assert_eq!(freed, 1024);
+        assert_eq!(rm.preemptions, 1);
+        assert_eq!(rm.allocated_mb(), 0);
+        // The work is requeued: memory comes back, requeue is counted.
+        rm.requeue(ContainerRequest { mem_mb: 1024 }).unwrap();
+        assert_eq!(rm.requeues, 1);
+        assert_eq!(rm.allocated_mb(), 1024);
+        // Double preemption of a dead id is rejected.
+        assert!(matches!(rm.preempt(a), Err(YarnError::UnknownContainer(_))));
+    }
+
+    #[test]
+    fn node_failure_kills_containers_and_blocks_placement() {
+        let mut rm = rm();
+        // Fill node A (freest-node placement alternates; pin by filling).
+        let a = rm.allocate(ContainerRequest { mem_mb: 8 * 1024 }).unwrap();
+        let node = rm.node_of(a).unwrap();
+        let killed = rm.fail_node(node);
+        assert_eq!(killed, vec![a]);
+        assert_eq!(rm.containers_lost, 1);
+        assert!(rm.is_node_down(node));
+        assert_eq!(rm.active_nodes(), 1);
+        // Only the surviving node's 8 GB remain satisfiable.
+        assert_eq!(rm.free_mb(), 8 * 1024);
+        rm.allocate(ContainerRequest { mem_mb: 8 * 1024 }).unwrap();
+        assert!(rm.allocate(ContainerRequest { mem_mb: 256 }).is_err());
+        // Restore: capacity returns, placement works again.
+        rm.restore_node(node);
+        assert_eq!(rm.active_nodes(), 2);
+        assert!(rm.allocate(ContainerRequest { mem_mb: 256 }).is_ok());
+    }
+
+    #[test]
+    fn failing_a_down_or_unknown_node_is_a_noop() {
+        let mut rm = rm();
+        assert!(rm.fail_node(99).is_empty());
+        let killed = rm.fail_node(0);
+        assert!(killed.is_empty());
+        assert!(rm.fail_node(0).is_empty());
+        assert_eq!(rm.containers_lost, 0);
+        assert_eq!(rm.active_nodes(), 1);
+    }
+
+    #[test]
+    fn containers_on_node_tracked() {
+        let mut rm = rm();
+        let a = rm.allocate(ContainerRequest { mem_mb: 1024 }).unwrap();
+        let b = rm.allocate(ContainerRequest { mem_mb: 1024 }).unwrap();
+        let on_a = rm.containers_on(rm.node_of(a).unwrap());
+        assert!(on_a.contains(&a));
+        let total: usize = (0..2).map(|n| rm.containers_on(n).len()).sum();
+        assert_eq!(total, 2);
+        let _ = b;
     }
 
     #[test]

@@ -122,6 +122,45 @@ pub fn decide_adaptation(
     })
 }
 
+/// Decide on the resources of a *restarted* AM after a fault killed the
+/// previous one (fault-triggered §4 recovery).
+///
+/// Unlike a voluntary migration, the application pays the restart no
+/// matter what: dirty state is already lost (nothing to export) and a
+/// new container must be allocated anyway. The marginal cost of coming
+/// back at the globally optimal configuration instead of the old one is
+/// therefore only a scheduling premium — one extra container-allocation
+/// latency to model the risk that a larger container queues behind
+/// other tenants. ΔC must beat that premium, not a full C_M.
+pub fn decide_recovery(
+    optimizer: &ResourceOptimizer,
+    analyzed: &AnalyzedProgram,
+    base: &CompileConfig,
+    current_block: BlockId,
+    runtime_env: &Env,
+    current_cp_heap: u64,
+) -> Result<AdaptationDecision, CompileError> {
+    let mut decision = decide_adaptation(
+        optimizer,
+        analyzed,
+        base,
+        current_block,
+        runtime_env,
+        current_cp_heap,
+        0, // dirty state died with the old AM: no export IO
+    )?;
+    let premium = optimizer.cost_model.cluster.container_alloc_latency_s;
+    decision.migration_cost_s = premium;
+    decision.migrate =
+        decision.global.0.cp_heap_mb != current_cp_heap && -decision.delta_cost_s > premium;
+    decision.target = if decision.migrate {
+        decision.global.0.clone()
+    } else {
+        decision.local.0.clone()
+    };
+    Ok(decision)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +271,87 @@ mod tests {
             decide_adaptation(&optimizer, &analyzed, &base, BlockId(0), &env, 512, 0).unwrap();
         assert!(!decision.migrate);
         assert_eq!(decision.target.cp_heap_mb, 512);
+    }
+
+    #[test]
+    fn recovery_keeps_config_when_benefit_below_premium() {
+        // LinregDS XS after an AM kill: restarting bigger buys nothing,
+        // so the recovered AM comes back at the old size.
+        let script = reml_scripts::linreg_ds();
+        let shape = DataShape {
+            scenario: Scenario::XS,
+            cols: 100,
+            sparsity: 1.0,
+        };
+        let cc = ClusterConfig::paper_cluster();
+        let base = script.compile_config(shape, cc.clone(), 512, MrHeapAssignment::uniform(512));
+        let analyzed = analyze_program(&script.source).unwrap();
+        let optimizer = ResourceOptimizer::new(CostModel::new(cc.clone()));
+        let decision =
+            decide_recovery(&optimizer, &analyzed, &base, BlockId(0), &Env::new(), 512).unwrap();
+        assert!(!decision.migrate);
+        assert_eq!(decision.target.cp_heap_mb, 512);
+        assert_eq!(decision.migration_cost_s, cc.container_alloc_latency_s);
+    }
+
+    #[test]
+    fn recovery_upgrades_when_known_sizes_favor_large_cp() {
+        // Same setting as the migration test: after an AM kill with k
+        // known, the restarted AM should come back at the global optimum
+        // even though there is no dirty state to export.
+        let script = reml_scripts::mlogreg();
+        let shape = DataShape {
+            scenario: Scenario::M,
+            cols: 100,
+            sparsity: 1.0,
+        };
+        let cc = ClusterConfig::paper_cluster();
+        let base = script.compile_config(shape, cc.clone(), 512, MrHeapAssignment::uniform(512));
+        let analyzed = analyze_program(&script.source).unwrap();
+        let n = shape.rows();
+        let mut mats = HashMap::new();
+        mats.insert("X".to_string(), shape.x_characteristics());
+        mats.insert("Y".to_string(), MatrixCharacteristics::known(n, 5, n));
+        mats.insert("y".to_string(), MatrixCharacteristics::dense(n, 1));
+        mats.insert("B".to_string(), MatrixCharacteristics::dense(100, 5));
+        mats.insert(
+            "scale_lambda".to_string(),
+            MatrixCharacteristics::dense(n, 1),
+        );
+        let mut scalars = HashMap::new();
+        scalars.insert("k".to_string(), ScalarValue::Num(5.0));
+        scalars.insert("n".to_string(), ScalarValue::Num(n as f64));
+        scalars.insert("m".to_string(), ScalarValue::Num(100.0));
+        scalars.insert("lambda".to_string(), ScalarValue::Num(0.01));
+        scalars.insert("eps".to_string(), ScalarValue::Num(1e-9));
+        scalars.insert("maxi".to_string(), ScalarValue::Num(5.0));
+        scalars.insert("iter".to_string(), ScalarValue::Num(0.0));
+        scalars.insert("delta_init".to_string(), ScalarValue::Num(1.0));
+        scalars.insert("converge".to_string(), ScalarValue::Bool(false));
+        let env = env_from_runtime_state(&mats, &scalars);
+        let loop_block = analyzed
+            .blocks
+            .iter()
+            .find(|b| matches!(b.kind, reml_lang::StatementBlockKind::While { .. }))
+            .map(|b| b.id)
+            .expect("mlogreg has a loop");
+        let optimizer = ResourceOptimizer::new(CostModel::new(cc));
+        let recovery =
+            decide_recovery(&optimizer, &analyzed, &base, loop_block, &env, 512).unwrap();
+        assert!(recovery.migrate);
+        assert!(recovery.target.cp_heap_mb > 512);
+        // The recovery threshold is no stricter than a full migration's:
+        // anything a voluntary migration would do, a free restart does.
+        let full = decide_adaptation(
+            &optimizer,
+            &analyzed,
+            &base,
+            loop_block,
+            &env,
+            512,
+            64 * 1024 * 1024,
+        )
+        .unwrap();
+        assert!(recovery.migration_cost_s <= full.migration_cost_s);
     }
 }

@@ -45,7 +45,7 @@ pub mod optimizer;
 pub mod parallel;
 pub mod resources;
 
-pub use adapt::{decide_adaptation, AdaptationDecision, MigrationCost};
+pub use adapt::{decide_adaptation, decide_recovery, AdaptationDecision, MigrationCost};
 pub use grid::GridStrategy;
 pub use offers::{choose_offer, OfferDecision};
 pub use optimizer::{OptimizationResult, OptimizerConfig, OptimizerStats, ResourceOptimizer};

@@ -47,6 +47,15 @@ pub enum ExecError {
     MissingInput(String),
     /// Iteration guard: a while loop exceeded the hard safety bound.
     RunawayLoop(usize),
+    /// A produced matrix pushed the executor past its OOM limit — the
+    /// runtime surface of the simulator's task-OOM fault: the caller
+    /// (AM) recompiles the block to a distributed plan at actual sizes.
+    OutOfMemory {
+        /// Bytes the operation needed resident.
+        needed_bytes: u64,
+        /// Configured OOM limit.
+        limit_bytes: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -57,6 +66,13 @@ impl fmt::Display for ExecError {
             ExecError::Matrix(e) => write!(f, "matrix error: {e}"),
             ExecError::MissingInput(p) => write!(f, "missing HDFS input '{p}'"),
             ExecError::RunawayLoop(n) => write!(f, "while loop exceeded {n} iterations"),
+            ExecError::OutOfMemory {
+                needed_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "out of memory: needed {needed_bytes} bytes resident, limit {limit_bytes}"
+            ),
         }
     }
 }
@@ -120,6 +136,11 @@ pub struct Executor {
     pub hdfs: HdfsStore,
     /// Accumulated statistics.
     pub stats: ExecStats,
+    /// Hard OOM watermark: a computed matrix that would push resident
+    /// bytes past this limit aborts execution with
+    /// [`ExecError::OutOfMemory`] instead of spilling. `None` (default)
+    /// keeps the pure spill-to-disk behaviour.
+    oom_limit_bytes: Option<u64>,
 }
 
 impl Executor {
@@ -130,7 +151,17 @@ impl Executor {
             scalars: HashMap::new(),
             hdfs,
             stats: ExecStats::default(),
+            oom_limit_bytes: None,
         }
+    }
+
+    /// Builder: fail with [`ExecError::OutOfMemory`] when a computed
+    /// matrix would push resident bytes past `limit_bytes` (fault
+    /// injection / JVM-heap modeling; the buffer pool otherwise spills
+    /// silently).
+    pub fn with_oom_limit(mut self, limit_bytes: u64) -> Self {
+        self.oom_limit_bytes = Some(limit_bytes);
+        self
     }
 
     /// Execute a whole program with an optional recompilation hook.
@@ -382,11 +413,21 @@ impl Executor {
             .ok_or_else(|| ExecError::TypeError("expected numeric scalar".into()))
     }
 
-    fn put_matrix(&mut self, name: Option<&str>, m: Matrix) {
+    fn put_matrix(&mut self, name: Option<&str>, m: Matrix) -> Result<(), ExecError> {
         if let Some(name) = name {
+            if let Some(limit) = self.oom_limit_bytes {
+                let needed = self.pool.resident_bytes().saturating_add(m.size_bytes());
+                if needed > limit {
+                    return Err(ExecError::OutOfMemory {
+                        needed_bytes: needed,
+                        limit_bytes: limit,
+                    });
+                }
+            }
             self.scalars.remove(name);
             self.pool.put(name, m);
         }
+        Ok(())
     }
 
     fn put_scalar(&mut self, name: Option<&str>, v: ScalarValue) {
@@ -426,7 +467,7 @@ impl Executor {
                 let v = self.scalar_num(&operands[0])?;
                 let rows = self.scalar_num(&operands[1])? as usize;
                 let cols = self.scalar_num(&operands[2])? as usize;
-                self.put_matrix(output, Matrix::constant(rows, cols, v));
+                self.put_matrix(output, Matrix::constant(rows, cols, v))?;
                 Ok(())
             }
             OpCode::DataGenSeq => {
@@ -442,7 +483,7 @@ impl Executor {
                 self.put_matrix(
                     output,
                     Matrix::Dense(reml_matrix::generate::seq_by(from, to, by)),
-                );
+                )?;
                 Ok(())
             }
             OpCode::DataGenRand => {
@@ -459,24 +500,24 @@ impl Executor {
                         rows, cols, sparsity, 0.0, 1.0, seed,
                     ))
                 };
-                self.put_matrix(output, m);
+                self.put_matrix(output, m)?;
                 Ok(())
             }
             OpCode::MatMult => {
                 let a = self.matrix_operand(&operands[0])?;
                 let b = self.matrix_operand(&operands[1])?;
-                self.put_matrix(output, a.matmult(&b)?);
+                self.put_matrix(output, a.matmult(&b)?)?;
                 Ok(())
             }
             OpCode::Tsmm => {
                 let a = self.matrix_operand(&operands[0])?;
-                self.put_matrix(output, a.tsmm());
+                self.put_matrix(output, a.tsmm())?;
                 Ok(())
             }
             OpCode::MatMultTransLeft => {
                 let a = self.matrix_operand(&operands[0])?;
                 let b = self.matrix_operand(&operands[1])?;
-                self.put_matrix(output, a.transpose().matmult(&b)?);
+                self.put_matrix(output, a.transpose().matmult(&b)?)?;
                 Ok(())
             }
             OpCode::MmChain => {
@@ -484,23 +525,23 @@ impl Executor {
                 let x = self.matrix_operand(&operands[0])?;
                 let v = self.matrix_operand(&operands[1])?;
                 let xv = x.matmult(&v)?;
-                self.put_matrix(output, x.transpose().matmult(&xv)?);
+                self.put_matrix(output, x.transpose().matmult(&xv)?)?;
                 Ok(())
             }
             OpCode::Solve => {
                 let a = self.matrix_operand(&operands[0])?;
                 let b = self.matrix_operand(&operands[1])?;
-                self.put_matrix(output, a.solve(&b)?);
+                self.put_matrix(output, a.solve(&b)?)?;
                 Ok(())
             }
             OpCode::Transpose => {
                 let a = self.matrix_operand(&operands[0])?;
-                self.put_matrix(output, a.transpose());
+                self.put_matrix(output, a.transpose())?;
                 Ok(())
             }
             OpCode::Diag => {
                 let a = self.matrix_operand(&operands[0])?;
-                self.put_matrix(output, a.diag());
+                self.put_matrix(output, a.diag())?;
                 Ok(())
             }
             OpCode::BinaryMM(op) => {
@@ -514,19 +555,19 @@ impl Executor {
                 } else {
                     a.binary(*op, &b)?
                 };
-                self.put_matrix(output, out);
+                self.put_matrix(output, out)?;
                 Ok(())
             }
             OpCode::BinaryMS(op) => {
                 let a = self.matrix_operand(&operands[0])?;
                 let s = self.scalar_num(&operands[1])?;
-                self.put_matrix(output, a.binary_scalar(*op, s));
+                self.put_matrix(output, a.binary_scalar(*op, s))?;
                 Ok(())
             }
             OpCode::BinarySM(op) => {
                 let s = self.scalar_num(&operands[0])?;
                 let a = self.matrix_operand(&operands[1])?;
-                self.put_matrix(output, a.scalar_binary(*op, s));
+                self.put_matrix(output, a.scalar_binary(*op, s))?;
                 Ok(())
             }
             OpCode::BinarySS(op) => {
@@ -573,7 +614,7 @@ impl Executor {
             }
             OpCode::UnaryM(op) => {
                 let a = self.matrix_operand(&operands[0])?;
-                self.put_matrix(output, a.unary(*op));
+                self.put_matrix(output, a.unary(*op))?;
                 Ok(())
             }
             OpCode::UnaryS(op) => {
@@ -588,20 +629,20 @@ impl Executor {
                     let v = out.as_scalar().map_err(ExecError::Matrix)?;
                     self.put_scalar(output, ScalarValue::Num(v));
                 } else {
-                    self.put_matrix(output, out);
+                    self.put_matrix(output, out)?;
                 }
                 Ok(())
             }
             OpCode::TableSeq => {
                 let y = self.matrix_operand(&operands[0])?;
                 let t = reml_matrix::generate::table_seq(&y.to_dense())?;
-                self.put_matrix(output, t);
+                self.put_matrix(output, t)?;
                 Ok(())
             }
             OpCode::RightIndex => {
                 let a = self.matrix_operand(&operands[0])?;
                 let (rl, rh, cl, ch) = self.index_bounds(&operands[1..5], &a)?;
-                self.put_matrix(output, a.slice(rl, rh, cl, ch)?);
+                self.put_matrix(output, a.slice(rl, rh, cl, ch)?)?;
                 Ok(())
             }
             OpCode::LeftIndex => {
@@ -620,19 +661,19 @@ impl Executor {
                         d.set(r, c, v);
                     }
                 }
-                self.put_matrix(output, Matrix::from_dense_auto(d));
+                self.put_matrix(output, Matrix::from_dense_auto(d))?;
                 Ok(())
             }
             OpCode::Append => {
                 let a = self.matrix_operand(&operands[0])?;
                 let b = self.matrix_operand(&operands[1])?;
-                self.put_matrix(output, a.cbind(&b)?);
+                self.put_matrix(output, a.cbind(&b)?)?;
                 Ok(())
             }
             OpCode::AppendR => {
                 let a = self.matrix_operand(&operands[0])?;
                 let b = self.matrix_operand(&operands[1])?;
-                self.put_matrix(output, a.rbind(&b)?);
+                self.put_matrix(output, a.rbind(&b)?)?;
                 Ok(())
             }
             OpCode::NRow => {
@@ -653,7 +694,7 @@ impl Executor {
             }
             OpCode::CastMatrix => {
                 let v = self.scalar_num(&operands[0])?;
-                self.put_matrix(output, Matrix::constant(1, 1, v));
+                self.put_matrix(output, Matrix::constant(1, 1, v))?;
                 Ok(())
             }
             OpCode::Assign => {
@@ -662,7 +703,7 @@ impl Executor {
                         if let Some(s) = self.scalars.get(name).cloned() {
                             self.put_scalar(output, s);
                         } else if let Some(m) = self.pool.get(name) {
-                            self.put_matrix(output, m);
+                            self.put_matrix(output, m)?;
                         } else {
                             return Err(ExecError::UnknownVariable(name.clone()));
                         }
@@ -734,6 +775,37 @@ mod tests {
 
     fn exec() -> Executor {
         Executor::new(1 << 30, HdfsStore::new())
+    }
+
+    #[test]
+    fn oom_limit_aborts_instead_of_spilling() {
+        // 100x100 doubles = 80 KB output against a 10 KB limit.
+        let mut e = exec().with_oom_limit(10 * 1024);
+        let err = e
+            .execute(&cp(
+                OpCode::DataGenConst,
+                vec![Operand::num(1.0), Operand::num(100.0), Operand::num(100.0)],
+                Some("A"),
+            ))
+            .unwrap_err();
+        let ExecError::OutOfMemory {
+            needed_bytes,
+            limit_bytes,
+        } = err
+        else {
+            panic!("expected OutOfMemory, got {err:?}");
+        };
+        assert!(needed_bytes > limit_bytes);
+        assert_eq!(limit_bytes, 10 * 1024);
+        // Without the limit the same program spills and succeeds.
+        let mut e = exec();
+        e.execute(&cp(
+            OpCode::DataGenConst,
+            vec![Operand::num(1.0), Operand::num(100.0), Operand::num(100.0)],
+            Some("A"),
+        ))
+        .unwrap();
+        assert!(e.pool.contains("A"));
     }
 
     #[test]

@@ -20,15 +20,16 @@ use reml_compiler::pipeline::{
     compile, compile_block_with_env, fold_predicate_with_env, propagate_blocks_env, AnalyzedProgram,
 };
 use reml_compiler::{CompileConfig, CompileError};
-use reml_cost::{CostModel, VarStates};
+use reml_cost::{CostBreakdown, CostModel, VarStates};
 use reml_lang::{BlockId, StatementBlock, StatementBlockKind};
 use reml_matrix::MatrixCharacteristics;
-use reml_optimizer::{decide_adaptation, ResourceConfig, ResourceOptimizer};
+use reml_optimizer::{decide_adaptation, decide_recovery, ResourceConfig, ResourceOptimizer};
 use reml_runtime::instructions::OpCode;
 use reml_runtime::program::RtBlock;
 use reml_runtime::value::Operand;
 use reml_runtime::Instruction;
 
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, TraceEvent, TracedEvent};
 use crate::shadow::ShadowPool;
 
 /// Data-dependent facts the simulator resolves at "runtime" — the values
@@ -77,6 +78,8 @@ pub struct SimConfig {
     /// cluster); models multi-tenant load for utilization-aware
     /// adaptation (§6).
     pub slot_availability: f64,
+    /// Deterministic fault schedule ([`FaultPlan::none`] = benign run).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -87,6 +90,7 @@ impl SimConfig {
             reopt: false,
             facts: SimFacts::default(),
             slot_availability: 1.0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -117,10 +121,22 @@ pub struct AppOutcome {
     pub final_resources: ResourceConfig,
     /// One entry per runtime re-optimization decision (§4 trace).
     pub adaptations: Vec<AdaptationEvent>,
+    /// AM restarts after injected kills.
+    pub recoveries: u32,
+    /// Task containers re-queued after preemptions/node losses.
+    pub task_retries: u64,
+    /// Faults injected from the plan.
+    pub faults_injected: u64,
+    /// Seconds of the components above attributable to injected faults
+    /// (re-execution, backoff, restarts) — informational; already
+    /// included in `elapsed_s`.
+    pub fault_rework_s: f64,
+    /// Structured fault/recovery/adaptation trace (the replay contract).
+    pub events: Vec<TracedEvent>,
 }
 
 /// Trace record of one runtime re-optimization decision.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct AdaptationEvent {
     /// Statement block that triggered re-optimization.
     pub block: usize,
@@ -184,6 +200,11 @@ impl Simulator {
             marked,
             hints,
             adapted: HashSet::new(),
+            injector: FaultInjector::new(
+                sim.faults.clone(),
+                self.cluster.clone(),
+                sim.resources.cp_heap_mb,
+            ),
             outcome: AppOutcome {
                 elapsed_s: 0.0,
                 io_s: 0.0,
@@ -196,18 +217,47 @@ impl Simulator {
                 recompilations: 0,
                 final_resources: sim.resources.clone(),
                 adaptations: Vec::new(),
+                recoveries: 0,
+                task_retries: 0,
+                faults_injected: 0,
+                fault_rework_s: 0.0,
+                events: Vec::new(),
             },
         };
         // Application start: CP AM container allocation.
         state.outcome.latency_s += self.cluster.container_alloc_latency_s;
+        let t0 = state.now();
+        state.injector.record(
+            t0,
+            TraceEvent::AppStart {
+                cp_heap_mb: sim.resources.cp_heap_mb,
+            },
+        );
         state.sim_blocks(&analyzed.blocks)?;
+        let mut injector = state.injector;
         let mut outcome = state.outcome;
         outcome.final_resources = state.resources;
+        outcome.task_retries = injector.task_retries;
+        outcome.faults_injected = injector.faults_injected;
         outcome.elapsed_s = outcome.io_s
             + outcome.compute_s
             + outcome.latency_s
             + outcome.shuffle_s
             + outcome.eviction_s;
+        injector.record(
+            outcome.elapsed_s,
+            TraceEvent::Outcome {
+                elapsed_s: outcome.elapsed_s,
+                mr_jobs: outcome.mr_jobs,
+                migrations: outcome.migrations,
+                recoveries: outcome.recoveries,
+                task_retries: outcome.task_retries,
+                recompilations: outcome.recompilations,
+                faults_injected: outcome.faults_injected,
+                final_cp_mb: outcome.final_resources.cp_heap_mb,
+            },
+        );
+        outcome.events = injector.events;
         Ok(outcome)
     }
 
@@ -240,6 +290,7 @@ struct SimState<'a> {
     marked: HashSet<usize>,
     hints: std::collections::HashMap<usize, u64>,
     adapted: HashSet<usize>,
+    injector: FaultInjector,
     outcome: AppOutcome,
 }
 
@@ -250,6 +301,15 @@ impl<'a> SimState<'a> {
     fn current_cfg(&self) -> CompileConfig {
         self.sim
             .config_for(self.base, &self.resources, Some(self.facts.table_cols))
+    }
+
+    /// Simulated elapsed time so far (trace timestamps).
+    fn now(&self) -> f64 {
+        self.outcome.io_s
+            + self.outcome.compute_s
+            + self.outcome.latency_s
+            + self.outcome.shuffle_s
+            + self.outcome.eviction_s
     }
 
     fn sim_blocks(&mut self, blocks: &'a [StatementBlock]) -> Result<(), CompileError> {
@@ -321,6 +381,25 @@ impl<'a> SimState<'a> {
     }
 
     fn sim_generic(&mut self, id: BlockId) -> Result<(), CompileError> {
+        // Fault hook: statement-block boundary. A deferred (mid-job) AM
+        // kill is processed here, and recompilation-triggered faults for
+        // the upcoming recompile index fire now.
+        let mut am_kill = self.injector.take_deferred_am_kill();
+        let mut oom_watermark: Option<f64> = None;
+        for kind in self
+            .injector
+            .take_recompile_faults(self.outcome.recompilations)
+        {
+            match kind {
+                FaultKind::AmKill => am_kill = true,
+                FaultKind::TaskOom { watermark_frac } => oom_watermark = Some(watermark_frac),
+                _ => {}
+            }
+        }
+        if am_kill {
+            self.handle_am_kill(id)?;
+        }
+
         // Dynamic recompilation: compile with actual sizes.
         let cfg = self.current_cfg();
         let mut probe_env = self.env.clone();
@@ -339,11 +418,39 @@ impl<'a> SimState<'a> {
 
         // (Re)compile at the possibly-updated resources and execute.
         let cfg = self.current_cfg();
+        let env_snapshot = oom_watermark.map(|_| self.env.clone());
         let (instructions, _summary, _stats) =
             compile_block_with_env(self.analyzed, &cfg, id, &mut self.env)?;
         let mr_heap = self.resources.mr_heap.for_block(id.0);
         let mut temps: Vec<String> = Vec::new();
+        let attempt_start = self.now();
+        let mut oomed = false;
         for instr in &instructions {
+            if let Some(frac) = oom_watermark {
+                if let Some((op, needed_mb)) = self.cp_oom_check(instr, frac) {
+                    // OOM: the attempt's work so far is wasted; the block
+                    // recompiles to an MR plan at the actual sizes.
+                    let budget_mb = self
+                        .sim
+                        .cluster
+                        .budget_mb_for_heap(self.resources.cp_heap_mb);
+                    let wasted_s = self.now() - attempt_start;
+                    let t = self.now();
+                    self.injector.record(
+                        t,
+                        TraceEvent::Oom {
+                            block: id.0,
+                            op,
+                            needed_mb,
+                            budget_mb,
+                            wasted_s,
+                        },
+                    );
+                    self.outcome.fault_rework_s += wasted_s;
+                    oomed = true;
+                    break;
+                }
+            }
             self.time_instruction(instr, mr_heap);
             if let Instruction::Cp(cp) = instr {
                 if let Some(out) = &cp.output {
@@ -353,10 +460,155 @@ impl<'a> SimState<'a> {
                 }
             }
         }
+        if oomed {
+            // Forced recompilation to a distributed plan: compile with a
+            // minimal CP heap so every memory-sensitive operator goes MR,
+            // then re-execute the whole block (the failed attempt's
+            // charges stay — that work really happened).
+            self.env = env_snapshot.expect("snapshot exists when watermark armed");
+            let mut forced = self.current_cfg();
+            forced.cp_heap_mb = self.sim.cluster.min_heap_mb();
+            let (instructions, _summary, _stats) =
+                compile_block_with_env(self.analyzed, &forced, id, &mut self.env)?;
+            self.outcome.recompilations += 1;
+            let mr_jobs = instructions.iter().filter(|i| i.is_mr()).count() as u64;
+            let t = self.now();
+            self.injector.record(
+                t,
+                TraceEvent::OomRecompile {
+                    block: id.0,
+                    mr_jobs,
+                },
+            );
+            for instr in &instructions {
+                self.time_instruction(instr, mr_heap);
+                if let Instruction::Cp(cp) = instr {
+                    if let Some(out) = &cp.output {
+                        if out.starts_with("_mVar") {
+                            temps.push(out.clone());
+                        }
+                    }
+                }
+            }
+        }
         // Block-scope temporaries die at block end (rmvar semantics).
         for t in temps {
             self.pool.remove(&t);
         }
+        Ok(())
+    }
+
+    /// OOM watermark check: a CP instruction whose actual-size footprint
+    /// (operands + output) exceeds `frac` of the CP budget fails.
+    /// Returns `(opcode, needed_mb)` when it fires.
+    fn cp_oom_check(&self, instr: &Instruction, frac: f64) -> Option<(String, u64)> {
+        let patched = patch_unknowns(instr, &self.facts);
+        let Instruction::Cp(cp) = &patched else {
+            return None;
+        };
+        // Reads/writes stream block-wise; only computational operators
+        // hold full operands in memory.
+        if matches!(
+            cp.opcode,
+            OpCode::PersistentRead { .. } | OpCode::PersistentWrite { .. } | OpCode::Assign
+        ) {
+            return None;
+        }
+        let needed: u64 = cp
+            .operand_mcs
+            .iter()
+            .chain(std::iter::once(&cp.output_mc))
+            .filter(|mc| !mc.is_scalar())
+            .map(|mc| mc.estimated_size_bytes().unwrap_or(0))
+            .sum();
+        let needed_mb = needed / (1024 * 1024);
+        let budget_mb = self
+            .sim
+            .cluster
+            .budget_mb_for_heap(self.resources.cp_heap_mb);
+        if needed_mb as f64 > frac.clamp(0.0, 1.0) * budget_mb as f64 {
+            let op = format!("{:?}", cp.opcode);
+            let op = op.split([' ', '{', '(']).next().unwrap_or("").to_string();
+            Some((op, needed_mb))
+        } else {
+            None
+        }
+    }
+
+    /// AM kill at a statement-block boundary: charge state
+    /// restoration/regeneration and the restart latency, then run the
+    /// §4-style recovery decision on the restarted AM.
+    fn handle_am_kill(&mut self, id: BlockId) -> Result<(), CompileError> {
+        let retry = self.injector.plan.retry;
+        let mb = 1024.0 * 1024.0;
+        // Clean (HDFS-backed) resident state re-reads from HDFS; dirty
+        // (never-exported) state is regenerated by lineage and spilled.
+        let clean_mb = self.pool.clean_resident_bytes() as f64 / mb;
+        let dirty_bytes = self.pool.dirty_bytes();
+        let dirty_mb = dirty_bytes as f64 / mb;
+        let restore_s = clean_mb / self.sim.cluster.hdfs_read_mbs;
+        let rework_s = dirty_mb / self.facts.local_disk_write_mbs;
+        let restart_latency_s = retry.backoff_s + self.sim.cluster.container_alloc_latency_s;
+        self.outcome.io_s += restore_s;
+        self.outcome.compute_s += rework_s;
+        self.outcome.latency_s += restart_latency_s;
+        self.outcome.fault_rework_s += restore_s + rework_s + restart_latency_s;
+        self.outcome.recoveries += 1;
+        let t = self.now();
+        self.injector.record(
+            t,
+            TraceEvent::AmKill {
+                block: id.0,
+                restart_latency_s,
+                lost_dirty_mb: dirty_bytes / (1024 * 1024),
+                rework_s,
+                restore_s,
+            },
+        );
+        if self.reopt {
+            // The restart is paid either way, so the recovery decision
+            // only weighs the re-allocation premium (§4 with C_M reduced).
+            let optimizer = ResourceOptimizer::new(CostModel::with_slot_availability(
+                self.sim.cluster.clone(),
+                self.cost_model.slot_availability,
+            ));
+            let mut base = self.base.clone();
+            base.table_cols_hint = Some(self.facts.table_cols);
+            let decision = decide_recovery(
+                &optimizer,
+                self.analyzed,
+                &base,
+                id,
+                &self.env,
+                self.resources.cp_heap_mb,
+            )?;
+            self.outcome.compute_s += decision_opt_overhead_s();
+            let t = self.now();
+            self.injector.record(
+                t,
+                TraceEvent::Recovery {
+                    block: id.0,
+                    migrated: decision.migrate,
+                    target_cp_mb: decision.target.cp_heap_mb,
+                    delta_cost_s: decision.delta_cost_s,
+                    premium_s: decision.migration_cost_s,
+                },
+            );
+            if decision.migrate {
+                self.resources = decision.target.clone();
+                self.pool.set_capacity(
+                    self.sim
+                        .cluster
+                        .budget_mb_for_heap(self.resources.cp_heap_mb)
+                        * 1024
+                        * 1024,
+                );
+                self.outcome.migrations += 1;
+            } else {
+                self.resources.mr_heap = decision.target.mr_heap.clone();
+            }
+        }
+        self.injector.restart_am(self.resources.cp_heap_mb);
         Ok(())
     }
 
@@ -381,13 +633,17 @@ impl<'a> SimState<'a> {
         )?;
         // Optimizer overhead is part of measured time.
         self.outcome.compute_s += decision_opt_overhead_s();
-        self.outcome.adaptations.push(AdaptationEvent {
+        let ev = AdaptationEvent {
             block: id.0,
             migrated: decision.migrate,
             global_cp_mb: decision.global.0.cp_heap_mb,
             delta_cost_s: decision.delta_cost_s,
             migration_cost_s: decision.migration_cost_s,
-        });
+        };
+        let t = self.now();
+        self.injector
+            .record(t, TraceEvent::Adaptation { ev: ev.clone() });
+        self.outcome.adaptations.push(ev);
         if decision.migrate {
             let migration = reml_optimizer::adapt::estimate_migration_cost(
                 &self.sim.cluster,
@@ -406,6 +662,18 @@ impl<'a> SimState<'a> {
             );
             // Dirty variables were exported; they are clean now.
             self.pool.mark_all_clean();
+            // Keep the RM mirror honest: the AM moved to a new container.
+            self.injector.restart_am(self.resources.cp_heap_mb);
+            let t = self.now();
+            self.injector.record(
+                t,
+                TraceEvent::Migration {
+                    block: id.0,
+                    io_s: migration.io_s,
+                    latency_s: migration.latency_s,
+                    to_cp_mb: self.resources.cp_heap_mb,
+                },
+            );
         } else {
             // Apply the locally optimal MR configuration in place.
             self.resources.mr_heap = decision.target.mr_heap.clone();
@@ -430,7 +698,26 @@ impl<'a> SimState<'a> {
         if cost.mr_jobs > 0 {
             let jitter = 1.0 + self.rng.gen_range(0.0..self.facts.jitter.max(1e-9));
             self.outcome.latency_s += cost.latency_s * jitter;
+            let first = self.outcome.mr_jobs;
             self.outcome.mr_jobs += cost.mr_jobs;
+            // Fault hook: faults scheduled on any of this instruction's
+            // job indices fire now, in job order.
+            let fired = self.injector.take_mr_faults(first, cost.mr_jobs);
+            if !fired.is_empty() {
+                let input_mb = match &patched {
+                    Instruction::MrJob(job) => {
+                        job.hdfs_inputs
+                            .iter()
+                            .map(|(_, mc)| mc.estimated_size_bytes().unwrap_or(0))
+                            .sum::<u64>()
+                            / (1024 * 1024)
+                    }
+                    Instruction::Cp(_) => 0,
+                };
+                for (job_idx, kind) in fired {
+                    self.apply_mr_fault(job_idx, kind, &cost, input_mb, mr_heap_mb);
+                }
+            }
         } else {
             self.outcome.latency_s += cost.latency_s;
         }
@@ -480,6 +767,105 @@ impl<'a> SimState<'a> {
                     self.pool.mark_clean(name);
                 }
             }
+        }
+    }
+
+    /// Charge one MR-scoped fault against the job it hit. `cost` is the
+    /// breakdown of the instruction that spawned the job; re-executed
+    /// shares are charged proportionally to its components (YARN task
+    /// re-execution: the work really runs twice).
+    fn apply_mr_fault(
+        &mut self,
+        job_idx: u64,
+        kind: FaultKind,
+        cost: &CostBreakdown,
+        input_mb: u64,
+        mr_heap_mb: u64,
+    ) {
+        let retry = self.injector.plan.retry;
+        let requeue_delay_s = retry.backoff_s + self.sim.cluster.container_alloc_latency_s;
+        match kind {
+            FaultKind::Straggler { factor } => {
+                let slowdown_s = (factor - 1.0).max(0.0) * cost.latency_s;
+                self.outcome.latency_s += slowdown_s;
+                self.outcome.fault_rework_s += slowdown_s;
+                let t = self.now();
+                self.injector.record(
+                    t,
+                    TraceEvent::Straggler {
+                        job: job_idx,
+                        factor,
+                        slowdown_s,
+                    },
+                );
+            }
+            FaultKind::ContainerPreemption { fraction } => {
+                let frac = fraction.clamp(0.0, 1.0);
+                // Mirror the job's task containers through the RM: how
+                // many it held, how many the preemption re-queued.
+                let tasks = (self.sim.cluster.num_splits(input_mb) as u64)
+                    .min(self.sim.cluster.total_slots(mr_heap_mb) as u64)
+                    .max(1);
+                let task_mem_mb = self.sim.cluster.container_mb_for_heap(mr_heap_mb);
+                let (containers, requeued) =
+                    self.injector.churn_job_containers(tasks, task_mem_mb, frac);
+                let rework_s = frac * (cost.io_s + cost.compute_s + cost.shuffle_s);
+                self.outcome.io_s += frac * cost.io_s;
+                self.outcome.compute_s += frac * cost.compute_s;
+                self.outcome.shuffle_s += frac * cost.shuffle_s;
+                self.outcome.latency_s += requeue_delay_s;
+                self.outcome.fault_rework_s += rework_s + requeue_delay_s;
+                let t = self.now();
+                self.injector.record(
+                    t,
+                    TraceEvent::Preemption {
+                        job: job_idx,
+                        containers,
+                        requeued,
+                        rework_s,
+                        backoff_s: requeue_delay_s,
+                    },
+                );
+            }
+            FaultKind::NodeLoss { node } => {
+                let node = node % self.sim.cluster.num_nodes.max(1);
+                let active_before = self.injector.rm.active_nodes();
+                if self.injector.rm.is_node_down(node) || active_before <= 1 {
+                    // Already down (or it is the last node): nothing to
+                    // kill; the spec still counts as fired.
+                    return;
+                }
+                let killed = self.injector.rm.fail_node(node);
+                // The lost node ran 1/active of the job's tasks; that
+                // share re-executes on the survivors.
+                let frac = 1.0 / active_before as f64;
+                let rework_s = frac * (cost.io_s + cost.compute_s + cost.shuffle_s);
+                self.outcome.io_s += frac * cost.io_s;
+                self.outcome.compute_s += frac * cost.compute_s;
+                self.outcome.shuffle_s += frac * cost.shuffle_s;
+                self.outcome.latency_s += requeue_delay_s;
+                self.outcome.fault_rework_s += rework_s + requeue_delay_s;
+                // Capacity shrinks for the rest of the run: the §6 slot
+                // availability scales by the surviving-node fraction.
+                let avail = self.cost_model.slot_availability * (active_before - 1) as f64
+                    / active_before as f64;
+                self.cost_model =
+                    CostModel::with_slot_availability(self.sim.cluster.clone(), avail);
+                let t = self.now();
+                self.injector.record(
+                    t,
+                    TraceEvent::NodeLoss {
+                        job: job_idx,
+                        node,
+                        containers_lost: killed.len() as u64,
+                        rework_s,
+                        slot_availability: avail,
+                    },
+                );
+            }
+            // CP-scoped kinds never reach here (filtered by the
+            // injector).
+            FaultKind::AmKill | FaultKind::TaskOom { .. } => {}
         }
     }
 }
@@ -648,6 +1034,7 @@ mod tests {
                     reopt,
                     facts,
                     slot_availability: 1.0,
+                    faults: FaultPlan::none(),
                 },
             )
             .unwrap()
@@ -821,6 +1208,7 @@ mod tests {
                         reopt: true,
                         facts: facts.clone(),
                         slot_availability: avail,
+                        faults: FaultPlan::none(),
                     },
                 )
                 .unwrap()

@@ -1,0 +1,761 @@
+//! Fault-injection layer for the cluster simulator.
+//!
+//! The paper's testbed was a real 1+6-node YARN cluster, where containers
+//! get preempted, NodeManagers crash, AMs are killed by the RM, and CP
+//! instructions OOM when actual sizes exceed the optimistic estimates.
+//! This module makes the substituted testbed adversarial: a seeded,
+//! deterministic [`FaultPlan`] — a schedule of faults keyed to simulation
+//! progress counters — is threaded through `SimConfig` into
+//! `Simulator::run_app`. Every injected fault and every recovery decision
+//! is appended to a structured event trace ([`TracedEvent`]) that is
+//! serde-serialized for the failure-replay harness: replaying the same
+//! `(seed, FaultPlan)` must reproduce the identical trace byte for byte.
+//!
+//! Fault semantics (YARN accounting, charged through [`super::app`]):
+//!
+//! * **container preemption** — a fraction of an MR job's task containers
+//!   is reclaimed by the RM; the tasks are re-queued (scheduling delay +
+//!   one backoff) and re-execute their share of the job's work;
+//! * **node loss** — a NodeManager dies: its containers are lost, their
+//!   share of the running job re-executes, and cluster capacity (the §6
+//!   slot availability) shrinks for the rest of the run;
+//! * **AM kill** — the control-program container dies at a statement-block
+//!   boundary: dirty buffer-pool state is lost and must be regenerated,
+//!   clean state re-reads from HDFS, and the restarted AM runs the
+//!   §4-style recovery decision (`reml_optimizer::decide_recovery`) —
+//!   possibly coming back at the globally optimal size;
+//! * **task OOM** — a CP instruction whose actual-size footprint exceeds
+//!   a watermark fraction of the memory budget OOMs; the block is
+//!   recompiled to an MR plan at the actual sizes and re-executed;
+//! * **straggler** — an MR job's latency is stretched by a slowdown
+//!   factor (the measured long tail the cost model cannot see).
+
+use reml_cluster::{ClusterConfig, ContainerId, ContainerRequest, YarnState};
+use serde::{Serialize, Value};
+
+use crate::app::AdaptationEvent;
+
+/// When a fault fires. Triggers are keyed to deterministic simulation
+/// progress counters, not wall-clock time, so a plan replays identically
+/// regardless of cost-model constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// When the n-th MR job (0-indexed, application lifetime) launches.
+    MrJob(u64),
+    /// When the n-th dynamic recompilation (0-indexed) begins, i.e. at
+    /// the entry of the generic block about to be recompiled.
+    Recompilation(u64),
+}
+
+/// What kind of fault fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The RM preempts this fraction of the job's task containers.
+    ContainerPreemption {
+        /// Fraction of task containers preempted, clamped to `[0, 1]`.
+        fraction: f64,
+    },
+    /// A NodeManager is lost (node index modulo the cluster size).
+    NodeLoss {
+        /// Node to fail.
+        node: u32,
+    },
+    /// The AM container is killed (RM preemption or node crash). Fires
+    /// at the next statement-block boundary.
+    AmKill,
+    /// A CP instruction OOMs when its actual-size footprint exceeds
+    /// `watermark_frac` of the CP memory budget.
+    TaskOom {
+        /// OOM watermark as a fraction of the CP budget, in `(0, 1]`.
+        watermark_frac: f64,
+    },
+    /// The triggered MR job runs `factor`× its modeled latency.
+    Straggler {
+        /// Latency stretch factor (≥ 1 to slow down).
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label for reports and sweep tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::ContainerPreemption { .. } => "container_preemption",
+            FaultKind::NodeLoss { .. } => "node_loss",
+            FaultKind::AmKill => "am_kill",
+            FaultKind::TaskOom { .. } => "task_oom",
+            FaultKind::Straggler { .. } => "straggler",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// When it fires (each spec fires at most once).
+    pub trigger: FaultTrigger,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Retry/backoff semantics per YARN's task re-execution accounting:
+/// re-queued work pays `backoff_s` of scheduling delay on top of the
+/// container-allocation latency before it re-executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts before the whole job is considered failed and restarted
+    /// from scratch (YARN's `mapreduce.map.maxattempts` analogue).
+    pub max_attempts: u32,
+    /// Scheduling backoff per re-queue, seconds.
+    pub backoff_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_s: 1.0,
+        }
+    }
+}
+
+/// A deterministic schedule of faults plus the retry policy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Scheduled faults (order irrelevant; triggers decide).
+    pub faults: Vec<FaultSpec>,
+    /// Retry/backoff semantics.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// The benign plan: no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether any fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The canonical adversarial schedule used by the golden-trace suite
+    /// and the fault-sweep experiment: one of every fault kind, placed
+    /// early so even small workloads hit several of them.
+    pub fn canonical() -> Self {
+        FaultPlan {
+            faults: vec![
+                FaultSpec {
+                    trigger: FaultTrigger::MrJob(0),
+                    kind: FaultKind::Straggler { factor: 2.0 },
+                },
+                FaultSpec {
+                    trigger: FaultTrigger::MrJob(1),
+                    kind: FaultKind::ContainerPreemption { fraction: 0.25 },
+                },
+                FaultSpec {
+                    trigger: FaultTrigger::MrJob(2),
+                    kind: FaultKind::NodeLoss { node: 0 },
+                },
+                FaultSpec {
+                    trigger: FaultTrigger::Recompilation(2),
+                    kind: FaultKind::AmKill,
+                },
+                FaultSpec {
+                    trigger: FaultTrigger::Recompilation(4),
+                    kind: FaultKind::TaskOom {
+                        watermark_frac: 0.5,
+                    },
+                },
+            ],
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A light preemption-only schedule (the "lossy but not hostile"
+    /// cluster of the fault-sweep experiment).
+    pub fn light() -> Self {
+        FaultPlan {
+            faults: vec![
+                FaultSpec {
+                    trigger: FaultTrigger::MrJob(0),
+                    kind: FaultKind::ContainerPreemption { fraction: 0.1 },
+                },
+                FaultSpec {
+                    trigger: FaultTrigger::MrJob(3),
+                    kind: FaultKind::Straggler { factor: 1.5 },
+                },
+            ],
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One trace record: what happened and at which simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent {
+    /// Simulated elapsed time at emission, seconds.
+    pub t_s: f64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Structured fault / recovery / adaptation events. The trace is the
+/// contract of the failure-replay harness: identical `(seed, FaultPlan)`
+/// must reproduce an identical trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Application start (AM container allocated).
+    AppStart {
+        /// Initial CP heap, MB.
+        cp_heap_mb: u64,
+    },
+    /// A straggler stretched an MR job.
+    Straggler {
+        /// Job index.
+        job: u64,
+        /// Stretch factor.
+        factor: f64,
+        /// Extra latency charged, seconds.
+        slowdown_s: f64,
+    },
+    /// Task containers of an MR job were preempted and re-queued.
+    Preemption {
+        /// Job index.
+        job: u64,
+        /// Containers the job held when the preemption hit.
+        containers: u64,
+        /// Containers preempted and re-queued.
+        requeued: u64,
+        /// Re-executed work, seconds.
+        rework_s: f64,
+        /// Scheduling delay (backoff + re-allocation), seconds.
+        backoff_s: f64,
+    },
+    /// A NodeManager died during an MR job.
+    NodeLoss {
+        /// Job index.
+        job: u64,
+        /// Failed node.
+        node: u32,
+        /// Containers lost with the node.
+        containers_lost: u64,
+        /// Re-executed work, seconds.
+        rework_s: f64,
+        /// Slot availability after the loss (for the rest of the run).
+        slot_availability: f64,
+    },
+    /// The AM container was killed at a block boundary.
+    AmKill {
+        /// Block at whose entry the kill was observed.
+        block: usize,
+        /// Restart latency charged (backoff + container allocation), s.
+        restart_latency_s: f64,
+        /// Dirty (unexported) state lost, MB.
+        lost_dirty_mb: u64,
+        /// Time to regenerate the lost state, seconds.
+        rework_s: f64,
+        /// Time to re-read clean state from HDFS, seconds.
+        restore_s: f64,
+    },
+    /// The §4-style recovery decision of the restarted AM.
+    Recovery {
+        /// Block anchoring the re-optimization scope.
+        block: usize,
+        /// Whether the AM came back at a different configuration.
+        migrated: bool,
+        /// CP heap of the restarted AM, MB.
+        target_cp_mb: u64,
+        /// Estimated benefit ΔC, seconds.
+        delta_cost_s: f64,
+        /// Scheduling premium the benefit had to beat, seconds.
+        premium_s: f64,
+    },
+    /// A CP instruction hit the OOM watermark.
+    Oom {
+        /// Block being executed.
+        block: usize,
+        /// Offending opcode.
+        op: String,
+        /// Instruction footprint at actual sizes, MB.
+        needed_mb: u64,
+        /// CP budget, MB.
+        budget_mb: u64,
+        /// Work already done in the failed attempt (re-done by the MR
+        /// plan), seconds.
+        wasted_s: f64,
+    },
+    /// The forced recompilation to an MR plan after an OOM.
+    OomRecompile {
+        /// Block recompiled.
+        block: usize,
+        /// MR jobs in the replacement plan.
+        mr_jobs: u64,
+    },
+    /// A regular §4 runtime adaptation decision (the happy-path trigger).
+    Adaptation {
+        /// The decision record.
+        ev: AdaptationEvent,
+    },
+    /// An AM migration was performed (voluntary §4 or recovery upgrade).
+    Migration {
+        /// Block that triggered it.
+        block: usize,
+        /// Export/restore IO charged, seconds.
+        io_s: f64,
+        /// Allocation latency charged, seconds.
+        latency_s: f64,
+        /// New CP heap, MB.
+        to_cp_mb: u64,
+    },
+    /// Final outcome summary (last event of every trace).
+    Outcome {
+        /// End-to-end measured time, seconds.
+        elapsed_s: f64,
+        /// MR jobs executed.
+        mr_jobs: u64,
+        /// AM migrations (voluntary + recovery upgrades).
+        migrations: u32,
+        /// AM restarts after kills.
+        recoveries: u32,
+        /// Task containers re-queued.
+        task_retries: u64,
+        /// Dynamic recompilations.
+        recompilations: u64,
+        /// Faults injected.
+        faults_injected: u64,
+        /// CP heap at program end, MB.
+        final_cp_mb: u64,
+    },
+}
+
+/// Round to milliseconds for stable golden files; full precision stays
+/// in memory for the exact determinism comparison.
+fn num3(x: f64) -> Value {
+    Value::Num((x * 1000.0).round() / 1000.0)
+}
+
+fn obj(tag: &str, fields: Vec<(&str, Value)>) -> Value {
+    let mut entries = vec![("event".to_string(), Value::Str(tag.to_string()))];
+    entries.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Value::Object(entries)
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        match self {
+            TraceEvent::AppStart { cp_heap_mb } => {
+                obj("app_start", vec![("cp_heap_mb", cp_heap_mb.to_value())])
+            }
+            TraceEvent::Straggler {
+                job,
+                factor,
+                slowdown_s,
+            } => obj(
+                "straggler",
+                vec![
+                    ("job", job.to_value()),
+                    ("factor", num3(*factor)),
+                    ("slowdown_s", num3(*slowdown_s)),
+                ],
+            ),
+            TraceEvent::Preemption {
+                job,
+                containers,
+                requeued,
+                rework_s,
+                backoff_s,
+            } => obj(
+                "preemption",
+                vec![
+                    ("job", job.to_value()),
+                    ("containers", containers.to_value()),
+                    ("requeued", requeued.to_value()),
+                    ("rework_s", num3(*rework_s)),
+                    ("backoff_s", num3(*backoff_s)),
+                ],
+            ),
+            TraceEvent::NodeLoss {
+                job,
+                node,
+                containers_lost,
+                rework_s,
+                slot_availability,
+            } => obj(
+                "node_loss",
+                vec![
+                    ("job", job.to_value()),
+                    ("node", node.to_value()),
+                    ("containers_lost", containers_lost.to_value()),
+                    ("rework_s", num3(*rework_s)),
+                    ("slot_availability", num3(*slot_availability)),
+                ],
+            ),
+            TraceEvent::AmKill {
+                block,
+                restart_latency_s,
+                lost_dirty_mb,
+                rework_s,
+                restore_s,
+            } => obj(
+                "am_kill",
+                vec![
+                    ("block", block.to_value()),
+                    ("restart_latency_s", num3(*restart_latency_s)),
+                    ("lost_dirty_mb", lost_dirty_mb.to_value()),
+                    ("rework_s", num3(*rework_s)),
+                    ("restore_s", num3(*restore_s)),
+                ],
+            ),
+            TraceEvent::Recovery {
+                block,
+                migrated,
+                target_cp_mb,
+                delta_cost_s,
+                premium_s,
+            } => obj(
+                "recovery",
+                vec![
+                    ("block", block.to_value()),
+                    ("migrated", migrated.to_value()),
+                    ("target_cp_mb", target_cp_mb.to_value()),
+                    ("delta_cost_s", num3(*delta_cost_s)),
+                    ("premium_s", num3(*premium_s)),
+                ],
+            ),
+            TraceEvent::Oom {
+                block,
+                op,
+                needed_mb,
+                budget_mb,
+                wasted_s,
+            } => obj(
+                "oom",
+                vec![
+                    ("block", block.to_value()),
+                    ("op", op.to_value()),
+                    ("needed_mb", needed_mb.to_value()),
+                    ("budget_mb", budget_mb.to_value()),
+                    ("wasted_s", num3(*wasted_s)),
+                ],
+            ),
+            TraceEvent::OomRecompile { block, mr_jobs } => obj(
+                "oom_recompile",
+                vec![("block", block.to_value()), ("mr_jobs", mr_jobs.to_value())],
+            ),
+            TraceEvent::Adaptation { ev } => obj(
+                "adaptation",
+                vec![
+                    ("block", ev.block.to_value()),
+                    ("migrated", ev.migrated.to_value()),
+                    ("global_cp_mb", ev.global_cp_mb.to_value()),
+                    ("delta_cost_s", num3(ev.delta_cost_s)),
+                    ("migration_cost_s", num3(ev.migration_cost_s)),
+                ],
+            ),
+            TraceEvent::Migration {
+                block,
+                io_s,
+                latency_s,
+                to_cp_mb,
+            } => obj(
+                "migration",
+                vec![
+                    ("block", block.to_value()),
+                    ("io_s", num3(*io_s)),
+                    ("latency_s", num3(*latency_s)),
+                    ("to_cp_mb", to_cp_mb.to_value()),
+                ],
+            ),
+            TraceEvent::Outcome {
+                elapsed_s,
+                mr_jobs,
+                migrations,
+                recoveries,
+                task_retries,
+                recompilations,
+                faults_injected,
+                final_cp_mb,
+            } => obj(
+                "outcome",
+                vec![
+                    ("elapsed_s", num3(*elapsed_s)),
+                    ("mr_jobs", mr_jobs.to_value()),
+                    ("migrations", migrations.to_value()),
+                    ("recoveries", recoveries.to_value()),
+                    ("task_retries", task_retries.to_value()),
+                    ("recompilations", recompilations.to_value()),
+                    ("faults_injected", faults_injected.to_value()),
+                    ("final_cp_mb", final_cp_mb.to_value()),
+                ],
+            ),
+        }
+    }
+}
+
+impl Serialize for TracedEvent {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![("t_s".to_string(), num3(self.t_s))];
+        match self.event.to_value() {
+            Value::Object(fields) => entries.extend(fields),
+            other => entries.push(("event".to_string(), other)),
+        }
+        Value::Object(entries)
+    }
+}
+
+/// Render a trace as the canonical golden-file JSON (pretty, trailing
+/// newline) — the byte-for-byte replay contract.
+pub fn trace_to_json(trace: &[TracedEvent]) -> String {
+    let mut s = serde_json::to_string_pretty(&trace.to_value()).expect("trace serializes");
+    s.push('\n');
+    s
+}
+
+/// Runtime state of a [`FaultPlan`]: which specs fired, the mirrored RM
+/// container accounting, and the emitted trace.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// The plan.
+    pub plan: FaultPlan,
+    fired: Vec<bool>,
+    /// An AM kill observed mid-job, to be processed at the next
+    /// statement-block boundary.
+    am_kill_deferred: bool,
+    /// Mirrored RM state: the AM container plus per-job task containers.
+    pub rm: YarnState,
+    am_container: Option<ContainerId>,
+    /// Emitted events.
+    pub events: Vec<TracedEvent>,
+    /// Faults injected so far.
+    pub faults_injected: u64,
+    /// Task containers re-queued so far.
+    pub task_retries: u64,
+}
+
+impl FaultInjector {
+    /// Injector over a plan; allocates the AM container in the mirrored
+    /// RM state.
+    pub fn new(plan: FaultPlan, cluster: ClusterConfig, cp_heap_mb: u64) -> Self {
+        let fired = vec![false; plan.faults.len()];
+        let mut rm = YarnState::new(cluster.clone());
+        let am_container = rm
+            .allocate(ContainerRequest {
+                mem_mb: cluster.container_mb_for_heap(cp_heap_mb),
+            })
+            .ok();
+        FaultInjector {
+            plan,
+            fired,
+            am_kill_deferred: false,
+            rm,
+            am_container,
+            events: Vec::new(),
+            faults_injected: 0,
+            task_retries: 0,
+        }
+    }
+
+    /// Record an event at simulated time `t_s`.
+    pub fn record(&mut self, t_s: f64, event: TraceEvent) {
+        self.events.push(TracedEvent { t_s, event });
+    }
+
+    /// Faults triggered by MR jobs in `[first, first + count)`, marked
+    /// fired. AM kills are deferred to the next block boundary and not
+    /// returned here; CP-scoped kinds (`TaskOom`) on MR triggers are
+    /// dropped (they cannot apply to an MR job).
+    pub fn take_mr_faults(&mut self, first: u64, count: u64) -> Vec<(u64, FaultKind)> {
+        let mut out = Vec::new();
+        for (i, spec) in self.plan.faults.iter().enumerate() {
+            if self.fired[i] {
+                continue;
+            }
+            let FaultTrigger::MrJob(n) = spec.trigger else {
+                continue;
+            };
+            if n < first || n >= first + count {
+                continue;
+            }
+            self.fired[i] = true;
+            self.faults_injected += 1;
+            match &spec.kind {
+                FaultKind::AmKill => self.am_kill_deferred = true,
+                FaultKind::TaskOom { .. } => {}
+                kind => out.push((n, kind.clone())),
+            }
+        }
+        // Deterministic processing order: by job index, then plan order
+        // (Vec iteration already gives plan order for equal indices).
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// Faults triggered by the n-th dynamic recompilation, marked fired.
+    /// MR-scoped kinds on recompilation triggers are dropped.
+    pub fn take_recompile_faults(&mut self, n: u64) -> Vec<FaultKind> {
+        let mut out = Vec::new();
+        for (i, spec) in self.plan.faults.iter().enumerate() {
+            if self.fired[i] || spec.trigger != FaultTrigger::Recompilation(n) {
+                continue;
+            }
+            self.fired[i] = true;
+            self.faults_injected += 1;
+            match &spec.kind {
+                FaultKind::AmKill | FaultKind::TaskOom { .. } => out.push(spec.kind.clone()),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Consume a deferred (mid-job) AM kill, if any.
+    pub fn take_deferred_am_kill(&mut self) -> bool {
+        std::mem::take(&mut self.am_kill_deferred)
+    }
+
+    /// Restart the AM container (after a kill or a voluntary migration)
+    /// at a possibly different heap size, keeping the RM mirror honest.
+    pub fn restart_am(&mut self, new_cp_heap_mb: u64) {
+        let mem = self.rm.config().container_mb_for_heap(new_cp_heap_mb);
+        if let Some(id) = self.am_container.take() {
+            let _ = self.rm.preempt(id);
+        }
+        self.am_container = self.rm.requeue(ContainerRequest { mem_mb: mem }).ok();
+    }
+
+    /// Model one MR job's task containers through the RM mirror: allocate
+    /// up to `tasks` containers of `task_mem_mb`, preempt `preempt_frac`
+    /// of them, re-queue the preempted ones, then release everything.
+    /// Returns `(allocated, requeued)`.
+    pub fn churn_job_containers(
+        &mut self,
+        tasks: u64,
+        task_mem_mb: u64,
+        preempt_frac: f64,
+    ) -> (u64, u64) {
+        let mut held: Vec<ContainerId> = Vec::new();
+        for _ in 0..tasks {
+            match self.rm.allocate(ContainerRequest {
+                mem_mb: task_mem_mb,
+            }) {
+                Ok(id) => held.push(id),
+                Err(_) => break,
+            }
+        }
+        let allocated = held.len() as u64;
+        let to_preempt = ((allocated as f64) * preempt_frac.clamp(0.0, 1.0)).ceil() as u64;
+        let mut requeued = 0u64;
+        for _ in 0..to_preempt {
+            let Some(id) = held.pop() else { break };
+            if self.rm.preempt(id).is_ok() {
+                if let Ok(new_id) = self.rm.requeue(ContainerRequest {
+                    mem_mb: task_mem_mb,
+                }) {
+                    held.push(new_id);
+                    requeued += 1;
+                }
+            }
+        }
+        self.task_retries += requeued;
+        for id in held {
+            let _ = self.rm.release(id);
+        }
+        (allocated, requeued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_plan_covers_every_kind() {
+        let plan = FaultPlan::canonical();
+        let kinds: std::collections::HashSet<&'static str> =
+            plan.faults.iter().map(|f| f.kind.name()).collect();
+        assert_eq!(kinds.len(), 5);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn specs_fire_at_most_once() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::canonical(),
+            ClusterConfig::small_test_cluster(),
+            512,
+        );
+        let first = inj.take_mr_faults(0, 3);
+        assert_eq!(first.len(), 3); // straggler, preemption, node loss
+        assert!(inj.take_mr_faults(0, 3).is_empty());
+        let recompile2 = inj.take_recompile_faults(2);
+        assert_eq!(recompile2, vec![FaultKind::AmKill]);
+        assert!(inj.take_recompile_faults(2).is_empty());
+        assert_eq!(inj.faults_injected, 4);
+    }
+
+    #[test]
+    fn mr_triggered_am_kill_defers_to_block_boundary() {
+        let plan = FaultPlan {
+            faults: vec![FaultSpec {
+                trigger: FaultTrigger::MrJob(0),
+                kind: FaultKind::AmKill,
+            }],
+            retry: RetryPolicy::default(),
+        };
+        let mut inj = FaultInjector::new(plan, ClusterConfig::small_test_cluster(), 512);
+        assert!(inj.take_mr_faults(0, 1).is_empty());
+        assert!(inj.take_deferred_am_kill());
+        assert!(!inj.take_deferred_am_kill());
+    }
+
+    #[test]
+    fn container_churn_counts_requeues() {
+        let mut inj =
+            FaultInjector::new(FaultPlan::none(), ClusterConfig::small_test_cluster(), 512);
+        let (allocated, requeued) = inj.churn_job_containers(8, 512, 0.5);
+        assert!(allocated > 0);
+        assert_eq!(requeued, allocated.div_ceil(2));
+        assert_eq!(inj.rm.preemptions, requeued);
+        assert_eq!(inj.task_retries, requeued);
+        // All task containers were released; only the AM remains.
+        assert_eq!(inj.rm.num_containers(), 1);
+    }
+
+    #[test]
+    fn am_restart_reallocates_at_new_size() {
+        let mut inj =
+            FaultInjector::new(FaultPlan::none(), ClusterConfig::small_test_cluster(), 512);
+        let before = inj.rm.allocated_mb();
+        inj.restart_am(2048);
+        assert!(inj.rm.allocated_mb() > before);
+        assert_eq!(inj.rm.preemptions, 1);
+        assert_eq!(inj.rm.requeues, 1);
+    }
+
+    #[test]
+    fn trace_serialization_is_stable() {
+        let trace = vec![
+            TracedEvent {
+                t_s: 2.0004,
+                event: TraceEvent::AppStart { cp_heap_mb: 512 },
+            },
+            TracedEvent {
+                t_s: 10.5,
+                event: TraceEvent::Straggler {
+                    job: 0,
+                    factor: 2.0,
+                    slowdown_s: 15.1234567,
+                },
+            },
+        ];
+        let a = trace_to_json(&trace);
+        let b = trace_to_json(&trace.clone());
+        assert_eq!(a, b);
+        assert!(a.contains("\"event\": \"straggler\""));
+        // Milli-rounding keeps goldens stable.
+        assert!(a.contains("15.123"));
+        assert!(a.ends_with('\n'));
+    }
+}

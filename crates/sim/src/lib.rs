@@ -20,11 +20,16 @@
 //!   the Appendix D comparison.
 
 pub mod app;
+pub mod fault;
 pub mod shadow;
 pub mod spark;
 pub mod throughput;
 
 pub use app::{AdaptationEvent, AppOutcome, SimConfig, SimFacts, Simulator};
+pub use fault::{
+    trace_to_json, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTrigger, RetryPolicy,
+    TraceEvent, TracedEvent,
+};
 pub use shadow::ShadowPool;
 pub use spark::{recommend_executor_memory, simulate_spark_iterative, SparkPlan};
-pub use throughput::{simulate_throughput, ThroughputResult};
+pub use throughput::{simulate_throughput, simulate_throughput_with_faults, ThroughputResult};

@@ -18,6 +18,9 @@ pub struct ShadowPool {
     pub bytes_restored: u64,
     /// Eviction events.
     pub evictions: u64,
+    /// Restore events (each eviction is restored at most once before the
+    /// entry becomes evictable again).
+    pub restores: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -38,12 +41,36 @@ impl ShadowPool {
             bytes_evicted: 0,
             bytes_restored: 0,
             evictions: 0,
+            restores: 0,
         }
     }
 
-    /// Resize (AM migration).
+    /// Resize (AM migration / recovery restart). Shrinking below the
+    /// current occupancy spills immediately — the eviction storm a
+    /// smaller restarted AM pays.
     pub fn set_capacity(&mut self, capacity_bytes: u64) {
         self.capacity_bytes = capacity_bytes;
+        self.evict_to_fit(None);
+    }
+
+    /// Current byte capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of resident entries.
+    pub fn num_resident(&self) -> usize {
+        self.entries.values().filter(|e| e.resident).count()
+    }
+
+    /// Total bytes of clean (HDFS-backed) resident entries — the state a
+    /// restarted AM re-reads after a kill.
+    pub fn clean_resident_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.resident && !e.dirty)
+            .map(|e| e.bytes)
+            .sum()
     }
 
     /// Record a variable produced in memory.
@@ -79,6 +106,7 @@ impl ShadowPool {
         };
         if restored > 0 {
             self.bytes_restored += restored;
+            self.restores += 1;
             self.evict_to_fit(Some(name));
         }
         restored

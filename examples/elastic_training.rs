@@ -62,6 +62,7 @@ fn main() {
                     reopt,
                     facts: facts.clone(),
                     slot_availability: 1.0,
+                    faults: FaultPlan::none(),
                 },
             )
             .expect("simulates");

@@ -55,6 +55,7 @@ fn main() {
                         reopt: false,
                         facts: SimFacts::default(),
                         slot_availability: 1.0,
+                        faults: FaultPlan::none(),
                     },
                 )
                 .expect("simulates");

@@ -50,5 +50,7 @@ pub mod prelude {
     pub use reml_cost::CostModel;
     pub use reml_matrix::{Matrix, MatrixCharacteristics};
     pub use reml_optimizer::{GridStrategy, OptimizerConfig, ResourceConfig, ResourceOptimizer};
-    pub use reml_sim::{SimConfig, SimFacts, Simulator};
+    pub use reml_sim::{
+        FaultKind, FaultPlan, FaultSpec, FaultTrigger, SimConfig, SimFacts, Simulator,
+    };
 }

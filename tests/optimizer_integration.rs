@@ -32,6 +32,7 @@ fn measured(
             reopt: false,
             facts: SimFacts::default(),
             slot_availability: 1.0,
+            faults: FaultPlan::none(),
         },
     )
     .expect("simulates")
