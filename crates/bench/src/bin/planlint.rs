@@ -1,0 +1,176 @@
+//! Plan-lint gate: statically verify every plan the resource grid can
+//! produce for the five paper scripts across the XS/S/M/L scenarios,
+//! then run the differential memory-soundness audit (executor actual
+//! footprint vs. `memest` prediction) and write
+//! `results/planlint_audit.json`. Exits non-zero on any diagnostic so CI
+//! can gate on it.
+
+use std::io::Write;
+
+use reml_bench::{results_dir, Workload};
+use reml_compiler::pipeline::compile;
+use reml_compiler::MrHeapAssignment;
+use reml_optimizer::GridStrategy;
+use reml_planlint::lint_compiled;
+use reml_scripts::data::LabelKind;
+use reml_scripts::{DataShape, Scenario, ScriptSpec};
+use reml_sim::{memory_soundness_audit, MemoryAuditReport};
+
+#[derive(Debug, serde::Serialize)]
+struct LintGridRow {
+    script: String,
+    scenario: String,
+    cp_grid_points: u64,
+    plans_linted: u64,
+    diagnostics: u64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct PlanlintAudit {
+    plans_linted: u64,
+    diagnostics: u64,
+    lint_grid: Vec<LintGridRow>,
+    memory_audit: Vec<MemoryAuditReport>,
+}
+
+fn scripts() -> Vec<fn() -> ScriptSpec> {
+    vec![
+        reml_scripts::linreg_ds,
+        reml_scripts::linreg_cg,
+        reml_scripts::l2svm,
+        reml_scripts::mlogreg,
+        reml_scripts::glm,
+    ]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut plans_total = 0u64;
+    let mut diags_total = 0u64;
+
+    for make in scripts() {
+        for scenario in [Scenario::XS, Scenario::S, Scenario::M, Scenario::L] {
+            let shape = DataShape {
+                scenario,
+                cols: 1000,
+                sparsity: 1.0,
+            };
+            let wl = Workload::new(make(), shape);
+            let (min_heap, max_heap) = (wl.cluster.min_heap_mb(), wl.cluster.max_heap_mb());
+
+            // Memory estimates from the minimal-resource probe compile
+            // seed the same hybrid grid the optimizer enumerates.
+            let mut probe_cfg = wl.base.clone();
+            probe_cfg.cp_heap_mb = min_heap;
+            probe_cfg.mr_heap = MrHeapAssignment::uniform(min_heap);
+            let probe = compile(&wl.analyzed, &probe_cfg).expect("probe compiles");
+            let ests: Vec<f64> = probe
+                .summaries
+                .iter()
+                .flat_map(|s| s.mem_estimates_mb.iter().copied())
+                .collect();
+            let cp_grid = GridStrategy::default_hybrid().generate(min_heap, max_heap, &ests);
+            // MR heaps: smallest tasks and the largest that keep all
+            // cores busy (the §5.1 baseline extremes).
+            let mr_grid = [min_heap, (4.4 * 1024.0) as u64];
+
+            let mut plans = 0u64;
+            let mut diags = 0u64;
+            for &cp in &cp_grid {
+                for &mr in &mr_grid {
+                    let mut cfg = wl.base.clone();
+                    cfg.cp_heap_mb = cp;
+                    cfg.mr_heap = MrHeapAssignment::uniform(mr);
+                    let compiled = compile(&wl.analyzed, &cfg).expect("grid point compiles");
+                    let report = lint_compiled(&wl.analyzed, &compiled, &cfg);
+                    plans += 1;
+                    if !report.is_empty() {
+                        diags += report.len() as u64;
+                        failures.push(format!(
+                            "{} {} (cp={cp} MB, mr={mr} MB):\n{}",
+                            wl.script.name,
+                            scenario.name(),
+                            report.render()
+                        ));
+                    }
+                }
+            }
+            plans_total += plans;
+            diags_total += diags;
+            println!(
+                "planlint {:<10} {:<3} {:>3} plans  {:>2} diagnostics",
+                wl.script.name,
+                scenario.name(),
+                plans,
+                diags
+            );
+            rows.push(LintGridRow {
+                script: wl.script.name.to_string(),
+                scenario: scenario.name().to_string(),
+                cp_grid_points: cp_grid.len() as u64,
+                plans_linted: plans,
+                diagnostics: diags,
+            });
+        }
+    }
+
+    // Differential memory-soundness audit on real executions (e2e-scale
+    // datasets; the executor computes actual values and footprints).
+    println!();
+    let audits = vec![
+        memory_soundness_audit(
+            &reml_scripts::linreg_ds(),
+            1500,
+            12,
+            LabelKind::Regression,
+            &[],
+        ),
+        memory_soundness_audit(
+            &reml_scripts::linreg_cg(),
+            1200,
+            10,
+            LabelKind::Regression,
+            &[("maxiter", 15.0)],
+        ),
+        memory_soundness_audit(&reml_scripts::l2svm(), 800, 8, LabelKind::BinaryPm1, &[]),
+        memory_soundness_audit(&reml_scripts::mlogreg(), 600, 6, LabelKind::Classes(4), &[]),
+        memory_soundness_audit(&reml_scripts::glm(), 500, 5, LabelKind::Counts, &[]),
+    ];
+    for a in &audits {
+        println!(
+            "audit {:<10} {:>5} observations  {:>2} unsound  ({} opcodes)",
+            a.script,
+            a.observations,
+            a.unsound_total,
+            a.per_opcode.len()
+        );
+    }
+
+    let out = PlanlintAudit {
+        plans_linted: plans_total,
+        diagnostics: diags_total,
+        lint_grid: rows,
+        memory_audit: audits,
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join("planlint_audit.json");
+    let mut f = std::fs::File::create(&path).expect("result file");
+    f.write_all(
+        serde_json::to_string_pretty(&out)
+            .expect("serializes")
+            .as_bytes(),
+    )
+    .expect("writes");
+    println!("\nwrote {}", path.display());
+
+    if !failures.is_empty() {
+        eprintln!("\nplanlint FAILED with {diags_total} diagnostics:");
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+    println!("planlint: {plans_total} plans clean");
+}

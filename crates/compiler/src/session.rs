@@ -297,6 +297,25 @@ impl<'a> WhatIfSession<'a> {
         }))
     }
 
+    /// Compile the plan bypassing the cache, without touching the session
+    /// counters: the same artifact `compile_plan` would produce on a cache
+    /// miss, but invisible to the hit/miss accounting. This is the oracle
+    /// for debug-mode cache verification — a cached plan must be
+    /// byte-identical to this fresh compile, or the breakpoint
+    /// fingerprinting collided.
+    pub fn compile_plan_uncached(
+        &self,
+        cp_heap_mb: u64,
+        mr_heap: &MrHeapAssignment,
+    ) -> Result<Arc<PlanHandle>, CompileError> {
+        let cfg = with_resources(&self.base, cp_heap_mb, mr_heap.clone());
+        let compiled = self.compile_cfg(&cfg)?;
+        Ok(Arc::new(PlanHandle {
+            generic_instructions: Arc::new(collect_generic_instructions(&compiled)),
+            compiled: Arc::new(compiled),
+        }))
+    }
+
     /// What-if recompile a single generic block under `(cp, mr)` heaps,
     /// starting from the probe's recorded entry environment (entry
     /// environments are resource-independent).

@@ -107,7 +107,7 @@ fn validate_statements(
                 expr,
                 line,
             } => {
-                validate_expr(program, expr, defined)?;
+                validate_expr(program, expr, defined).map_err(|e| at_line(e, *line))?;
                 if let Some((rows, cols)) = index {
                     // Left-indexing requires the target to already exist.
                     if !defined.contains(target) {
@@ -126,7 +126,7 @@ fn validate_statements(
                 expr,
                 line,
             } => {
-                validate_expr(program, expr, defined)?;
+                validate_expr(program, expr, defined).map_err(|e| at_line(e, *line))?;
                 if let Expr::Call { name, .. } = expr {
                     if let Some(f) = program.function(name) {
                         if f.returns.len() != targets.len() {
@@ -146,7 +146,7 @@ fn validate_statements(
                 }
             }
             Statement::ExprStmt { expr, line } => {
-                validate_expr(program, expr, defined)?;
+                validate_expr(program, expr, defined).map_err(|e| at_line(e, *line))?;
                 // Only side-effecting calls make sense as statements.
                 if let Expr::Call { name, .. } = expr {
                     if !matches!(name.as_str(), "print" | "write" | "stop")
@@ -163,9 +163,9 @@ fn validate_statements(
                 pred,
                 then_branch,
                 else_branch,
-                ..
+                line,
             } => {
-                validate_expr(program, pred, defined)?;
+                validate_expr(program, pred, defined).map_err(|e| at_line(e, *line))?;
                 let mut then_defs = defined.clone();
                 validate_statements(program, then_branch, &mut then_defs)?;
                 let mut else_defs = defined.clone();
@@ -175,8 +175,8 @@ fn validate_statements(
                 // propagation handles the uncertainty).
                 *defined = &then_defs | &else_defs;
             }
-            Statement::While { pred, body, .. } => {
-                validate_expr(program, pred, defined)?;
+            Statement::While { pred, body, line } => {
+                validate_expr(program, pred, defined).map_err(|e| at_line(e, *line))?;
                 validate_statements(program, body, defined)?;
             }
             Statement::For {
@@ -184,10 +184,10 @@ fn validate_statements(
                 from,
                 to,
                 body,
-                ..
+                line,
             } => {
-                validate_expr(program, from, defined)?;
-                validate_expr(program, to, defined)?;
+                validate_expr(program, from, defined).map_err(|e| at_line(e, *line))?;
+                validate_expr(program, to, defined).map_err(|e| at_line(e, *line))?;
                 defined.insert(var.clone());
                 validate_statements(program, body, defined)?;
             }
@@ -200,17 +200,16 @@ fn validate_range(
     program: &Program,
     range: &IndexRange,
     defined: &BTreeSet<String>,
-    _line: usize,
+    line: usize,
 ) -> Result<(), LangError> {
     match range {
         IndexRange::All => Ok(()),
-        IndexRange::Single(e) => validate_expr(program, e, defined).map(|_| ()),
+        IndexRange::Single(e) => validate_expr(program, e, defined)
+            .map(|_| ())
+            .map_err(|e| at_line(e, line)),
         IndexRange::Range(lo, hi) => {
-            if let Some(e) = lo {
-                validate_expr(program, e, defined)?;
-            }
-            if let Some(e) = hi {
-                validate_expr(program, e, defined)?;
+            for e in [lo, hi].into_iter().flatten() {
+                validate_expr(program, e, defined).map_err(|e| at_line(e, line))?;
             }
             Ok(())
         }
@@ -457,5 +456,23 @@ mod tests {
     #[test]
     fn params_are_unknown_typed() {
         check("maxi = $maxiter\ni = 0\nwhile (i < maxi) { i = i + 1 }").unwrap();
+    }
+
+    #[test]
+    fn errors_carry_statement_line() {
+        // A bare undefined identifier has no expression-level line; the
+        // statement must supply its own instead of reporting line 0.
+        let err = check("a = 1\nb = c").unwrap_err();
+        assert_eq!(err.line, 2, "{err:?}");
+        let err = check("a = 1\nwhile (q < 3) { a = a + 1 }").unwrap_err();
+        assert_eq!(err.line, 2, "{err:?}");
+        let err = check("a = 1\nfor (i in 1:n) { a = a + i }").unwrap_err();
+        assert_eq!(err.line, 2, "{err:?}");
+        let err = check("a = 1\nif (q) { a = 2 }").unwrap_err();
+        assert_eq!(err.line, 2, "{err:?}");
+        let err = check("a = 1\nprint(q)").unwrap_err();
+        assert_eq!(err.line, 2, "{err:?}");
+        let err = check("X = matrix(0, rows=2, cols=2)\nX[k, 1] = 5").unwrap_err();
+        assert_eq!(err.line, 2, "{err:?}");
     }
 }

@@ -34,6 +34,9 @@ pub enum MatrixError {
     /// An operation received an argument outside its domain
     /// (e.g. `table()` with a non-positive label).
     InvalidArgument(String),
+    /// A sparse block violated a CSR structural invariant (corrupt
+    /// `row_ptr`/`col_idx`/value arrays — always a kernel bug).
+    CorruptSparseBlock(String),
 }
 
 impl fmt::Display for MatrixError {
@@ -54,6 +57,9 @@ impl fmt::Display for MatrixError {
                 write!(f, "expected square matrix, got {}x{}", shape.0, shape.1)
             }
             MatrixError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MatrixError::CorruptSparseBlock(msg) => {
+                write!(f, "corrupt sparse block: {msg}")
+            }
         }
     }
 }

@@ -208,8 +208,22 @@ impl Matrix {
         Matrix::Dense(out)
     }
 
+    /// Debug-build CSR invariant gate for kernels that densify sparse
+    /// operands (a corrupt block would otherwise silently produce wrong
+    /// values during conversion).
+    fn debug_check_sparse(&self) -> Result<(), MatrixError> {
+        if cfg!(debug_assertions) {
+            if let Matrix::Sparse(s) = self {
+                s.check_invariants()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Horizontal concatenation.
     pub fn cbind(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
+        self.debug_check_sparse()?;
+        other.debug_check_sparse()?;
         Ok(Matrix::from_dense_auto(
             self.to_dense().cbind(&other.to_dense())?,
         ))
@@ -217,6 +231,8 @@ impl Matrix {
 
     /// Vertical concatenation.
     pub fn rbind(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
+        self.debug_check_sparse()?;
+        other.debug_check_sparse()?;
         Ok(Matrix::from_dense_auto(
             self.to_dense().rbind(&other.to_dense())?,
         ))

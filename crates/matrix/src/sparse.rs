@@ -164,6 +164,7 @@ impl SparseMatrix {
     /// Sparse-times-dense matrix multiply producing a dense block — the
     /// common case in the paper's workloads (sparse X times dense vector).
     pub fn matmult_dense(&self, other: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+        self.debug_check()?;
         if self.cols != other.rows() {
             return Err(MatrixError::ShapeMismatch {
                 op: "matmult",
@@ -189,6 +190,8 @@ impl SparseMatrix {
     /// the caller (the [`crate::Matrix`] wrapper) re-sparsifies if the
     /// result is sparse enough — matching SystemML's block-level behaviour.
     pub fn matmult_sparse(&self, other: &SparseMatrix) -> Result<DenseMatrix, MatrixError> {
+        self.debug_check()?;
+        other.debug_check()?;
         if self.cols != other.rows {
             return Err(MatrixError::ShapeMismatch {
                 op: "matmult",
@@ -384,38 +387,52 @@ impl SparseMatrix {
         }
     }
 
-    /// Validate CSR invariants; used by tests and debug assertions.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Validate CSR invariants; used by tests and the debug-build checks
+    /// in the matmult/append kernels.
+    pub fn check_invariants(&self) -> Result<(), MatrixError> {
+        let corrupt = |msg: String| Err(MatrixError::CorruptSparseBlock(msg));
         if self.row_ptr.len() != self.rows + 1 {
-            return Err("row_ptr length".into());
+            return corrupt("row_ptr length".into());
         }
         if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() != self.values.len() {
-            return Err("row_ptr endpoints".into());
+            return corrupt("row_ptr endpoints".into());
         }
         if self.col_idx.len() != self.values.len() {
-            return Err("col_idx/value length mismatch".into());
+            return corrupt("col_idx/value length mismatch".into());
         }
         for r in 0..self.rows {
             if self.row_ptr[r] > self.row_ptr[r + 1] {
-                return Err(format!("row_ptr not monotone at {r}"));
+                return corrupt(format!("row_ptr not monotone at {r}"));
             }
             let mut prev: Option<usize> = None;
             for (c, v) in self.row_iter(r) {
                 if c >= self.cols {
-                    return Err(format!("col {c} out of bounds"));
+                    return corrupt(format!("col {c} out of bounds"));
                 }
                 if let Some(p) = prev {
                     if c <= p {
-                        return Err(format!("cols not strictly increasing in row {r}"));
+                        return corrupt(format!("cols not strictly increasing in row {r}"));
                     }
                 }
                 if v == 0.0 {
-                    return Err(format!("stored zero at ({r}, {c})"));
+                    return corrupt(format!("stored zero at ({r}, {c})"));
                 }
                 prev = Some(c);
             }
         }
         Ok(())
+    }
+
+    /// Debug-build invariant gate for kernels: corrupt CSR state surfaces
+    /// as a typed error at the kernel boundary instead of a wrong result
+    /// (or an out-of-bounds panic) deep inside the multiply loop.
+    #[inline]
+    fn debug_check(&self) -> Result<(), MatrixError> {
+        if cfg!(debug_assertions) {
+            self.check_invariants()
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -499,6 +516,27 @@ mod tests {
         let s = sample();
         assert!(s.matmult_dense(&DenseMatrix::zeros(2, 1)).is_err());
         assert!(s.matmult_sparse(&SparseMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn corrupt_block_rejected_by_kernels() {
+        // A stored zero violates the no-explicit-zeros invariant; the
+        // debug-build kernel gates must surface it as a typed error.
+        let mut s = sample();
+        s.values[0] = 0.0;
+        let err = s.check_invariants().unwrap_err();
+        assert!(matches!(err, MatrixError::CorruptSparseBlock(_)), "{err}");
+        let v = DenseMatrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        assert!(matches!(
+            s.matmult_dense(&v),
+            Err(MatrixError::CorruptSparseBlock(_))
+        ));
+        let ok = sample();
+        assert!(matches!(
+            ok.matmult_sparse(&s),
+            Err(MatrixError::CorruptSparseBlock(_))
+        ));
     }
 
     #[test]

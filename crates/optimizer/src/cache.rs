@@ -34,7 +34,16 @@ pub(crate) struct CostMemo {
     map: Mutex<HashMap<(usize, u64, u64), u64>>,
     runs: AtomicU64,
     hits: AtomicU64,
+    /// Plan requests already lint-verified this round (debug builds):
+    /// each distinct `(r_c, mr assignment)` is checked once, bounded by
+    /// the grid size.
+    #[cfg(debug_assertions)]
+    verified: Mutex<std::collections::HashSet<PlanReq>>,
 }
+
+/// A concrete plan request: `(r_c, default rⁱ, per-block overrides)`.
+#[cfg(debug_assertions)]
+type PlanReq = (u64, u64, Vec<(usize, u64)>);
 
 impl CostMemo {
     pub(crate) fn new(enabled: bool) -> Self {
@@ -43,6 +52,8 @@ impl CostMemo {
             map: Mutex::new(HashMap::new()),
             runs: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            #[cfg(debug_assertions)]
+            verified: Mutex::new(std::collections::HashSet::new()),
         }
     }
 
@@ -84,6 +95,54 @@ impl CostMemo {
     }
 }
 
+/// Debug-mode plan verification (the linter's first wiring point): every
+/// distinct plan request the grid walk makes is linted against the full
+/// rule catalog, and — because `compile_plan` may have served it from
+/// the breakpoint-keyed cache — re-compiled fresh and compared. A cached
+/// plan that differs from the fresh compile, or lints differently, means
+/// the threshold fingerprinting collided.
+#[cfg(debug_assertions)]
+fn debug_verify_plan(
+    session: &WhatIfSession<'_>,
+    memo: &CostMemo,
+    rc: u64,
+    mr_heap: &MrHeapAssignment,
+    plan: &PlanHandle,
+) {
+    let req: PlanReq = (
+        rc,
+        mr_heap.default_mb,
+        mr_heap.per_block.iter().map(|(b, h)| (*b, *h)).collect(),
+    );
+    if !memo.verified.lock().insert(req) {
+        return;
+    }
+    let cfg = reml_compiler::session::with_resources(session.base(), rc, mr_heap.clone());
+    let report = reml_planlint::lint_compiled(session.analyzed(), &plan.compiled, &cfg);
+    assert!(
+        report.is_empty(),
+        "plan lint failed at (rc={rc} MB, ri={} MB):\n{}",
+        mr_heap.default_mb,
+        report.render()
+    );
+    let fresh = session
+        .compile_plan_uncached(rc, mr_heap)
+        .expect("fresh what-if compile for cache verification");
+    assert!(
+        fresh.compiled.runtime == plan.compiled.runtime,
+        "cached plan diverges from a fresh compile at (rc={rc} MB, ri={} MB): \
+         breakpoint fingerprint collision",
+        mr_heap.default_mb
+    );
+    let fresh_report = reml_planlint::lint_compiled(session.analyzed(), &fresh.compiled, &cfg);
+    assert!(
+        report == fresh_report,
+        "cached plan lints differently from a fresh compile at rc={rc} MB:\ncached:\n{}\nfresh:\n{}",
+        report.render(),
+        fresh_report.render()
+    );
+}
+
 /// Output of the baseline stage for one CP grid point.
 pub(crate) struct BaselineOut {
     /// The `(r_c, min)` plan.
@@ -106,6 +165,8 @@ pub(crate) fn stage_baseline(
 ) -> Result<BaselineOut, CompileError> {
     let min = session.min_heap_mb();
     let plan = session.compile_plan(rc, &MrHeapAssignment::uniform(min))?;
+    #[cfg(debug_assertions)]
+    debug_verify_plan(session, memo, rc, &MrHeapAssignment::uniform(min), &plan);
     let (remaining, blocks_total) = opt.prune_blocks(&plan.compiled);
     let mut blocks = Vec::with_capacity(remaining.len());
     for bid in remaining {
@@ -178,6 +239,8 @@ pub(crate) fn stage_agg(
         }
     }
     let plan = session.compile_plan(rc, &mr_heap)?;
+    #[cfg(debug_assertions)]
+    debug_verify_plan(session, memo, rc, &mr_heap, &plan);
     let heap_of = mr_heap.clone();
     let cost = opt
         .cost_model

@@ -1,0 +1,301 @@
+//! HOP-layer rules (PL001–PL006): structural and metadata invariants of
+//! a single HOP DAG.
+
+use reml_compiler::{Hop, HopDag, HopId, HopOp, VType};
+use reml_matrix::MatrixCharacteristics;
+
+use crate::Diagnostic;
+
+/// Run all HOP-layer rules over one DAG. `path` prefixes every
+/// diagnostic location (`"<path>/hop <i>"`).
+pub fn lint_hop_dag(dag: &HopDag, path: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = dag.len();
+    let hop_path = |i: usize| format!("{path}/hop {i}");
+
+    // PL003: dangling references. Collected first so later rules can
+    // skip edges that do not resolve (avoids panics on corrupt DAGs).
+    let mut valid = vec![true; n];
+    for (i, hop) in dag.hops.iter().enumerate() {
+        for input in &hop.inputs {
+            if input.0 >= n {
+                diags.push(Diagnostic::new(
+                    "PL003",
+                    hop_path(i),
+                    format!(
+                        "{:?} references hop {} but the DAG has only {n} hops",
+                        hop.op, input.0
+                    ),
+                ));
+                valid[i] = false;
+            }
+        }
+    }
+
+    // PL004: acyclicity (rewrites may append producers after consumers,
+    // so index order is NOT the invariant — reachability is).
+    diags.extend(check_acyclic(dag, &valid, path));
+
+    for (i, hop) in dag.hops.iter().enumerate() {
+        if !valid[i] {
+            continue;
+        }
+        let inputs: Vec<&Hop> = hop.inputs.iter().map(|id| dag.hop(*id)).collect();
+        diags.extend(check_shapes(hop, &inputs, &hop_path(i)));
+        diags.extend(check_types(hop, &inputs, &hop_path(i)));
+        diags.extend(check_output_mc(hop, &inputs, &hop_path(i)));
+
+        // PL005: the stored estimate must match a fresh recomputation.
+        let fresh = reml_compiler::memest::estimate_hop(dag, HopId(i));
+        let matches = if hop.mem_mb.is_infinite() || fresh.is_infinite() {
+            hop.mem_mb.is_infinite() && fresh.is_infinite()
+        } else {
+            (hop.mem_mb - fresh).abs() <= 1e-9 * fresh.abs().max(1.0)
+        };
+        if !matches {
+            diags.push(Diagnostic::new(
+                "PL005",
+                hop_path(i),
+                format!(
+                    "{:?} stores mem_mb {} but memest recomputes {fresh}",
+                    hop.op, hop.mem_mb
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+fn check_acyclic(dag: &HopDag, valid: &[bool], path: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = dag.len();
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 open, 2 done
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        state[start] = 1;
+        stack.push((start, 0));
+        while let Some(&mut (id, ref mut child)) = stack.last_mut() {
+            let inputs = &dag.hops[id].inputs;
+            if *child < inputs.len() {
+                let next = inputs[*child];
+                *child += 1;
+                if next.0 >= n || !valid[id] {
+                    continue; // dangling edge already reported (PL003)
+                }
+                match state[next.0] {
+                    0 => {
+                        state[next.0] = 1;
+                        stack.push((next.0, 0));
+                    }
+                    1 => diags.push(Diagnostic::new(
+                        "PL004",
+                        format!("{path}/hop {id}"),
+                        format!(
+                            "{:?} closes a cycle through hop {} ({:?})",
+                            dag.hops[id].op, next.0, dag.hops[next.0].op
+                        ),
+                    )),
+                    _ => {}
+                }
+            } else {
+                state[id] = 2;
+                stack.pop();
+            }
+        }
+    }
+    diags
+}
+
+fn dims(mc: &MatrixCharacteristics) -> (Option<u64>, Option<u64>) {
+    (mc.rows, mc.cols)
+}
+
+/// PL001: only *definite* mismatches fire — any unknown dimension is
+/// legitimate (size propagation handles uncertainty; recompilation
+/// resolves it at runtime).
+fn check_shapes(hop: &Hop, inputs: &[&Hop], path: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut fail = |msg: String| diags.push(Diagnostic::new("PL001", path.to_string(), msg));
+    match &hop.op {
+        HopOp::MatMult | HopOp::MmChain => {
+            // MmChain is t(X) %*% (X %*% v) with inputs (X, v): the inner
+            // multiply imposes the same cols(X) == rows(v) constraint.
+            if let [l, r, ..] = inputs {
+                if let ((_, Some(lc)), (Some(rr), _)) = (dims(&l.mc), dims(&r.mc)) {
+                    if lc != rr {
+                        fail(format!(
+                            "{:?}: inner dimensions disagree ({lc} vs {rr})",
+                            hop.op
+                        ));
+                    }
+                }
+            }
+        }
+        HopOp::BinaryMM(op) => {
+            if let [l, r, ..] = inputs {
+                if l.mc.dims_known() && r.mc.dims_known() {
+                    let (lr, lc) = (l.mc.rows.unwrap(), l.mc.cols.unwrap());
+                    let (rr, rc) = (r.mc.rows.unwrap(), r.mc.cols.unwrap());
+                    let exact = lr == rr && lc == rc;
+                    // DML broadcasting: a column vector against matching
+                    // rows, or a row vector against matching columns.
+                    let bcast =
+                        (lr == rr && (lc == 1 || rc == 1)) || (lc == rc && (lr == 1 || rr == 1));
+                    if !exact && !bcast {
+                        fail(format!(
+                            "BinaryMM({op:?}): {lr}x{lc} vs {rr}x{rc} neither matches nor broadcasts"
+                        ));
+                    }
+                }
+            }
+        }
+        HopOp::Append => {
+            if let [l, r, ..] = inputs {
+                if let ((Some(lr), _), (Some(rr), _)) = (dims(&l.mc), dims(&r.mc)) {
+                    if lr != rr {
+                        fail(format!("cbind: row counts disagree ({lr} vs {rr})"));
+                    }
+                }
+            }
+        }
+        HopOp::RBind => {
+            if let [l, r, ..] = inputs {
+                if let ((_, Some(lc)), (_, Some(rc))) = (dims(&l.mc), dims(&r.mc)) {
+                    if lc != rc {
+                        fail(format!("rbind: column counts disagree ({lc} vs {rc})"));
+                    }
+                }
+            }
+        }
+        HopOp::Solve => {
+            if let [a, b, ..] = inputs {
+                if let (Some(ar), Some(ac)) = (a.mc.rows, a.mc.cols) {
+                    if ar != ac {
+                        fail(format!("solve: coefficient matrix {ar}x{ac} not square"));
+                    }
+                    if let Some(br) = b.mc.rows {
+                        if br != ar {
+                            fail(format!(
+                                "solve: rhs rows {br} disagree with system size {ar}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    diags
+}
+
+/// PL002: operator typing. Checks the node's own vtype for
+/// matrix-producing compute ops, and matrix-typing of the inputs that
+/// must be matrices.
+fn check_types(hop: &Hop, inputs: &[&Hop], path: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let matrix_result = matches!(
+        hop.op,
+        HopOp::MatMult
+            | HopOp::MmChain
+            | HopOp::BinaryMM(_)
+            | HopOp::UnaryM(_)
+            | HopOp::Transpose
+            | HopOp::Diag
+            | HopOp::DataGenConst
+            | HopOp::DataGenSeq
+            | HopOp::DataGenRand
+            | HopOp::TableSeq
+            | HopOp::RightIndex
+            | HopOp::LeftIndex
+            | HopOp::Append
+            | HopOp::RBind
+            | HopOp::Solve
+            | HopOp::CastMatrix
+    );
+    if matrix_result && hop.vtype != VType::Matrix {
+        diags.push(Diagnostic::new(
+            "PL002",
+            path.to_string(),
+            format!("{:?} must be matrix-typed, found {:?}", hop.op, hop.vtype),
+        ));
+    }
+    // Input positions that must be matrix-typed.
+    let matrix_inputs: &[usize] = match &hop.op {
+        HopOp::MatMult
+        | HopOp::MmChain
+        | HopOp::BinaryMM(_)
+        | HopOp::Append
+        | HopOp::RBind
+        | HopOp::Solve => &[0, 1],
+        HopOp::UnaryM(_)
+        | HopOp::Transpose
+        | HopOp::Diag
+        | HopOp::Agg(_)
+        | HopOp::TableSeq
+        | HopOp::RightIndex
+        | HopOp::LeftIndex
+        | HopOp::CastScalar
+        | HopOp::NRow
+        | HopOp::NCol => &[0],
+        HopOp::BinaryMS(_) => &[0],
+        HopOp::BinarySM(_) => &[1],
+        _ => &[],
+    };
+    for &pos in matrix_inputs {
+        if let Some(input) = inputs.get(pos) {
+            if input.vtype != VType::Matrix {
+                diags.push(Diagnostic::new(
+                    "PL002",
+                    path.to_string(),
+                    format!(
+                        "{:?} input {pos} must be a matrix, found {:?} ({:?})",
+                        hop.op, input.vtype, input.op
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// PL006: output characteristics must be consistent with the inputs
+/// where the relation is exact (transpose swap, matmult outer dims).
+fn check_output_mc(hop: &Hop, inputs: &[&Hop], path: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut fail = |msg: String| diags.push(Diagnostic::new("PL006", path.to_string(), msg));
+    match &hop.op {
+        HopOp::Transpose => {
+            if let [x] = inputs {
+                if x.mc.rows.is_some() && hop.mc.cols != x.mc.rows
+                    || x.mc.cols.is_some() && hop.mc.rows != x.mc.cols
+                {
+                    fail(format!(
+                        "transpose output {:?}x{:?} does not swap input {:?}x{:?}",
+                        hop.mc.rows, hop.mc.cols, x.mc.rows, x.mc.cols
+                    ));
+                }
+            }
+        }
+        HopOp::MatMult => {
+            if let [l, r, ..] = inputs {
+                if l.mc.rows.is_some() && hop.mc.rows != l.mc.rows {
+                    fail(format!(
+                        "matmult output rows {:?} disagree with left rows {:?}",
+                        hop.mc.rows, l.mc.rows
+                    ));
+                }
+                if r.mc.cols.is_some() && hop.mc.cols != r.mc.cols {
+                    fail(format!(
+                        "matmult output cols {:?} disagree with right cols {:?}",
+                        hop.mc.cols, r.mc.cols
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+    diags
+}

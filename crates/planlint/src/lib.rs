@@ -1,0 +1,533 @@
+//! # reml-planlint — static invariant verifier for compiled plans
+//!
+//! A lint pass over every artifact the compiler produces: HOP DAGs,
+//! lowered CP instructions, piggybacked MR jobs, and the runtime
+//! program-block tree. The resource optimizer's what-if enumeration is
+//! only as trustworthy as these artifacts — a single unsound memory
+//! estimate or illegal piggybacking decision silently corrupts the
+//! cost-based choice — so each invariant the compiler relies on is
+//! restated here as an independently checkable rule with a stable ID.
+//!
+//! The catalog (see [`RULES`] and DESIGN.md's "Plan-lint" section):
+//!
+//! | rule  | layer   | invariant |
+//! |-------|---------|-----------|
+//! | PL001 | HOP     | dimension agreement across HOP edges |
+//! | PL002 | HOP     | matrix/scalar typing of operator inputs/outputs |
+//! | PL003 | HOP     | no dangling input references (CSE leftovers) |
+//! | PL004 | HOP     | DAG acyclicity |
+//! | PL005 | HOP     | `mem_mb` matches a fresh `memest` recomputation |
+//! | PL006 | HOP     | output characteristics consistent with inputs |
+//! | PL010 | LOP     | CP-executed MR-capable operators fit the CP budget |
+//! | PL011 | LOP/MR  | piggybacked broadcast memory fits the task budget |
+//! | PL012 | LOP/MR  | broadcasts are materialized before the job |
+//! | PL013 | LOP/MR  | map-phase operators never consume reduce output |
+//! | PL014 | LOP/MR  | job structure: shuffle⇔reduce, outputs produced, phase tags |
+//! | PL015 | LOP/MR  | in-job dataflow ordering; HDFS inputs not produced in-job |
+//! | PL020 | runtime | definite assignment along the program-block tree |
+//! | PL021 | runtime | instruction reads/writes within `lang::blocks` live sets |
+//! | PL022 | runtime | predicate instructions bind their result variable |
+//! | PL023 | runtime | block summaries match the emitted plan |
+//! | PL024 | runtime | every runtime block maps to a source statement block |
+//! | PL025 | runtime | plan is reproducible from recorded entry environments |
+//!
+//! The main entry point is [`lint_compiled`], which re-derives the HOP
+//! DAG of every generic block from the recorded entry environment (DAG
+//! construction, rewrites, and memory estimation are
+//! resource-independent, so the rebuild is canonical) and maps CP
+//! instruction outputs (`_mVar<hop>`) back onto it; [`lint_artifacts`]
+//! lints explicit (DAG, instruction) pairs for tests and fixtures.
+//!
+//! Diagnostics are structured and `serde`-serializable so CI can diff
+//! them across commits.
+
+use std::fmt;
+
+use reml_compiler::build::Env;
+use reml_compiler::pipeline::{AnalyzedProgram, CompiledProgram};
+use reml_compiler::{CompileConfig, CompileError, HopDag};
+use reml_lang::blocks::StatementBlock;
+use reml_lang::StatementBlockKind;
+use reml_runtime::instructions::Instruction;
+use reml_runtime::program::RtBlock;
+
+mod hop_rules;
+mod lop_rules;
+mod rt_rules;
+
+pub use hop_rules::lint_hop_dag;
+pub use lop_rules::{lint_cp_budget, lint_mr_job};
+pub use rt_rules::lint_runtime;
+
+/// Diagnostic severity. `Error` marks a plan that is unsound or illegal
+/// to execute; `Warning` marks metadata inconsistencies that do not
+/// change execution semantics but would mislead costing or debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Metadata inconsistency; execution semantics unaffected.
+    Warning,
+    /// Unsound or illegal plan.
+    Error,
+}
+
+impl serde::Serialize for Severity {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            }
+            .to_string(),
+        )
+    }
+}
+
+/// The rule catalog: `(id, severity, layer, invariant)`.
+pub const RULES: &[(&str, Severity, &str, &str)] = &[
+    (
+        "PL001",
+        Severity::Error,
+        "hop",
+        "dimension agreement across HOP edges",
+    ),
+    (
+        "PL002",
+        Severity::Error,
+        "hop",
+        "matrix/scalar typing of operator inputs and outputs",
+    ),
+    (
+        "PL003",
+        Severity::Error,
+        "hop",
+        "no dangling input references",
+    ),
+    ("PL004", Severity::Error, "hop", "DAG acyclicity"),
+    (
+        "PL005",
+        Severity::Error,
+        "hop",
+        "memory estimate matches a fresh memest recomputation",
+    ),
+    (
+        "PL006",
+        Severity::Warning,
+        "hop",
+        "output characteristics consistent with inputs",
+    ),
+    (
+        "PL010",
+        Severity::Error,
+        "lop",
+        "CP-executed MR-capable operators fit the CP budget",
+    ),
+    (
+        "PL011",
+        Severity::Error,
+        "lop",
+        "piggybacked broadcast memory fits the MR task budget",
+    ),
+    (
+        "PL012",
+        Severity::Error,
+        "lop",
+        "broadcast inputs are not produced inside their own job",
+    ),
+    (
+        "PL013",
+        Severity::Error,
+        "lop",
+        "map-phase operators never consume reduce-phase output",
+    ),
+    (
+        "PL014",
+        Severity::Error,
+        "lop",
+        "job structure: shuffle iff reduce, outputs produced, phase tags",
+    ),
+    (
+        "PL015",
+        Severity::Error,
+        "lop",
+        "in-job dataflow ordering and HDFS-input materialization",
+    ),
+    (
+        "PL020",
+        Severity::Error,
+        "runtime",
+        "definite assignment along the program-block tree",
+    ),
+    (
+        "PL021",
+        Severity::Error,
+        "runtime",
+        "instruction reads/writes stay within the block live sets",
+    ),
+    (
+        "PL022",
+        Severity::Error,
+        "runtime",
+        "predicate instructions bind their result variable",
+    ),
+    (
+        "PL023",
+        Severity::Warning,
+        "runtime",
+        "block summaries match the emitted plan",
+    ),
+    (
+        "PL024",
+        Severity::Error,
+        "runtime",
+        "every runtime block maps to a source statement block",
+    ),
+    (
+        "PL025",
+        Severity::Error,
+        "runtime",
+        "plan reproducible from recorded entry environments",
+    ),
+];
+
+/// Severity of a rule id (panics on unknown ids — rules are a closed set).
+pub fn rule_severity(rule: &str) -> Severity {
+    RULES
+        .iter()
+        .find(|(id, ..)| *id == rule)
+        .map(|(_, s, ..)| *s)
+        .unwrap_or_else(|| panic!("unknown lint rule {rule}"))
+}
+
+/// One structured diagnostic: rule id + plan path + explanation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub struct Diagnostic {
+    /// Stable rule id, e.g. `"PL010"`.
+    pub rule: &'static str,
+    /// Severity (derived from the catalog).
+    pub severity: Severity,
+    /// Where in the plan: e.g. `"block 3/instr 2"` or `"block 1/hop 7"`.
+    pub path: String,
+    /// Human explanation with the concrete values that violate the rule.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// New diagnostic; severity is looked up in the catalog.
+    pub fn new(rule: &'static str, path: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: rule_severity(rule),
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.rule,
+            match self.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.path,
+            self.message
+        )
+    }
+}
+
+/// A complete lint report, sorted for deterministic diffing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct LintReport {
+    /// All diagnostics, sorted by (rule, path, message).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Build a report from raw diagnostics (sorts and dedups).
+    pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort();
+        diagnostics.dedup();
+        LintReport { diagnostics }
+    }
+
+    /// Whether the plan is clean.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// The distinct rule ids that fired, in order.
+    pub fn rules(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = self.diagnostics.iter().map(|d| d.rule).collect();
+        out.dedup();
+        out
+    }
+
+    /// Render one line per diagnostic.
+    pub fn render(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Find a statement block by id anywhere in the hierarchy.
+pub fn find_block(blocks: &[StatementBlock], id: usize) -> Option<&StatementBlock> {
+    for b in blocks {
+        if b.id.0 == id {
+            return Some(b);
+        }
+        if let Some(found) = find_block_children(b, id) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+fn find_block_children(block: &StatementBlock, id: usize) -> Option<&StatementBlock> {
+    for child in block.children() {
+        if child.id.0 == id {
+            return Some(child);
+        }
+        if let Some(found) = find_block_children(child, id) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Rebuild the canonical HOP DAG of a generic block from its recorded
+/// entry environment: DAG construction, rewrites, and memory estimation
+/// never read the resource configuration, so this reproduces exactly the
+/// DAG the compiler lowered (including CSE-assigned hop ids) for *any*
+/// budget — the `_mVar<hop>` names in the emitted instructions index
+/// into it.
+pub fn rebuild_block_dag(
+    config: &CompileConfig,
+    block: &StatementBlock,
+    entry_env: &Env,
+) -> Result<HopDag, CompileError> {
+    let StatementBlockKind::Generic { statements } = &block.kind else {
+        return Err(CompileError::Internal(format!(
+            "block {} is not generic",
+            block.id.0
+        )));
+    };
+    let mut env = entry_env.clone();
+    let built =
+        reml_compiler::build::BlockBuilder::new(config).build_statements(statements, &mut env)?;
+    let mut dag = built.dag;
+    reml_compiler::rewrites::apply_rewrites(&mut dag);
+    reml_compiler::memest::estimate_dag(&mut dag);
+    Ok(dag)
+}
+
+/// Lint explicit per-block artifacts: HOP rules on `dag`, the CP budget
+/// rule over `instructions` (whose `_mVar` outputs index into `dag`),
+/// and the MR-job rules on every job instruction. Used by unit tests and
+/// fixtures; [`lint_compiled`] drives it for whole programs.
+pub fn lint_artifacts(
+    dag: &HopDag,
+    instructions: &[Instruction],
+    cp_budget_mb: f64,
+    mr_budget_mb: f64,
+    path: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = hop_rules::lint_hop_dag(dag, path);
+    diags.extend(lop_rules::lint_cp_budget(
+        dag,
+        instructions,
+        cp_budget_mb,
+        path,
+    ));
+    for (i, instr) in instructions.iter().enumerate() {
+        if let Instruction::MrJob(job) = instr {
+            diags.extend(lop_rules::lint_mr_job(
+                job,
+                mr_budget_mb,
+                &format!("{path}/instr {i}"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Lint a whole compiled program against its source analysis and the
+/// configuration it was compiled under. Walks the runtime tree, rebuilds
+/// each generic block's HOP DAG from the recorded entry environment, and
+/// runs the full rule catalog.
+pub fn lint_compiled(
+    analyzed: &AnalyzedProgram,
+    compiled: &CompiledProgram,
+    config: &CompileConfig,
+) -> LintReport {
+    let mut diags = rt_rules::lint_runtime(analyzed, compiled);
+
+    let mut generics: Vec<&RtBlock> = Vec::new();
+    for b in &compiled.runtime.blocks {
+        b.visit_generic(&mut |g| generics.push(g));
+    }
+    for g in generics {
+        let RtBlock::Generic {
+            source,
+            instructions,
+            ..
+        } = g
+        else {
+            continue;
+        };
+        let bid = source.0;
+        let path = format!("block {bid}");
+        let Some(entry_env) = compiled.entry_envs.get(&bid) else {
+            diags.push(Diagnostic::new(
+                "PL025",
+                &path,
+                "no entry environment recorded for generic block",
+            ));
+            continue;
+        };
+        let Some(block) = find_block(&analyzed.blocks, bid) else {
+            // PL024 already reports the missing source mapping.
+            continue;
+        };
+        let dag = match rebuild_block_dag(config, block, entry_env) {
+            Ok(dag) => dag,
+            Err(e) => {
+                diags.push(Diagnostic::new(
+                    "PL025",
+                    &path,
+                    format!("DAG rebuild from entry environment failed: {e}"),
+                ));
+                continue;
+            }
+        };
+        diags.extend(hop_rules::lint_hop_dag(&dag, &path));
+        diags.extend(lop_rules::lint_cp_budget(
+            &dag,
+            instructions,
+            config.cp_budget_mb(),
+            &path,
+        ));
+        for (i, instr) in instructions.iter().enumerate() {
+            if let Instruction::MrJob(job) = instr {
+                diags.extend(lop_rules::lint_mr_job(
+                    job,
+                    config.mr_budget_mb(bid),
+                    &format!("{path}/instr {i}"),
+                ));
+            }
+        }
+    }
+
+    // MR jobs inside predicates (rare — predicates are scalar-dominated,
+    // but lowering is budget-driven and may emit them).
+    let mut pred_jobs: Vec<(usize, usize, &reml_runtime::instructions::MrJobInstruction)> =
+        Vec::new();
+    for b in &compiled.runtime.blocks {
+        collect_predicate_jobs(b, &mut pred_jobs);
+    }
+    for (bid, i, job) in pred_jobs {
+        diags.extend(lop_rules::lint_mr_job(
+            job,
+            config.mr_budget_mb(bid),
+            &format!("block {bid}/pred instr {i}"),
+        ));
+    }
+
+    LintReport::from_diagnostics(diags)
+}
+
+fn collect_predicate_jobs<'a>(
+    block: &'a RtBlock,
+    out: &mut Vec<(
+        usize,
+        usize,
+        &'a reml_runtime::instructions::MrJobInstruction,
+    )>,
+) {
+    let mut scan = |bid: usize, pred: &'a reml_runtime::program::Predicate| {
+        for (i, instr) in pred.instructions.iter().enumerate() {
+            if let Instruction::MrJob(job) = instr {
+                out.push((bid, i, job));
+            }
+        }
+    };
+    match block {
+        RtBlock::Generic { .. } => {}
+        RtBlock::If {
+            source,
+            pred,
+            then_blocks,
+            else_blocks,
+        } => {
+            scan(source.0, pred);
+            for b in then_blocks.iter().chain(else_blocks) {
+                collect_predicate_jobs(b, out);
+            }
+        }
+        RtBlock::While {
+            source, pred, body, ..
+        } => {
+            scan(source.0, pred);
+            for b in body {
+                collect_predicate_jobs(b, out);
+            }
+        }
+        RtBlock::For {
+            source,
+            from,
+            to,
+            body,
+            ..
+        } => {
+            scan(source.0, from);
+            scan(source.0, to);
+            for b in body {
+                collect_predicate_jobs(b, out);
+            }
+        }
+    }
+}
+
+/// Mirror of the lowering's MR-capability predicate (`lower.rs`): the
+/// operators that *can* run as MR jobs, and therefore the only ones for
+/// which CP placement is a budget decision (PL010). Kept in sync by the
+/// zero-diagnostics integration tests.
+pub(crate) fn mr_capable(op: &reml_compiler::HopOp) -> bool {
+    use reml_compiler::HopOp;
+    matches!(
+        op,
+        HopOp::MatMult
+            | HopOp::MmChain
+            | HopOp::BinaryMM(_)
+            | HopOp::BinaryMS(_)
+            | HopOp::BinarySM(_)
+            | HopOp::UnaryM(_)
+            | HopOp::Agg(_)
+            | HopOp::Transpose
+            | HopOp::TableSeq
+            | HopOp::RightIndex
+            | HopOp::LeftIndex
+            | HopOp::Append
+            | HopOp::RBind
+            | HopOp::Diag
+            | HopOp::DataGenConst
+            | HopOp::DataGenSeq
+            | HopOp::DataGenRand
+    ) && op.is_matrix_op()
+}
+
+/// Whether a variable name is a lowering-generated temporary.
+pub(crate) fn is_temp_name(name: &str) -> bool {
+    name.starts_with("_mVar") || name.starts_with("__pred")
+}

@@ -14,7 +14,7 @@ use reml_matrix::{BinaryOp, Matrix, MatrixCharacteristics};
 
 use crate::bufferpool::BufferPool;
 use crate::hdfs::HdfsStore;
-use crate::instructions::{Instruction, MrJobInstruction, OpCode};
+use crate::instructions::{CpInstruction, Instruction, MrJobInstruction, OpCode};
 use crate::program::{Predicate, RtBlock, RuntimeProgram};
 use crate::value::{Operand, ScalarValue};
 
@@ -141,6 +141,27 @@ pub struct Executor {
     /// [`ExecError::OutOfMemory`] instead of spilling. `None` (default)
     /// keeps the pure spill-to-disk behaviour.
     oom_limit_bytes: Option<u64>,
+    /// Opt-in memory-observation recording (the planlint soundness audit).
+    observe_memory: bool,
+    observations: Vec<MemObservation>,
+}
+
+/// One comparison between the compiler's memory prediction for a CP
+/// instruction and the actual operator footprint at execution time.
+/// Recorded opt-in via [`Executor::enable_memory_observation`]; the
+/// planlint memory-soundness audit aggregates these per opcode.
+#[derive(Debug, Clone)]
+pub struct MemObservation {
+    /// Opcode mnemonic (e.g. `ba+*`).
+    pub opcode: String,
+    /// Compile-time estimate: operand + output sizes from the recorded
+    /// [`MatrixCharacteristics`]; `None` when any operand size was
+    /// unknown at compile time.
+    pub predicted_bytes: Option<u64>,
+    /// Actual operand + output bytes held in the buffer pool.
+    pub actual_bytes: u64,
+    /// Pool resident bytes right after the instruction.
+    pub resident_bytes: u64,
 }
 
 impl Executor {
@@ -152,7 +173,21 @@ impl Executor {
             hdfs,
             stats: ExecStats::default(),
             oom_limit_bytes: None,
+            observe_memory: false,
+            observations: Vec::new(),
         }
+    }
+
+    /// Start recording one [`MemObservation`] per executed CP
+    /// instruction (the differential memory-soundness audit). Off by
+    /// default: observation clones no data but grows a vector.
+    pub fn enable_memory_observation(&mut self) {
+        self.observe_memory = true;
+    }
+
+    /// Drain the recorded memory observations.
+    pub fn take_memory_observations(&mut self) -> Vec<MemObservation> {
+        std::mem::take(&mut self.observations)
     }
 
     /// Builder: fail with [`ExecError::OutOfMemory`] when a computed
@@ -340,13 +375,52 @@ impl Executor {
         match instr {
             Instruction::Cp(cp) => {
                 self.stats.cp_instructions += 1;
-                self.execute_op(&cp.opcode, &cp.operands, cp.output.as_deref())
+                self.execute_op(&cp.opcode, &cp.operands, cp.output.as_deref())?;
+                if self.observe_memory {
+                    self.record_observation(cp);
+                }
+                Ok(())
             }
             Instruction::MrJob(job) => {
                 self.stats.mr_jobs += 1;
                 self.execute_mr_job(job)
             }
         }
+    }
+
+    /// Record predicted vs. actual footprint of a just-executed CP
+    /// instruction. Prediction sums the compile-time operand/output
+    /// characteristics (the same quantities `memest` budgets against);
+    /// actual sums the live pool sizes of the distinct variables touched.
+    fn record_observation(&mut self, cp: &CpInstruction) {
+        let mut predicted: Option<u64> = Some(0);
+        for mc in cp.operand_mcs.iter().chain(std::iter::once(&cp.output_mc)) {
+            predicted = match (predicted, mc.estimated_size_bytes()) {
+                (Some(acc), Some(b)) => Some(acc + b),
+                _ => None,
+            };
+        }
+        let mut touched: Vec<&str> = cp
+            .operands
+            .iter()
+            .filter_map(|o| match o {
+                Operand::Var(name) => Some(name.as_str()),
+                Operand::Lit(_) => None,
+            })
+            .chain(cp.output.as_deref())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let actual_bytes = touched
+            .iter()
+            .filter_map(|name| self.pool.peek(name).map(Matrix::size_bytes))
+            .sum();
+        self.observations.push(MemObservation {
+            opcode: cp.opcode.mnemonic(),
+            predicted_bytes: predicted,
+            actual_bytes,
+            resident_bytes: self.pool.resident_bytes(),
+        });
     }
 
     /// Execute an MR job value-equivalently: run map operators then reduce

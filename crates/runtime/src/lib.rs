@@ -31,7 +31,7 @@ pub mod program;
 pub mod value;
 
 pub use bufferpool::{BufferPool, BufferPoolStats};
-pub use executor::{ExecStats, Executor, MigrationReport, RecompileHook};
+pub use executor::{ExecStats, Executor, MemObservation, MigrationReport, RecompileHook};
 pub use hdfs::HdfsStore;
 pub use instructions::{
     CpInstruction, Instruction, MrJobInstruction, MrLocation, MrOperator, OpCode,

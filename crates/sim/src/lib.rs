@@ -20,12 +20,14 @@
 //!   the Appendix D comparison.
 
 pub mod app;
+pub mod audit;
 pub mod fault;
 pub mod shadow;
 pub mod spark;
 pub mod throughput;
 
 pub use app::{AdaptationEvent, AppOutcome, SimConfig, SimFacts, Simulator};
+pub use audit::{memory_soundness_audit, MemoryAuditReport, OpcodeAudit};
 pub use fault::{
     trace_to_json, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTrigger, RetryPolicy,
     TraceEvent, TracedEvent,

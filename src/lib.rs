@@ -37,6 +37,7 @@ pub use reml_cost as cost;
 pub use reml_lang as lang;
 pub use reml_matrix as matrix;
 pub use reml_optimizer as optimizer;
+pub use reml_planlint as planlint;
 pub use reml_runtime as runtime;
 pub use reml_scripts as scripts;
 pub use reml_sim as sim;

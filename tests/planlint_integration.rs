@@ -1,0 +1,71 @@
+//! Plan-lint integration: every paper script, compiled across the
+//! XS/S/M/L scenarios at representative resource-grid extremes, must
+//! produce a lint-clean plan. The full hybrid grid runs in the
+//! release-mode `planlint` bench binary; this debug-build test covers
+//! the budget extremes where CP/MR placement flips.
+
+use reml::compiler::MrHeapAssignment;
+use reml::planlint::lint_compiled;
+use reml::prelude::*;
+use reml::scripts::{DataShape, Scenario, ScriptSpec};
+
+fn lint_grid(script: ScriptSpec) {
+    let cluster = ClusterConfig::paper_cluster();
+    let (min_heap, max_heap) = (cluster.min_heap_mb(), cluster.max_heap_mb());
+    for scenario in [Scenario::XS, Scenario::S, Scenario::M, Scenario::L] {
+        let shape = DataShape {
+            scenario,
+            cols: 1000,
+            sparsity: 1.0,
+        };
+        let base = script.compile_config(
+            shape,
+            cluster.clone(),
+            min_heap,
+            MrHeapAssignment::uniform(min_heap),
+        );
+        let analyzed = analyze_program(&script.source).expect("analyzes");
+        // Budget extremes plus one mid-point: all-MR, mixed, all-CP.
+        for cp in [min_heap, (min_heap + max_heap) / 2, max_heap] {
+            for mr in [min_heap, 4 * 1024] {
+                let mut cfg = base.clone();
+                cfg.cp_heap_mb = cp;
+                cfg.mr_heap = MrHeapAssignment::uniform(mr);
+                let compiled = compile(&analyzed, &cfg).expect("compiles");
+                let report = lint_compiled(&analyzed, &compiled, &cfg);
+                assert!(
+                    report.is_empty(),
+                    "{} {} cp={cp} mr={mr}:\n{}",
+                    script.name,
+                    scenario.name(),
+                    report.render()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn linreg_ds_lints_clean_across_grid() {
+    lint_grid(reml::scripts::linreg_ds());
+}
+
+#[test]
+fn linreg_cg_lints_clean_across_grid() {
+    lint_grid(reml::scripts::linreg_cg());
+}
+
+#[test]
+fn l2svm_lints_clean_across_grid() {
+    lint_grid(reml::scripts::l2svm());
+}
+
+#[test]
+fn mlogreg_lints_clean_across_grid() {
+    lint_grid(reml::scripts::mlogreg());
+}
+
+#[test]
+fn glm_lints_clean_across_grid() {
+    lint_grid(reml::scripts::glm());
+}
