@@ -1,0 +1,201 @@
+//! Sizebound soundness gate: run the interval abstract interpretation
+//! over the five paper scripts across the XS/S/M/L scenarios, lint every
+//! plan with the PL030 rule family, then execute each script with memory
+//! observation and assert that no instruction's actual footprint ever
+//! exceeds its statically-proven bound. Writes
+//! `results/sizebound_audit.json`; exits non-zero on any error-severity
+//! diagnostic or dynamic bound violation so CI can gate on it.
+
+use std::io::Write;
+
+use reml_bench::{results_dir, Workload};
+use reml_compiler::pipeline::compile;
+use reml_compiler::MrHeapAssignment;
+use reml_planlint::Severity;
+use reml_scripts::data::LabelKind;
+use reml_scripts::{DataShape, Scenario, ScriptSpec};
+use reml_sim::{memory_soundness_audit, MemoryAuditReport};
+use reml_sizebound::{analyze_bounds, sound_min_cp_budget_mb};
+
+#[derive(Debug, serde::Serialize)]
+struct StaticRow {
+    script: String,
+    scenario: String,
+    plans_analyzed: u64,
+    widening_steps: u64,
+    sound_min_cp_budget_mb: f64,
+    errors: u64,
+    warnings: u64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct SizeboundAudit {
+    plans_analyzed: u64,
+    errors: u64,
+    warnings: u64,
+    static_grid: Vec<StaticRow>,
+    dynamic_audit: Vec<MemoryAuditReport>,
+    bound_violations: u64,
+}
+
+fn scripts() -> Vec<fn() -> ScriptSpec> {
+    vec![
+        reml_scripts::linreg_ds,
+        reml_scripts::linreg_cg,
+        reml_scripts::l2svm,
+        reml_scripts::mlogreg,
+        reml_scripts::glm,
+    ]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut plans_total = 0u64;
+    let mut errors_total = 0u64;
+    let mut warnings_total = 0u64;
+
+    for make in scripts() {
+        for scenario in [Scenario::XS, Scenario::S, Scenario::M, Scenario::L] {
+            let shape = DataShape {
+                scenario,
+                cols: 1000,
+                sparsity: 1.0,
+            };
+            let wl = Workload::new(make(), shape);
+            let (min_heap, max_heap) = (wl.cluster.min_heap_mb(), wl.cluster.max_heap_mb());
+
+            // Analyze at the grid extremes: the minimal-resource probe
+            // (where placement pressure is highest) and the largest
+            // configuration (where everything is CP-placed).
+            let mut plans = 0u64;
+            let mut errors = 0u64;
+            let mut warnings = 0u64;
+            let mut widening = 0u64;
+            let mut sound_min = 0.0f64;
+            for cp in [min_heap, max_heap] {
+                let mut cfg = wl.base.clone();
+                cfg.cp_heap_mb = cp;
+                cfg.mr_heap = MrHeapAssignment::uniform(min_heap);
+                let compiled = compile(&wl.analyzed, &cfg).expect("grid point compiles");
+                let bounds =
+                    analyze_bounds(&wl.analyzed, &compiled, &cfg).expect("analysis succeeds");
+                widening = widening.max(bounds.widening_steps);
+                let min = sound_min_cp_budget_mb(&bounds);
+                if min > sound_min {
+                    sound_min = min;
+                }
+                let report = reml_sizebound::lint(&compiled, &cfg, &bounds);
+                plans += 1;
+                for d in &report.diagnostics {
+                    match d.severity {
+                        Severity::Error => {
+                            errors += 1;
+                            failures.push(format!(
+                                "{} {} (cp={cp} MB): {d}",
+                                wl.script.name,
+                                scenario.name()
+                            ));
+                        }
+                        Severity::Warning => warnings += 1,
+                    }
+                }
+            }
+            plans_total += plans;
+            errors_total += errors;
+            warnings_total += warnings;
+            println!(
+                "sizebound {:<10} {:<3} {:>2} plans  {:>2} errors  {:>3} warnings  \
+                 {:>2} widenings  min-cp {:>8.1} MB",
+                wl.script.name,
+                scenario.name(),
+                plans,
+                errors,
+                warnings,
+                widening,
+                sound_min
+            );
+            rows.push(StaticRow {
+                script: wl.script.name.to_string(),
+                scenario: scenario.name().to_string(),
+                plans_analyzed: plans,
+                widening_steps: widening,
+                sound_min_cp_budget_mb: sound_min,
+                errors,
+                warnings,
+            });
+        }
+    }
+
+    // Dynamic audit: real executions; every observation with a finite
+    // interval bound must satisfy `actual <= bound`.
+    println!();
+    let audits = vec![
+        memory_soundness_audit(
+            &reml_scripts::linreg_ds(),
+            1500,
+            12,
+            LabelKind::Regression,
+            &[],
+        ),
+        memory_soundness_audit(
+            &reml_scripts::linreg_cg(),
+            1200,
+            10,
+            LabelKind::Regression,
+            &[("maxiter", 15.0)],
+        ),
+        memory_soundness_audit(&reml_scripts::l2svm(), 800, 8, LabelKind::BinaryPm1, &[]),
+        memory_soundness_audit(&reml_scripts::mlogreg(), 600, 6, LabelKind::Classes(4), &[]),
+        memory_soundness_audit(&reml_scripts::glm(), 500, 5, LabelKind::Counts, &[]),
+    ];
+    let mut bound_violations = 0u64;
+    for a in &audits {
+        println!(
+            "audit {:<10} {:>5} observations  {:>5} bounded  {:>2} violations",
+            a.script, a.observations, a.bounded_observations, a.bound_unsound_total
+        );
+        if a.bound_unsound_total > 0 {
+            bound_violations += a.bound_unsound_total;
+            failures.push(format!(
+                "{}: {} observations exceeded their proven bound",
+                a.script, a.bound_unsound_total
+            ));
+        }
+        if a.bounded_observations == 0 {
+            failures.push(format!(
+                "{}: no observation carried a finite bound (annotation broken?)",
+                a.script
+            ));
+        }
+    }
+
+    let out = SizeboundAudit {
+        plans_analyzed: plans_total,
+        errors: errors_total,
+        warnings: warnings_total,
+        static_grid: rows,
+        dynamic_audit: audits,
+        bound_violations,
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join("sizebound_audit.json");
+    let mut f = std::fs::File::create(&path).expect("result file");
+    f.write_all(
+        serde_json::to_string_pretty(&out)
+            .expect("serializes")
+            .as_bytes(),
+    )
+    .expect("writes");
+    println!("\nwrote {}", path.display());
+
+    if !failures.is_empty() {
+        eprintln!("\nsizebound FAILED:");
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+    println!("sizebound: {plans_total} plans sound, 0 dynamic violations");
+}

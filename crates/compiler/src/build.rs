@@ -1019,17 +1019,31 @@ fn binary_mm_mc(
     let cols = bdim(l.cols, r.cols);
     let cells = rows.and_then(|r2| cols.map(|c| r2 * c));
     // Worst-case nnz estimation: multiplication intersects patterns,
-    // addition unions them, non-zero-preserving ops densify.
+    // addition unions them, non-zero-preserving ops densify. A broadcast
+    // side's pattern replicates across the expanded dimension, so its
+    // nnz scales by the replication factor before the intersection/union
+    // (a dense 500×1 vector times a dense 500×5 matrix yields a dense
+    // result, not one with the vector's 500 non-zeros).
+    let eff = |side: &MatrixCharacteristics| -> Option<u64> {
+        let n = side.nnz?;
+        let rep = (rows? / side.rows?.max(1))
+            .max(1)
+            .saturating_mul((cols? / side.cols?.max(1)).max(1));
+        Some(n.saturating_mul(rep))
+    };
     let nnz = if !op.is_zero_preserving() {
         cells
     } else {
         match op {
-            BinaryOp::Mul | BinaryOp::And => match (l.nnz, r.nnz) {
-                (Some(a), Some(b)) => Some(a.min(b)),
+            BinaryOp::Mul | BinaryOp::And => match (eff(l), eff(r)) {
+                (Some(a), Some(b)) => Some(match cells {
+                    Some(c) => a.min(b).min(c),
+                    None => a.min(b),
+                }),
                 _ => None,
             },
-            _ => match (l.nnz, r.nnz, cells) {
-                (Some(a), Some(b), Some(c)) => Some((a + b).min(c)),
+            _ => match (eff(l), eff(r), cells) {
+                (Some(a), Some(b), Some(c)) => Some(a.saturating_add(b).min(c)),
                 _ => None,
             },
         }

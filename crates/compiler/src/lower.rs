@@ -199,6 +199,7 @@ impl<'a> Lowering<'a> {
                         output: Some(name.clone()),
                         operand_mcs: vec![self.dag.hop(input).mc],
                         output_mc: hop.mc,
+                        bound_bytes: None,
                     }));
                 }
                 HopOp::PWrite(path) => {
@@ -217,6 +218,7 @@ impl<'a> Lowering<'a> {
                         output: None,
                         operand_mcs: vec![self.dag.hop(input).mc],
                         output_mc: hop.mc,
+                        bound_bytes: None,
                     }));
                 }
                 HopOp::PRead(path) => {
@@ -226,6 +228,7 @@ impl<'a> Lowering<'a> {
                         output: Some(path.clone()),
                         operand_mcs: vec![],
                         output_mc: hop.mc,
+                        bound_bytes: None,
                     }));
                 }
                 _ => {
@@ -264,6 +267,7 @@ impl<'a> Lowering<'a> {
                 output: Some(var.clone()),
                 operand_mcs: vec![self.dag.hop(*root).mc],
                 output_mc: self.dag.hop(*root).mc,
+                bound_bytes: None,
             }));
         }
 
@@ -456,6 +460,7 @@ impl<'a> Lowering<'a> {
             output,
             operand_mcs,
             output_mc: hop.mc,
+            bound_bytes: None,
         })
     }
 

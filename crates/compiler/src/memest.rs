@@ -42,6 +42,23 @@ pub fn estimate_dag(dag: &mut HopDag) {
 
 /// Operation memory estimate of one hop, MB.
 pub fn estimate_hop(dag: &HopDag, id: HopId) -> f64 {
+    estimate_hop_with(dag, id, &|h| size_mb(&dag.hop(h).mc), &|h| {
+        dense_size_mb(&dag.hop(h).mc)
+    })
+}
+
+/// The charging skeleton behind [`estimate_hop`], parameterized over how
+/// a hop's value size is measured. `value_mb` supplies the (possibly
+/// sparse) size of a hop's value, `dense_mb` its dense-materialization
+/// size. Passing the compiler's point characteristics reproduces
+/// [`estimate_hop`] exactly; passing interval upper bounds yields the
+/// dual worst-case estimate used by the soundness analysis.
+pub fn estimate_hop_with(
+    dag: &HopDag,
+    id: HopId,
+    value_mb: &dyn Fn(HopId) -> f64,
+    dense_mb: &dyn Fn(HopId) -> f64,
+) -> f64 {
     let hop = dag.hop(id);
     // Scalars and string ops are negligible.
     if hop.vtype != VType::Matrix
@@ -49,7 +66,7 @@ pub fn estimate_hop(dag: &HopDag, id: HopId) -> f64 {
     {
         // Full-reduction aggregates still require their matrix input.
         if let HopOp::Agg(_) | HopOp::CastScalar | HopOp::NRow | HopOp::NCol = hop.op {
-            let input_mb: f64 = hop.inputs.iter().map(|i| size_mb(&dag.hop(*i).mc)).sum();
+            let input_mb: f64 = hop.inputs.iter().map(|i| value_mb(*i)).sum();
             return input_mb;
         }
         return 1e-4;
@@ -58,15 +75,14 @@ pub fn estimate_hop(dag: &HopDag, id: HopId) -> f64 {
         .inputs
         .iter()
         .map(|i| {
-            let h = dag.hop(*i);
-            if h.vtype == VType::Matrix {
-                size_mb(&h.mc)
+            if dag.hop(*i).vtype == VType::Matrix {
+                value_mb(*i)
             } else {
                 0.0
             }
         })
         .sum();
-    let output_mb = size_mb(&hop.mc);
+    let output_mb = value_mb(id);
     match &hop.op {
         // Reads/writes move one value; the estimate is that value.
         HopOp::TRead(_) | HopOp::PRead(_) => output_mb,
@@ -78,12 +94,12 @@ pub fn estimate_hop(dag: &HopDag, id: HopId) -> f64 {
             let a_mb = hop
                 .inputs
                 .first()
-                .map(|i| dense_size_mb(&dag.hop(*i).mc))
+                .map(|i| dense_mb(*i))
                 .unwrap_or(f64::INFINITY);
             inputs_mb + output_mb + a_mb
         }
         // Sparse-unfriendly intermediates: matmult may densify the output.
-        HopOp::MatMult | HopOp::MmChain => inputs_mb + dense_size_mb(&hop.mc),
+        HopOp::MatMult | HopOp::MmChain => inputs_mb + dense_mb(id),
         // Everything else: inputs + output.
         _ => inputs_mb + output_mb,
     }

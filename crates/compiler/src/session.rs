@@ -203,6 +203,29 @@ impl<'a> WhatIfSession<'a> {
         self.probe.compiled.entry_envs.get(&block_id)
     }
 
+    /// Register an additional program-level budget threshold (e.g. the
+    /// statically-proven minimum CP budget from the soundness analysis).
+    /// Budgets on either side of the threshold get distinct plan
+    /// fingerprints, so the cache never serves a plan across a
+    /// feasibility boundary the caller knows about. Clears the caches:
+    /// existing keys were computed over the old threshold list.
+    pub fn add_program_threshold_mb(&mut self, mb: f64) {
+        if !mb.is_finite() || mb <= 0.0 {
+            return;
+        }
+        self.program_thresholds.push(mb);
+        sort_dedup(&mut self.program_thresholds);
+        self.plans.lock().clear();
+        self.blocks.lock().clear();
+        if self.caching {
+            let key = self.plan_key(
+                self.min_heap_mb,
+                &MrHeapAssignment::uniform(self.min_heap_mb),
+            );
+            self.plans.lock().insert(key, self.probe.clone());
+        }
+    }
+
     /// Fingerprint of a budget over a sorted threshold list: the index
     /// of the interval the budget falls into. Budgets in the same
     /// interval make identical decisions everywhere the thresholds came

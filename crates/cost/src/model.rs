@@ -469,6 +469,7 @@ mod tests {
             output_mc: output
                 .map(|(_, mc)| mc)
                 .unwrap_or_else(MatrixCharacteristics::scalar),
+            bound_bytes: None,
         })
     }
 

@@ -110,6 +110,20 @@ pub fn count_all_blocks(blocks: &[StatementBlock]) -> usize {
     blocks.iter().map(StatementBlock::count_blocks).sum()
 }
 
+/// Union of the variables any of the given blocks (or their nested
+/// children) may assign. Static analyses use this to bound the set of
+/// variables a loop body can change: everything else passes through a
+/// loop iteration unmodified.
+pub fn assigned_vars<'a>(blocks: impl IntoIterator<Item = &'a StatementBlock>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for block in blocks {
+        // `updates` already aggregates the child blocks (see `analyze`),
+        // so one level is enough.
+        out.extend(block.updates.iter().cloned());
+    }
+    out
+}
+
 fn build_block_list(statements: &[Statement], next_id: &mut usize) -> Vec<StatementBlock> {
     let mut blocks = Vec::new();
     let mut run: Vec<Statement> = Vec::new();

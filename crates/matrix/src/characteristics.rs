@@ -116,12 +116,19 @@ impl MatrixCharacteristics {
     /// Estimated in-memory size under automatic format selection.
     ///
     /// This is the estimator the compiler uses for operator memory
-    /// estimates: sparse when sparsity is known and below
-    /// [`SPARSE_FORMAT_THRESHOLD`], else dense. Unknown dimensions yield
-    /// `None`, which memory estimation treats as "worst case / unknown".
+    /// estimates: sparse when sparsity is known, below
+    /// [`SPARSE_FORMAT_THRESHOLD`], and the CSR form is actually smaller
+    /// than dense (for narrow matrices the per-row overhead can exceed
+    /// the dense saving below the threshold), else dense. Unknown
+    /// dimensions yield `None`, which memory estimation treats as "worst
+    /// case / unknown".
     pub fn estimated_size_bytes(&self) -> Option<u64> {
-        match self.sparsity() {
-            Some(sp) if sp < SPARSE_FORMAT_THRESHOLD => self.sparse_size_bytes(),
+        match (
+            self.sparsity(),
+            self.sparse_size_bytes(),
+            self.dense_size_bytes(),
+        ) {
+            (Some(sp), Some(s), Some(d)) if sp < SPARSE_FORMAT_THRESHOLD && s < d => Some(s),
             _ => self.dense_size_bytes(),
         }
     }

@@ -19,11 +19,25 @@ pub enum Matrix {
 }
 
 impl Matrix {
+    /// Whether CSR is the preferred representation for these dimensions
+    /// and nnz: sparsity below [`SPARSE_FORMAT_THRESHOLD`] *and* the CSR
+    /// bytes actually smaller than dense (for narrow matrices the per-row
+    /// overhead can exceed the dense saving below the threshold). Keeps
+    /// the runtime's choice consistent with
+    /// [`MatrixCharacteristics::estimated_size_bytes`].
+    fn prefers_sparse(rows: usize, cols: usize, nnz: u64) -> bool {
+        let cells = (rows * cols) as f64;
+        let mc = MatrixCharacteristics::known(rows as u64, cols as u64, nnz);
+        cells > 0.0
+            && (nnz as f64) / cells < SPARSE_FORMAT_THRESHOLD
+            && mc.sparse_size_bytes() < mc.dense_size_bytes()
+    }
+
     /// Wrap a dense block, converting to sparse if that representation is
-    /// clearly smaller (sparsity below [`SPARSE_FORMAT_THRESHOLD`]).
+    /// clearly smaller (sparsity below [`SPARSE_FORMAT_THRESHOLD`] and
+    /// byte-wise smaller).
     pub fn from_dense_auto(d: DenseMatrix) -> Matrix {
-        let cells = (d.rows() * d.cols()) as f64;
-        if cells > 0.0 && (d.nnz() as f64) / cells < SPARSE_FORMAT_THRESHOLD {
+        if Matrix::prefers_sparse(d.rows(), d.cols(), d.nnz()) {
             Matrix::Sparse(SparseMatrix::from_dense(&d))
         } else {
             Matrix::Dense(d)
@@ -33,11 +47,10 @@ impl Matrix {
     /// Wrap a sparse block, converting to dense if it is not actually
     /// sparse enough.
     pub fn from_sparse_auto(s: SparseMatrix) -> Matrix {
-        let cells = (s.rows() * s.cols()) as f64;
-        if cells > 0.0 && (s.nnz() as f64) / cells >= SPARSE_FORMAT_THRESHOLD {
-            Matrix::Dense(s.to_dense())
-        } else {
+        if s.rows() * s.cols() == 0 || Matrix::prefers_sparse(s.rows(), s.cols(), s.nnz()) {
             Matrix::Sparse(s)
+        } else {
+            Matrix::Dense(s.to_dense())
         }
     }
 

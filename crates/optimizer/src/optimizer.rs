@@ -77,6 +77,13 @@ pub struct OptimizerStats {
     /// Generic-block compilations avoided by cache hits (the work the
     /// session saved relative to a cache-bypass run).
     pub compilations_avoided: u64,
+    /// CP grid points discarded before costing because their budget lies
+    /// below the statically-proven minimum — no plan at those points can
+    /// execute the program's forced-CP operators.
+    pub cp_points_pruned_unsound: usize,
+    /// The statically-proven minimum CP budget (MB) from the interval
+    /// soundness analysis (`reml-sizebound`), when one exists.
+    pub sound_min_cp_budget_mb: Option<f64>,
 }
 
 /// The optimization outcome.
@@ -159,7 +166,7 @@ impl ResourceOptimizer {
         // Step 2 of Figure 3: the session's probe compile provides
         // program info and memory estimates for grid generation, and
         // seeds the plan cache.
-        let session = WhatIfSession::new(analyzed, base, scope, self.config.plan_cache)?;
+        let mut session = WhatIfSession::new(analyzed, base, scope, self.config.plan_cache)?;
         let mem_estimates: Vec<f64> = session
             .probe()
             .compiled
@@ -168,7 +175,7 @@ impl ResourceOptimizer {
             .flat_map(|s| s.mem_estimates_mb.iter().copied())
             .collect();
 
-        let src = self
+        let mut src = self
             .config
             .cp_grid
             .generate(min_heap, max_heap, &mem_estimates);
@@ -178,6 +185,7 @@ impl ResourceOptimizer {
             .generate(min_heap, max_heap, &mem_estimates);
         stats.cp_points = src.len();
         stats.mr_points = srm.len();
+        self.prune_unsound_cp_points(analyzed, &mut session, base, &mut src, &mut stats);
 
         let memo = CostMemo::new(self.config.plan_cache);
         let deadline = self.config.time_budget.map(|b| start + b);
@@ -259,6 +267,57 @@ impl ResourceOptimizer {
             best_local,
             stats,
         })
+    }
+
+    /// Soundness pruning of the CP grid: run the interval analysis over
+    /// the probe plan, derive the statically-proven minimum CP budget,
+    /// and drop every grid point whose budget falls below it — those
+    /// points cannot execute the program's forced-CP operators under
+    /// *any* plan, so costing them is wasted work. The bound is also
+    /// registered as a session breakpoint so cached plans never cross
+    /// the feasibility boundary. Never empties the grid: if the bound
+    /// rules out every point (the program is infeasible on this
+    /// cluster), the grid is left untouched and enumeration proceeds —
+    /// surfacing the least-bad configuration is more useful than an
+    /// error here.
+    pub(crate) fn prune_unsound_cp_points(
+        &self,
+        analyzed: &AnalyzedProgram,
+        session: &mut WhatIfSession,
+        base: &CompileConfig,
+        src: &mut Vec<u64>,
+        stats: &mut OptimizerStats,
+    ) {
+        let cc = &self.cost_model.cluster;
+        let min_heap = cc.min_heap_mb();
+        let probe_cfg = reml_compiler::session::with_resources(
+            base,
+            min_heap,
+            reml_compiler::MrHeapAssignment::uniform(min_heap),
+        );
+        let sound_min = match reml_sizebound::analyze_with_min_budget(
+            analyzed,
+            &session.probe().compiled,
+            &probe_cfg,
+        ) {
+            Ok((_, min)) => min,
+            // Analysis failure must never fail optimization: no pruning.
+            Err(_) => 0.0,
+        };
+        if sound_min <= 0.0 {
+            return;
+        }
+        stats.sound_min_cp_budget_mb = Some(sound_min);
+        let kept: Vec<u64> = src
+            .iter()
+            .copied()
+            .filter(|&rc| cc.budget_mb_for_heap(rc) as f64 >= sound_min)
+            .collect();
+        if !kept.is_empty() {
+            stats.cp_points_pruned_unsound = src.len() - kept.len();
+            *src = kept;
+        }
+        session.add_program_threshold_mb(sound_min);
     }
 
     /// Apply §3.4 pruning to the generic-block list of a baseline
@@ -502,6 +561,58 @@ mod tests {
                 rb.stats.block_compilations
             );
         }
+    }
+
+    #[test]
+    fn unsound_cp_points_are_pruned() {
+        // 8000 features make t(X)%*%X an 8000x8000 dense matrix; solve()
+        // is CP-only and needs ~2x its dense size, which the interval
+        // analysis proves exceeds the smallest grid budgets. Those points
+        // must be skipped before costing, and the chosen configuration
+        // must respect the proven bound.
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::S, 8000, 1.0);
+        let result = optimizer().optimize(&analyzed, &base, None).unwrap();
+        let sound_min = result
+            .stats
+            .sound_min_cp_budget_mb
+            .expect("solve gives a finite bound");
+        let cc = ClusterConfig::paper_cluster();
+        assert!(
+            sound_min > cc.budget_mb_for_heap(cc.min_heap_mb()) as f64,
+            "{sound_min}"
+        );
+        assert!(
+            result.stats.cp_points_pruned_unsound > 0,
+            "{:?}",
+            result.stats
+        );
+        assert!(cc.budget_mb_for_heap(result.best.cp_heap_mb) as f64 >= sound_min);
+
+        // The parallel path prunes identically and stays bit-identical.
+        let mut par = optimizer();
+        par.config.workers = 4;
+        let rp = par.optimize(&analyzed, &base, None).unwrap();
+        assert_eq!(result.best, rp.best);
+        assert_eq!(result.best_cost_s.to_bits(), rp.best_cost_s.to_bits());
+        assert_eq!(
+            result.stats.cp_points_pruned_unsound,
+            rp.stats.cp_points_pruned_unsound
+        );
+    }
+
+    #[test]
+    fn sound_pruning_reduces_optimization_work() {
+        // Pruned grid points are never compiled or costed: the pruned
+        // run must do strictly less work than a run with pruning's
+        // threshold but the full grid would. Compare cost invocations
+        // against total grid size as a sanity signal.
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::S, 8000, 1.0);
+        let r = optimizer().optimize(&analyzed, &base, None).unwrap();
+        let walked = r.stats.cp_points - r.stats.cp_points_pruned_unsound;
+        assert!(walked >= 1);
+        assert!(walked < r.stats.cp_points, "{:?}", r.stats);
     }
 
     #[test]

@@ -95,7 +95,7 @@ pub fn optimize_parallel(
     // The shared what-if session (master, once): probe compile for grid
     // generation, breakpoint thresholds, and the plan caches all workers
     // serve from.
-    let session = WhatIfSession::new(analyzed, base, scope, opt.config.plan_cache)?;
+    let mut session = WhatIfSession::new(analyzed, base, scope, opt.config.plan_cache)?;
     let memo = CostMemo::new(opt.config.plan_cache);
     let mem_estimates: Vec<f64> = session
         .probe()
@@ -104,7 +104,7 @@ pub fn optimize_parallel(
         .iter()
         .flat_map(|s| s.mem_estimates_mb.iter().copied())
         .collect();
-    let src = opt
+    let mut src = opt
         .config
         .cp_grid
         .generate(min_heap, max_heap, &mem_estimates);
@@ -114,6 +114,10 @@ pub fn optimize_parallel(
         .generate(min_heap, max_heap, &mem_estimates);
     stats.cp_points = src.len();
     stats.mr_points = srm.len();
+    // Same soundness pruning as the serial path — the two must walk an
+    // identical grid for bit-identical results.
+    opt.prune_unsound_cp_points(analyzed, &mut session, base, &mut src, &mut stats);
+    let session = session;
 
     let (task_tx, task_rx) = unbounded::<Task>();
     let (done_tx, done_rx) = unbounded::<Done>();

@@ -30,6 +30,13 @@
 //! | PL023 | runtime | block summaries match the emitted plan |
 //! | PL024 | runtime | every runtime block maps to a source statement block |
 //! | PL025 | runtime | plan is reproducible from recorded entry environments |
+//! | PL030 | sizebound | point memory estimate never exceeds the sound interval bound |
+//! | PL031 | sizebound | CP placement justified beyond the point estimate |
+//! | PL032 | sizebound | forced-CP operators provably fit the CP budget |
+//!
+//! The PL030 family is implemented in the `reml-sizebound` crate (it
+//! needs the interval analysis results) and is *not* part of
+//! [`lint_compiled`]; only the rule ids and severities live here.
 //!
 //! The main entry point is [`lint_compiled`], which re-derives the HOP
 //! DAG of every generic block from the recorded entry environment (DAG
@@ -186,6 +193,24 @@ pub const RULES: &[(&str, Severity, &str, &str)] = &[
         Severity::Error,
         "runtime",
         "plan reproducible from recorded entry environments",
+    ),
+    (
+        "PL030",
+        Severity::Error,
+        "sizebound",
+        "point memory estimate never exceeds the sound interval bound",
+    ),
+    (
+        "PL031",
+        Severity::Warning,
+        "sizebound",
+        "CP placement justified beyond the point estimate",
+    ),
+    (
+        "PL032",
+        Severity::Error,
+        "sizebound",
+        "forced-CP operators provably fit the CP budget",
     ),
 ];
 

@@ -56,6 +56,7 @@ fn broken_plan_yields_expected_diagnostics() {
         output: Some(format!("_mVar{}", mm.0)),
         operand_mcs: vec![dag.hop(x).mc, dag.hop(y).mc],
         output_mc: mm_mc,
+        bound_bytes: None,
     })];
     let diags = lint_artifacts(&dag, &instructions, 10.0, 10.0, "block 0");
     assert_eq!(

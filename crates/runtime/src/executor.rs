@@ -162,6 +162,11 @@ pub struct MemObservation {
     pub actual_bytes: u64,
     /// Pool resident bytes right after the instruction.
     pub resident_bytes: u64,
+    /// Sound upper bound from the `sizebound` interval analysis, copied
+    /// from the instruction when the plan was annotated; `None` when no
+    /// finite bound was proven. The soundness audit asserts
+    /// `actual_bytes <= bound_bytes` whenever a bound exists.
+    pub bound_bytes: Option<u64>,
 }
 
 impl Executor {
@@ -420,6 +425,7 @@ impl Executor {
             predicted_bytes: predicted,
             actual_bytes,
             resident_bytes: self.pool.resident_bytes(),
+            bound_bytes: cp.bound_bytes,
         });
     }
 
@@ -844,6 +850,7 @@ mod tests {
             output: output.map(str::to_string),
             operand_mcs: vec![],
             output_mc: MatrixCharacteristics::unknown(),
+            bound_bytes: None,
         })
     }
 
@@ -1111,6 +1118,7 @@ mod tests {
                     output: Some("x".into()),
                     operand_mcs: vec![],
                     output_mc: MatrixCharacteristics::scalar(),
+                    bound_bytes: None,
                 })])
             }
         }

@@ -140,6 +140,13 @@ pub struct CpInstruction {
     pub operand_mcs: Vec<MatrixCharacteristics>,
     /// Compile-time characteristics of the output.
     pub output_mc: MatrixCharacteristics,
+    /// Sound upper bound on the operand + output bytes this instruction
+    /// can hold resident, from the `sizebound` interval analysis. `None`
+    /// means no finite bound could be proven (or the analysis has not
+    /// annotated this plan). Never read by the executor's semantics —
+    /// only copied into [`MemObservation`](crate::executor::MemObservation)
+    /// for the differential soundness audit.
+    pub bound_bytes: Option<u64>,
 }
 
 impl CpInstruction {
@@ -303,6 +310,7 @@ mod tests {
             output: Some("g".into()),
             operand_mcs: vec![mc(10, 2), mc(2, 1)],
             output_mc: mc(10, 1),
+            bound_bytes: None,
         };
         assert_eq!(i.render(), "CP ba+* X y -> g");
     }

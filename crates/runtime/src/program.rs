@@ -271,6 +271,7 @@ mod tests {
             output: Some(out_name.into()),
             operand_mcs: vec![MatrixCharacteristics::scalar()],
             output_mc: MatrixCharacteristics::scalar(),
+            bound_bytes: None,
         })
     }
 

@@ -1262,6 +1262,7 @@ mod tests {
                 cols: None,
                 nnz: Some(100),
             },
+            bound_bytes: None,
         });
         let Instruction::Cp(patched) = patch_unknowns(&instr, &facts) else {
             panic!()
@@ -1282,6 +1283,7 @@ mod tests {
             output: Some("t".into()),
             operand_mcs: vec![mc],
             output_mc: mc.transpose(),
+            bound_bytes: None,
         });
         let Instruction::Cp(patched) = patch_unknowns(&instr, &facts) else {
             panic!()

@@ -9,9 +9,16 @@
 //! predictions ever under-estimate what execution really allocates. An
 //! operator whose actual footprint exceeds its prediction could be
 //! placed in CP with a budget it will blow at runtime.
+//!
+//! The plan is additionally annotated with the `reml-sizebound` interval
+//! bounds before execution, so every observation also carries the
+//! statically-*proven* upper bound. Unlike the point predictions (best
+//! effort, can legitimately be `None`), a finite bound is a theorem:
+//! `actual > bound` anywhere is a soundness bug in the analysis, and the
+//! audit reports it separately (`bound_unsound*`) so CI can gate on it.
 
 use reml_cluster::ClusterConfig;
-use reml_compiler::pipeline::compile_source;
+use reml_compiler::pipeline::{analyze_program, compile};
 use reml_compiler::CompileConfig;
 use reml_runtime::executor::NoRecompile;
 use reml_runtime::{Executor, HdfsStore, MemObservation, ScalarValue};
@@ -36,6 +43,13 @@ pub struct OpcodeAudit {
     pub max_actual_over_predicted: f64,
     /// Known samples where actual exceeded predicted.
     pub unsound: u64,
+    /// Observations carrying a finite interval bound.
+    pub bounded_samples: u64,
+    /// Worst `actual / bound` over bounded samples (> 1 means the
+    /// interval analysis is broken).
+    pub max_actual_over_bound: f64,
+    /// Bounded samples where actual exceeded the proven bound (must be 0).
+    pub bound_unsound: u64,
 }
 
 /// Result of one script's memory-soundness audit.
@@ -53,6 +67,11 @@ pub struct MemoryAuditReport {
     pub observations: u64,
     /// Known-size observations where actual exceeded predicted.
     pub unsound_total: u64,
+    /// Observations carrying a finite interval bound.
+    pub bounded_observations: u64,
+    /// Observations where actual exceeded the proven interval bound
+    /// (any non-zero value is a soundness bug; CI gates on this).
+    pub bound_unsound_total: u64,
     /// Per-opcode aggregation, sorted by opcode.
     pub per_opcode: Vec<OpcodeAudit>,
 }
@@ -78,8 +97,13 @@ pub fn memory_soundness_audit(
     }
     cfg.inputs.insert("X".to_string(), data.x.characteristics());
     cfg.inputs.insert("y".to_string(), data.y.characteristics());
-    let compiled = compile_source(&script.source, &cfg)
-        .unwrap_or_else(|e| panic!("{} compile: {e}", script.name));
+    let analyzed =
+        analyze_program(&script.source).unwrap_or_else(|e| panic!("{} analyze: {e}", script.name));
+    let mut compiled =
+        compile(&analyzed, &cfg).unwrap_or_else(|e| panic!("{} compile: {e}", script.name));
+    // Stamp every CP instruction with its sound interval byte bound.
+    reml_sizebound::annotate(&analyzed, &mut compiled, &cfg)
+        .unwrap_or_else(|e| panic!("{} sizebound: {e}", script.name));
 
     let mut hdfs = HdfsStore::new();
     hdfs.stage("X", data.x.clone());
@@ -114,6 +138,9 @@ fn aggregate(
         rel_err_n: u64,
         max_ratio: f64,
         unsound: u64,
+        bounded: u64,
+        max_bound_ratio: f64,
+        bound_unsound: u64,
     }
     let mut by_op: BTreeMap<&str, Acc> = BTreeMap::new();
     for obs in observations {
@@ -124,8 +151,23 @@ fn aggregate(
             rel_err_n: 0,
             max_ratio: 0.0,
             unsound: 0,
+            bounded: 0,
+            max_bound_ratio: 0.0,
+            bound_unsound: 0,
         });
         acc.samples += 1;
+        if let Some(bound) = obs.bound_bytes {
+            acc.bounded += 1;
+            if bound > 0 {
+                let ratio = obs.actual_bytes as f64 / bound as f64;
+                if ratio > acc.max_bound_ratio {
+                    acc.max_bound_ratio = ratio;
+                }
+            }
+            if obs.actual_bytes > bound {
+                acc.bound_unsound += 1;
+            }
+        }
         let Some(predicted) = obs.predicted_bytes else {
             continue;
         };
@@ -158,6 +200,9 @@ fn aggregate(
             },
             max_actual_over_predicted: acc.max_ratio,
             unsound: acc.unsound,
+            bounded_samples: acc.bounded,
+            max_actual_over_bound: acc.max_bound_ratio,
+            bound_unsound: acc.bound_unsound,
         })
         .collect();
     MemoryAuditReport {
@@ -167,6 +212,8 @@ fn aggregate(
         cp_instructions,
         observations: observations.len() as u64,
         unsound_total: per_opcode.iter().map(|o| o.unsound).sum(),
+        bounded_observations: per_opcode.iter().map(|o| o.bounded_samples).sum(),
+        bound_unsound_total: per_opcode.iter().map(|o| o.bound_unsound).sum(),
         per_opcode,
     }
 }
@@ -189,5 +236,9 @@ mod tests {
         // Every known-size estimate must bound the actual footprint: the
         // executor computes exactly what the compiler predicted sizes for.
         assert_eq!(report.unsound_total, 0, "{report:?}");
+        // The interval analysis must produce finite bounds for a
+        // fully-known direct solve, and none may be violated.
+        assert!(report.bounded_observations > 0, "{report:?}");
+        assert_eq!(report.bound_unsound_total, 0, "{report:?}");
     }
 }

@@ -1,0 +1,332 @@
+//! The abstract domain: intervals on dimensions and non-zero counts.
+//!
+//! A [`DimInterval`] is `[lo, hi]` over `u64` with `hi = None` meaning
+//! unbounded (⊤ in that component). A [`SizeBound`] is the product
+//! domain over `(rows, cols, nnz)`. The partial order is interval
+//! inclusion; `join` is the hull; `widen` jumps a growing component
+//! straight to its extreme (`lo → 0`, `hi → None`), which guarantees
+//! fixpoint termination in at most two widenings per component.
+//!
+//! Only the upper ends feed the byte bounds, but the lower ends of the
+//! dimension intervals are kept honest: transfer functions use
+//! `lo ≥ 2` on a column count to rule out vector broadcasting, which
+//! keeps elementwise sparsity bounds from being scaled unnecessarily.
+
+use reml_matrix::MatrixCharacteristics;
+
+/// Bytes per dense cell (f64).
+const DENSE_CELL_BYTES: u64 = 8;
+/// Bytes per sparse non-zero (CSR column index + value).
+const SPARSE_NNZ_BYTES: u64 = 12;
+/// Bytes per sparse row pointer.
+const SPARSE_ROW_BYTES: u64 = 4;
+/// Bytes charged for a scalar binding (the executor keeps scalars out of
+/// the buffer pool, so any constant ≥ 0 is sound; 16 covers a boxed f64).
+pub const SCALAR_BYTES: u64 = 16;
+/// Bytes per MB as f64.
+const MBF: f64 = (1024 * 1024) as f64;
+
+/// Saturating addition over upper bounds (`None` = ∞ absorbs).
+pub fn add_hi(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    Some(a?.saturating_add(b?))
+}
+
+/// Saturating multiplication over upper bounds (`None` = ∞ absorbs).
+pub fn mul_hi(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    Some(a?.saturating_mul(b?))
+}
+
+/// Minimum over upper bounds (`None` = ∞, so any finite side wins).
+pub fn min_hi(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+/// Maximum over upper bounds (`None` = ∞ absorbs).
+pub fn max_hi(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    Some(a?.max(b?))
+}
+
+/// An interval `[lo, hi]` over `u64`; `hi = None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimInterval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound; `None` = unbounded.
+    pub hi: Option<u64>,
+}
+
+impl DimInterval {
+    /// The single-point interval `[v, v]`.
+    pub fn exact(v: u64) -> Self {
+        DimInterval { lo: v, hi: Some(v) }
+    }
+
+    /// The full interval `[0, ∞)`.
+    pub fn top() -> Self {
+        DimInterval { lo: 0, hi: None }
+    }
+
+    /// `[0, hi]`.
+    pub fn bounded(hi: Option<u64>) -> Self {
+        DimInterval { lo: 0, hi }
+    }
+
+    /// Exact when the compiler knows the value, ⊤ otherwise.
+    pub fn from_opt(v: Option<u64>) -> Self {
+        match v {
+            Some(v) => DimInterval::exact(v),
+            None => DimInterval::top(),
+        }
+    }
+
+    /// Hull join: `[min lo, max hi]`.
+    pub fn join(self, other: DimInterval) -> DimInterval {
+        DimInterval {
+            lo: self.lo.min(other.lo),
+            hi: max_hi(self.hi, other.hi),
+        }
+    }
+
+    /// Widening: any end that moved outward jumps to its extreme. The
+    /// result equals `self` iff `next ⊆ self`, which is the fixpoint
+    /// convergence test.
+    pub fn widen(self, next: DimInterval) -> DimInterval {
+        let lo = if next.lo < self.lo { 0 } else { self.lo };
+        let hi = match (self.hi, next.hi) {
+            (Some(cur), Some(new)) if new > cur => None,
+            (Some(_), None) => None,
+            _ => self.hi,
+        };
+        DimInterval { lo, hi }
+    }
+
+    /// Pointwise interval addition.
+    pub fn plus(self, other: DimInterval) -> DimInterval {
+        DimInterval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: add_hi(self.hi, other.hi),
+        }
+    }
+
+    /// Pointwise interval maximum (broadcast dimension of an elementwise
+    /// op: the result extent is the larger operand's).
+    pub fn broadcast_max(self, other: DimInterval) -> DimInterval {
+        DimInterval {
+            lo: self.lo.max(other.lo),
+            hi: max_hi(self.hi, other.hi),
+        }
+    }
+}
+
+/// Interval bounds on one value: rows × cols dimensions plus non-zeros.
+/// Scalars are modelled as exact 1×1 with `nnz ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeBound {
+    /// Row-count interval.
+    pub rows: DimInterval,
+    /// Column-count interval.
+    pub cols: DimInterval,
+    /// Non-zero-count interval (only the upper end is meaningful; it is
+    /// always capped by `rows·cols` when bytes are derived).
+    pub nnz: DimInterval,
+}
+
+impl SizeBound {
+    /// The ⊤ element: nothing known.
+    pub fn top() -> Self {
+        SizeBound {
+            rows: DimInterval::top(),
+            cols: DimInterval::top(),
+            nnz: DimInterval::top(),
+        }
+    }
+
+    /// A scalar binding (exact 1×1).
+    pub fn scalar() -> Self {
+        SizeBound {
+            rows: DimInterval::exact(1),
+            cols: DimInterval::exact(1),
+            nnz: DimInterval::bounded(Some(1)),
+        }
+    }
+
+    /// Exact injection of compiler characteristics (ground-truth input
+    /// metadata): known components become point intervals, unknown ones ⊤.
+    pub fn from_mc(mc: &MatrixCharacteristics) -> Self {
+        let rows = DimInterval::from_opt(mc.rows);
+        let cols = DimInterval::from_opt(mc.cols);
+        let cells = mul_hi(rows.hi, cols.hi);
+        SizeBound {
+            rows,
+            cols,
+            nnz: DimInterval::bounded(min_hi(mc.nnz, cells)),
+        }
+    }
+
+    /// Dimensions from compiler characteristics, sparsity unknown
+    /// (`nnz ∈ [0, cells]`).
+    pub fn from_mc_dims(mc: &MatrixCharacteristics) -> Self {
+        let rows = DimInterval::from_opt(mc.rows);
+        let cols = DimInterval::from_opt(mc.cols);
+        let cells = mul_hi(rows.hi, cols.hi);
+        SizeBound {
+            rows,
+            cols,
+            nnz: DimInterval::bounded(cells),
+        }
+    }
+
+    /// Upper bound on the cell count.
+    pub fn cells_hi(&self) -> Option<u64> {
+        mul_hi(self.rows.hi, self.cols.hi)
+    }
+
+    /// Upper bound on nnz, capped at the cell count.
+    pub fn nnz_hi(&self) -> Option<u64> {
+        min_hi(self.nnz.hi, self.cells_hi())
+    }
+
+    /// Sound upper bound on the in-memory bytes of this value: the
+    /// maximum over both representations the executor may pick (dense
+    /// array vs CSR), `None` when either dimension is unbounded.
+    pub fn bytes_hi(&self) -> Option<u64> {
+        let dense = mul_hi(self.cells_hi(), Some(DENSE_CELL_BYTES));
+        let sparse = add_hi(
+            mul_hi(self.nnz_hi(), Some(SPARSE_NNZ_BYTES)),
+            mul_hi(self.rows.hi, Some(SPARSE_ROW_BYTES)),
+        );
+        max_hi(dense, sparse)
+    }
+
+    /// [`SizeBound::bytes_hi`] in MB; `INFINITY` when unbounded.
+    pub fn mb_hi(&self) -> f64 {
+        match self.bytes_hi() {
+            Some(bytes) => bytes as f64 / MBF,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Dense-representation upper bound in MB (the dual of
+    /// `memest::dense_size_mb`); `INFINITY` when unbounded.
+    pub fn dense_mb_hi(&self) -> f64 {
+        match mul_hi(self.cells_hi(), Some(DENSE_CELL_BYTES)) {
+            Some(bytes) => bytes as f64 / MBF,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Hull join, componentwise.
+    pub fn join(&self, other: &SizeBound) -> SizeBound {
+        SizeBound {
+            rows: self.rows.join(other.rows),
+            cols: self.cols.join(other.cols),
+            nnz: self.nnz.join(other.nnz),
+        }
+    }
+
+    /// Widening, componentwise. `self.widen(next) == self` iff
+    /// `next ⊆ self`.
+    pub fn widen(&self, next: &SizeBound) -> SizeBound {
+        SizeBound {
+            rows: self.rows.widen(next.rows),
+            cols: self.cols.widen(next.cols),
+            nnz: self.nnz.widen(next.nnz),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_hull() {
+        let a = DimInterval::exact(10);
+        let b = DimInterval::exact(11);
+        let j = a.join(b);
+        assert_eq!(
+            j,
+            DimInterval {
+                lo: 10,
+                hi: Some(11)
+            }
+        );
+        assert_eq!(j.join(DimInterval::top()), DimInterval { lo: 0, hi: None });
+    }
+
+    #[test]
+    fn widen_reaches_extremes_once() {
+        let a = DimInterval::exact(10);
+        let grown = DimInterval {
+            lo: 10,
+            hi: Some(20),
+        };
+        let w = a.widen(grown);
+        assert_eq!(w.hi, None);
+        // Idempotent once at the extreme.
+        assert_eq!(
+            w.widen(DimInterval {
+                lo: 10,
+                hi: Some(1 << 40)
+            }),
+            w
+        );
+        // Stable when next is included.
+        assert_eq!(a.widen(a), a);
+        assert_eq!(
+            a.widen(DimInterval {
+                lo: 10,
+                hi: Some(10)
+            }),
+            a
+        );
+    }
+
+    #[test]
+    fn scalar_bytes_are_sixteen() {
+        assert_eq!(SizeBound::scalar().bytes_hi(), Some(16));
+    }
+
+    #[test]
+    fn bytes_cover_both_representations() {
+        // 1000×1000 with nnz ≤ 500k: dense 8M, sparse 12·500k + 4·1000.
+        let b = SizeBound {
+            rows: DimInterval::exact(1000),
+            cols: DimInterval::exact(1000),
+            nnz: DimInterval::bounded(Some(500_000)),
+        };
+        assert_eq!(b.bytes_hi(), Some(8_000_000));
+        // Very sparse tall matrix: sparse rep dominated by row pointers
+        // never exceeds the reported bound.
+        let tall = SizeBound {
+            rows: DimInterval::exact(1_000_000),
+            cols: DimInterval::exact(1),
+            nnz: DimInterval::bounded(Some(1_000_000)),
+        };
+        let bytes = tall.bytes_hi().unwrap();
+        assert!(bytes >= 12 * 1_000_000 + 4 * 1_000_000);
+    }
+
+    #[test]
+    fn unbounded_dims_have_no_byte_bound() {
+        let mut b = SizeBound::top();
+        assert_eq!(b.bytes_hi(), None);
+        b.rows = DimInterval::exact(10);
+        assert_eq!(b.bytes_hi(), None);
+    }
+
+    #[test]
+    fn nnz_capped_by_cells() {
+        let b = SizeBound {
+            rows: DimInterval::exact(10),
+            cols: DimInterval::exact(10),
+            nnz: DimInterval::top(),
+        };
+        assert_eq!(b.nnz_hi(), Some(100));
+        assert!(b.bytes_hi().is_some());
+    }
+}

@@ -1,0 +1,117 @@
+//! The PL030 rule family: static diagnostics comparing the compiler's
+//! point memory estimates against the sound interval bounds.
+//!
+//! * **PL030** (error) — a hop's point estimate exceeds its finite dual
+//!   (worst-case) estimate. The dual is an upper bound on every
+//!   reachable size, so this is an internal inconsistency between the
+//!   estimators and must never fire.
+//! * **PL031** (warning) — a CP-placed matrix operator fits the budget
+//!   under the point estimate but not under the dual: the placement is
+//!   justified only by the optimistic estimate and may spill or fail on
+//!   adversarial sparsity drift.
+//! * **PL032** (error) — a forced-CP operator (dense solve,
+//!   scalar→matrix cast — no MR implementation exists) whose *finite*
+//!   dual estimate exceeds the CP budget: no execution of this plan can
+//!   fit. Infinite duals are not provable violations and do not fire.
+
+use reml_compiler::pipeline::CompiledProgram;
+use reml_compiler::{CompileConfig, HopId, HopOp, VType};
+use reml_planlint::{Diagnostic, LintReport};
+use reml_runtime::instructions::Instruction;
+use reml_runtime::program::RtBlock;
+
+use crate::analysis::ProgramBounds;
+use crate::dual_estimate_mb;
+
+/// Relative slack when comparing the two estimators: both round through
+/// f64 MB, so require the point estimate to exceed the dual by more than
+/// float noise before declaring an inconsistency.
+const EPS_REL: f64 = 1e-6;
+
+/// Run the PL030 rule family over an analyzed program.
+pub fn lint(
+    compiled: &CompiledProgram,
+    config: &CompileConfig,
+    bounds: &ProgramBounds,
+) -> LintReport {
+    let mut diags = Vec::new();
+    let budget = config.cp_budget_mb();
+    for block in &compiled.runtime.blocks {
+        block.visit_generic(&mut |b| {
+            let RtBlock::Generic {
+                source,
+                instructions,
+                ..
+            } = b
+            else {
+                return;
+            };
+            let Some(bb) = bounds.blocks.get(&source.0) else {
+                return;
+            };
+            for instr in instructions {
+                let Instruction::Cp(cp) = instr else { continue };
+                let Some(idx) = cp
+                    .output
+                    .as_deref()
+                    .and_then(|o| o.strip_prefix("_mVar"))
+                    .and_then(|s| s.parse::<usize>().ok())
+                else {
+                    continue;
+                };
+                if idx >= bb.dag.len() {
+                    continue;
+                }
+                let hop = bb.dag.hop(HopId(idx));
+                if hop.vtype != VType::Matrix {
+                    continue;
+                }
+                let point = hop.mem_mb;
+                let dual = dual_estimate_mb(bb, HopId(idx));
+                let path = format!("block {} hop {}", source.0, idx);
+                let forced_cp = matches!(hop.op, HopOp::Solve | HopOp::CastMatrix);
+                if point.is_finite() && dual.is_finite() && point > dual * (1.0 + EPS_REL) + 1e-9 {
+                    diags.push(Diagnostic::new(
+                        "PL030",
+                        &path,
+                        format!(
+                            "point memory estimate {point:.3} MB exceeds the sound \
+                             worst-case bound {dual:.3} MB for {:?}",
+                            hop.op
+                        ),
+                    ));
+                }
+                if forced_cp {
+                    if dual.is_finite() && dual > budget {
+                        diags.push(Diagnostic::new(
+                            "PL032",
+                            &path,
+                            format!(
+                                "forced-CP operator {:?} needs at most {dual:.3} MB but \
+                                 provably cannot fit the {budget:.3} MB CP budget",
+                                hop.op
+                            ),
+                        ));
+                    }
+                } else if point <= budget && dual > budget {
+                    diags.push(Diagnostic::new(
+                        "PL031",
+                        &path,
+                        format!(
+                            "CP placement of {:?} fits the {budget:.3} MB budget only \
+                             under the point estimate ({point:.3} MB); the sound bound \
+                             is {}",
+                            hop.op,
+                            if dual.is_finite() {
+                                format!("{dual:.3} MB")
+                            } else {
+                                "unbounded".to_string()
+                            }
+                        ),
+                    ));
+                }
+            }
+        });
+    }
+    LintReport::from_diagnostics(diags)
+}

@@ -1,0 +1,151 @@
+//! Integration tests for the widening fixpoint and the hull join: the
+//! sparsity-drift cases the point estimator gets wrong are exactly where
+//! the interval analysis must stay sound *and* converge fast.
+
+use reml_cluster::ClusterConfig;
+use reml_compiler::pipeline::{analyze_program, compile};
+use reml_compiler::CompileConfig;
+use reml_matrix::MatrixCharacteristics;
+use reml_runtime::instructions::Instruction;
+use reml_runtime::program::RtBlock;
+use reml_sizebound::{analyze_bounds, annotate, DimInterval};
+
+fn config_with_x(mc: MatrixCharacteristics) -> CompileConfig {
+    let mut cfg = CompileConfig::new(ClusterConfig::paper_cluster(), 4 * 1024, 1024);
+    cfg.inputs.insert("X".to_string(), mc);
+    cfg
+}
+
+#[test]
+fn nnz_doubling_loop_widens_to_dense_cap_quickly() {
+    // X starts 0.5% sparse; every iteration doubles the nnz upper bound
+    // (zero-preserving add). Without widening the fixpoint would take
+    // ~8 iterations to saturate; widening must jump the nnz component to
+    // its extreme so the loop converges in at most 3 steps — and the
+    // resulting bound is the dense cap, which every real execution obeys.
+    let source = r#"
+        X = read("X")
+        i = 0
+        while (i < 10) {
+            X = X + X
+            i = i + 1
+        }
+        print("s=" + sum(X))
+    "#;
+    let cfg = config_with_x(MatrixCharacteristics::known(100, 100, 50));
+    let analyzed = analyze_program(source).unwrap();
+    let compiled = compile(&analyzed, &cfg).unwrap();
+    let bounds = analyze_bounds(&analyzed, &compiled, &cfg).unwrap();
+
+    assert!(
+        bounds.widening_steps <= 3,
+        "expected fast convergence, took {} widening steps",
+        bounds.widening_steps
+    );
+    // The loop fixpoint is recorded as the while-predicate environment.
+    let while_source = compiled
+        .runtime
+        .blocks
+        .iter()
+        .find_map(|b| match b {
+            RtBlock::While { source, .. } => Some(source.0),
+            _ => None,
+        })
+        .expect("program has a while loop");
+    let x = bounds.pred_envs[&while_source]
+        .get("X")
+        .expect("X live at the loop head");
+    // Dimensions stay exact through the loop; nnz saturates to the cell
+    // count (the dense cap).
+    assert_eq!(x.rows, DimInterval::exact(100));
+    assert_eq!(x.cols, DimInterval::exact(100));
+    assert_eq!(x.nnz_hi(), Some(100 * 100));
+    assert!(x.bytes_hi().is_some());
+}
+
+#[test]
+fn divergent_branch_shapes_join_to_the_hull() {
+    // The two branches assign Y with different shapes; after the merge
+    // the environment must hold the hull, not either point.
+    let source = r#"
+        X = read("X")
+        if (sum(X) > 0) {
+            Y = matrix(1, rows=10, cols=2)
+        } else {
+            Y = matrix(0, rows=3, cols=7)
+        }
+        print("s=" + sum(Y))
+    "#;
+    let cfg = config_with_x(MatrixCharacteristics::known(5, 5, 25));
+    let analyzed = analyze_program(source).unwrap();
+    let compiled = compile(&analyzed, &cfg).unwrap();
+    let bounds = analyze_bounds(&analyzed, &compiled, &cfg).unwrap();
+
+    // The trailing print block sees the merged environment at entry.
+    let last_generic = compiled
+        .runtime
+        .blocks
+        .iter()
+        .rev()
+        .find_map(|b| match b {
+            RtBlock::Generic { source, .. } => Some(source.0),
+            _ => None,
+        })
+        .expect("trailing generic block");
+    let y = bounds.blocks[&last_generic]
+        .entry
+        .get("Y")
+        .expect("Y live after the merge");
+    assert_eq!(
+        y.rows,
+        DimInterval {
+            lo: 3,
+            hi: Some(10)
+        }
+    );
+    assert_eq!(y.cols, DimInterval { lo: 2, hi: Some(7) });
+    // Worst case covers the larger branch and the hull corner (10×7).
+    assert_eq!(y.cells_hi(), Some(70));
+    // The all-ones branch is dense: the hull's nnz must cover it.
+    assert!(y.nnz_hi().unwrap() >= 20);
+}
+
+#[test]
+fn paper_scripts_get_bounds_on_every_known_shape_instruction() {
+    // Fully-known direct solve: every CP instruction in the lowered
+    // program must carry a finite proven bound.
+    let script = reml_scripts::linreg_ds();
+    let shape = reml_scripts::DataShape {
+        scenario: reml_scripts::Scenario::XS,
+        cols: 100,
+        sparsity: 1.0,
+    };
+    let cfg = script.compile_config(
+        shape,
+        ClusterConfig::paper_cluster(),
+        4 * 1024,
+        reml_compiler::MrHeapAssignment::uniform(1024),
+    );
+    let analyzed = analyze_program(&script.source).unwrap();
+    let mut compiled = compile(&analyzed, &cfg).unwrap();
+    annotate(&analyzed, &mut compiled, &cfg).unwrap();
+
+    let mut total = 0u64;
+    let mut bounded = 0u64;
+    for top in &compiled.runtime.blocks {
+        top.visit_generic(&mut |b| {
+            if let RtBlock::Generic { instructions, .. } = b {
+                for instr in instructions {
+                    if let Instruction::Cp(cp) = instr {
+                        total += 1;
+                        if cp.bound_bytes.is_some() {
+                            bounded += 1;
+                        }
+                    }
+                }
+            }
+        });
+    }
+    assert!(total > 0);
+    assert_eq!(bounded, total, "{bounded}/{total} instructions bounded");
+}

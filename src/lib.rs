@@ -41,6 +41,7 @@ pub use reml_planlint as planlint;
 pub use reml_runtime as runtime;
 pub use reml_scripts as scripts;
 pub use reml_sim as sim;
+pub use reml_sizebound as sizebound;
 
 /// Common imports: the compile pipeline, cluster configuration, the
 /// resource optimizer, and the simulator.

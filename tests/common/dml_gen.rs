@@ -1,0 +1,177 @@
+//! Shared generator for the property tests: interprets byte tuples as a
+//! sequence of statement choices against a table of live matrices with
+//! known shapes, so every generated DML program type-checks and every
+//! matrix operation conforms by construction.
+
+use std::fmt::Write as _;
+
+/// Shapes drawn from a small pool so binary ops frequently find a
+/// conforming partner; values stay tiny to keep debug-build compiles fast.
+const DIMS: [usize; 4] = [2, 3, 5, 8];
+
+struct Gen {
+    src: String,
+    /// Live matrices as `(name, rows, cols)`.
+    mats: Vec<(String, usize, usize)>,
+    next_id: usize,
+}
+
+impl Gen {
+    fn fresh(&mut self) -> String {
+        self.next_id += 1;
+        format!("m{}", self.next_id)
+    }
+
+    fn pick(&self, byte: u8) -> &(String, usize, usize) {
+        &self.mats[byte as usize % self.mats.len()]
+    }
+
+    /// Emit one statement chosen by `(kind, a, b)`; `indent` nests inside
+    /// control flow.
+    fn stmt(&mut self, kind: u8, a: u8, b: u8, indent: &str) {
+        match kind % 8 {
+            0 => {
+                // Fresh matrix literal.
+                let r = DIMS[a as usize % DIMS.len()];
+                let c = DIMS[b as usize % DIMS.len()];
+                let name = self.fresh();
+                writeln!(
+                    self.src,
+                    "{indent}{name} = matrix({}, rows={r}, cols={c})",
+                    (a as f64) / 16.0 + 0.5
+                )
+                .unwrap();
+                self.mats.push((name, r, c));
+            }
+            1 => {
+                // Matmult against a conforming partner (transpose of a
+                // same-inner-dim matrix always conforms).
+                let (x, xr, xc) = self.pick(a).clone();
+                if let Some((y, _, yc)) = self
+                    .mats
+                    .iter()
+                    .cycle()
+                    .skip(b as usize % self.mats.len())
+                    .take(self.mats.len())
+                    .find(|(_, yr, _)| *yr == xc)
+                    .cloned()
+                {
+                    let name = self.fresh();
+                    writeln!(self.src, "{indent}{name} = {x} %*% {y}").unwrap();
+                    self.mats.push((name, xr, yc));
+                } else {
+                    let name = self.fresh();
+                    writeln!(self.src, "{indent}{name} = {x} %*% t({x})").unwrap();
+                    self.mats.push((name, xr, xr));
+                }
+            }
+            2 => {
+                // Elementwise with a same-shaped partner, else scalar op.
+                let (x, xr, xc) = self.pick(a).clone();
+                let partner = self
+                    .mats
+                    .iter()
+                    .cycle()
+                    .skip(b as usize % self.mats.len())
+                    .take(self.mats.len())
+                    .find(|(_, r, c)| *r == xr && *c == xc)
+                    .cloned();
+                let name = self.fresh();
+                match partner {
+                    Some((y, ..)) => writeln!(self.src, "{indent}{name} = {x} + {y} * 2").unwrap(),
+                    None => writeln!(self.src, "{indent}{name} = {x} * 1.5 + 1").unwrap(),
+                }
+                self.mats.push((name, xr, xc));
+            }
+            3 => {
+                // Transpose.
+                let (x, xr, xc) = self.pick(a).clone();
+                let name = self.fresh();
+                writeln!(self.src, "{indent}{name} = t({x})").unwrap();
+                self.mats.push((name, xc, xr));
+            }
+            4 => {
+                // Unary builtin (shape-preserving).
+                let (x, xr, xc) = self.pick(a).clone();
+                let name = self.fresh();
+                let f = ["abs", "round", "sign", "exp"][b as usize % 4];
+                writeln!(self.src, "{indent}{name} = {f}({x})").unwrap();
+                self.mats.push((name, xr, xc));
+            }
+            5 => {
+                // Append with a row-conforming partner, else self-cbind.
+                let (x, xr, xc) = self.pick(a).clone();
+                let partner = self
+                    .mats
+                    .iter()
+                    .cycle()
+                    .skip(b as usize % self.mats.len())
+                    .take(self.mats.len())
+                    .find(|(_, r, _)| *r == xr)
+                    .cloned();
+                let name = self.fresh();
+                let (y, yc) = match partner {
+                    Some((y, _, yc)) => (y, yc),
+                    None => (x.clone(), xc),
+                };
+                writeln!(self.src, "{indent}{name} = cbind({x}, {y})").unwrap();
+                self.mats.push((name, xr, xc + yc));
+            }
+            6 => {
+                // Column aggregate (keeps a matrix-typed result).
+                let (x, _, xc) = self.pick(a).clone();
+                let name = self.fresh();
+                writeln!(self.src, "{indent}{name} = colSums({x})").unwrap();
+                self.mats.push((name, 1, xc));
+            }
+            _ => {
+                // Scalar reduction printed so nothing is dead.
+                let (x, ..) = self.pick(a).clone();
+                writeln!(self.src, "{indent}print(\"s=\" + sum({x}))").unwrap();
+            }
+        }
+    }
+}
+
+pub fn generate_program(ops: &[(u8, u8, u8)], ctrl: u8) -> String {
+    let mut g = Gen {
+        src: String::new(),
+        mats: Vec::new(),
+        next_id: 0,
+    };
+    // Seed matrices so every op has operands.
+    g.stmt(0, 1, 2, "");
+    g.stmt(0, 2, 1, "");
+    let (straight, nested) = ops.split_at(ops.len() / 2);
+    for &(k, a, b) in straight {
+        g.stmt(k, a, b, "");
+    }
+    // Optionally wrap the rest in control flow, exercising the scoped
+    // compile path (predicate blocks, loop-carried live sets).
+    match ctrl % 3 {
+        0 => {
+            for &(k, a, b) in nested {
+                g.stmt(k, a, b, "");
+            }
+        }
+        1 => {
+            writeln!(g.src, "i = 0\nwhile (i < 3) {{").unwrap();
+            writeln!(g.src, "  i = i + 1").unwrap();
+            for &(k, a, b) in nested {
+                g.stmt(k, a, b, "  ");
+            }
+            writeln!(g.src, "}}").unwrap();
+        }
+        _ => {
+            let (x, ..) = g.mats[0].clone();
+            writeln!(g.src, "if (sum({x}) > 0) {{").unwrap();
+            for &(k, a, b) in nested {
+                g.stmt(k, a, b, "  ");
+            }
+            writeln!(g.src, "}}").unwrap();
+        }
+    }
+    let (last, ..) = g.mats.last().unwrap().clone();
+    writeln!(g.src, "print(\"out=\" + sum({last}))").unwrap();
+    g.src
+}

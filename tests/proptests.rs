@@ -267,6 +267,7 @@ proptest! {
                     MatrixCharacteristics::scalar(),
                 ],
                 output_mc: MatrixCharacteristics::scalar(),
+                bound_bytes: None,
             })],
             requires_recompile: false,
         };
