@@ -1,0 +1,282 @@
+//! Profile report: flight-recorder profiling of the five paper scripts.
+//!
+//! Default mode runs analyze → optimize → simulate → execute for each
+//! script under a wall-clock `reml_trace` recorder and emits
+//!
+//! 1. a per-phase time-attribution table (self time per span name — the
+//!    Table 3 analogue generalized to the whole stack), gated on
+//!    coverage: ≥ 95% of measured wall time must be explained by named
+//!    sub-phases rather than unattributed root-span self time;
+//! 2. a per-opcode CP instruction timing table from the `exec.op.*`
+//!    histograms (populated by the real executor pass);
+//! 3. `results/profile_report.json` — phases + full metric registry —
+//!    and `results/profile_trace.json` — Chrome `trace_event` format,
+//!    loadable in chrome://tracing or Perfetto.
+//!
+//! `profile_report overhead` instead runs the tracing-overhead gate: a
+//! fig7-style workload measured with no recorder installed (the
+//! instrumentation's disabled fast path: one relaxed atomic load per
+//! site) vs. with a sampled always-on recorder. The gate asserts the
+//! disabled path stays within 3% (+ a fixed epsilon for timer noise) of
+//! the baseline established in the same process, interleaving the two
+//! configurations and comparing min-of-N to shed scheduler noise.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+use reml_bench::{results_dir, ExperimentResult, Workload};
+use reml_scripts::data::LabelKind;
+use reml_scripts::{DataShape, Scenario, ScriptSpec};
+use reml_sim::{memory_soundness_audit, SimFacts};
+use reml_trace::Recorder;
+use serde::Value;
+
+/// One profiled script: the figure workload (optimize + simulate at S,
+/// dense1000) plus a small real execution to exercise the executor path.
+struct ScriptRun {
+    ctor: fn() -> ScriptSpec,
+    label: LabelKind,
+    exec_rows: u64,
+    exec_cols: u64,
+    params: &'static [(&'static str, f64)],
+}
+
+fn runs() -> Vec<ScriptRun> {
+    vec![
+        ScriptRun {
+            ctor: reml_scripts::linreg_ds,
+            label: LabelKind::Regression,
+            exec_rows: 1500,
+            exec_cols: 12,
+            params: &[],
+        },
+        ScriptRun {
+            ctor: reml_scripts::linreg_cg,
+            label: LabelKind::Regression,
+            exec_rows: 1200,
+            exec_cols: 10,
+            params: &[("maxiter", 15.0)],
+        },
+        ScriptRun {
+            ctor: reml_scripts::l2svm,
+            label: LabelKind::BinaryPm1,
+            exec_rows: 800,
+            exec_cols: 8,
+            params: &[],
+        },
+        ScriptRun {
+            ctor: reml_scripts::mlogreg,
+            label: LabelKind::Classes(4),
+            exec_rows: 600,
+            exec_cols: 6,
+            params: &[],
+        },
+        ScriptRun {
+            ctor: reml_scripts::glm,
+            label: LabelKind::Counts,
+            exec_rows: 500,
+            exec_cols: 5,
+            params: &[],
+        },
+    ]
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("overhead") {
+        overhead_gate();
+    } else {
+        profile();
+    }
+}
+
+fn profile() {
+    let recorder = Recorder::new(1 << 20);
+    reml_trace::install(Arc::clone(&recorder));
+    reml_trace::metrics().reset();
+
+    for run in runs() {
+        let script = (run.ctor)();
+        let _root = reml_trace::span_owned(format!("profile.{}", script.name), &[]);
+        let wl = {
+            let _s = reml_trace::span!("profile.prepare");
+            Workload::new(
+                (run.ctor)(),
+                DataShape {
+                    scenario: Scenario::S,
+                    cols: 1000,
+                    sparsity: 1.0,
+                },
+            )
+        };
+        let opt = {
+            let _s = reml_trace::span!("profile.optimize");
+            wl.optimize()
+        };
+        {
+            let _s = reml_trace::span!("profile.simulate");
+            wl.measure(opt.best.clone(), false, SimFacts::default());
+        }
+        {
+            let _s = reml_trace::span!("profile.execute");
+            memory_soundness_audit(&script, run.exec_rows, run.exec_cols, run.label, run.params);
+        }
+    }
+
+    reml_trace::uninstall();
+    let records = recorder.drain();
+    let att = reml_trace::attribute(&records);
+    let wall_s = att.wall_us as f64 / 1e6;
+
+    // Per-phase table: self time per span name, descending.
+    let mut phases = ExperimentResult::new(
+        "profile_phases",
+        "per-phase time attribution, 5 scripts (self time)",
+    );
+    for row in &att.rows {
+        phases.push_row(
+            row.name.clone(),
+            vec![
+                ("count".to_string(), row.count as f64),
+                ("self[ms]".to_string(), row.self_us as f64 / 1e3),
+                ("total[ms]".to_string(), row.total_us as f64 / 1e3),
+                (
+                    "self%".to_string(),
+                    100.0 * row.self_us as f64 / att.wall_us.max(1) as f64,
+                ),
+            ],
+        );
+    }
+    phases.notes = format!(
+        "wall {:.3} s over {} records ({} dropped), coverage {:.1}%",
+        wall_s,
+        records.len(),
+        recorder.dropped(),
+        100.0 * att.coverage()
+    );
+    phases.print();
+
+    // Per-opcode table from the executor histograms.
+    let snapshot = reml_trace::metrics().snapshot();
+    let mut opcodes = ExperimentResult::new(
+        "profile_opcodes",
+        "CP instruction timing by opcode (real executor pass)",
+    );
+    for (name, snap) in &snapshot {
+        let Some(op) = name.strip_prefix("exec.op.") else {
+            continue;
+        };
+        if let reml_trace::MetricSnapshot::Histogram {
+            count, sum, mean, ..
+        } = snap
+        {
+            opcodes.push_row(
+                op,
+                vec![
+                    ("count".to_string(), *count as f64),
+                    ("total[ms]".to_string(), *sum as f64 / 1e3),
+                    ("mean[us]".to_string(), *mean),
+                ],
+            );
+        }
+    }
+    opcodes.print();
+
+    // Machine-readable report + Chrome trace artifacts.
+    let report = Value::Object(vec![
+        ("wall_s".to_string(), Value::Num(wall_s)),
+        ("coverage".to_string(), Value::Num(att.coverage())),
+        ("records".to_string(), Value::Num(records.len() as f64)),
+        ("dropped".to_string(), Value::Num(recorder.dropped() as f64)),
+        (
+            "phases".to_string(),
+            Value::Array(
+                att.rows
+                    .iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("name".to_string(), Value::Str(r.name.clone())),
+                            ("count".to_string(), Value::Num(r.count as f64)),
+                            ("self_us".to_string(), Value::Num(r.self_us as f64)),
+                            ("total_us".to_string(), Value::Num(r.total_us as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("metrics".to_string(), reml_trace::metrics().to_value()),
+    ]);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let mut f = std::fs::File::create(dir.join("profile_report.json")).expect("report file");
+    let mut json = serde_json::to_string_pretty(&report).expect("serializes");
+    json.push('\n');
+    f.write_all(json.as_bytes()).expect("writes report");
+    let mut f = std::fs::File::create(dir.join("profile_trace.json")).expect("trace file");
+    f.write_all(reml_trace::to_chrome_trace(&records).as_bytes())
+        .expect("writes trace");
+    println!("wrote results/profile_report.json and results/profile_trace.json");
+
+    // Acceptance gate: the named phases must explain ≥ 95% of wall time.
+    assert!(
+        att.coverage() >= 0.95,
+        "phase coverage {:.1}% < 95% — unattributed root self time too large",
+        100.0 * att.coverage()
+    );
+    println!(
+        "coverage gate OK: {:.1}% of {:.3} s attributed",
+        100.0 * att.coverage(),
+        wall_s
+    );
+}
+
+/// One fig7-style iteration: optimize LinregDS M dense1000 and simulate
+/// at the chosen point. Returns elapsed wall seconds.
+fn overhead_iteration(wl: &Workload) -> f64 {
+    let t0 = Instant::now();
+    let opt = wl.optimize();
+    wl.measure(opt.best.clone(), false, SimFacts::default());
+    t0.elapsed().as_secs_f64()
+}
+
+fn overhead_gate() {
+    const ITERS: usize = 5;
+    /// Absolute slack for timer/scheduler noise on short runs.
+    const EPSILON_S: f64 = 0.05;
+    let wl = Workload::new(
+        reml_scripts::linreg_ds(),
+        DataShape {
+            scenario: Scenario::M,
+            cols: 1000,
+            sparsity: 1.0,
+        },
+    );
+    // Warm-up: fault in lazy state (plan caches are per-session, so the
+    // measured iterations below still do full work).
+    overhead_iteration(&wl);
+
+    let mut disabled = f64::INFINITY;
+    let mut sampled = f64::INFINITY;
+    for _ in 0..ITERS {
+        // Interleave A/B so slow drift hits both configurations equally.
+        reml_trace::uninstall();
+        disabled = disabled.min(overhead_iteration(&wl));
+        reml_trace::install(Recorder::sampled(1 << 16, 64));
+        sampled = sampled.min(overhead_iteration(&wl));
+    }
+    reml_trace::uninstall();
+
+    let ratio = sampled / disabled.max(1e-9);
+    println!(
+        "overhead gate: disabled {:.4} s, sampled always-on {:.4} s, ratio {:.3}",
+        disabled, sampled, ratio
+    );
+    assert!(
+        sampled <= disabled * 1.03 + EPSILON_S,
+        "sampled always-on tracing overhead too high: {:.4} s vs {:.4} s disabled (> 3% + {} s)",
+        sampled,
+        disabled,
+        EPSILON_S
+    );
+    println!("overhead gate OK: sampled within 3% (+{EPSILON_S} s) of disabled");
+}

@@ -49,6 +49,10 @@ fn main() {
                     ("#Comp".to_string(), opt.stats.block_compilations as f64),
                     ("#Cost".to_string(), opt.stats.cost_invocations as f64),
                     ("OptTime[s]".to_string(), opt_s),
+                    ("Enum[s]".to_string(), opt.stats.enumerate_s),
+                    ("Cost[s]".to_string(), opt.stats.cost_s),
+                    ("Prune[s]".to_string(), opt.stats.prune_s),
+                    ("Cache[s]".to_string(), opt.stats.cache_s),
                     ("%overhead".to_string(), 100.0 * opt_s / (opt_s + exec_s)),
                     ("#CacheHit".to_string(), opt.stats.plan_cache_hits as f64),
                     ("#CacheMiss".to_string(), opt.stats.plan_cache_misses as f64),
@@ -66,7 +70,9 @@ fn main() {
     }
     result.notes = "Paper: 0.35 s (LinregDS XS) to 11.2 s (GLM M); relative overhead < 0.1–7 % \
                     except GLM XS (35 %). Shape target: overhead grows with program size and \
-                    data size, but stays small relative to execution for M+."
+                    data size, but stays small relative to execution for M+. Enum/Cost/Prune/\
+                    Cache split OptTime into enumeration, cost-model, unsound-prune, and \
+                    plan-cache phases (worker CPU time when parallel)."
         .to_string();
     result.print();
     result.save();

@@ -134,6 +134,8 @@ impl YarnState {
             node,
             mem_mb: mem,
         });
+        reml_trace::count("yarn.allocations", 1);
+        reml_trace::count("yarn.allocated_mb", mem);
         Ok(id)
     }
 
@@ -146,6 +148,7 @@ impl YarnState {
             .ok_or(YarnError::UnknownContainer(id))?;
         let grant = self.grants.swap_remove(idx);
         self.free_mb[grant.node as usize] += grant.mem_mb;
+        reml_trace::count("yarn.releases", 1);
         Ok(())
     }
 
@@ -161,6 +164,8 @@ impl YarnState {
         let grant = self.grants.swap_remove(idx);
         self.free_mb[grant.node as usize] += grant.mem_mb;
         self.preemptions += 1;
+        reml_trace::count("yarn.preemptions", 1);
+        reml_trace::event!("yarn.preempt", container = id.0, mem_mb = grant.mem_mb);
         Ok(grant.mem_mb)
     }
 
@@ -170,6 +175,7 @@ impl YarnState {
     pub fn requeue(&mut self, req: ContainerRequest) -> Result<ContainerId, YarnError> {
         let id = self.allocate(req)?;
         self.requeues += 1;
+        reml_trace::count("yarn.requeues", 1);
         Ok(id)
     }
 
@@ -193,6 +199,8 @@ impl YarnState {
             }
         });
         self.containers_lost += killed.len() as u64;
+        reml_trace::count("yarn.containers_lost", killed.len() as u64);
+        reml_trace::event!("yarn.node_failed", node = node, killed = killed.len());
         killed
     }
 

@@ -645,7 +645,9 @@ impl<'a> Lowering<'a> {
         if pending.is_empty() {
             return;
         }
+        let _s = reml_trace::span!("compile.piggyback", pending = pending.len());
         let jobs = pack_jobs(pending, self.mr_budget_mb, consumers, external);
+        reml_trace::event!("compile.piggyback_packed", jobs = jobs.len());
         out.extend(jobs.into_iter().map(Instruction::MrJob));
         pending.clear();
         pending_set.clear();

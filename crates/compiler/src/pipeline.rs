@@ -76,10 +76,28 @@ impl AnalyzedProgram {
 
 /// Parse, validate, and inline a DML source.
 pub fn analyze_program(source: &str) -> Result<AnalyzedProgram, CompileError> {
-    let program = reml_lang::parse(source)?;
-    validate(&program)?;
-    let inlined = inline_functions(&program)?;
-    let blocks = build_blocks(&inlined);
+    let _analyze = reml_trace::span!("compile.analyze");
+    let program = {
+        let _s = reml_trace::span!("compile.parse");
+        reml_lang::parse(source)?
+    };
+    {
+        let _s = reml_trace::span!("compile.validate");
+        validate(&program)?;
+    }
+    let inlined = {
+        let _s = reml_trace::span!("compile.inline");
+        inline_functions(&program)?
+    };
+    let blocks = {
+        let _s = reml_trace::span!("compile.build_blocks");
+        build_blocks(&inlined)
+    };
+    reml_trace::event!(
+        "compile.analyzed",
+        lines = inlined.num_lines as u64,
+        blocks = blocks.len()
+    );
     Ok(AnalyzedProgram {
         num_lines: inlined.num_lines,
         program: inlined,
@@ -488,23 +506,43 @@ impl<'a> Walker<'a> {
         statements: &[reml_lang::ast::Statement],
         env: &mut Env,
     ) -> Result<RtBlock, CompileError> {
+        let _block = reml_trace::span!("compile.block", block = id.0);
         let builder = BlockBuilder::new(self.config);
-        let built = builder.build_statements(statements, env)?;
+        let built = {
+            let _s = reml_trace::span!("compile.hop_build");
+            builder.build_statements(statements, env)?
+        };
         let mut dag = built.dag;
         self.stats.dags_built += 1;
         self.stats.cse_eliminated += dag.cse_hits;
         self.stats.constants_folded += built.constants_folded;
-        let rw = apply_rewrites(&mut dag);
+        let rw = {
+            let _s = reml_trace::span!("compile.rewrites");
+            apply_rewrites(&mut dag)
+        };
         self.stats.rewrites_applied += rw.total();
-        estimate_dag(&mut dag);
-        let lowered = lower_dag(
-            &dag,
-            self.config.cp_budget_mb(),
-            self.config.mr_budget_mb(id.0),
-            &[],
-        )?;
+        {
+            let _s = reml_trace::span!("compile.memest");
+            estimate_dag(&mut dag);
+        }
+        let lowered = {
+            let _s = reml_trace::span!("compile.lower");
+            lower_dag(
+                &dag,
+                self.config.cp_budget_mb(),
+                self.config.mr_budget_mb(id.0),
+                &[],
+            )?
+        };
         self.stats.block_compilations += 1;
         let (mr_jobs, all_mr_unknown) = mr_job_stats(&lowered.instructions);
+        reml_trace::event!(
+            "compile.block_done",
+            block = id.0,
+            mr_jobs = mr_jobs,
+            rewrites = rw.total() as u64,
+            recompile = lowered.requires_recompile
+        );
         self.summaries.push(BlockSummary {
             block_id: id.0,
             mr_jobs,

@@ -26,6 +26,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use reml_runtime::program::RtBlock;
@@ -72,6 +73,10 @@ pub struct SessionStats {
     pub block_compilations: u64,
     /// Generic-block compilations avoided by cache hits.
     pub compilations_avoided: u64,
+    /// Wall time spent on cache bookkeeping (fingerprinting, lookups,
+    /// inserts), microseconds — the "cache" column of the Table 3
+    /// phase split.
+    pub cache_lookup_us: u64,
 }
 
 /// Whole-program cache key: CP fingerprint, default-MR fingerprint, and
@@ -102,6 +107,7 @@ pub struct WhatIfSession<'a> {
     plan_misses: AtomicU64,
     compilations: AtomicU64,
     avoided: AtomicU64,
+    cache_us: AtomicU64,
 }
 
 impl<'a> WhatIfSession<'a> {
@@ -169,6 +175,7 @@ impl<'a> WhatIfSession<'a> {
             plan_misses: AtomicU64::new(0),
             compilations: AtomicU64::new(compilations),
             avoided: AtomicU64::new(0),
+            cache_us: AtomicU64::new(0),
         };
         if session.caching {
             let key = session.plan_key(min_heap_mb, &MrHeapAssignment::uniform(min_heap_mb));
@@ -286,18 +293,30 @@ impl<'a> WhatIfSession<'a> {
         mr_heap: &MrHeapAssignment,
     ) -> Result<Arc<PlanHandle>, CompileError> {
         if self.caching {
+            let t0 = Instant::now();
             let key = self.plan_key(cp_heap_mb, mr_heap);
-            if let Some(hit) = self.plans.lock().get(&key).cloned() {
+            let hit = self.plans.lock().get(&key).cloned();
+            self.cache_us
+                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            if let Some(hit) = hit {
                 self.plan_hits.fetch_add(1, Ordering::Relaxed);
                 self.avoided
                     .fetch_add(hit.compiled.stats.block_compilations, Ordering::Relaxed);
+                reml_trace::count("session.plan_cache.hits", 1);
                 return Ok(hit);
             }
+            reml_trace::count("session.plan_cache.misses", 1);
             // The lock is released during compilation: a racing worker
             // may compile the same key, but both compilations are
             // deterministic and identical, so last-insert-wins is fine.
-            let handle = self.compile_plan_fresh(cp_heap_mb, mr_heap)?;
+            let handle = {
+                let _s = reml_trace::span!("session.compile_plan", cp_mb = cp_heap_mb);
+                self.compile_plan_fresh(cp_heap_mb, mr_heap)?
+            };
+            let t1 = Instant::now();
             self.plans.lock().insert(key, handle.clone());
+            self.cache_us
+                .fetch_add(t1.elapsed().as_micros() as u64, Ordering::Relaxed);
             Ok(handle)
         } else {
             self.compile_plan_fresh(cp_heap_mb, mr_heap)
@@ -348,13 +367,19 @@ impl<'a> WhatIfSession<'a> {
         cp_heap_mb: u64,
         mr_heap_mb: u64,
     ) -> Result<Arc<CompiledBlock>, CompileError> {
+        let t0 = Instant::now();
         let key = self.block_key(block_id, cp_heap_mb, mr_heap_mb);
         if self.caching {
-            if let Some(hit) = self.blocks.lock().get(&key).cloned() {
+            let hit = self.blocks.lock().get(&key).cloned();
+            self.cache_us
+                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            if let Some(hit) = hit {
                 self.plan_hits.fetch_add(1, Ordering::Relaxed);
                 self.avoided.fetch_add(1, Ordering::Relaxed);
+                reml_trace::count("session.block_cache.hits", 1);
                 return Ok(hit);
             }
+            reml_trace::count("session.block_cache.misses", 1);
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         let entry_env = self.entry_env(block_id).ok_or_else(|| {
@@ -375,7 +400,10 @@ impl<'a> WhatIfSession<'a> {
             summary,
         });
         if self.caching {
+            let t1 = Instant::now();
             self.blocks.lock().insert(key, block.clone());
+            self.cache_us
+                .fetch_add(t1.elapsed().as_micros() as u64, Ordering::Relaxed);
         }
         Ok(block)
     }
@@ -387,6 +415,7 @@ impl<'a> WhatIfSession<'a> {
             plan_cache_misses: self.plan_misses.load(Ordering::Relaxed),
             block_compilations: self.compilations.load(Ordering::Relaxed),
             compilations_avoided: self.avoided.load(Ordering::Relaxed),
+            cache_lookup_us: self.cache_us.load(Ordering::Relaxed),
         }
     }
 }

@@ -99,6 +99,7 @@ impl CostModel {
         cp_heap_mb: u64,
         mr_heap_mb: &dyn Fn(usize) -> u64,
     ) -> CostBreakdown {
+        reml_trace::count("cost.program_invocations", 1);
         let mut states = VarStates::new();
         let mut total = CostBreakdown::default();
         for block in &program.blocks {

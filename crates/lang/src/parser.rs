@@ -6,6 +6,7 @@ use crate::lexer::{tokenize, Token, TokenKind};
 
 /// Parse DML source into a [`Program`].
 pub fn parse(source: &str) -> Result<Program, LangError> {
+    let _s = reml_trace::span!("lang.parse", bytes = source.len());
     let tokens = tokenize(source)?;
     let mut parser = Parser { tokens, pos: 0 };
     let mut statements = Vec::new();

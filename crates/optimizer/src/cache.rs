@@ -34,6 +34,13 @@ pub(crate) struct CostMemo {
     map: Mutex<HashMap<(usize, u64, u64), u64>>,
     runs: AtomicU64,
     hits: AtomicU64,
+    /// Wall time inside actual cost-model executions, microseconds (the
+    /// "cost" column of the Table 3 phase split). Shared atomics so the
+    /// parallel optimizer's workers accumulate into the same totals.
+    cost_us: AtomicU64,
+    /// Wall time inside the grid-walk stages (baseline/enum/agg) overall,
+    /// microseconds; enumerate time = stage time − cost time.
+    stage_us: AtomicU64,
     /// Plan requests already lint-verified this round (debug builds):
     /// each distinct `(r_c, mr assignment)` is checked once, bounded by
     /// the grid size.
@@ -52,6 +59,8 @@ impl CostMemo {
             map: Mutex::new(HashMap::new()),
             runs: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            cost_us: AtomicU64::new(0),
+            stage_us: AtomicU64::new(0),
             #[cfg(debug_assertions)]
             verified: Mutex::new(std::collections::HashSet::new()),
         }
@@ -73,10 +82,13 @@ impl CostMemo {
                 return f64::from_bits(bits);
             }
         }
+        let t0 = Instant::now();
         let cost = opt
             .cost_model
             .cost_instructions(instructions, rc, ri, &mut VarStates::new())
             .total_s();
+        self.cost_us
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
         self.runs.fetch_add(1, Ordering::Relaxed);
         if self.enabled {
             self.map.lock().insert(key, cost.to_bits());
@@ -92,6 +104,39 @@ impl CostMemo {
     /// Actual cost-model executions so far.
     pub(crate) fn runs(&self) -> u64 {
         self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Wall time spent inside the cost model so far, microseconds.
+    pub(crate) fn cost_time_us(&self) -> u64 {
+        self.cost_us.load(Ordering::Relaxed)
+    }
+
+    /// Wall time spent inside grid-walk stages so far, microseconds.
+    /// Under the parallel optimizer this sums across workers, so it can
+    /// exceed the elapsed wall time — it is CPU time spent enumerating.
+    pub(crate) fn stage_time_us(&self) -> u64 {
+        self.stage_us.load(Ordering::Relaxed)
+    }
+
+    /// RAII timer charging its scope to the stage total.
+    fn stage_timer(&self) -> StageTimer<'_> {
+        StageTimer {
+            memo: self,
+            start: Instant::now(),
+        }
+    }
+}
+
+struct StageTimer<'a> {
+    memo: &'a CostMemo,
+    start: Instant,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.memo
+            .stage_us
+            .fetch_add(self.start.elapsed().as_micros() as u64, Ordering::Relaxed);
     }
 }
 
@@ -163,6 +208,8 @@ pub(crate) fn stage_baseline(
     memo: &CostMemo,
     rc: u64,
 ) -> Result<BaselineOut, CompileError> {
+    let _t = memo.stage_timer();
+    let _s = reml_trace::span!("optimize.stage_baseline", rc = rc);
     let min = session.min_heap_mb();
     let plan = session.compile_plan(rc, &MrHeapAssignment::uniform(min))?;
     #[cfg(debug_assertions)]
@@ -199,6 +246,8 @@ pub(crate) fn stage_enum_block(
     block_id: usize,
     baseline_cost: f64,
 ) -> ((u64, f64), bool) {
+    let _t = memo.stage_timer();
+    let _s = reml_trace::span!("optimize.stage_enum", rc = rc, block = block_id);
     let min = session.min_heap_mb();
     let mut best = (min, baseline_cost);
     let mut exhausted = false;
@@ -231,6 +280,8 @@ pub(crate) fn stage_agg(
     rc: u64,
     enums: &BTreeMap<usize, (u64, f64)>,
 ) -> Result<(ResourceConfig, f64), CompileError> {
+    let _t = memo.stage_timer();
+    let _s = reml_trace::span!("optimize.stage_agg", rc = rc);
     let min = session.min_heap_mb();
     let mut mr_heap = MrHeapAssignment::uniform(min);
     for (bid, (ri, _)) in enums {
@@ -242,11 +293,15 @@ pub(crate) fn stage_agg(
     #[cfg(debug_assertions)]
     debug_verify_plan(session, memo, rc, &mr_heap, &plan);
     let heap_of = mr_heap.clone();
+    let t0 = Instant::now();
     let cost = opt
         .cost_model
         .cost_program(&plan.compiled.runtime, rc, &|bid| heap_of.for_block(bid))
         .total_s();
+    memo.cost_us
+        .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
     memo.count_direct();
+    reml_trace::event!("optimize.point", rc = rc, cost = cost);
     Ok((
         ResourceConfig {
             cp_heap_mb: rc,

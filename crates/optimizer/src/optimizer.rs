@@ -84,6 +84,59 @@ pub struct OptimizerStats {
     /// The statically-proven minimum CP budget (MB) from the interval
     /// soundness analysis (`reml-sizebound`), when one exists.
     pub sound_min_cp_budget_mb: Option<f64>,
+    /// Phase split of `opt_time` (Table 3's enumeration-vs-costing
+    /// attribution): wall time enumerating/compiling grid points,
+    /// seconds. Under the parallel optimizer this sums worker CPU time,
+    /// so the phases can exceed the elapsed `opt_time`.
+    pub enumerate_s: f64,
+    /// Wall time inside cost-model executions, seconds.
+    pub cost_s: f64,
+    /// Wall time in grid pruning (the sizebound interval analysis plus
+    /// grid filtering), seconds.
+    pub prune_s: f64,
+    /// Wall time in plan-cache bookkeeping (fingerprints, lookups,
+    /// inserts), seconds.
+    pub cache_s: f64,
+}
+
+impl OptimizerStats {
+    /// Derive the enumerate/cost/cache phase columns from the shared
+    /// stage accounting: `cost` and `cache` are measured directly;
+    /// `enumerate` is stage time minus both (what-if compilation and
+    /// grid bookkeeping).
+    pub(crate) fn fill_phases(&mut self, stage_us: u64, cost_us: u64, cache_us: u64, prune_s: f64) {
+        self.cost_s = cost_us as f64 / 1e6;
+        self.cache_s = cache_us as f64 / 1e6;
+        self.enumerate_s = stage_us.saturating_sub(cost_us + cache_us) as f64 / 1e6;
+        self.prune_s = prune_s;
+    }
+
+    /// Publish the counters under their stable metric names (see the
+    /// DESIGN.md metric catalog). No-op unless tracing is enabled.
+    pub(crate) fn publish_metrics(&self) {
+        if !reml_trace::enabled() {
+            return;
+        }
+        reml_trace::count("optimizer.block_compilations", self.block_compilations);
+        reml_trace::count("optimizer.cost_invocations", self.cost_invocations);
+        reml_trace::count("optimizer.cp_points", self.cp_points as u64);
+        reml_trace::count("optimizer.mr_points", self.mr_points as u64);
+        reml_trace::count("optimizer.plan_cache.hits", self.plan_cache_hits);
+        reml_trace::count("optimizer.plan_cache.misses", self.plan_cache_misses);
+        reml_trace::count("optimizer.compilations_avoided", self.compilations_avoided);
+        reml_trace::count(
+            "optimizer.cp_points_pruned_unsound",
+            self.cp_points_pruned_unsound as u64,
+        );
+        reml_trace::count(
+            "optimizer.phase.enumerate_us",
+            (self.enumerate_s * 1e6) as u64,
+        );
+        reml_trace::count("optimizer.phase.cost_us", (self.cost_s * 1e6) as u64);
+        reml_trace::count("optimizer.phase.prune_us", (self.prune_s * 1e6) as u64);
+        reml_trace::count("optimizer.phase.cache_us", (self.cache_s * 1e6) as u64);
+        reml_trace::count("optimizer.opt_time_us", self.opt_time.as_micros() as u64);
+    }
 }
 
 /// The optimization outcome.
@@ -185,8 +238,15 @@ impl ResourceOptimizer {
             .generate(min_heap, max_heap, &mem_estimates);
         stats.cp_points = src.len();
         stats.mr_points = srm.len();
+        let t_prune = Instant::now();
         self.prune_unsound_cp_points(analyzed, &mut session, base, &mut src, &mut stats);
+        let prune_s = t_prune.elapsed().as_secs_f64();
 
+        let _walk = reml_trace::span!(
+            "optimize.grid_walk",
+            cp_points = src.len(),
+            mr_points = srm.len()
+        );
         let memo = CostMemo::new(self.config.plan_cache);
         let deadline = self.config.time_budget.map(|b| start + b);
         let mut best: Option<(ResourceConfig, f64)> = None;
@@ -258,6 +318,13 @@ impl ResourceOptimizer {
         stats.compilations_avoided = session_stats.compilations_avoided;
         stats.cost_invocations = memo.runs();
         stats.opt_time = start.elapsed();
+        stats.fill_phases(
+            memo.stage_time_us(),
+            memo.cost_time_us(),
+            session_stats.cache_lookup_us,
+            prune_s,
+        );
+        stats.publish_metrics();
         let (best, best_cost_s) = best.ok_or_else(|| {
             CompileError::Internal("optimizer enumerated no configurations".into())
         })?;
@@ -317,6 +384,11 @@ impl ResourceOptimizer {
             stats.cp_points_pruned_unsound = src.len() - kept.len();
             *src = kept;
         }
+        reml_trace::event!(
+            "optimize.prune_unsound",
+            pruned = stats.cp_points_pruned_unsound,
+            sound_min_mb = sound_min
+        );
         session.add_program_threshold_mb(sound_min);
     }
 

@@ -116,7 +116,15 @@ pub fn optimize_parallel(
     stats.mr_points = srm.len();
     // Same soundness pruning as the serial path — the two must walk an
     // identical grid for bit-identical results.
+    let t_prune = Instant::now();
     opt.prune_unsound_cp_points(analyzed, &mut session, base, &mut src, &mut stats);
+    let prune_s = t_prune.elapsed().as_secs_f64();
+    let _walk = reml_trace::span!(
+        "optimize.grid_walk",
+        cp_points = src.len(),
+        mr_points = srm.len(),
+        workers = opt.config.workers
+    );
     let session = session;
 
     let (task_tx, task_rx) = unbounded::<Task>();
@@ -268,6 +276,13 @@ pub fn optimize_parallel(
     stats.compilations_avoided = session_stats.compilations_avoided;
     stats.cost_invocations = memo.runs();
     stats.opt_time = start.elapsed();
+    stats.fill_phases(
+        memo.stage_time_us(),
+        memo.cost_time_us(),
+        session_stats.cache_lookup_us,
+        prune_s,
+    );
+    stats.publish_metrics();
     let (best, best_cost_s) = best.ok_or_else(|| {
         CompileError::Internal("parallel optimizer enumerated no configurations".into())
     })?;

@@ -396,6 +396,7 @@ pub fn lint_compiled(
     compiled: &CompiledProgram,
     config: &CompileConfig,
 ) -> LintReport {
+    let _s = reml_trace::span!("planlint.lint_compiled");
     let mut diags = rt_rules::lint_runtime(analyzed, compiled);
 
     let mut generics: Vec<&RtBlock> = Vec::new();

@@ -126,6 +126,8 @@ impl BufferPool {
         if let Some(bytes) = restored_bytes {
             self.stats.restores += 1;
             self.stats.bytes_restored += bytes;
+            reml_trace::count("pool.restores", 1);
+            reml_trace::count("pool.bytes_restored", bytes);
             self.make_room(Some(name));
         }
         Some(data)
@@ -211,6 +213,8 @@ impl BufferPool {
                     e.in_memory = false;
                     self.stats.evictions += 1;
                     self.stats.bytes_evicted += e.data.size_bytes();
+                    reml_trace::count("pool.evictions", 1);
+                    reml_trace::count("pool.bytes_evicted", e.data.size_bytes());
                 }
                 // Everything resident is pinned: allow temporary overshoot
                 // (SystemML likewise cannot evict pinned operands).

@@ -375,12 +375,24 @@ impl Executor {
             .ok_or_else(|| ExecError::TypeError(format!("'{}' not numeric", pred.result_var)))
     }
 
-    /// Execute one instruction.
+    /// Execute one instruction. When tracing is enabled each CP
+    /// instruction's wall time feeds the per-opcode histograms
+    /// (`exec.op.<mnemonic>`) behind `profile_report`'s attribution
+    /// table; under a deterministic (sim-clock) recorder the wall-time
+    /// measurement is skipped so traces stay bit-reproducible.
     pub fn execute(&mut self, instr: &Instruction) -> Result<(), ExecError> {
         match instr {
             Instruction::Cp(cp) => {
                 self.stats.cp_instructions += 1;
+                let timed = reml_trace::enabled() && !reml_trace::deterministic();
+                let t0 = timed.then(std::time::Instant::now);
                 self.execute_op(&cp.opcode, &cp.operands, cp.output.as_deref())?;
+                if let Some(t0) = t0 {
+                    let us = t0.elapsed().as_micros() as u64;
+                    reml_trace::metrics()
+                        .histogram(&format!("exec.op.{}", cp.opcode.mnemonic()))
+                        .observe(us);
+                }
                 if self.observe_memory {
                     self.record_observation(cp);
                 }
@@ -388,7 +400,16 @@ impl Executor {
             }
             Instruction::MrJob(job) => {
                 self.stats.mr_jobs += 1;
-                self.execute_mr_job(job)
+                reml_trace::count("exec.mr_jobs", 1);
+                let timed = reml_trace::enabled() && !reml_trace::deterministic();
+                let t0 = timed.then(std::time::Instant::now);
+                let result = self.execute_mr_job(job);
+                if let Some(t0) = t0 {
+                    reml_trace::metrics()
+                        .histogram("exec.op.mr_job")
+                        .observe(t0.elapsed().as_micros() as u64);
+                }
+                result
             }
         }
     }
@@ -420,6 +441,23 @@ impl Executor {
             .iter()
             .filter_map(|name| self.pool.peek(name).map(Matrix::size_bytes))
             .sum();
+        if reml_trace::enabled() {
+            let mut fields: Vec<(&'static str, reml_trace::FieldValue)> = vec![
+                ("opcode", reml_trace::FieldValue::Str(cp.opcode.mnemonic())),
+                ("actual_bytes", reml_trace::FieldValue::U64(actual_bytes)),
+                (
+                    "resident_bytes",
+                    reml_trace::FieldValue::U64(self.pool.resident_bytes()),
+                ),
+            ];
+            if let Some(p) = predicted {
+                fields.push(("predicted_bytes", reml_trace::FieldValue::U64(p)));
+            }
+            if let Some(b) = cp.bound_bytes {
+                fields.push(("bound_bytes", reml_trace::FieldValue::U64(b)));
+            }
+            reml_trace::event("exec.mem_observation", &fields);
+        }
         self.observations.push(MemObservation {
             opcode: cp.opcode.mnemonic(),
             predicted_bytes: predicted,
@@ -498,6 +536,7 @@ impl Executor {
             if let Some(limit) = self.oom_limit_bytes {
                 let needed = self.pool.resident_bytes().saturating_add(m.size_bytes());
                 if needed > limit {
+                    reml_trace::event!("exec.oom", needed_bytes = needed, limit_bytes = limit);
                     return Err(ExecError::OutOfMemory {
                         needed_bytes: needed,
                         limit_bytes: limit,

@@ -37,6 +37,7 @@ impl ScriptSpec {
         cp_heap_mb: u64,
         mr_heap: MrHeapAssignment,
     ) -> CompileConfig {
+        reml_trace::count("scripts.configs_built", 1);
         let mut cfg = CompileConfig {
             cluster,
             cp_heap_mb,

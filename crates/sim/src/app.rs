@@ -226,6 +226,12 @@ impl Simulator {
         };
         // Application start: CP AM container allocation.
         state.outcome.latency_s += self.cluster.container_alloc_latency_s;
+        state.sync_trace_clock();
+        let _app_span = reml_trace::span!(
+            "sim.app",
+            cp_heap_mb = sim.resources.cp_heap_mb,
+            blocks = analyzed.blocks.len()
+        );
         let t0 = state.now();
         state.injector.record(
             t0,
@@ -244,6 +250,9 @@ impl Simulator {
             + outcome.latency_s
             + outcome.shuffle_s
             + outcome.eviction_s;
+        if let Some(t) = reml_trace::sim_time() {
+            t.set_seconds(outcome.elapsed_s);
+        }
         injector.record(
             outcome.elapsed_s,
             TraceEvent::Outcome {
@@ -310,6 +319,15 @@ impl<'a> SimState<'a> {
             + self.outcome.latency_s
             + self.outcome.shuffle_s
             + self.outcome.eviction_s
+    }
+
+    /// Advance the global trace recorder's virtual clock (when one is
+    /// installed on sim time) to the current simulated timestamp, so span
+    /// begin/end records carry meaningful — and reproducible — times.
+    fn sync_trace_clock(&self) {
+        if let Some(t) = reml_trace::sim_time() {
+            t.set_seconds(self.now());
+        }
     }
 
     fn sim_blocks(&mut self, blocks: &'a [StatementBlock]) -> Result<(), CompileError> {
@@ -381,6 +399,8 @@ impl<'a> SimState<'a> {
     }
 
     fn sim_generic(&mut self, id: BlockId) -> Result<(), CompileError> {
+        self.sync_trace_clock();
+        let _block_span = reml_trace::span!("sim.block", block = id.0);
         // Fault hook: statement-block boundary. A deferred (mid-job) AM
         // kill is processed here, and recompilation-triggered faults for
         // the upcoming recompile index fire now.
@@ -411,6 +431,7 @@ impl<'a> SimState<'a> {
         // marked, recompilation produced MR jobs, and we have not adapted
         // at this block before.
         let has_mr = instructions.iter().any(Instruction::is_mr);
+        reml_trace::event!("sim.recompile", block = id.0, has_mr = has_mr);
         if self.reopt && has_mr && self.marked.contains(&id.0) && !self.adapted.contains(&id.0) {
             self.adapted.insert(id.0);
             self.adapt(id)?;
@@ -495,6 +516,7 @@ impl<'a> SimState<'a> {
         for t in temps {
             self.pool.remove(&t);
         }
+        self.sync_trace_clock();
         Ok(())
     }
 

@@ -533,6 +533,47 @@ pub struct FaultInjector {
     pub task_retries: u64,
 }
 
+/// Mirror one fault event onto the global `reml_trace` recorder as a
+/// `fault.<tag>` instant event, deriving the field set from the same
+/// serde view the golden files use (so the two streams cannot drift).
+/// Under a sim-clock recorder the event is stamped with virtual time so
+/// the trace stays bit-reproducible; under a wall clock it lands at the
+/// recorder's current time with `t_s` kept as a field.
+fn mirror_to_trace(t_s: f64, event: &TraceEvent) {
+    if !reml_trace::enabled() {
+        return;
+    }
+    let Value::Object(entries) = event.to_value() else {
+        return;
+    };
+    let mut name = String::from("fault.event");
+    let mut fields: reml_trace::Fields = Vec::with_capacity(entries.len() + 1);
+    fields.push((
+        std::borrow::Cow::Borrowed("t_s"),
+        reml_trace::FieldValue::F64(t_s),
+    ));
+    for (k, v) in entries {
+        if k == "event" {
+            if let Value::Str(tag) = v {
+                name = format!("fault.{tag}");
+            }
+            continue;
+        }
+        let fv = match v {
+            Value::Num(x) => reml_trace::FieldValue::F64(x),
+            Value::Bool(b) => reml_trace::FieldValue::Bool(b),
+            Value::Str(s) => reml_trace::FieldValue::Str(s),
+            other => reml_trace::FieldValue::Str(format!("{other:?}")),
+        };
+        fields.push((std::borrow::Cow::Owned(k), fv));
+    }
+    if reml_trace::deterministic() {
+        reml_trace::event_at_us((t_s * 1e6).round() as u64, name, fields);
+    } else {
+        reml_trace::event_fields(name, fields);
+    }
+}
+
 impl FaultInjector {
     /// Injector over a plan; allocates the AM container in the mirrored
     /// RM state.
@@ -556,8 +597,12 @@ impl FaultInjector {
         }
     }
 
-    /// Record an event at simulated time `t_s`.
+    /// Record an event at simulated time `t_s`. The canonical event list
+    /// (and its golden byte-for-byte replay schema) is `self.events`; when
+    /// a global `reml_trace` recorder is installed the event is also
+    /// mirrored there as a `fault.<tag>` instant.
     pub fn record(&mut self, t_s: f64, event: TraceEvent) {
+        mirror_to_trace(t_s, &event);
         self.events.push(TracedEvent { t_s, event });
     }
 

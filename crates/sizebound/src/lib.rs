@@ -98,6 +98,7 @@ pub fn analyze_with_min_budget(
     compiled: &CompiledProgram,
     config: &CompileConfig,
 ) -> Result<(ProgramBounds, f64), reml_compiler::CompileError> {
+    let _s = reml_trace::span!("sizebound.analyze");
     let bounds = analyze_bounds(analyzed, compiled, config)?;
     let min = sound_min_cp_budget_mb(&bounds);
     Ok((bounds, min))

@@ -1,0 +1,131 @@
+//! Sinks: render drained records as JSON-lines or Chrome `trace_event`
+//! JSON (loadable in chrome://tracing and Perfetto).
+//!
+//! The recorder itself only buffers; sinks are pure functions over the
+//! drained `Vec<TraceRecord>`, so tests use the in-memory records
+//! directly and binaries choose a format at the end of a run.
+
+use serde::Value;
+
+use crate::record::{fields_value, RecordData, TraceRecord};
+
+/// One JSON object per line (the classic structured-log format).
+pub fn to_json_lines(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&serde_json::to_string(&r.to_value()).expect("value serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Chrome `trace_event` JSON: `B`/`E` duration events for spans, `i`
+/// instant events, all on one process with the recorder's thread index
+/// as `tid`. The output is the "JSON object format" (`traceEvents` key),
+/// which both chrome://tracing and Perfetto accept.
+pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(records.len());
+    for r in records {
+        let (ph, name, args) = match &r.data {
+            RecordData::SpanBegin { name, fields, .. } => ("B", name.to_string(), Some(fields)),
+            RecordData::SpanEnd { name, .. } => ("E", name.to_string(), None),
+            RecordData::Event { name, fields, .. } => ("i", name.to_string(), Some(fields)),
+        };
+        let mut entries = vec![
+            ("name".to_string(), Value::Str(name)),
+            ("ph".to_string(), Value::Str(ph.to_string())),
+            ("ts".to_string(), Value::Num(r.ts_us as f64)),
+            ("pid".to_string(), Value::Num(1.0)),
+            ("tid".to_string(), Value::Num(r.thread as f64)),
+        ];
+        if ph == "i" {
+            // Instant events need a scope; "t" = thread.
+            entries.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        if let Some(fields) = args {
+            if !fields.is_empty() {
+                entries.push(("args".to_string(), fields_value(fields)));
+            }
+        }
+        events.push(Value::Object(entries));
+    }
+    let root = Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    let mut s = serde_json::to_string_pretty(&root).expect("value serializes");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use std::borrow::Cow;
+
+    use super::*;
+    use crate::record::{fields, FieldValue};
+    use crate::recorder::Recorder;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let rec = Recorder::new(64);
+        {
+            let _s = rec.begin_span(
+                Cow::Borrowed("phase"),
+                fields(&[("k", FieldValue::Str("v".into()))]),
+            );
+            rec.event(Cow::Borrowed("tick"), fields(&[("n", FieldValue::U64(3))]));
+        }
+        rec.drain()
+    }
+
+    #[test]
+    fn json_lines_is_one_valid_object_per_line() {
+        let text = to_json_lines(&sample_records());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let v: Value = serde_json::from_str(line).expect("line parses");
+            match v {
+                Value::Object(entries) => {
+                    assert_eq!(entries[0].0, "kind");
+                }
+                other => panic!("expected object, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_b_e_pairs() {
+        let text = to_chrome_trace(&sample_records());
+        let v: Value = serde_json::from_str(&text).expect("chrome trace parses");
+        let Value::Object(entries) = v else {
+            panic!("expected object root")
+        };
+        let events = entries
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents key");
+        let Value::Array(events) = events else {
+            panic!("traceEvents must be an array")
+        };
+        assert_eq!(events.len(), 3);
+        let phases: Vec<String> = events
+            .iter()
+            .map(|e| {
+                let Value::Object(fields) = e else {
+                    panic!("event must be object")
+                };
+                fields
+                    .iter()
+                    .find(|(k, _)| k == "ph")
+                    .and_then(|(_, v)| match v {
+                        Value::Str(s) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(phases, vec!["B", "i", "E"]);
+    }
+}

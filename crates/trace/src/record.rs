@@ -1,0 +1,177 @@
+//! The flight-recorder record model: typed fields and span/event records.
+
+use std::borrow::Cow;
+
+use serde::{Serialize, Value};
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl FieldValue {
+    pub fn to_value(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Num(*v as f64),
+            FieldValue::I64(v) => Value::Num(*v as f64),
+            FieldValue::F64(v) => Value::Num(*v),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Field list: keys are usually static (the `span!`/`event!` macros) but
+/// may be owned when mirroring dynamically-keyed payloads (the
+/// simulator's fault events).
+pub type Fields = Vec<(std::borrow::Cow<'static, str>, FieldValue)>;
+
+/// Build a [`Fields`] vector from a static-key slice.
+pub fn fields(slice: &[(&'static str, FieldValue)]) -> Fields {
+    slice
+        .iter()
+        .map(|(k, v)| (std::borrow::Cow::Borrowed(*k), v.clone()))
+        .collect()
+}
+
+/// One entry in the flight recorder.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Total order over the whole recorder (assigned under the ring lock,
+    /// so buffer order == seq order).
+    pub seq: u64,
+    /// Stable small index of the emitting thread (0 for the first thread
+    /// the recorder sees — always 0 in single-threaded runs).
+    pub thread: u32,
+    /// Timestamp in clock microseconds.
+    pub ts_us: u64,
+    pub data: RecordData,
+}
+
+#[derive(Debug, Clone)]
+pub enum RecordData {
+    SpanBegin {
+        id: u64,
+        /// 0 when the span has no parent on this thread.
+        parent: u64,
+        name: Cow<'static, str>,
+        fields: Fields,
+    },
+    SpanEnd {
+        id: u64,
+        name: Cow<'static, str>,
+    },
+    Event {
+        /// Enclosing span id on the emitting thread (0 = none).
+        span: u64,
+        name: Cow<'static, str>,
+        fields: Fields,
+    },
+}
+
+impl TraceRecord {
+    pub fn name(&self) -> &str {
+        match &self.data {
+            RecordData::SpanBegin { name, .. }
+            | RecordData::SpanEnd { name, .. }
+            | RecordData::Event { name, .. } => name,
+        }
+    }
+
+    /// Serialize to an ordered JSON object (used by the JSON-lines sink).
+    pub fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = Vec::with_capacity(8);
+        let kind = match &self.data {
+            RecordData::SpanBegin { .. } => "span_begin",
+            RecordData::SpanEnd { .. } => "span_end",
+            RecordData::Event { .. } => "event",
+        };
+        entries.push(("kind".into(), Value::Str(kind.into())));
+        entries.push(("seq".into(), Value::Num(self.seq as f64)));
+        entries.push(("thread".into(), Value::Num(self.thread as f64)));
+        entries.push(("ts_us".into(), Value::Num(self.ts_us as f64)));
+        match &self.data {
+            RecordData::SpanBegin {
+                id,
+                parent,
+                name,
+                fields,
+            } => {
+                entries.push(("id".into(), Value::Num(*id as f64)));
+                entries.push(("parent".into(), Value::Num(*parent as f64)));
+                entries.push(("name".into(), Value::Str(name.to_string())));
+                entries.push(("fields".into(), fields_value(fields)));
+            }
+            RecordData::SpanEnd { id, name } => {
+                entries.push(("id".into(), Value::Num(*id as f64)));
+                entries.push(("name".into(), Value::Str(name.to_string())));
+            }
+            RecordData::Event { span, name, fields } => {
+                entries.push(("span".into(), Value::Num(*span as f64)));
+                entries.push(("name".into(), Value::Str(name.to_string())));
+                entries.push(("fields".into(), fields_value(fields)));
+            }
+        }
+        Value::Object(entries)
+    }
+}
+
+pub(crate) fn fields_value(flds: &Fields) -> Value {
+    Value::Object(
+        flds.iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect(),
+    )
+}
+
+impl Serialize for TraceRecord {
+    fn to_value(&self) -> Value {
+        TraceRecord::to_value(self)
+    }
+}

@@ -1,0 +1,364 @@
+//! The flight recorder: a bounded ring buffer of [`TraceRecord`]s behind
+//! one short-critical-section mutex, plus the span-guard machinery.
+//!
+//! Design constraints (see DESIGN.md "Observability"):
+//!
+//! * **Lock-cheap** — the only work under the lock is a seq assignment
+//!   and a `VecDeque` push; timestamps, field construction, and thread
+//!   lookup happen outside. Seq is assigned under the lock so buffer
+//!   order is exactly seq order (no cross-thread reordering ambiguity),
+//!   and a thread's own records are trivially in program order.
+//! * **Bounded** — the ring overwrites the oldest record and counts the
+//!   drops, so always-on tracing cannot grow without bound.
+//! * **Deterministic under a sim clock** — with [`SimTime`] as the clock
+//!   and a single-threaded run, two identical executions produce
+//!   byte-identical record streams (ids, seqs, timestamps, fields).
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+use parking_lot::Mutex;
+
+use crate::clock::{Clock, SimTime, WallClock};
+use crate::record::{Fields, RecordData, TraceRecord};
+
+thread_local! {
+    /// Stack of open span ids on this thread (for parenting).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+enum ClockKind {
+    Wall(WallClock),
+    Sim(Arc<SimTime>),
+}
+
+struct Ring {
+    buf: VecDeque<TraceRecord>,
+    cap: usize,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl Ring {
+    fn push(&mut self, mut rec: TraceRecord) {
+        rec.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+}
+
+/// The flight recorder. Construct with [`Recorder::new`] (wall clock) or
+/// [`Recorder::with_sim_clock`] (deterministic virtual time), optionally
+/// install globally with [`crate::install`], and drain with
+/// [`Recorder::drain`].
+pub struct Recorder {
+    clock: ClockKind,
+    ring: Mutex<Ring>,
+    next_span_id: AtomicU64,
+    threads: Mutex<HashMap<ThreadId, u32>>,
+    /// Record every n-th event (spans are always recorded); 0 or 1 keeps
+    /// everything. This is the "sampled always-on" mode.
+    sample_every: u64,
+    sample_ctr: AtomicU64,
+}
+
+impl Recorder {
+    /// Wall-clock recorder holding up to `capacity` records.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self::build(ClockKind::Wall(WallClock::new()), capacity, 1))
+    }
+
+    /// Recorder on a simulated clock; the returned [`SimTime`] handle is
+    /// advanced by whoever owns virtual time (the simulator).
+    pub fn with_sim_clock(capacity: usize) -> (Arc<Self>, Arc<SimTime>) {
+        let time = SimTime::new();
+        let rec = Arc::new(Self::build(ClockKind::Sim(Arc::clone(&time)), capacity, 1));
+        (rec, time)
+    }
+
+    /// Wall-clock recorder that keeps only every `every`-th event
+    /// (span begin/end records are never sampled away).
+    pub fn sampled(capacity: usize, every: u64) -> Arc<Self> {
+        Arc::new(Self::build(
+            ClockKind::Wall(WallClock::new()),
+            capacity,
+            every.max(1),
+        ))
+    }
+
+    fn build(clock: ClockKind, capacity: usize, sample_every: u64) -> Self {
+        Self {
+            clock,
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity.min(1 << 20)),
+                cap: capacity.max(16),
+                dropped: 0,
+                next_seq: 0,
+            }),
+            next_span_id: AtomicU64::new(1),
+            threads: Mutex::new(HashMap::new()),
+            sample_every,
+            sample_ctr: AtomicU64::new(0),
+        }
+    }
+
+    /// True when timestamps come from a simulated clock, i.e. the trace
+    /// must stay bit-reproducible. Instrumentation sites use this to skip
+    /// attaching wall-time measurements as fields.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self.clock, ClockKind::Sim(_))
+    }
+
+    /// The sim-time handle, when this recorder runs on simulated time.
+    pub fn sim_time(&self) -> Option<Arc<SimTime>> {
+        match &self.clock {
+            ClockKind::Sim(t) => Some(Arc::clone(t)),
+            ClockKind::Wall(_) => None,
+        }
+    }
+
+    pub fn now_us(&self) -> u64 {
+        match &self.clock {
+            ClockKind::Wall(c) => c.now_us(),
+            ClockKind::Sim(c) => c.now_us(),
+        }
+    }
+
+    fn thread_index(&self) -> u32 {
+        let id = std::thread::current().id();
+        let mut map = self.threads.lock();
+        let next = map.len() as u32;
+        *map.entry(id).or_insert(next)
+    }
+
+    fn push(&self, ts_us: u64, data: RecordData) {
+        let rec = TraceRecord {
+            seq: 0, // assigned under the ring lock
+            thread: self.thread_index(),
+            ts_us,
+            data,
+        };
+        self.ring.lock().push(rec);
+    }
+
+    /// Open a span; the returned guard records the end on drop. Parenting
+    /// follows the per-thread stack of open spans.
+    pub fn begin_span(self: &Arc<Self>, name: Cow<'static, str>, fields: Fields) -> SpanGuard {
+        let id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied().unwrap_or(0);
+            s.push(id);
+            parent
+        });
+        self.push(
+            self.now_us(),
+            RecordData::SpanBegin {
+                id,
+                parent,
+                name: name.clone(),
+                fields,
+            },
+        );
+        SpanGuard {
+            recorder: Some(Arc::clone(self)),
+            id,
+            name,
+        }
+    }
+
+    /// Record an instant event, subject to sampling.
+    pub fn event(&self, name: Cow<'static, str>, fields: Fields) {
+        if self.sample_every > 1 {
+            let n = self.sample_ctr.fetch_add(1, Ordering::Relaxed);
+            if !n.is_multiple_of(self.sample_every) {
+                return;
+            }
+        }
+        let span = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        self.push(self.now_us(), RecordData::Event { span, name, fields });
+    }
+
+    /// Record an instant event at an explicit timestamp (used by the
+    /// simulator to stamp fault events with virtual time even when the
+    /// recorder clock is wall time). Not sampled: these are rare,
+    /// semantically meaningful events.
+    pub fn event_at_us(&self, ts_us: u64, name: Cow<'static, str>, fields: Fields) {
+        let span = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        self.push(ts_us, RecordData::Event { span, name, fields });
+    }
+
+    /// Take every buffered record, leaving the recorder empty (seq keeps
+    /// counting, so repeated drains stay totally ordered).
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        let mut ring = self.ring.lock();
+        ring.buf.drain(..).collect()
+    }
+
+    /// Number of records overwritten by the ring since creation.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// RAII guard for an open span; records the `SpanEnd` on drop. Guards are
+/// `!Send` by construction (they must close on the opening thread, which
+/// the per-thread span stack enforces).
+pub struct SpanGuard {
+    recorder: Option<Arc<Recorder>>,
+    id: u64,
+    name: Cow<'static, str>,
+}
+
+impl SpanGuard {
+    /// An inert guard (tracing disabled): drop does nothing.
+    pub fn disabled() -> Self {
+        Self {
+            recorder: None,
+            id: 0,
+            name: Cow::Borrowed(""),
+        }
+    }
+
+    /// The span id (0 for inert guards).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attach an event to this span's recorder (no-op for inert guards).
+    pub fn event(&self, name: &'static str, fields: Fields) {
+        if let Some(rec) = &self.recorder {
+            rec.event(Cow::Borrowed(name), fields);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(rec) = self.recorder.take() {
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                // Guards drop in LIFO order within a thread, so the top
+                // of the stack is this span. Be defensive anyway: close
+                // any children that somehow leaked (forgotten guards) so
+                // the nesting invariant holds for consumers.
+                while let Some(top) = s.pop() {
+                    if top == self.id {
+                        break;
+                    }
+                }
+            });
+            rec.push(
+                rec.now_us(),
+                RecordData::SpanEnd {
+                    id: self.id,
+                    name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{fields, FieldValue};
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let rec = Recorder::new(16);
+        for i in 0..40u64 {
+            rec.event(Cow::Borrowed("e"), fields(&[("i", FieldValue::U64(i))]));
+        }
+        assert_eq!(rec.dropped(), 24);
+        let records = rec.drain();
+        assert_eq!(records.len(), 16);
+        // Oldest surviving record is #24; order and seq are contiguous.
+        for (k, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, 24 + k as u64);
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_lifo_order() {
+        let rec = Recorder::new(64);
+        {
+            let _a = rec.begin_span(Cow::Borrowed("a"), vec![]);
+            let _b = rec.begin_span(Cow::Borrowed("b"), vec![]);
+            rec.event(Cow::Borrowed("inside"), vec![]);
+        }
+        let records = rec.drain();
+        assert_eq!(records.len(), 5);
+        let (mut a_id, mut b_id) = (0, 0);
+        if let RecordData::SpanBegin { id, parent, .. } = &records[0].data {
+            a_id = *id;
+            assert_eq!(*parent, 0);
+        }
+        if let RecordData::SpanBegin { id, parent, .. } = &records[1].data {
+            b_id = *id;
+            assert_eq!(*parent, a_id);
+        }
+        if let RecordData::Event { span, .. } = &records[2].data {
+            assert_eq!(*span, b_id);
+        }
+        // b (inner) ends before a (outer).
+        match (&records[3].data, &records[4].data) {
+            (RecordData::SpanEnd { id: e1, .. }, RecordData::SpanEnd { id: e2, .. }) => {
+                assert_eq!(*e1, b_id);
+                assert_eq!(*e2, a_id);
+            }
+            other => panic!("expected two span ends, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_event_but_all_spans() {
+        let rec = Recorder::sampled(1024, 10);
+        let _s = rec.begin_span(Cow::Borrowed("s"), vec![]);
+        for _ in 0..100 {
+            rec.event(Cow::Borrowed("e"), vec![]);
+        }
+        drop(_s);
+        let records = rec.drain();
+        let events = records
+            .iter()
+            .filter(|r| matches!(r.data, RecordData::Event { .. }))
+            .count();
+        let spans = records.len() - events;
+        assert_eq!(events, 10);
+        assert_eq!(spans, 2);
+    }
+
+    #[test]
+    fn sim_clock_timestamps_are_reproducible() {
+        let run = || {
+            let (rec, time) = Recorder::with_sim_clock(64);
+            time.set_seconds(1.0);
+            let g = rec.begin_span(Cow::Borrowed("phase"), vec![]);
+            time.set_seconds(2.5);
+            rec.event(Cow::Borrowed("tick"), vec![]);
+            drop(g);
+            rec.drain()
+                .into_iter()
+                .map(|r| (r.seq, r.thread, r.ts_us, format!("{:?}", r.data)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

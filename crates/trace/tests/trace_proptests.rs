@@ -1,0 +1,126 @@
+//! Property tests for the flight recorder.
+//!
+//! * **Span nesting**: for any interleaving of open/close/event
+//!   operations (closes are LIFO, as the RAII guards enforce), the
+//!   drained record stream replays as a well-formed forest — every
+//!   `SpanEnd` matches the innermost open span (a child never outlives
+//!   its parent), every `SpanBegin`'s parent is the enclosing open span,
+//!   and every event is attributed to the innermost open span.
+//! * **Ring ordering**: records drain in strictly increasing seq order
+//!   with monotone timestamps (single thread), ring overwrites drop the
+//!   *oldest* prefix, and `len + dropped` equals the number of records
+//!   pushed.
+//! * **Determinism**: the same operation script against two sim-clock
+//!   recorders produces identical record streams.
+
+use proptest::prelude::*;
+use reml_trace::{RecordData, Recorder, SpanGuard};
+
+/// Apply an op script against a recorder: 0 → open span, 1 → close the
+/// innermost open span, 2 → instant event. Returns how many records the
+/// run pushed (every span left open at the end is closed by guard drop).
+fn apply_ops(
+    rec: &std::sync::Arc<Recorder>,
+    ops: &[u8],
+    advance: Option<&reml_trace::SimTime>,
+) -> u64 {
+    let mut open: Vec<SpanGuard> = Vec::new();
+    let mut pushed = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(t) = advance {
+            t.set_us((i as u64 + 1) * 10);
+        }
+        match op % 3 {
+            0 => {
+                open.push(
+                    rec.begin_span(std::borrow::Cow::Owned(format!("span{}", i % 4)), vec![]),
+                );
+                pushed += 1; // begin; the matching end counts at close
+            }
+            1 => {
+                if open.pop().is_some() {
+                    pushed += 1;
+                }
+            }
+            _ => {
+                rec.event(std::borrow::Cow::Borrowed("tick"), vec![]);
+                pushed += 1;
+            }
+        }
+    }
+    // Close the rest innermost-first, as nested scope exits would.
+    let rest = open.len() as u64;
+    while open.pop().is_some() {}
+    pushed + rest
+}
+
+proptest! {
+    #[test]
+    fn span_forest_is_well_formed_for_any_op_interleaving(
+        ops in prop::collection::vec(0u8..3, 0..200),
+    ) {
+        let rec = Recorder::new(1 << 12);
+        apply_ops(&rec, &ops, None);
+        let records = rec.drain();
+        prop_assert_eq!(rec.dropped(), 0);
+
+        // Replay: stack of (id, parent) pairs must follow LIFO discipline.
+        let mut stack: Vec<u64> = Vec::new();
+        for r in &records {
+            match &r.data {
+                RecordData::SpanBegin { id, parent, .. } => {
+                    prop_assert_eq!(*parent, stack.last().copied().unwrap_or(0),
+                        "a span's parent is the enclosing open span");
+                    stack.push(*id);
+                }
+                RecordData::SpanEnd { id, .. } => {
+                    prop_assert_eq!(Some(*id), stack.pop(),
+                        "a child never outlives its parent");
+                }
+                RecordData::Event { span, .. } => {
+                    prop_assert_eq!(*span, stack.last().copied().unwrap_or(0),
+                        "events attribute to the innermost open span");
+                }
+            }
+        }
+        prop_assert!(stack.is_empty(), "every span closed by end of run");
+        // Attribution never panics and never over-covers.
+        let att = reml_trace::attribute(&records);
+        prop_assert!(att.coverage() >= 0.0 && att.coverage() <= 1.0);
+    }
+
+    #[test]
+    fn ring_drains_in_seq_order_and_drops_oldest_first(
+        ops in prop::collection::vec(0u8..3, 0..300),
+        cap in 16usize..64,
+    ) {
+        let rec = Recorder::new(cap);
+        let pushed = apply_ops(&rec, &ops, None);
+        let dropped = rec.dropped();
+        let records = rec.drain();
+        prop_assert_eq!(records.len() as u64 + dropped, pushed);
+        // Surviving records are exactly the seq suffix, in order, with
+        // monotone timestamps (single thread, monotonic clock).
+        for (k, r) in records.iter().enumerate() {
+            prop_assert_eq!(r.seq, dropped + k as u64);
+        }
+        for w in records.windows(2) {
+            prop_assert!(w[0].ts_us <= w[1].ts_us);
+        }
+    }
+
+    #[test]
+    fn same_script_on_sim_clock_replays_identically(
+        ops in prop::collection::vec(0u8..3, 0..120),
+    ) {
+        let run = |ops: &[u8]| {
+            let (rec, time) = Recorder::with_sim_clock(1 << 12);
+            apply_ops(&rec, ops, Some(&time));
+            rec.drain()
+                .iter()
+                .map(|r| format!("{} {} {} {:?}", r.seq, r.thread, r.ts_us, r.data))
+                .collect::<Vec<String>>()
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+}

@@ -42,6 +42,7 @@ pub use reml_runtime as runtime;
 pub use reml_scripts as scripts;
 pub use reml_sim as sim;
 pub use reml_sizebound as sizebound;
+pub use reml_trace as trace;
 
 /// Common imports: the compile pipeline, cluster configuration, the
 /// resource optimizer, and the simulator.
