@@ -17,7 +17,7 @@
 use std::collections::{HashMap, HashSet};
 
 use reml_matrix::{AggOp, MatrixCharacteristics};
-use reml_runtime::instructions::{CpInstruction, Instruction, OpCode};
+use reml_runtime::instructions::{CpInstruction, Instruction, OpCode, TEMP_PREFIX};
 use reml_runtime::value::{Operand, ScalarValue};
 
 use crate::config::CompileError;
@@ -74,7 +74,9 @@ pub fn lower_dag(
         dag,
         cp_budget_mb,
         mr_budget_mb,
-        temp_prefix: "_mVar",
+        // Shared with the runtime: the VM's fusion pass recognizes
+        // single-use compiler temporaries by this prefix.
+        temp_prefix: TEMP_PREFIX,
     }
     .run(extra_roots)
 }

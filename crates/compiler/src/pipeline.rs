@@ -156,6 +156,12 @@ impl CompiledProgram {
     pub fn num_blocks(&self) -> usize {
         self.runtime.num_blocks()
     }
+
+    /// Lower the compiled runtime program into flat bytecode for the
+    /// register VM, with peephole fusion per `options`.
+    pub fn lower_vm(&self, options: reml_runtime::vm::VmLowerOptions) -> reml_runtime::VmProgram {
+        reml_runtime::vm::lower_program(&self.runtime, options)
+    }
 }
 
 /// Compile an analyzed program under a resource configuration.

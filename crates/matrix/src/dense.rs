@@ -1,8 +1,35 @@
 //! Row-major dense matrix block and its kernels.
 
+use rayon::prelude::*;
+
 use crate::error::MatrixError;
 use crate::ops::{AggOp, BinaryOp, UnaryOp};
 use crate::MatrixCharacteristics;
+
+/// Elementwise map producing `out[i] = f(i)`; chunk-parallel above the
+/// cell threshold (each cell depends only on its own index, so the
+/// parallel split is trivially bit-identical to the sequential map).
+fn elementwise_map(len: usize, f: impl Fn(usize) -> f64 + Sync) -> Vec<f64> {
+    let mut out = vec![0.0; len];
+    if crate::par_worthwhile(
+        len,
+        crate::PAR_CELLS_THRESHOLD,
+        rayon::current_num_threads(),
+    ) {
+        let chunk = len.div_ceil(rayon::current_num_threads());
+        out.par_chunks_mut(chunk).enumerate().for_each(|(ci, c)| {
+            let base = ci * chunk;
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = f(base + j);
+            }
+        });
+    } else {
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = f(i);
+        }
+    }
+    out
+}
 
 /// A row-major dense matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,9 +154,10 @@ impl DenseMatrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
+        // Per-output-row kernel shared by the sequential and parallel
+        // paths: identical zero-skip and k-ascending accumulation order,
+        // so both produce bit-identical results.
+        let row_kernel = |a_row: &[f64], out_row: &mut [f64]| {
             for (kk, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
@@ -138,6 +166,16 @@ impl DenseMatrix {
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
+            }
+        };
+        if n > 0 && crate::par_worthwhile(m * k * n, crate::PAR_FLOPS_THRESHOLD, m) {
+            out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+                row_kernel(&self.data[i * k..(i + 1) * k], out_row);
+            });
+        } else {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                row_kernel(a_row, &mut out[i * n..(i + 1) * n]);
             }
         }
         Ok(DenseMatrix {
@@ -152,15 +190,33 @@ impl DenseMatrix {
     pub fn tsmm(&self) -> DenseMatrix {
         let (m, n) = (self.rows, self.cols);
         let mut out = vec![0.0; n * n];
-        for i in 0..m {
-            let row = &self.data[i * n..(i + 1) * n];
-            for a in 0..n {
-                let va = row[a];
-                if va == 0.0 {
-                    continue;
+        if n > 0 && crate::par_worthwhile(m * n * n / 2, crate::PAR_FLOPS_THRESHOLD, n) {
+            // Partition by output row `a`; each cell still accumulates
+            // over ascending `i` with the same `va == 0` skip, so the
+            // result is bit-identical to the sequential loop below.
+            out.par_chunks_mut(n).enumerate().for_each(|(a, out_row)| {
+                for i in 0..m {
+                    let row = &self.data[i * n..(i + 1) * n];
+                    let va = row[a];
+                    if va == 0.0 {
+                        continue;
+                    }
+                    for b in a..n {
+                        out_row[b] += va * row[b];
+                    }
                 }
-                for b in a..n {
-                    out[a * n + b] += va * row[b];
+            });
+        } else {
+            for i in 0..m {
+                let row = &self.data[i * n..(i + 1) * n];
+                for a in 0..n {
+                    let va = row[a];
+                    if va == 0.0 {
+                        continue;
+                    }
+                    for b in a..n {
+                        out[a * n + b] += va * row[b];
+                    }
                 }
             }
         }
@@ -196,12 +252,7 @@ impl DenseMatrix {
     /// broadcast column/row vector (DML matrix-vector semantics).
     pub fn binary(&self, op: BinaryOp, other: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
         if self.rows == other.rows && self.cols == other.cols {
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| op.apply(a, b))
-                .collect();
+            let data = elementwise_map(self.data.len(), |i| op.apply(self.data[i], other.data[i]));
             return Ok(DenseMatrix {
                 rows: self.rows,
                 cols: self.cols,
@@ -250,7 +301,7 @@ impl DenseMatrix {
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&a| op.apply(a, scalar)).collect(),
+            data: elementwise_map(self.data.len(), |i| op.apply(self.data[i], scalar)),
         }
     }
 
@@ -259,7 +310,7 @@ impl DenseMatrix {
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&a| op.apply(scalar, a)).collect(),
+            data: elementwise_map(self.data.len(), |i| op.apply(scalar, self.data[i])),
         }
     }
 
@@ -268,7 +319,7 @@ impl DenseMatrix {
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&a| op.apply(a)).collect(),
+            data: elementwise_map(self.data.len(), |i| op.apply(self.data[i])),
         }
     }
 

@@ -50,3 +50,20 @@ pub const SPARSE_ROW_BYTES: u64 = 4;
 /// `sparsity < 2/3`; SystemML uses 0.4 to also account for slower sparse
 /// kernels, and we follow that choice.
 pub const SPARSE_FORMAT_THRESHOLD: f64 = 0.4;
+
+/// Estimated FLOPs above which a matmult-family kernel switches from its
+/// sequential loop to the rayon-parallel row-partitioned variant. Below
+/// this, thread spawn/steal overhead dominates any speedup.
+pub(crate) const PAR_FLOPS_THRESHOLD: usize = 1 << 21;
+
+/// Cell count above which elementwise kernels run chunk-parallel.
+pub(crate) const PAR_CELLS_THRESHOLD: usize = 1 << 20;
+
+/// Whether a kernel should take its parallel path: enough independent
+/// chunks, enough work to amortize thread startup, and more than one
+/// worker available. Parallel variants partition by output row with the
+/// per-cell accumulation order unchanged, so sequential and parallel
+/// paths are bit-identical.
+pub(crate) fn par_worthwhile(work: usize, threshold: usize, chunks: usize) -> bool {
+    chunks >= 2 && work >= threshold && rayon::current_num_threads() > 1
+}

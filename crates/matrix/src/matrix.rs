@@ -24,8 +24,11 @@ impl Matrix {
     /// bytes actually smaller than dense (for narrow matrices the per-row
     /// overhead can exceed the dense saving below the threshold). Keeps
     /// the runtime's choice consistent with
-    /// [`MatrixCharacteristics::estimated_size_bytes`].
-    fn prefers_sparse(rows: usize, cols: usize, nnz: u64) -> bool {
+    /// [`MatrixCharacteristics::estimated_size_bytes`]. Public because the
+    /// VM's fused elementwise kernel must track the representation an
+    /// unfused chain would have chosen step by step to stay bit-identical
+    /// (sparse intermediates normalize `-0.0` to `+0.0`).
+    pub fn prefers_sparse(rows: usize, cols: usize, nnz: u64) -> bool {
         let cells = (rows * cols) as f64;
         let mc = MatrixCharacteristics::known(rows as u64, cols as u64, nnz);
         cells > 0.0

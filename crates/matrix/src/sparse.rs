@@ -1,5 +1,7 @@
 //! CSR sparse matrix block and its kernels.
 
+use rayon::prelude::*;
+
 use crate::dense::DenseMatrix;
 use crate::error::MatrixError;
 use crate::ops::{AggOp, BinaryOp, UnaryOp};
@@ -173,17 +175,29 @@ impl SparseMatrix {
             });
         }
         let n = other.cols();
-        let mut out = DenseMatrix::zeros(self.rows, n);
-        for r in 0..self.rows {
+        let mut out = vec![0.0; self.rows * n];
+        // Per-output-row kernel shared by both paths: accumulation over
+        // the CSR row entries in storage order, so the parallel split is
+        // bit-identical to the sequential loop.
+        let row_kernel = |r: usize, out_row: &mut [f64]| {
             for (k, v) in self.row_iter(r) {
                 let b_row = other.row(k);
-                for (c, &b) in b_row.iter().enumerate() {
-                    let cur = out.get(r, c);
-                    out.set(r, c, cur + v * b);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += v * b;
                 }
             }
+        };
+        let flops = self.nnz() as usize * n;
+        if n > 0 && crate::par_worthwhile(flops, crate::PAR_FLOPS_THRESHOLD, self.rows) {
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, out_row)| row_kernel(r, out_row));
+        } else {
+            for (r, out_row) in out.chunks_mut(n.max(1)).enumerate().take(self.rows) {
+                row_kernel(r, out_row);
+            }
         }
-        Ok(out)
+        DenseMatrix::from_vec(self.rows, n, out)
     }
 
     /// Sparse-times-sparse matrix multiply. Output is produced dense and

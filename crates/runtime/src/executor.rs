@@ -10,13 +10,20 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use reml_matrix::{BinaryOp, Matrix, MatrixCharacteristics};
+use reml_matrix::MatrixCharacteristics;
+#[cfg(feature = "legacy-interpreter")]
+use reml_matrix::{BinaryOp, Matrix};
 
 use crate::bufferpool::BufferPool;
 use crate::hdfs::HdfsStore;
-use crate::instructions::{CpInstruction, Instruction, MrJobInstruction, OpCode};
+use crate::instructions::Instruction;
+#[cfg(feature = "legacy-interpreter")]
+use crate::instructions::{CpInstruction, MrJobInstruction, OpCode};
+#[cfg(feature = "legacy-interpreter")]
 use crate::program::{Predicate, RtBlock, RuntimeProgram};
-use crate::value::{Operand, ScalarValue};
+#[cfg(feature = "legacy-interpreter")]
+use crate::value::Operand;
+use crate::value::ScalarValue;
 
 /// Execution statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -112,8 +119,9 @@ impl RecompileHook for NoRecompile {
 }
 
 /// Hard safety bound on while-loop iterations (scripts in this repo all
-/// converge or carry explicit maxiter bounds far below this).
-const MAX_WHILE_ITERATIONS: usize = 100_000;
+/// converge or carry explicit maxiter bounds far below this). Shared with
+/// the bytecode VM so both interpreters abort identically.
+pub(crate) const MAX_WHILE_ITERATIONS: usize = 100_000;
 
 /// Report of one AM runtime migration (§4.1).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -140,8 +148,10 @@ pub struct Executor {
     /// bytes past this limit aborts execution with
     /// [`ExecError::OutOfMemory`] instead of spilling. `None` (default)
     /// keeps the pure spill-to-disk behaviour.
+    #[cfg_attr(not(feature = "legacy-interpreter"), allow(dead_code))]
     oom_limit_bytes: Option<u64>,
     /// Opt-in memory-observation recording (the planlint soundness audit).
+    #[cfg_attr(not(feature = "legacy-interpreter"), allow(dead_code))]
     observe_memory: bool,
     observations: Vec<MemObservation>,
 }
@@ -205,6 +215,7 @@ impl Executor {
     }
 
     /// Execute a whole program with an optional recompilation hook.
+    #[cfg(feature = "legacy-interpreter")]
     pub fn run(
         &mut self,
         program: &RuntimeProgram,
@@ -267,6 +278,7 @@ impl Executor {
             .collect()
     }
 
+    #[cfg(feature = "legacy-interpreter")]
     fn run_block(
         &mut self,
         block: &RtBlock,
@@ -350,6 +362,7 @@ impl Executor {
         }
     }
 
+    #[cfg(feature = "legacy-interpreter")]
     fn eval_predicate(&mut self, pred: &Predicate) -> Result<bool, ExecError> {
         for instr in &pred.instructions {
             self.execute(instr)?;
@@ -363,6 +376,7 @@ impl Executor {
         })
     }
 
+    #[cfg(feature = "legacy-interpreter")]
     fn eval_predicate_num(&mut self, pred: &Predicate) -> Result<f64, ExecError> {
         for instr in &pred.instructions {
             self.execute(instr)?;
@@ -380,6 +394,7 @@ impl Executor {
     /// (`exec.op.<mnemonic>`) behind `profile_report`'s attribution
     /// table; under a deterministic (sim-clock) recorder the wall-time
     /// measurement is skipped so traces stay bit-reproducible.
+    #[cfg(feature = "legacy-interpreter")]
     pub fn execute(&mut self, instr: &Instruction) -> Result<(), ExecError> {
         match instr {
             Instruction::Cp(cp) => {
@@ -418,6 +433,7 @@ impl Executor {
     /// instruction. Prediction sums the compile-time operand/output
     /// characteristics (the same quantities `memest` budgets against);
     /// actual sums the live pool sizes of the distinct variables touched.
+    #[cfg(feature = "legacy-interpreter")]
     fn record_observation(&mut self, cp: &CpInstruction) {
         let mut predicted: Option<u64> = Some(0);
         for mc in cp.operand_mcs.iter().chain(std::iter::once(&cp.output_mc)) {
@@ -470,6 +486,7 @@ impl Executor {
     /// Execute an MR job value-equivalently: run map operators then reduce
     /// operators in order. Job outputs are also exported to HDFS (MR
     /// intermediates are exchanged through HDFS, §2.1).
+    #[cfg(feature = "legacy-interpreter")]
     fn execute_mr_job(&mut self, job: &MrJobInstruction) -> Result<(), ExecError> {
         for op in job.mappers.iter().chain(job.reducers.iter()) {
             self.execute_op(&op.opcode, &op.operands, op.output.as_deref())?;
@@ -485,6 +502,7 @@ impl Executor {
         Ok(())
     }
 
+    #[cfg(feature = "legacy-interpreter")]
     fn matrix_operand(&mut self, op: &Operand) -> Result<Matrix, ExecError> {
         match op {
             Operand::Var(name) => {
@@ -509,6 +527,7 @@ impl Executor {
         }
     }
 
+    #[cfg(feature = "legacy-interpreter")]
     fn scalar_operand(&mut self, op: &Operand) -> Result<ScalarValue, ExecError> {
         match op {
             Operand::Var(name) => {
@@ -525,12 +544,14 @@ impl Executor {
         }
     }
 
+    #[cfg(feature = "legacy-interpreter")]
     fn scalar_num(&mut self, op: &Operand) -> Result<f64, ExecError> {
         self.scalar_operand(op)?
             .as_f64()
             .ok_or_else(|| ExecError::TypeError("expected numeric scalar".into()))
     }
 
+    #[cfg(feature = "legacy-interpreter")]
     fn put_matrix(&mut self, name: Option<&str>, m: Matrix) -> Result<(), ExecError> {
         if let Some(name) = name {
             if let Some(limit) = self.oom_limit_bytes {
@@ -549,6 +570,7 @@ impl Executor {
         Ok(())
     }
 
+    #[cfg(feature = "legacy-interpreter")]
     fn put_scalar(&mut self, name: Option<&str>, v: ScalarValue) {
         if let Some(name) = name {
             self.pool.remove(name);
@@ -556,6 +578,7 @@ impl Executor {
         }
     }
 
+    #[cfg(feature = "legacy-interpreter")]
     fn execute_op(
         &mut self,
         opcode: &OpCode,
@@ -859,6 +882,7 @@ impl Executor {
 
     /// Resolve 1-based inclusive index bounds, with 0 meaning "open" (the
     /// compiler encodes `X[, 1:k]` row bounds as 0/0 = full range).
+    #[cfg(feature = "legacy-interpreter")]
     fn index_bounds(
         &mut self,
         ops: &[Operand],
@@ -876,7 +900,7 @@ impl Executor {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "legacy-interpreter"))]
 mod tests {
     use super::*;
     use crate::instructions::CpInstruction;

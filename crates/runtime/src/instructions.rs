@@ -4,6 +4,12 @@ use reml_matrix::{AggOp, BinaryOp, MatrixCharacteristics, UnaryOp};
 
 use crate::value::Operand;
 
+/// Prefix of compiler-generated temporary variable names. The compiler's
+/// DAG lowering names intra-block intermediates with this prefix, and the
+/// VM's peephole fusion pass treats single-use variables carrying it as
+/// elidable (never observed outside the block that defines them).
+pub const TEMP_PREFIX: &str = "_mVar";
+
 /// Operation codes shared by CP instructions and MR operators.
 ///
 /// The same vocabulary serves both execution (the executor dispatches on
@@ -88,6 +94,15 @@ pub enum OpCode {
 }
 
 impl OpCode {
+    /// Whether this opcode is an elementwise matrix op the VM's peephole
+    /// pass may fuse into a chain (shape-preserving, cell-independent).
+    pub fn is_fusible_elementwise(&self) -> bool {
+        matches!(
+            self,
+            OpCode::BinaryMM(_) | OpCode::BinaryMS(_) | OpCode::BinarySM(_) | OpCode::UnaryM(_)
+        )
+    }
+
     /// Short opcode mnemonic for EXPLAIN-style plan rendering.
     pub fn mnemonic(&self) -> String {
         match self {

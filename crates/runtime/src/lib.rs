@@ -29,6 +29,7 @@ pub mod hdfs;
 pub mod instructions;
 pub mod program;
 pub mod value;
+pub mod vm;
 
 pub use bufferpool::{BufferPool, BufferPoolStats};
 pub use executor::{ExecStats, Executor, MemObservation, MigrationReport, RecompileHook};
@@ -38,3 +39,4 @@ pub use instructions::{
 };
 pub use program::{Predicate, RtBlock, RuntimeProgram};
 pub use value::{Operand, ScalarValue};
+pub use vm::{lower_program, VmExecutor, VmLowerOptions, VmProgram};

@@ -180,6 +180,13 @@ impl RuntimeProgram {
         }
         out
     }
+
+    /// Lower this tree into flat bytecode for the register VM (see
+    /// [`crate::vm`]). Symbols are interned and operand slots preresolved
+    /// once here, so execution never hashes a variable name.
+    pub fn lower_vm(&self, options: crate::vm::VmLowerOptions) -> crate::vm::VmProgram {
+        crate::vm::lower_program(self, options)
+    }
 }
 
 fn explain_block(block: &RtBlock, depth: usize, out: &mut String) {

@@ -1,0 +1,484 @@
+//! One-time lowering of a [`RuntimeProgram`] into a [`VmProgram`].
+//!
+//! This is the symbol-resolution pass: every variable name is interned to
+//! a `u32` symbol id, every literal moves into the constant pool, every
+//! HDFS path into the string pool, and per-instruction observation
+//! metadata (mnemonic, predicted bytes, touched set) is precomputed into
+//! the [`InstrMeta`] side table. When fusion is enabled, straight-line
+//! blocks additionally run the peephole planner from [`super::fuse`] and
+//! lower each chain to a single [`VmOp::Fused`] instruction.
+
+use crate::instructions::{CpInstruction, Instruction, MrOperator, OpCode};
+use crate::program::{Predicate, RtBlock, RuntimeProgram};
+use crate::value::Operand;
+use crate::vm::fuse::{self, Group};
+use crate::vm::program::{
+    Arg, FusedArg, FusedOpKind, FusedSpec, FusedStep, InstrMeta, SymbolTable, Tables, VmBlock,
+    VmInstr, VmLowerStats, VmMrJob, VmOp, VmPredicate, VmProgram,
+};
+
+/// Lowering options.
+#[derive(Debug, Clone, Copy)]
+pub struct VmLowerOptions {
+    /// Run the peephole elementwise-fusion pass (on by default; the
+    /// differential proptest compares fused against unfused lowering).
+    pub fuse: bool,
+}
+
+impl Default for VmLowerOptions {
+    fn default() -> Self {
+        VmLowerOptions { fuse: true }
+    }
+}
+
+/// Lower a runtime program into flat bytecode.
+pub fn lower_program(program: &RuntimeProgram, options: VmLowerOptions) -> VmProgram {
+    let mut lw = Lowerer {
+        symbols: SymbolTable::default(),
+        consts: Vec::new(),
+        strings: Vec::new(),
+        metas: Vec::new(),
+        fused: Vec::new(),
+        mr_jobs: Vec::new(),
+        fuse: options.fuse,
+        stats: VmLowerStats::default(),
+    };
+    let blocks = lw.lower_blocks(&program.blocks);
+    reml_trace::count("vm.fusion.groups", lw.stats.fused_groups as u64);
+    reml_trace::count(
+        "vm.fusion.ops_eliminated",
+        lw.stats.fused_ops_eliminated as u64,
+    );
+    VmProgram {
+        symbols: lw.symbols,
+        consts: lw.consts,
+        strings: lw.strings,
+        metas: lw.metas,
+        fused: lw.fused,
+        mr_jobs: lw.mr_jobs,
+        blocks,
+        fused_enabled: options.fuse,
+        stats: lw.stats,
+    }
+}
+
+/// A recompiled block fragment lowered on the fly: carries its own tables
+/// (symbols cloned from the host program and possibly extended, so
+/// existing symbol ids keep their meaning in the executor's frame).
+pub struct VmFragment {
+    /// Extended symbol table (superset of the host program's).
+    pub symbols: SymbolTable,
+    /// Fragment-local constant pool.
+    pub consts: Vec<crate::value::ScalarValue>,
+    /// Fragment-local string pool.
+    pub strings: Vec<String>,
+    /// Fragment-local metadata table.
+    pub metas: Vec<InstrMeta>,
+    /// Fragment-local fused specs.
+    pub fused: Vec<FusedSpec>,
+    /// Fragment-local MR jobs.
+    pub mr_jobs: Vec<VmMrJob>,
+    /// Lowered instructions.
+    pub code: Vec<VmInstr>,
+}
+
+impl VmFragment {
+    pub(crate) fn tables(&self) -> Tables<'_> {
+        Tables {
+            symbols: &self.symbols,
+            consts: &self.consts,
+            strings: &self.strings,
+            metas: &self.metas,
+            fused: &self.fused,
+            mr_jobs: &self.mr_jobs,
+        }
+    }
+}
+
+/// Lower a recompiled plan (the §4 dynamic-recompilation path) against an
+/// existing symbol table. Fusion uses fragment-local use counts, which is
+/// sound because recompilation replaces exactly one straight-line block
+/// and compiler temporaries never escape their block.
+pub fn lower_fragment(
+    base_symbols: &SymbolTable,
+    plan: &[Instruction],
+    fuse_enabled: bool,
+) -> VmFragment {
+    let mut lw = Lowerer {
+        symbols: base_symbols.clone(),
+        consts: Vec::new(),
+        strings: Vec::new(),
+        metas: Vec::new(),
+        fused: Vec::new(),
+        mr_jobs: Vec::new(),
+        fuse: fuse_enabled,
+        stats: VmLowerStats::default(),
+    };
+    let code = lw.lower_code(plan, fuse_enabled);
+    VmFragment {
+        symbols: lw.symbols,
+        consts: lw.consts,
+        strings: lw.strings,
+        metas: lw.metas,
+        fused: lw.fused,
+        mr_jobs: lw.mr_jobs,
+        code,
+    }
+}
+
+struct Lowerer {
+    symbols: SymbolTable,
+    consts: Vec<crate::value::ScalarValue>,
+    strings: Vec<String>,
+    metas: Vec<InstrMeta>,
+    fused: Vec<FusedSpec>,
+    mr_jobs: Vec<VmMrJob>,
+    fuse: bool,
+    stats: VmLowerStats,
+}
+
+impl Lowerer {
+    fn lower_blocks(&mut self, blocks: &[RtBlock]) -> Vec<VmBlock> {
+        blocks.iter().map(|b| self.lower_block(b)).collect()
+    }
+
+    fn lower_block(&mut self, block: &RtBlock) -> VmBlock {
+        match block {
+            RtBlock::Generic {
+                source,
+                instructions,
+                requires_recompile,
+            } => VmBlock::Generic {
+                source: *source,
+                code: self.lower_code(instructions, true),
+                requires_recompile: *requires_recompile,
+            },
+            RtBlock::If {
+                pred,
+                then_blocks,
+                else_blocks,
+                ..
+            } => VmBlock::If {
+                pred: self.lower_predicate(pred),
+                then_blocks: self.lower_blocks(then_blocks),
+                else_blocks: self.lower_blocks(else_blocks),
+            },
+            RtBlock::While { pred, body, .. } => VmBlock::While {
+                pred: self.lower_predicate(pred),
+                body: self.lower_blocks(body),
+            },
+            RtBlock::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => VmBlock::For {
+                var: self.symbols.intern(var),
+                from: self.lower_predicate(from),
+                to: self.lower_predicate(to),
+                body: self.lower_blocks(body),
+            },
+        }
+    }
+
+    fn lower_predicate(&mut self, pred: &Predicate) -> VmPredicate {
+        // Predicates are tiny straight-line snippets; fusing them would
+        // save nothing, so they lower instruction by instruction.
+        VmPredicate {
+            code: self.lower_code(&pred.instructions, false),
+            result: self.symbols.intern(&pred.result_var),
+        }
+    }
+
+    fn lower_code(&mut self, instrs: &[Instruction], allow_fuse: bool) -> Vec<VmInstr> {
+        let groups = if self.fuse && allow_fuse {
+            // Use counts are per-list: temp names are recycled across
+            // blocks and never escape their own list (see `super::fuse`).
+            let counts = fuse::use_counts_for(instrs);
+            fuse::plan_fusion(instrs, &counts)
+        } else {
+            (0..instrs.len()).map(Group::Single).collect()
+        };
+        let mut code = Vec::with_capacity(groups.len());
+        for group in groups {
+            match group {
+                Group::Single(i) => code.push(self.lower_instruction(&instrs[i])),
+                Group::Chain(idxs) => {
+                    let cps: Vec<&CpInstruction> = idxs
+                        .iter()
+                        .map(|&i| match &instrs[i] {
+                            Instruction::Cp(cp) => cp,
+                            Instruction::MrJob(_) => unreachable!("chains are CP-only"),
+                        })
+                        .collect();
+                    code.push(self.lower_chain(&cps));
+                }
+            }
+        }
+        self.stats.instructions += code.len();
+        code
+    }
+
+    fn lower_arg(&mut self, op: &Operand) -> Arg {
+        match op {
+            Operand::Var(name) => Arg::Slot(self.symbols.intern(name)),
+            Operand::Lit(v) => {
+                self.consts.push(v.clone());
+                Arg::Const((self.consts.len() - 1) as u32)
+            }
+        }
+    }
+
+    fn intern_string(&mut self, s: &str) -> u32 {
+        self.strings.push(s.to_string());
+        (self.strings.len() - 1) as u32
+    }
+
+    fn push_meta(&mut self, meta: InstrMeta) -> u32 {
+        self.metas.push(meta);
+        (self.metas.len() - 1) as u32
+    }
+
+    fn lower_instruction(&mut self, instr: &Instruction) -> VmInstr {
+        match instr {
+            Instruction::Cp(cp) => self.lower_cp(cp),
+            Instruction::MrJob(job) => {
+                let ops = job
+                    .mappers
+                    .iter()
+                    .chain(&job.reducers)
+                    .map(|op| self.lower_mr_op(op))
+                    .collect();
+                let outputs = job
+                    .outputs
+                    .iter()
+                    .map(|(name, _)| {
+                        let sym = self.symbols.intern(name);
+                        let path = self.intern_string(&format!("tmp/{name}"));
+                        (sym, path)
+                    })
+                    .collect();
+                self.mr_jobs.push(VmMrJob { ops, outputs });
+                let job_idx = (self.mr_jobs.len() - 1) as u32;
+                let meta = self.push_meta(InstrMeta {
+                    mnemonic: "mr_job".into(),
+                    metric: "vm.op.mr_job".into(),
+                    cp_count: 0,
+                    predicted_bytes: None,
+                    bound_bytes: None,
+                    touched: Box::new([]),
+                });
+                VmInstr {
+                    op: VmOp::MrJob { job: job_idx },
+                    args: Box::new([]),
+                    out: None,
+                    meta,
+                }
+            }
+        }
+    }
+
+    fn lower_cp(&mut self, cp: &CpInstruction) -> VmInstr {
+        let op = self.lower_opcode(&cp.opcode);
+        let args: Box<[Arg]> = cp.operands.iter().map(|o| self.lower_arg(o)).collect();
+        let out = cp.output.as_deref().map(|n| self.symbols.intern(n));
+        let meta = self.push_meta(self.cp_meta(cp));
+        VmInstr {
+            op,
+            args,
+            out,
+            meta,
+        }
+    }
+
+    /// Lower an MR operator like a CP instruction (same opcode
+    /// vocabulary). Its meta is never read on the hot path — MR operators
+    /// are neither individually timed nor observed, matching the tree
+    /// executor.
+    fn lower_mr_op(&mut self, op: &MrOperator) -> VmInstr {
+        let vop = self.lower_opcode(&op.opcode);
+        let args: Box<[Arg]> = op.operands.iter().map(|o| self.lower_arg(o)).collect();
+        let out = op.output.as_deref().map(|n| self.symbols.intern(n));
+        let meta = self.push_meta(InstrMeta {
+            mnemonic: op.opcode.mnemonic(),
+            metric: format!("vm.op.{}", op.opcode.mnemonic()),
+            cp_count: 0,
+            predicted_bytes: None,
+            bound_bytes: None,
+            touched: Box::new([]),
+        });
+        VmInstr {
+            op: vop,
+            args,
+            out,
+            meta,
+        }
+    }
+
+    fn lower_opcode(&mut self, opcode: &OpCode) -> VmOp {
+        match opcode {
+            OpCode::PersistentRead { path } => VmOp::PRead {
+                path: self.intern_string(path),
+            },
+            OpCode::PersistentWrite { path } => VmOp::PWrite {
+                path: self.intern_string(path),
+            },
+            OpCode::DataGenConst => VmOp::DataGenConst,
+            OpCode::DataGenSeq => VmOp::DataGenSeq,
+            OpCode::DataGenRand => VmOp::DataGenRand,
+            OpCode::MatMult => VmOp::MatMult,
+            OpCode::MatMultTransLeft => VmOp::MatMultTransLeft,
+            OpCode::Tsmm => VmOp::Tsmm,
+            OpCode::MmChain => VmOp::MmChain,
+            OpCode::Solve => VmOp::Solve,
+            OpCode::Transpose => VmOp::Transpose,
+            OpCode::Diag => VmOp::Diag,
+            OpCode::BinaryMM(op) => VmOp::BinaryMM(*op),
+            OpCode::BinaryMS(op) => VmOp::BinaryMS(*op),
+            OpCode::BinarySM(op) => VmOp::BinarySM(*op),
+            OpCode::BinarySS(op) => VmOp::BinarySS(*op),
+            OpCode::UnaryM(op) => VmOp::UnaryM(*op),
+            OpCode::UnaryS(op) => VmOp::UnaryS(*op),
+            OpCode::Agg(op) => VmOp::Agg(*op),
+            OpCode::TableSeq => VmOp::TableSeq,
+            OpCode::RightIndex => VmOp::RightIndex,
+            OpCode::LeftIndex => VmOp::LeftIndex,
+            OpCode::Append => VmOp::Append,
+            OpCode::AppendR => VmOp::AppendR,
+            OpCode::NRow => VmOp::NRow,
+            OpCode::NCol => VmOp::NCol,
+            OpCode::CastScalar => VmOp::CastScalar,
+            OpCode::CastMatrix => VmOp::CastMatrix,
+            OpCode::Assign => VmOp::Assign,
+            OpCode::Concat => VmOp::Concat,
+            OpCode::Print => VmOp::Print,
+            OpCode::RmVar => VmOp::RmVar,
+        }
+    }
+
+    /// The tree executor's `record_observation` fold, precomputed: sum of
+    /// operand and output size estimates (None-propagating) plus the
+    /// sorted distinct touched-variable set.
+    fn cp_meta(&self, cp: &CpInstruction) -> InstrMeta {
+        let mnemonic = cp.opcode.mnemonic();
+        InstrMeta {
+            metric: format!("vm.op.{mnemonic}"),
+            mnemonic,
+            cp_count: 1,
+            predicted_bytes: predicted_sum(cp),
+            bound_bytes: cp.bound_bytes,
+            touched: self.touched_symbols(cp, &[]),
+        }
+    }
+
+    /// Distinct sorted symbol ids of operand variables and the output,
+    /// minus `exclude` (fused-chain intermediates). Requires all names
+    /// already interned.
+    fn touched_symbols(&self, cp: &CpInstruction, exclude: &[&str]) -> Box<[u32]> {
+        let mut touched: Vec<u32> = cp
+            .operands
+            .iter()
+            .filter_map(Operand::as_var)
+            .chain(cp.output.as_deref())
+            .filter(|name| !exclude.contains(name))
+            .filter_map(|name| self.symbols.lookup(name))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched.into_boxed_slice()
+    }
+
+    fn lower_chain(&mut self, cps: &[&CpInstruction]) -> VmInstr {
+        let (rows, cols) = (
+            cps[0].output_mc.rows.expect("fusible shape known") as usize,
+            cps[0].output_mc.cols.expect("fusible shape known") as usize,
+        );
+        let intermediates: Vec<&str> = cps[..cps.len() - 1]
+            .iter()
+            .filter_map(|cp| cp.output.as_deref())
+            .collect();
+        let mut steps = Vec::with_capacity(cps.len());
+        for (k, cp) in cps.iter().enumerate() {
+            let prev_out = if k > 0 {
+                cps[k - 1].output.as_deref()
+            } else {
+                None
+            };
+            let (kind, matrix_positions): (FusedOpKind, &[usize]) = match &cp.opcode {
+                OpCode::BinaryMM(op) => (FusedOpKind::MM(*op), &[0, 1]),
+                OpCode::BinaryMS(op) => (FusedOpKind::MS(*op), &[0]),
+                OpCode::BinarySM(op) => (FusedOpKind::SM(*op), &[1]),
+                OpCode::UnaryM(op) => (FusedOpKind::Unary(*op), &[0]),
+                other => unreachable!("non-fusible opcode {other:?} in chain"),
+            };
+            let args: Box<[FusedArg]> = cp
+                .operands
+                .iter()
+                .enumerate()
+                .map(|(p, operand)| {
+                    let is_flow = matrix_positions.contains(&p)
+                        && operand.as_var().is_some()
+                        && operand.as_var() == prev_out;
+                    if is_flow {
+                        FusedArg::Flow
+                    } else {
+                        match self.lower_arg(operand) {
+                            Arg::Slot(s) => FusedArg::Slot(s),
+                            Arg::Const(c) => FusedArg::Const(c),
+                        }
+                    }
+                })
+                .collect();
+            steps.push(FusedStep { kind, args });
+        }
+        // Intern the final output (intermediates are elided entirely).
+        let out_name = cps.last().unwrap().output.as_deref().expect("fusible");
+        let out = self.symbols.intern(out_name);
+
+        let mnemonics: Vec<String> = cps.iter().map(|cp| cp.opcode.mnemonic()).collect();
+        let mnemonic = format!("fused({})", mnemonics.join(","));
+        let predicted = cps
+            .iter()
+            .try_fold(0u64, |acc, cp| predicted_sum(cp).map(|b| acc + b));
+        let bound = cps
+            .iter()
+            .try_fold(0u64, |acc, cp| cp.bound_bytes.map(|b| acc + b));
+        let mut touched: Vec<u32> = cps
+            .iter()
+            .flat_map(|cp| self.touched_symbols(cp, &intermediates).into_vec())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+
+        self.fused.push(FusedSpec { steps, rows, cols });
+        let spec = (self.fused.len() - 1) as u32;
+        self.stats.fused_groups += 1;
+        self.stats.fused_ops_eliminated += cps.len() - 1;
+        let meta = self.push_meta(InstrMeta {
+            metric: format!("vm.op.{mnemonic}"),
+            mnemonic,
+            cp_count: cps.len() as u64,
+            predicted_bytes: predicted,
+            bound_bytes: bound,
+            touched: touched.into_boxed_slice(),
+        });
+        VmInstr {
+            op: VmOp::Fused { spec },
+            args: Box::new([]),
+            out: Some(out),
+            meta,
+        }
+    }
+}
+
+fn predicted_sum(cp: &CpInstruction) -> Option<u64> {
+    let mut predicted = Some(0u64);
+    for mc in cp.operand_mcs.iter().chain(std::iter::once(&cp.output_mc)) {
+        predicted = match (predicted, mc.estimated_size_bytes()) {
+            (Some(acc), Some(b)) => Some(acc + b),
+            _ => None,
+        };
+    }
+    predicted
+}

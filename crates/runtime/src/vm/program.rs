@@ -1,0 +1,383 @@
+//! Flat bytecode program representation.
+//!
+//! A [`VmProgram`] is the lowered form of a
+//! [`RuntimeProgram`](crate::program::RuntimeProgram): every variable
+//! name, path string, and literal has been resolved once at load time
+//! into a compact `u32` index, so the executor's hot loop never hashes a
+//! string. Instruction side data that only matters off the hot path
+//! (mnemonics, compile-time characteristics, memory bounds) lives in a
+//! separate [`InstrMeta`] table referenced by index.
+
+use std::collections::HashMap;
+
+use reml_lang::BlockId;
+use reml_matrix::{AggOp, BinaryOp, UnaryOp};
+
+use crate::value::ScalarValue;
+
+/// Interned variable names: a bijection between names and dense `u32`
+/// symbol ids. Symbol ids index both the VM's scalar frame and its
+/// preresolved buffer-pool slot table.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Intern a name, returning its stable symbol id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Look up a name without interning.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of a symbol id.
+    pub fn name(&self, sym: u32) -> &str {
+        &self.names[sym as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A preresolved instruction operand: a variable slot or a literal from
+/// the constant pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arg {
+    /// Variable by symbol id (scalar frame index == pool-slot index).
+    Slot(u32),
+    /// Literal by constant-pool index.
+    Const(u32),
+}
+
+/// VM operation. Mirrors [`OpCode`](crate::instructions::OpCode) with
+/// strings replaced by string-table indices, plus the two VM-only forms:
+/// fused elementwise chains and MR jobs by table index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmOp {
+    /// Read a persistent dataset (path by string-table index).
+    PRead {
+        /// String-table index of the HDFS path.
+        path: u32,
+    },
+    /// Write a variable to HDFS (path by string-table index).
+    PWrite {
+        /// String-table index of the HDFS path.
+        path: u32,
+    },
+    /// `matrix(value, rows, cols)`.
+    DataGenConst,
+    /// `seq(from, to[, by])`.
+    DataGenSeq,
+    /// `rand(rows, cols, sparsity, seed)`.
+    DataGenRand,
+    /// Matrix multiply.
+    MatMult,
+    /// `t(A) %*% B` fused physical operator.
+    MatMultTransLeft,
+    /// `t(X) %*% X`.
+    Tsmm,
+    /// `t(X) %*% (X %*% v)`.
+    MmChain,
+    /// Dense linear solve.
+    Solve,
+    /// Transpose.
+    Transpose,
+    /// Diagonal extract/expand.
+    Diag,
+    /// Elementwise matrix-matrix binary.
+    BinaryMM(BinaryOp),
+    /// Matrix op scalar.
+    BinaryMS(BinaryOp),
+    /// Scalar op matrix.
+    BinarySM(BinaryOp),
+    /// Scalar op scalar.
+    BinarySS(BinaryOp),
+    /// Elementwise unary on a matrix.
+    UnaryM(UnaryOp),
+    /// Unary on a scalar.
+    UnaryS(UnaryOp),
+    /// Aggregation.
+    Agg(AggOp),
+    /// `table(seq(1, nrow(y)), y)`.
+    TableSeq,
+    /// Right indexing.
+    RightIndex,
+    /// Left indexing.
+    LeftIndex,
+    /// cbind.
+    Append,
+    /// rbind.
+    AppendR,
+    /// `nrow(X)`.
+    NRow,
+    /// `ncol(X)`.
+    NCol,
+    /// Cast 1×1 matrix to scalar.
+    CastScalar,
+    /// Cast scalar to 1×1 matrix.
+    CastMatrix,
+    /// Copy/rename.
+    Assign,
+    /// String concatenation.
+    Concat,
+    /// Print.
+    Print,
+    /// Remove variables.
+    RmVar,
+    /// Fused elementwise chain ([`FusedSpec`] by table index).
+    Fused {
+        /// Index into the program's fused-spec table.
+        spec: u32,
+    },
+    /// MR-job instruction ([`VmMrJob`] by table index).
+    MrJob {
+        /// Index into the program's MR-job table.
+        job: u32,
+    },
+}
+
+/// One flat VM instruction: operation, preresolved operands, output
+/// symbol, and a side-table index for off-hot-path metadata.
+#[derive(Debug, Clone)]
+pub struct VmInstr {
+    /// Operation.
+    pub op: VmOp,
+    /// Operands in positional order.
+    pub args: Box<[Arg]>,
+    /// Output symbol id (None for sinks).
+    pub out: Option<u32>,
+    /// Index into the metadata side table.
+    pub meta: u32,
+}
+
+/// Off-hot-path instruction metadata: everything the executor only needs
+/// for tracing and memory observation, precomputed at lowering so the hot
+/// loop allocates no strings.
+#[derive(Debug, Clone)]
+pub struct InstrMeta {
+    /// Opcode mnemonic; fused chains use the stable composite form
+    /// `fused(m1,m2,...)` so audit rows never show an unknown opcode.
+    pub mnemonic: String,
+    /// Precomputed histogram name `vm.op.<mnemonic>`.
+    pub metric: String,
+    /// Constituent CP-instruction count (1, or chain length for fused) so
+    /// `ExecStats::cp_instructions` matches the tree interpreter exactly.
+    pub cp_count: u64,
+    /// Compile-time operand+output size estimate (the tree executor's
+    /// `record_observation` fold), `None` if any size was unknown. For
+    /// fused chains: the sum over constituents, which stays a sound
+    /// prediction because each constituent prediction covers its step.
+    pub predicted_bytes: Option<u64>,
+    /// Sound memory bound from the sizebound analysis; for fused chains
+    /// the sum of constituent bounds (`None` if any is unbounded).
+    pub bound_bytes: Option<u64>,
+    /// Sorted distinct symbols whose pool entries count toward the
+    /// observation's `actual_bytes` (operand vars + output; fused chains
+    /// exclude elided intermediates, which never reach the pool).
+    pub touched: Box<[u32]>,
+}
+
+/// Operand of one step inside a fused chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedArg {
+    /// The value flowing from the previous step of the chain.
+    Flow,
+    /// External variable by symbol id.
+    Slot(u32),
+    /// Literal by constant-pool index.
+    Const(u32),
+}
+
+/// Operation kind of one fused step (the four fusible elementwise forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedOpKind {
+    /// Matrix ∘ matrix.
+    MM(BinaryOp),
+    /// Matrix ∘ scalar.
+    MS(BinaryOp),
+    /// Scalar ∘ matrix.
+    SM(BinaryOp),
+    /// Unary.
+    Unary(UnaryOp),
+}
+
+/// One step of a fused chain; `args` keeps the original operand order
+/// (MM: `[a, b]`, MS: `[m, s]`, SM: `[s, m]`, Unary: `[m]`).
+#[derive(Debug, Clone)]
+pub struct FusedStep {
+    /// Operation kind.
+    pub kind: FusedOpKind,
+    /// Operands in original positional order.
+    pub args: Box<[FusedArg]>,
+}
+
+/// A fused elementwise chain: ≥2 shape-preserving steps whose
+/// intermediates were compiler temporaries with no other uses. All
+/// matrices in the chain share one compile-time shape, so the kernel runs
+/// over a single flat output buffer with one allocation.
+#[derive(Debug, Clone)]
+pub struct FusedSpec {
+    /// Steps in execution order.
+    pub steps: Vec<FusedStep>,
+    /// Compile-time row count of every matrix in the chain.
+    pub rows: usize,
+    /// Compile-time column count.
+    pub cols: usize,
+}
+
+/// An MR job lowered for the VM: operators as flat instructions plus the
+/// preresolved output exports.
+#[derive(Debug, Clone)]
+pub struct VmMrJob {
+    /// Map then reduce operators, lowered.
+    pub ops: Vec<VmInstr>,
+    /// Job outputs: (symbol id, string-table index of the `tmp/<name>`
+    /// export path).
+    pub outputs: Vec<(u32, u32)>,
+}
+
+/// A compiled predicate: straight-line code plus the result symbol.
+#[derive(Debug, Clone)]
+pub struct VmPredicate {
+    /// Instructions evaluating the predicate.
+    pub code: Vec<VmInstr>,
+    /// Symbol holding the result.
+    pub result: u32,
+}
+
+/// One VM program block, mirroring [`RtBlock`](crate::program::RtBlock).
+#[derive(Debug, Clone)]
+pub enum VmBlock {
+    /// Straight-line code (recompilation granularity).
+    Generic {
+        /// Source statement block (recompile key).
+        source: BlockId,
+        /// Lowered instructions.
+        code: Vec<VmInstr>,
+        /// Whether the recompile hook runs before this block.
+        requires_recompile: bool,
+    },
+    /// Conditional.
+    If {
+        /// Predicate.
+        pred: VmPredicate,
+        /// Then branch.
+        then_blocks: Vec<VmBlock>,
+        /// Else branch.
+        else_blocks: Vec<VmBlock>,
+    },
+    /// While loop.
+    While {
+        /// Predicate, re-evaluated each iteration.
+        pred: VmPredicate,
+        /// Body.
+        body: Vec<VmBlock>,
+    },
+    /// For loop.
+    For {
+        /// Loop-variable symbol.
+        var: u32,
+        /// Range start.
+        from: VmPredicate,
+        /// Range end.
+        to: VmPredicate,
+        /// Body.
+        body: Vec<VmBlock>,
+    },
+}
+
+/// Lowering statistics (also mirrored into the `vm.fusion.*` trace
+/// counters when a recorder is installed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmLowerStats {
+    /// Total VM instructions emitted (fused chains count once).
+    pub instructions: usize,
+    /// Fused chains formed.
+    pub fused_groups: usize,
+    /// CP instructions eliminated by fusion (chain length − 1 each).
+    pub fused_ops_eliminated: usize,
+}
+
+/// A complete lowered VM program.
+#[derive(Debug, Clone)]
+pub struct VmProgram {
+    /// Interned variable names.
+    pub symbols: SymbolTable,
+    /// Literal pool.
+    pub consts: Vec<ScalarValue>,
+    /// String pool (HDFS paths).
+    pub strings: Vec<String>,
+    /// Instruction metadata side table.
+    pub metas: Vec<InstrMeta>,
+    /// Fused-chain specs.
+    pub fused: Vec<FusedSpec>,
+    /// Lowered MR jobs.
+    pub mr_jobs: Vec<VmMrJob>,
+    /// Top-level blocks in execution order.
+    pub blocks: Vec<VmBlock>,
+    /// Whether peephole fusion ran (recompiled fragments follow suit).
+    pub fused_enabled: bool,
+    /// Lowering statistics.
+    pub stats: VmLowerStats,
+}
+
+/// Borrowed view of the lookup tables an instruction executes against —
+/// the program's own tables, or a recompiled fragment's.
+#[derive(Clone, Copy)]
+pub(crate) struct Tables<'a> {
+    pub(crate) symbols: &'a SymbolTable,
+    pub(crate) consts: &'a [ScalarValue],
+    pub(crate) strings: &'a [String],
+    pub(crate) metas: &'a [InstrMeta],
+    pub(crate) fused: &'a [FusedSpec],
+    pub(crate) mr_jobs: &'a [VmMrJob],
+}
+
+impl VmProgram {
+    pub(crate) fn tables(&self) -> Tables<'_> {
+        Tables {
+            symbols: &self.symbols,
+            consts: &self.consts,
+            strings: &self.strings,
+            metas: &self.metas,
+            fused: &self.fused,
+            mr_jobs: &self.mr_jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_table_interns_stably() {
+        let mut t = SymbolTable::default();
+        let a = t.intern("X");
+        let b = t.intern("y");
+        assert_eq!(t.intern("X"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "X");
+        assert_eq!(t.lookup("y"), Some(b));
+        assert_eq!(t.lookup("z"), None);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,7 +1,15 @@
 //! Differential memory-soundness audit: execute a script for real
-//! through the CP executor with memory observation enabled and compare
+//! through the bytecode VM with memory observation enabled and compare
 //! the compiler's `memest`-style size predictions against the actual
 //! operator footprints, per opcode.
+//!
+//! Execution runs on the register VM with peephole fusion enabled, so
+//! fused elementwise chains appear under their stable composite mnemonic
+//! (e.g. `fused(map*,map+)`) with the chain's summed prediction and
+//! bound — never as an unknown opcode row. A fused chain's actual
+//! footprint counts its external operands and final output only (the
+//! intermediates it elides never enter the buffer pool), so per-step
+//! soundness of the summed bound implies soundness of the fused row.
 //!
 //! The resource optimizer trusts the compile-time estimates to decide
 //! CP-vs-MR placement (the PL010 lint rule checks the *static* side of
@@ -21,7 +29,7 @@ use reml_cluster::ClusterConfig;
 use reml_compiler::pipeline::{analyze_program, compile};
 use reml_compiler::CompileConfig;
 use reml_runtime::executor::NoRecompile;
-use reml_runtime::{Executor, HdfsStore, MemObservation, ScalarValue};
+use reml_runtime::{HdfsStore, MemObservation, ScalarValue, VmExecutor, VmLowerOptions};
 use reml_scripts::data::{generate_dataset, LabelKind};
 use reml_scripts::ScriptSpec;
 
@@ -105,12 +113,14 @@ pub fn memory_soundness_audit(
     reml_sizebound::annotate(&analyzed, &mut compiled, &cfg)
         .unwrap_or_else(|e| panic!("{} sizebound: {e}", script.name));
 
+    let program = compiled.runtime.lower_vm(VmLowerOptions::default());
+
     let mut hdfs = HdfsStore::new();
     hdfs.stage("X", data.x.clone());
     hdfs.stage("y", data.y.clone());
-    let mut exec = Executor::new(4 << 30, hdfs);
+    let mut exec = VmExecutor::new(4 << 30, hdfs);
     exec.enable_memory_observation();
-    exec.run(&compiled.runtime, &mut NoRecompile)
+    exec.run(&program, &mut NoRecompile)
         .unwrap_or_else(|e| panic!("{} execute: {e}", script.name));
 
     let observations = exec.take_memory_observations();

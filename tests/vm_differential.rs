@@ -1,0 +1,289 @@
+//! Differential oracle: the bytecode VM must be bit-identical to the
+//! tree interpreter on all five paper scripts.
+//!
+//! Each script runs three ways — tree interpreter, VM without fusion,
+//! VM with fusion — on the same generated dataset, and every observable
+//! is compared: printed output, final scalar variables (f64 compared by
+//! bit pattern), live pool matrices (representation, dims, nnz, and the
+//! dense view compared bitwise), HDFS contents, and `ExecStats`. Pool
+//! contents are compared excluding compiler temporaries (`_mVar*`):
+//! under fusion those intermediates are legitimately never materialized.
+
+use std::collections::BTreeMap;
+
+use reml::prelude::*;
+use reml::runtime::executor::NoRecompile;
+use reml::runtime::instructions::TEMP_PREFIX;
+use reml::runtime::vm::lower::VmLowerOptions;
+use reml::runtime::{Executor, HdfsStore, ScalarValue, VmExecutor};
+use reml::scripts::data::{generate_dataset, Dataset, LabelKind};
+use reml::scripts::ScriptSpec;
+
+const CP_BUDGET_BYTES: u64 = 4 << 30;
+
+fn compile_script(
+    script: &ScriptSpec,
+    data: &Dataset,
+    overrides: &[(&str, f64)],
+) -> reml::compiler::pipeline::CompiledProgram {
+    let mut cfg = CompileConfig::new(ClusterConfig::paper_cluster(), 4 * 1024, 1024);
+    for (name, value) in &script.params {
+        cfg.params.insert((*name).to_string(), value.clone());
+    }
+    for (name, value) in overrides {
+        cfg.params
+            .insert((*name).to_string(), ScalarValue::Num(*value));
+    }
+    cfg.inputs.insert("X".to_string(), data.x.characteristics());
+    cfg.inputs.insert("y".to_string(), data.y.characteristics());
+    compile_source(&script.source, &cfg).unwrap_or_else(|e| panic!("{} compile: {e}", script.name))
+}
+
+fn staged_hdfs(data: &Dataset) -> HdfsStore {
+    let mut hdfs = HdfsStore::new();
+    hdfs.stage("X", data.x.clone());
+    hdfs.stage("y", data.y.clone());
+    hdfs
+}
+
+/// Everything observable about one execution.
+struct Observed {
+    printed: Vec<String>,
+    scalars: BTreeMap<String, ScalarBits>,
+    /// name -> (is_sparse, rows, cols, nnz, dense bits)
+    matrices: BTreeMap<String, (bool, usize, usize, u64, Vec<u64>)>,
+    hdfs: BTreeMap<String, (bool, usize, usize, u64, Vec<u64>)>,
+    cp_instructions: u64,
+    mr_jobs: u64,
+    loop_iterations: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ScalarBits {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+}
+
+fn scalar_bits(v: &ScalarValue) -> ScalarBits {
+    match v {
+        ScalarValue::Num(n) => ScalarBits::Num(n.to_bits()),
+        ScalarValue::Bool(b) => ScalarBits::Bool(*b),
+        ScalarValue::Str(s) => ScalarBits::Str(s.clone()),
+    }
+}
+
+fn matrix_bits(m: &reml::matrix::Matrix) -> (bool, usize, usize, u64, Vec<u64>) {
+    let d = m.to_dense();
+    (
+        m.is_sparse(),
+        m.rows(),
+        m.cols(),
+        m.nnz(),
+        d.data().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+fn observe(
+    printed: &[String],
+    scalars: BTreeMap<String, ScalarBits>,
+    pool_vars: Vec<String>,
+    peek: impl Fn(&str) -> Option<reml::matrix::Matrix>,
+    hdfs: &HdfsStore,
+    stats: &reml::runtime::ExecStats,
+) -> Observed {
+    let mut matrices = BTreeMap::new();
+    for name in pool_vars {
+        if name.starts_with(TEMP_PREFIX) {
+            continue;
+        }
+        let m = peek(&name).expect("listed variable present");
+        matrices.insert(name, matrix_bits(&m));
+    }
+    let mut hdfs_map = BTreeMap::new();
+    for path in hdfs.paths() {
+        let m = hdfs.peek(path).unwrap();
+        hdfs_map.insert(path.to_string(), matrix_bits(m));
+    }
+    Observed {
+        printed: printed.to_vec(),
+        scalars,
+        matrices,
+        hdfs: hdfs_map,
+        cp_instructions: stats.cp_instructions,
+        mr_jobs: stats.mr_jobs,
+        loop_iterations: stats.loop_iterations,
+    }
+}
+
+fn run_tree(script: &ScriptSpec, data: &Dataset, overrides: &[(&str, f64)]) -> Observed {
+    let compiled = compile_script(script, data, overrides);
+    let mut exec = Executor::new(CP_BUDGET_BYTES, staged_hdfs(data));
+    exec.run(&compiled.runtime, &mut NoRecompile)
+        .unwrap_or_else(|e| panic!("{} tree execute: {e}", script.name));
+    let scalars = exec
+        .scalars
+        .iter()
+        .filter(|(name, _)| !name.starts_with(TEMP_PREFIX))
+        .map(|(name, v)| (name.clone(), scalar_bits(v)))
+        .collect();
+    observe(
+        &exec.stats.printed,
+        scalars,
+        exec.pool.variables(),
+        |name| exec.pool.peek(name).cloned(),
+        &exec.hdfs,
+        &exec.stats,
+    )
+}
+
+fn run_vm(
+    script: &ScriptSpec,
+    data: &Dataset,
+    overrides: &[(&str, f64)],
+    fuse: bool,
+) -> (Observed, usize) {
+    let compiled = compile_script(script, data, overrides);
+    let program = compiled.runtime.lower_vm(VmLowerOptions { fuse });
+    let mut exec = VmExecutor::new(CP_BUDGET_BYTES, staged_hdfs(data));
+    exec.run(&program, &mut NoRecompile)
+        .unwrap_or_else(|e| panic!("{} vm execute: {e}", script.name));
+    let scalars = exec
+        .scalars()
+        .iter()
+        .filter(|(name, _)| !name.starts_with(TEMP_PREFIX))
+        .map(|(name, v)| (name.clone(), scalar_bits(v)))
+        .collect();
+    let observed = observe(
+        &exec.stats.printed,
+        scalars,
+        exec.pool.variables(),
+        |name| exec.pool.peek(name).cloned(),
+        &exec.hdfs,
+        &exec.stats,
+    );
+    (observed, program.stats.fused_groups)
+}
+
+fn assert_identical(script: &str, mode: &str, tree: &Observed, vm: &Observed) {
+    assert_eq!(tree.printed, vm.printed, "{script} {mode}: printed output");
+    assert_eq!(tree.scalars, vm.scalars, "{script} {mode}: scalars");
+    assert_eq!(
+        tree.matrices.keys().collect::<Vec<_>>(),
+        vm.matrices.keys().collect::<Vec<_>>(),
+        "{script} {mode}: live matrix variables"
+    );
+    for (name, expected) in &tree.matrices {
+        assert_eq!(
+            expected, &vm.matrices[name],
+            "{script} {mode}: matrix '{name}' differs"
+        );
+    }
+    assert_eq!(
+        tree.hdfs.keys().collect::<Vec<_>>(),
+        vm.hdfs.keys().collect::<Vec<_>>(),
+        "{script} {mode}: HDFS paths"
+    );
+    for (path, expected) in &tree.hdfs {
+        assert_eq!(
+            expected, &vm.hdfs[path],
+            "{script} {mode}: HDFS '{path}' differs"
+        );
+    }
+    assert_eq!(
+        tree.cp_instructions, vm.cp_instructions,
+        "{script} {mode}: cp_instructions"
+    );
+    assert_eq!(tree.mr_jobs, vm.mr_jobs, "{script} {mode}: mr_jobs");
+    assert_eq!(
+        tree.loop_iterations, vm.loop_iterations,
+        "{script} {mode}: loop_iterations"
+    );
+}
+
+fn differential(
+    script: &ScriptSpec,
+    data: &Dataset,
+    overrides: &[(&str, f64)],
+    expect_fusion: bool,
+) {
+    let tree = run_tree(script, data, overrides);
+    let (unfused, groups) = run_vm(script, data, overrides, false);
+    assert_eq!(groups, 0, "{}: unfused lowering must not fuse", script.name);
+    assert_identical(script.name, "unfused", &tree, &unfused);
+    let (fused, groups) = run_vm(script, data, overrides, true);
+    if expect_fusion {
+        assert!(
+            groups > 0,
+            "{}: expected the fusion pass to find chains",
+            script.name
+        );
+    }
+    assert_identical(script.name, "fused", &tree, &fused);
+}
+
+#[test]
+fn linreg_ds_vm_identical() {
+    let data = generate_dataset(700, 9, 1.0, LabelKind::Regression, 11);
+    differential(&reml::scripts::linreg_ds(), &data, &[], false);
+}
+
+#[test]
+fn linreg_cg_vm_identical() {
+    let data = generate_dataset(600, 8, 1.0, LabelKind::Regression, 12);
+    differential(
+        &reml::scripts::linreg_cg(),
+        &data,
+        &[("maxiter", 12.0)],
+        true,
+    );
+}
+
+#[test]
+fn l2svm_vm_identical() {
+    let data = generate_dataset(500, 7, 1.0, LabelKind::BinaryPm1, 13);
+    differential(&reml::scripts::l2svm(), &data, &[], true);
+}
+
+#[test]
+fn mlogreg_vm_identical() {
+    let data = generate_dataset(400, 6, 1.0, LabelKind::Classes(3), 14);
+    // mlogreg's elementwise chains broadcast across class columns, which
+    // the fusion shape gate rejects — no chains expected.
+    differential(&reml::scripts::mlogreg(), &data, &[], false);
+}
+
+#[test]
+fn glm_vm_identical() {
+    let data = generate_dataset(400, 5, 1.0, LabelKind::Counts, 15);
+    differential(&reml::scripts::glm(), &data, &[], true);
+}
+
+#[test]
+fn sparse_input_vm_identical() {
+    // Sparse X drives the fused fallback path (externals not dense) and
+    // the sparse-representation tracking in the fast path's absence.
+    let data = generate_dataset(900, 30, 0.05, LabelKind::Regression, 16);
+    assert!(data.x.is_sparse());
+    differential(&reml::scripts::linreg_ds(), &data, &[], false);
+}
+
+#[test]
+fn small_pool_vm_identical() {
+    // A pool far smaller than the working set forces evictions and
+    // restores through the slot API; values must be unaffected.
+    let data = generate_dataset(800, 10, 1.0, LabelKind::Regression, 17);
+    let script = reml::scripts::linreg_ds();
+    let compiled = compile_script(&script, &data, &[]);
+    let mut tree = Executor::new(100 * 1024, staged_hdfs(&data));
+    tree.run(&compiled.runtime, &mut NoRecompile).unwrap();
+    assert!(tree.pool.stats().evictions > 0);
+
+    let program = compiled.runtime.lower_vm(VmLowerOptions::default());
+    let mut vm = VmExecutor::new(100 * 1024, staged_hdfs(&data));
+    vm.run(&program, &mut NoRecompile).unwrap();
+
+    let model_tree = tree.hdfs.peek("model").unwrap();
+    let model_vm = vm.hdfs.peek("model").unwrap();
+    assert_eq!(matrix_bits(model_tree), matrix_bits(model_vm));
+}

@@ -1,0 +1,139 @@
+//! Property test for the bytecode VM and its fusion pass: on any valid
+//! generated DML program, compiled at any resource point, the fused VM,
+//! the unfused VM, and the tree interpreter must be bit-identical on
+//! every observable (printed lines, scalars, live matrices incl. their
+//! dense/sparse representation, and execution statistics).
+
+#[path = "common/dml_gen.rs"]
+mod dml_gen;
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use reml::prelude::*;
+use reml::runtime::executor::NoRecompile;
+use reml::runtime::instructions::TEMP_PREFIX;
+use reml::runtime::vm::VmLowerOptions;
+use reml::runtime::{Executor, HdfsStore, VmExecutor};
+
+use dml_gen::generate_program;
+
+/// Bit-stable fingerprint of everything a run observes.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    printed: Vec<String>,
+    scalars: BTreeMap<String, String>,
+    matrices: BTreeMap<String, (bool, usize, usize, u64, Vec<u64>)>,
+    cp_instructions: u64,
+    loop_iterations: u64,
+}
+
+fn matrix_bits(m: &Matrix) -> (bool, usize, usize, u64, Vec<u64>) {
+    (
+        m.is_sparse(),
+        m.rows(),
+        m.cols(),
+        m.nnz(),
+        m.to_dense().data().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+fn scalar_key(v: &reml::runtime::ScalarValue) -> String {
+    use reml::runtime::ScalarValue;
+    match v {
+        ScalarValue::Num(n) => format!("n:{:016x}", n.to_bits()),
+        ScalarValue::Bool(b) => format!("b:{b}"),
+        ScalarValue::Str(s) => format!("s:{s}"),
+    }
+}
+
+fn fingerprint(
+    printed: &[String],
+    scalars: BTreeMap<String, String>,
+    matrices: BTreeMap<String, (bool, usize, usize, u64, Vec<u64>)>,
+    stats: &reml::runtime::ExecStats,
+) -> Fingerprint {
+    Fingerprint {
+        printed: printed.to_vec(),
+        scalars,
+        matrices,
+        cp_instructions: stats.cp_instructions,
+        loop_iterations: stats.loop_iterations,
+    }
+}
+
+fn run_tree(program: &reml::runtime::RuntimeProgram) -> Fingerprint {
+    let mut exec = Executor::new(4 << 30, HdfsStore::new());
+    exec.run(program, &mut NoRecompile).expect("tree execute");
+    let scalars = exec
+        .scalars
+        .iter()
+        .filter(|(n, _)| !n.starts_with(TEMP_PREFIX))
+        .map(|(n, v)| (n.clone(), scalar_key(v)))
+        .collect();
+    let matrices = exec
+        .pool
+        .variables()
+        .into_iter()
+        .filter(|n| !n.starts_with(TEMP_PREFIX))
+        .map(|n| {
+            let bits = matrix_bits(exec.pool.peek(&n).unwrap());
+            (n, bits)
+        })
+        .collect();
+    fingerprint(&exec.stats.printed, scalars, matrices, &exec.stats)
+}
+
+fn run_vm(program: &reml::runtime::RuntimeProgram, fuse: bool) -> Fingerprint {
+    let lowered = program.lower_vm(VmLowerOptions { fuse });
+    let mut exec = VmExecutor::new(4 << 30, HdfsStore::new());
+    exec.run(&lowered, &mut NoRecompile).expect("vm execute");
+    let scalars = exec
+        .scalars()
+        .into_iter()
+        .filter(|(n, _)| !n.starts_with(TEMP_PREFIX))
+        .map(|(n, v)| (n, scalar_key(&v)))
+        .collect();
+    let matrices = exec
+        .pool
+        .variables()
+        .into_iter()
+        .filter(|n| !n.starts_with(TEMP_PREFIX))
+        .map(|n| {
+            let bits = matrix_bits(exec.pool.peek(&n).unwrap());
+            (n, bits)
+        })
+        .collect();
+    fingerprint(&exec.stats.printed, scalars, matrices, &exec.stats)
+}
+
+// Runs the vendored-runner default of 64 cases (`PROPTEST_CASES` overrides).
+proptest! {
+    #[test]
+    fn fused_and_unfused_vm_match_tree(
+        ops in prop::collection::vec((0u8..255, 0u8..255, 0u8..255), 1usize..10),
+        ctrl in 0u8..255,
+        cp_heap in 512u64..54_613,
+        mr_heap in 512u64..4_506,
+    ) {
+        let source = generate_program(&ops, ctrl);
+        let cluster = ClusterConfig::paper_cluster();
+        let cfg = CompileConfig::new(cluster, cp_heap, mr_heap);
+        let compiled = compile_source(&source, &cfg)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{source}"));
+
+        let tree = run_tree(&compiled.runtime);
+        let unfused = run_vm(&compiled.runtime, false);
+        prop_assert_eq!(
+            &tree, &unfused,
+            "unfused VM diverges (cp={} mr={})\n--- source ---\n{}",
+            cp_heap, mr_heap, source
+        );
+        let fused = run_vm(&compiled.runtime, true);
+        prop_assert_eq!(
+            &tree, &fused,
+            "fused VM diverges (cp={} mr={})\n--- source ---\n{}",
+            cp_heap, mr_heap, source
+        );
+    }
+}

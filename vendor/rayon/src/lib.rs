@@ -1,0 +1,233 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Implements exactly the surface the workspace's matrix kernels use:
+//! [`join`], [`current_num_threads`], and
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)` /
+//! `slice.par_chunks(n).enumerate().for_each(..)` via the prelude
+//! traits. Parallelism comes from `std::thread::scope`, with chunks
+//! distributed round-robin across `available_parallelism()` workers, so
+//! any deterministic per-chunk kernel produces bit-identical output to a
+//! sequential run regardless of scheduling.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Run `f(index, item)` over `items`, work-stealing by atomic index so
+/// uneven chunk costs balance across workers. The assignment of chunks
+/// to threads is nondeterministic but each chunk sees only its own data,
+/// so deterministic kernels stay deterministic.
+fn drive<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let next = &next;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i].lock().expect("rayon slot lock").take();
+                if let Some(item) = item {
+                    f(i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel iterator over mutable, non-overlapping chunks of a slice.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index (chunk order matches the
+    /// sequential `chunks_mut` order).
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut { chunks: self.chunks }
+    }
+
+    /// Apply `f` to every chunk, potentially in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        drive(self.chunks, |_, c| f(c));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumChunksMut<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair, potentially in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        drive(self.chunks, |i, c| f((i, c)));
+    }
+}
+
+/// Parallel iterator over shared chunks of a slice.
+pub struct ParChunks<'a, T: Sync> {
+    chunks: Vec<&'a [T]>,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumChunks<'a, T> {
+        EnumChunks { chunks: self.chunks }
+    }
+
+    /// Apply `f` to every chunk, potentially in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a [T]) + Sync,
+    {
+        drive(self.chunks, |_, c| f(c));
+    }
+}
+
+/// Enumerated variant of [`ParChunks`].
+pub struct EnumChunks<'a, T: Sync> {
+    chunks: Vec<&'a [T]>,
+}
+
+impl<'a, T: Sync> EnumChunks<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair, potentially in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a [T])) + Sync,
+    {
+        drive(self.chunks, |i, c| f((i, c)));
+    }
+}
+
+/// `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into non-overlapping mutable chunks of `chunk_size`
+    /// (the last chunk may be shorter), iterated in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Split into chunks of `chunk_size` (the last chunk may be
+    /// shorter), iterated in parallel.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunks {
+            chunks: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_sequential() {
+        let mut par = vec![0u64; 1000];
+        let mut seq = vec![0u64; 1000];
+        par.par_chunks_mut(7).enumerate().for_each(|(i, c)| {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = (i * 1000 + j) as u64;
+            }
+        });
+        for (i, c) in seq.chunks_mut(7).enumerate() {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = (i * 1000 + j) as u64;
+            }
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_chunks_reads() {
+        let data: Vec<u64> = (0..100).collect();
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        data.par_chunks(9).for_each(|c| {
+            sum.fetch_add(c.iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<f64> = Vec::new();
+        v.par_chunks_mut(4).for_each(|_| panic!("no chunks expected"));
+        assert!(current_num_threads() >= 1);
+    }
+}
