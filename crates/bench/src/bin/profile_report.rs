@@ -87,8 +87,132 @@ fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("overhead") => overhead_gate(),
         Some("vm") => vm_speedup_gate(),
+        Some("calibrate") => calibrate_gate(),
         _ => profile(),
     }
+}
+
+/// `profile_report calibrate`: execute the five paper scripts with
+/// per-instruction observation, fit a calibration profile, report the
+/// per-opcode predicted-vs-measured estimation error before/after
+/// calibration, and persist the profile + error report under `results/`.
+/// Gates on a measured geomean time-error reduction.
+fn calibrate_gate() {
+    use reml_cost::CostModel;
+    use reml_optimizer::ResourceOptimizer;
+
+    /// Required multiplicative reduction of the geomean time error.
+    const GATE: f64 = 1.25;
+
+    reml_trace::uninstall();
+    println!("fitting calibration profile from observed executions of the five paper scripts...");
+    let (profile, report, sets) = reml_calibrate::calibrate_paper_scripts();
+
+    let mut table = ExperimentResult::new(
+        "calibration_runs",
+        "observed executions behind the calibration fit",
+    );
+    for set in &sets {
+        let measured_ms = set.observations.iter().map(|o| o.wall_ns).sum::<u64>() as f64 / 1e6;
+        table.push_row(
+            set.script.clone(),
+            vec![
+                ("rows".to_string(), set.rows as f64),
+                ("cols".to_string(), set.cols as f64),
+                ("cp_instr".to_string(), set.cp_instructions as f64),
+                ("observations".to_string(), set.observations.len() as f64),
+                ("measured[ms]".to_string(), measured_ms),
+            ],
+        );
+    }
+    table.notes = format!(
+        "{} opcodes fitted (profile schema v{})",
+        profile.opcodes.len(),
+        reml_cost::PROFILE_VERSION
+    );
+    table.print();
+
+    println!("\nper-opcode estimation error (predicted vs measured), before/after calibration:");
+    print!("{}", report.table());
+
+    // The optimizer grid-walk accepts the fitted profile: same plan
+    // enumeration, calibrated CP prices.
+    let wl = Workload::new(
+        reml_scripts::linreg_ds(),
+        DataShape {
+            scenario: Scenario::S,
+            cols: 1000,
+            sparsity: 1.0,
+        },
+    );
+    let analytic_opt = wl.optimize();
+    let calibrated = ResourceOptimizer::with_calibration(
+        CostModel::new(wl.cluster.clone()),
+        Arc::new(profile.clone()),
+    );
+    let calibrated_opt = wl.optimize_with(&calibrated);
+    println!(
+        "\noptimizer grid-walk (LinregDS S dense1000):\n  analytic:   cp_heap {} MB, predicted {:.1}s\n  calibrated: cp_heap {} MB, predicted {:.1}s",
+        analytic_opt.best.cp_heap_mb,
+        analytic_opt.best_cost_s,
+        calibrated_opt.best.cp_heap_mb,
+        calibrated_opt.best_cost_s,
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let mut profile_json = profile.to_json();
+    profile_json.push('\n');
+    std::fs::write(dir.join("calibration_profile.json"), profile_json)
+        .expect("writes calibration profile");
+    println!("wrote results/calibration_profile.json");
+
+    let reduction = report.time_error_reduction();
+    let error_report = Value::Object(vec![
+        (
+            "gate".to_string(),
+            Value::Object(vec![
+                ("required_reduction".to_string(), Value::Num(GATE)),
+                ("measured_reduction".to_string(), Value::Num(reduction)),
+                ("pass".to_string(), Value::Bool(reduction >= GATE)),
+            ]),
+        ),
+        (
+            "scripts".to_string(),
+            Value::Array(
+                sets.iter()
+                    .map(|s| {
+                        Value::Object(vec![
+                            ("script".to_string(), Value::Str(s.script.clone())),
+                            ("rows".to_string(), Value::Num(s.rows as f64)),
+                            ("cols".to_string(), Value::Num(s.cols as f64)),
+                            (
+                                "observations".to_string(),
+                                Value::Num(s.observations.len() as f64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("errors".to_string(), serde::Serialize::to_value(&report)),
+    ]);
+    let mut json = serde_json::to_string_pretty(&error_report).expect("serializes");
+    json.push('\n');
+    std::fs::write(dir.join("calibration_error.json"), json).expect("writes error report");
+    println!("wrote results/calibration_error.json");
+
+    assert!(
+        reduction >= GATE,
+        "calibration gate failed: geomean time-error reduction {reduction:.2}x < {GATE}x \
+         (analytic {:.2}x -> calibrated {:.2}x)",
+        report.analytic_time_err,
+        report.calibrated_time_err,
+    );
+    println!(
+        "calibration gate OK: geomean time error {:.2}x -> {:.2}x ({reduction:.2}x reduction, gate >= {GATE}x)",
+        report.analytic_time_err, report.calibrated_time_err,
+    );
 }
 
 fn profile() {

@@ -1,0 +1,155 @@
+//! Property tests for the calibration fit:
+//!
+//! * permutation-insensitivity — the fitted model predicts the same
+//!   times (within fp-reassociation tolerance) no matter the order the
+//!   samples streamed in;
+//! * monotonicity/stability in sample count — on noiseless
+//!   affine-generated data every prefix past the affine minimum recovers
+//!   the ground truth, so more samples never degrade the fit, and the
+//!   profile's recorded sample count grows with the stream;
+//! * serde round-trip — a profile survives JSON encode/decode
+//!   *byte-identically* (BTreeMap key order + shortest-round-trip f64
+//!   rendering make the encoding canonical).
+
+use proptest::prelude::*;
+use reml_calibrate::{fit_profile, Sample, MIN_AFFINE_SAMPLES};
+use reml_cost::calibrate::{CalibrationProfile, OpcodeCalibration, TimeModel};
+
+const PEAK: f64 = 2.0e9;
+
+fn affine_samples(a: f64, b: f64, c: f64, points: &[(f64, u64, f64)]) -> Vec<Sample> {
+    points
+        .iter()
+        .map(|&(flops, bytes, noise)| Sample {
+            opcode: "ba+*".to_string(),
+            flops: Some(flops),
+            bytes: Some(bytes),
+            actual_bytes: bytes,
+            wall_s: (a * flops + b * bytes as f64 + c) * (1.0 + noise),
+        })
+        .collect()
+}
+
+/// Deterministic Fisher–Yates driven by an LCG, so shuffles are
+/// reproducible from the proptest seed.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+fn predict(profile: &CalibrationProfile, flops: f64, bytes: u64) -> f64 {
+    profile.get("ba+*").expect("opcode fitted").predict_seconds(
+        Some(flops),
+        Some(bytes),
+        flops / PEAK,
+    )
+}
+
+proptest! {
+    #[test]
+    fn fit_is_permutation_insensitive(
+        a in 1.0e-11f64..1.0e-9,
+        b in 1.0e-12f64..1.0e-10,
+        c in 1.0e-7f64..1.0e-4,
+        points in prop::collection::vec(
+            (1.0e3f64..1.0e7, 1_000u64..10_000_000, -0.004f64..0.004),
+            1usize..40,
+        ),
+        seed in 0u64..u64::MAX,
+    ) {
+        let samples = affine_samples(a, b, c, &points);
+        let mut shuffled = samples.clone();
+        shuffle(&mut shuffled, seed);
+
+        let p1 = fit_profile(&samples, PEAK);
+        let p2 = fit_profile(&shuffled, PEAK);
+
+        let cal1 = p1.get("ba+*").expect("fitted");
+        let cal2 = p2.get("ba+*").expect("fitted");
+        prop_assert_eq!(cal1.samples, cal2.samples);
+        for &(f, by) in &[(1.0e4, 10_000u64), (5.0e5, 500_000), (8.0e6, 8_000_000)] {
+            let (t1, t2) = (predict(&p1, f, by), predict(&p2, f, by));
+            prop_assert!(
+                (t1 - t2).abs() <= 1e-6 * t1.abs().max(t2.abs()).max(1e-30),
+                "permutation changed prediction: {t1} vs {t2} at ({f}, {by})"
+            );
+        }
+        let (bf1, bf2) = (cal1.bytes_factor, cal2.bytes_factor);
+        prop_assert!((bf1 - bf2).abs() <= 1e-9 * bf1.max(bf2).max(1.0));
+    }
+
+    #[test]
+    fn fit_is_monotone_and_stable_in_sample_count(
+        a in 1.0e-11f64..1.0e-9,
+        b in 1.0e-12f64..1.0e-10,
+        c in 1.0e-7f64..1.0e-4,
+        points in prop::collection::vec(
+            (1.0e3f64..1.0e7, 1_000u64..10_000_000),
+            12usize..48,
+        ),
+    ) {
+        // Noiseless affine ground truth.
+        let noiseless: Vec<(f64, u64, f64)> =
+            points.iter().map(|&(f, by)| (f, by, 0.0)).collect();
+        let samples = affine_samples(a, b, c, &noiseless);
+
+        let mut last_count = 0u64;
+        for k in 1..=samples.len() {
+            let profile = fit_profile(&samples[..k], PEAK);
+            let cal = profile.get("ba+*").expect("fitted");
+            // Recorded sample count is strictly monotone in the stream.
+            prop_assert!(cal.samples > last_count);
+            last_count = cal.samples;
+            // Past the affine minimum, every prefix must recover the
+            // generating model: prediction error never grows as more
+            // samples of the same distribution arrive.
+            if (k as u64) >= MIN_AFFINE_SAMPLES {
+                for &(f, by) in &[(2.0e4, 20_000u64), (6.0e6, 6_000_000)] {
+                    let truth = a * f + b * by as f64 + c;
+                    let got = predict(&profile, f, by);
+                    prop_assert!(
+                        (got - truth).abs() <= 1e-4 * truth,
+                        "prefix {k}: predicted {got}, truth {truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_round_trips_byte_identically(
+        entries in prop::collection::vec(
+            (0u8..6, 0u8..3, 1.0e-12f64..1.0e-3, 1.0e-12f64..1.0e-3,
+             1.0f64..10.0, 1u64..100_000),
+            0usize..6,
+        ),
+        peak in 1.0e9f64..1.0e10,
+    ) {
+        const OPS: [&str; 6] = ["ba+*", "tsmm", "r'", "map+", "fused(s*,map+)", "rmvar"];
+        let mut profile = CalibrationProfile {
+            fitted_peak_flops: peak,
+            opcodes: Default::default(),
+        };
+        for &(op, kind, x, y, bf, n) in &entries {
+            let time = match kind % 3 {
+                0 => TimeModel::Affine { flops_s: x, bytes_s: y, base_s: x * y },
+                1 => TimeModel::Scale { ratio: x * 1e6 },
+                _ => TimeModel::Fixed { seconds: y },
+            };
+            profile.opcodes.insert(
+                OPS[op as usize % OPS.len()].to_string(),
+                OpcodeCalibration { time, bytes_factor: bf, samples: n },
+            );
+        }
+        let json = profile.to_json();
+        let back = CalibrationProfile::from_json(&json)
+            .unwrap_or_else(|e| panic!("decode failed: {e}\n{json}"));
+        prop_assert_eq!(&back, &profile);
+        prop_assert_eq!(back.to_json(), json, "re-encoding must be byte-identical");
+    }
+}

@@ -1,230 +1,8 @@
-//! Operation-specific floating-point-operation counts.
+//! Operation-specific FLOP counts — re-exported from `reml_runtime`.
 //!
-//! Sparse-aware where the kernels are: matrix multiplies count `2·nnz·n`
-//! for the left operand's non-zeros, elementwise zero-preserving ops count
-//! non-zeros, densifying ops count cells. Unknown characteristics fall
-//! back to a large default so that unknown-size plans never look cheap.
+//! The implementation moved into the runtime crate so that VM lowering can
+//! annotate instructions with predicted FLOPs (for trace-driven cost-model
+//! calibration) without a dependency cycle. This shim preserves the historic
+//! `reml_cost::flops` path.
 
-use reml_matrix::{AggOp, MatrixCharacteristics};
-use reml_runtime::instructions::OpCode;
-
-/// FLOPs charged when an operand's size is unknown — large enough that
-/// unknown plans are never preferred, small enough not to overflow.
-pub const UNKNOWN_FLOPS: f64 = 1e13;
-
-fn cells(mc: &MatrixCharacteristics) -> Option<f64> {
-    mc.cells().map(|c| c as f64)
-}
-
-fn nnz_or_cells(mc: &MatrixCharacteristics) -> Option<f64> {
-    mc.nnz.map(|n| n as f64).or_else(|| cells(mc))
-}
-
-/// FLOP count of one operator application given operand and output
-/// characteristics.
-pub fn instruction_flops(
-    opcode: &OpCode,
-    operands: &[MatrixCharacteristics],
-    output: &MatrixCharacteristics,
-) -> f64 {
-    let unknown = UNKNOWN_FLOPS;
-    match opcode {
-        // Pure data movement: no FLOPs (IO is charged separately).
-        OpCode::PersistentRead { .. }
-        | OpCode::PersistentWrite { .. }
-        | OpCode::Assign
-        | OpCode::Print
-        | OpCode::Concat
-        | OpCode::RmVar
-        | OpCode::NRow
-        | OpCode::NCol
-        | OpCode::CastScalar
-        | OpCode::CastMatrix => 0.0,
-        // Scalar arithmetic: one op.
-        OpCode::BinarySS(_) | OpCode::UnaryS(_) => 1.0,
-        OpCode::MatMult => {
-            // 2 * nnz(A) * ncol(B).
-            let (Some(a), Some(b)) = (operands.first(), operands.get(1)) else {
-                return unknown;
-            };
-            match (nnz_or_cells(a), b.cols) {
-                (Some(nnz_a), Some(n)) => 2.0 * nnz_a * n as f64,
-                _ => unknown,
-            }
-        }
-        OpCode::MatMultTransLeft => {
-            let (Some(a), Some(b)) = (operands.first(), operands.get(1)) else {
-                return unknown;
-            };
-            match (nnz_or_cells(a), b.cols) {
-                (Some(nnz_a), Some(n)) => 2.0 * nnz_a * n as f64,
-                _ => unknown,
-            }
-        }
-        OpCode::Tsmm => {
-            // Symmetric product: nnz(X) * ncol(X) (half of 2·nnz·n).
-            let Some(x) = operands.first() else {
-                return unknown;
-            };
-            match (nnz_or_cells(x), x.cols) {
-                (Some(nnz), Some(n)) => nnz * n as f64,
-                _ => unknown,
-            }
-        }
-        OpCode::MmChain => {
-            // Two passes over X: 4 * nnz(X).
-            let Some(x) = operands.first() else {
-                return unknown;
-            };
-            nnz_or_cells(x).map(|n| 4.0 * n).unwrap_or(unknown)
-        }
-        OpCode::Solve => {
-            // LU factorization (2/3)n^3 + substitution 2 n^2 m.
-            let Some(a) = operands.first() else {
-                return unknown;
-            };
-            match (a.rows, output.cols) {
-                (Some(n), Some(m)) => {
-                    let n = n as f64;
-                    (2.0 / 3.0) * n * n * n + 2.0 * n * n * m as f64
-                }
-                _ => unknown,
-            }
-        }
-        OpCode::Transpose
-        | OpCode::Diag
-        | OpCode::RightIndex
-        | OpCode::LeftIndex
-        | OpCode::Append
-        | OpCode::AppendR => {
-            // Movement-dominated: one op per output cell (or nnz).
-            nnz_or_cells(output).unwrap_or(unknown)
-        }
-        OpCode::BinaryMM(op) => {
-            let touched = if op.is_zero_preserving() {
-                nnz_or_cells(output)
-            } else {
-                cells(output)
-            };
-            touched.unwrap_or(unknown)
-        }
-        OpCode::BinaryMS(_) | OpCode::BinarySM(_) | OpCode::UnaryM(_) => nnz_or_cells(output)
-            .or_else(|| operands.first().and_then(nnz_or_cells))
-            .unwrap_or(unknown),
-        OpCode::Agg(a) => {
-            let Some(input) = operands.first() else {
-                return unknown;
-            };
-            match a {
-                AggOp::Trace => input.rows.map(|r| r as f64).unwrap_or(unknown),
-                _ => nnz_or_cells(input).unwrap_or(unknown),
-            }
-        }
-        OpCode::TableSeq => operands
-            .first()
-            .and_then(|m| m.rows)
-            .map(|r| r as f64)
-            .unwrap_or(unknown),
-        OpCode::DataGenConst | OpCode::DataGenSeq | OpCode::DataGenRand => {
-            nnz_or_cells(output).unwrap_or(unknown)
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn dense(r: u64, c: u64) -> MatrixCharacteristics {
-        MatrixCharacteristics::dense(r, c)
-    }
-
-    #[test]
-    fn matmult_flops_dense() {
-        // (1000 x 100) %*% (100 x 1): 2 * 1e5 * 1.
-        let f = instruction_flops(
-            &OpCode::MatMult,
-            &[dense(1000, 100), dense(100, 1)],
-            &dense(1000, 1),
-        );
-        assert_eq!(f, 200_000.0);
-    }
-
-    #[test]
-    fn matmult_flops_sparse_aware() {
-        let sparse = MatrixCharacteristics::known(1000, 100, 500);
-        let f = instruction_flops(
-            &OpCode::MatMult,
-            &[sparse, dense(100, 10)],
-            &dense(1000, 10),
-        );
-        assert_eq!(f, 2.0 * 500.0 * 10.0);
-    }
-
-    #[test]
-    fn tsmm_half_of_full_product() {
-        let x = dense(1000, 100);
-        let full = instruction_flops(&OpCode::MatMult, &[x.transpose(), x], &dense(100, 100));
-        let tsmm = instruction_flops(&OpCode::Tsmm, &[x], &dense(100, 100));
-        assert_eq!(tsmm * 2.0, full);
-    }
-
-    #[test]
-    fn solve_cubic() {
-        let f = instruction_flops(
-            &OpCode::Solve,
-            &[dense(100, 100), dense(100, 1)],
-            &dense(100, 1),
-        );
-        assert!((f - ((2.0 / 3.0) * 1e6 + 2.0 * 1e4)).abs() < 1.0);
-    }
-
-    #[test]
-    fn unknown_sizes_are_expensive() {
-        let f = instruction_flops(
-            &OpCode::MatMult,
-            &[MatrixCharacteristics::unknown(), dense(10, 10)],
-            &MatrixCharacteristics::unknown(),
-        );
-        assert_eq!(f, UNKNOWN_FLOPS);
-    }
-
-    #[test]
-    fn elementwise_zero_preserving_counts_nnz() {
-        let sp = MatrixCharacteristics::known(1000, 1000, 100);
-        let f = instruction_flops(
-            &OpCode::BinaryMM(reml_matrix::BinaryOp::Mul),
-            &[sp, sp],
-            &sp,
-        );
-        assert_eq!(f, 100.0);
-    }
-
-    #[test]
-    fn data_movement_is_free_flopwise() {
-        assert_eq!(
-            instruction_flops(
-                &OpCode::PersistentRead { path: "x".into() },
-                &[],
-                &dense(1000, 1000)
-            ),
-            0.0
-        );
-        assert_eq!(instruction_flops(&OpCode::Assign, &[], &dense(1, 1)), 0.0);
-    }
-
-    #[test]
-    fn scalar_ops_cost_one() {
-        assert_eq!(
-            instruction_flops(
-                &OpCode::BinarySS(reml_matrix::BinaryOp::Add),
-                &[
-                    MatrixCharacteristics::scalar(),
-                    MatrixCharacteristics::scalar()
-                ],
-                &MatrixCharacteristics::scalar()
-            ),
-            1.0
-        );
-    }
-}
+pub use reml_runtime::flops::{instruction_flops, UNKNOWN_FLOPS};

@@ -18,11 +18,21 @@
 //!
 //! No sample runs, no history: alternative plans are costed analytically,
 //! which is what enables the optimizer's online what-if enumeration.
+//!
+//! The [`calibrate`] module adds an optional *measured* correction layer:
+//! a versioned [`CalibrationProfile`] of per-opcode coefficients fitted
+//! from execution traces (by the `reml-calibrate` crate), consulted by
+//! [`CostModel`] when attached and degrading gracefully to the analytic
+//! estimates for opcodes never observed.
 
+pub mod calibrate;
 pub mod flops;
 pub mod model;
 pub mod state;
 
+pub use calibrate::{
+    CalibratedCostModel, CalibrationProfile, OpcodeCalibration, TimeModel, PROFILE_VERSION,
+};
 pub use flops::instruction_flops;
 pub use model::{CostBreakdown, CostModel, DEFAULT_UNKNOWN_ITERATIONS};
 pub use state::{VarState, VarStates};

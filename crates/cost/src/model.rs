@@ -1,11 +1,14 @@
 //! The plan-scanning cost model.
 
+use std::sync::Arc;
+
 use reml_cluster::ClusterConfig;
 use reml_matrix::MatrixCharacteristics;
 use reml_runtime::instructions::{CpInstruction, Instruction, MrJobInstruction, OpCode};
 use reml_runtime::program::{Predicate, RtBlock, RuntimeProgram};
 use reml_runtime::value::Operand;
 
+use crate::calibrate::CalibrationProfile;
 use crate::flops::instruction_flops;
 use crate::state::{VarState, VarStates};
 
@@ -70,6 +73,11 @@ pub struct CostModel {
     /// (§6): under heavy load, distributed plans lose parallelism and the
     /// optimizer correctly falls back toward single-node plans.
     pub slot_availability: f64,
+    /// Optional trace-fitted calibration (see [`crate::calibrate`]):
+    /// per-opcode measured corrections applied to CP compute estimates.
+    /// `None` keeps the pure analytic model. Shared via `Arc` so the
+    /// optimizer's parallel grid workers clone cheaply.
+    pub calibration: Option<Arc<CalibrationProfile>>,
 }
 
 impl CostModel {
@@ -78,6 +86,7 @@ impl CostModel {
         CostModel {
             cluster,
             slot_availability: 1.0,
+            calibration: None,
         }
     }
 
@@ -87,7 +96,16 @@ impl CostModel {
         CostModel {
             cluster,
             slot_availability: availability.clamp(0.01, 1.0),
+            calibration: None,
         }
+    }
+
+    /// Builder: attach a trace-fitted calibration profile. CP compute
+    /// estimates for fitted opcodes use the measured model; everything
+    /// else (unseen opcodes, MR phase decomposition) stays analytic.
+    pub fn with_calibration(mut self, profile: Arc<CalibrationProfile>) -> Self {
+        self.calibration = Some(profile);
+        self
     }
 
     /// Cost a whole program. `cp_heap_mb` is the control-program heap
@@ -297,9 +315,27 @@ impl CostModel {
                 }
             }
         }
-        // Compute.
+        // Compute: analytic `flops / peak`, replaced by the fitted
+        // per-opcode model when a calibration profile carries this opcode
+        // (and degrading back to analytic for unknown sizes — see
+        // `crate::calibrate`).
         let flops = instruction_flops(&cp.opcode, &cp.operand_mcs, &cp.output_mc);
-        c.compute_s += flops / self.cluster.peak_flops;
+        let analytic_s = flops / self.cluster.peak_flops;
+        c.compute_s += match self
+            .calibration
+            .as_deref()
+            .and_then(|p| p.get(&cp.opcode.mnemonic()))
+        {
+            Some(cal) => {
+                let pf = reml_runtime::flops::predicted_flops(
+                    &cp.opcode,
+                    &cp.operand_mcs,
+                    &cp.output_mc,
+                );
+                cal.predict_seconds(pf, predicted_cp_bytes(cp), analytic_s)
+            }
+            None => analytic_s,
+        };
         // Output lands in memory, dirty (except pure renames of clean
         // variables, which we still treat as dirty only if source dirty).
         if let Some(out) = &cp.output {
@@ -329,7 +365,10 @@ impl CostModel {
         c
     }
 
-    /// Cost one MR job per the paper's phase decomposition.
+    /// Cost one MR job per the paper's phase decomposition. MR jobs are
+    /// deliberately *not* calibrated: their wall-clock behaviour is
+    /// modeled by `reml-sim`, and the measured traces the calibration
+    /// profile is fitted from are single-node CP executions.
     fn cost_mr_job(
         &self,
         job: &MrJobInstruction,
@@ -438,6 +477,20 @@ impl CostModel {
         }
         c
     }
+}
+
+/// Compile-time operand+output byte prediction for a CP instruction —
+/// the same None-propagating fold the executors use for `MemObservation`
+/// rows, so calibrated time predictions see the quantities the fit saw.
+fn predicted_cp_bytes(cp: &CpInstruction) -> Option<u64> {
+    let mut predicted = Some(0u64);
+    for mc in cp.operand_mcs.iter().chain(std::iter::once(&cp.output_mc)) {
+        predicted = match (predicted, mc.estimated_size_bytes()) {
+            (Some(acc), Some(b)) => Some(acc + b),
+            _ => None,
+        };
+    }
+    predicted
 }
 
 #[cfg(test)]

@@ -171,6 +171,18 @@ impl ResourceOptimizer {
         }
     }
 
+    /// Optimizer whose grid walk prices plans with a trace-fitted
+    /// calibration profile attached (see `reml_cost::calibrate`). The
+    /// profile flows through every enumeration stage — including the
+    /// parallel workers, which clone the model (and the shared `Arc`)
+    /// cheaply. Opcodes absent from the profile are priced analytically.
+    pub fn with_calibration(
+        cost_model: CostModel,
+        profile: std::sync::Arc<reml_cost::CalibrationProfile>,
+    ) -> Self {
+        ResourceOptimizer::new(cost_model.with_calibration(profile))
+    }
+
     /// Optimize the resource configuration for a program
     /// (Algorithm 1 / Appendix C when `workers > 1`).
     ///

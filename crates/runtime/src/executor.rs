@@ -177,6 +177,18 @@ pub struct MemObservation {
     /// finite bound was proven. The soundness audit asserts
     /// `actual_bytes <= bound_bytes` whenever a bound exists.
     pub bound_bytes: Option<u64>,
+    /// Measured wall time of the instruction in nanoseconds. Recorded
+    /// whenever memory observation is enabled (independent of the trace
+    /// recorder and its deterministic mode), so calibration always has a
+    /// time signal.
+    pub wall_ns: u64,
+    /// Predicted FLOPs from the analytic flop model, `None` when operand
+    /// sizes were unknown at compile time.
+    pub predicted_flops: Option<f64>,
+    /// For fused VM chains: the constituent opcodes with their shares of
+    /// the prediction, so composite `fused(...)` rows can be backfilled
+    /// onto per-opcode calibration rows. Empty otherwise.
+    pub constituents: Vec<crate::vm::ObservedConstituent>,
 }
 
 impl Executor {
@@ -399,17 +411,18 @@ impl Executor {
         match instr {
             Instruction::Cp(cp) => {
                 self.stats.cp_instructions += 1;
-                let timed = reml_trace::enabled() && !reml_trace::deterministic();
+                let trace_timed = reml_trace::enabled() && !reml_trace::deterministic();
+                let timed = trace_timed || self.observe_memory;
                 let t0 = timed.then(std::time::Instant::now);
                 self.execute_op(&cp.opcode, &cp.operands, cp.output.as_deref())?;
-                if let Some(t0) = t0 {
-                    let us = t0.elapsed().as_micros() as u64;
+                let wall_ns = t0.map(|t0| t0.elapsed().as_nanos() as u64).unwrap_or(0);
+                if trace_timed {
                     reml_trace::metrics()
                         .histogram(&format!("exec.op.{}", cp.opcode.mnemonic()))
-                        .observe(us);
+                        .observe(wall_ns / 1_000);
                 }
                 if self.observe_memory {
-                    self.record_observation(cp);
+                    self.record_observation(cp, wall_ns);
                 }
                 Ok(())
             }
@@ -434,7 +447,7 @@ impl Executor {
     /// characteristics (the same quantities `memest` budgets against);
     /// actual sums the live pool sizes of the distinct variables touched.
     #[cfg(feature = "legacy-interpreter")]
-    fn record_observation(&mut self, cp: &CpInstruction) {
+    fn record_observation(&mut self, cp: &CpInstruction, wall_ns: u64) {
         let mut predicted: Option<u64> = Some(0);
         for mc in cp.operand_mcs.iter().chain(std::iter::once(&cp.output_mc)) {
             predicted = match (predicted, mc.estimated_size_bytes()) {
@@ -480,6 +493,13 @@ impl Executor {
             actual_bytes,
             resident_bytes: self.pool.resident_bytes(),
             bound_bytes: cp.bound_bytes,
+            wall_ns,
+            predicted_flops: crate::flops::predicted_flops(
+                &cp.opcode,
+                &cp.operand_mcs,
+                &cp.output_mc,
+            ),
+            constituents: Vec::new(),
         });
     }
 

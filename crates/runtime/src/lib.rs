@@ -25,6 +25,7 @@
 
 pub mod bufferpool;
 pub mod executor;
+pub mod flops;
 pub mod hdfs;
 pub mod instructions;
 pub mod program;

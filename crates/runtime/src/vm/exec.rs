@@ -334,16 +334,18 @@ impl VmExecutor {
             return result;
         }
         self.stats.cp_instructions += meta.cp_count;
-        let timed = reml_trace::enabled() && !reml_trace::deterministic();
+        let trace_timed = reml_trace::enabled() && !reml_trace::deterministic();
+        let timed = trace_timed || self.observe_memory;
         let t0 = timed.then(std::time::Instant::now);
         self.execute_core(t, instr)?;
-        if let Some(t0) = t0 {
+        let wall_ns = t0.map(|t0| t0.elapsed().as_nanos() as u64).unwrap_or(0);
+        if trace_timed {
             reml_trace::metrics()
                 .histogram(&meta.metric)
-                .observe(t0.elapsed().as_micros() as u64);
+                .observe(wall_ns / 1_000);
         }
         if self.observe_memory {
-            self.record_observation(meta);
+            self.record_observation(meta, wall_ns);
         }
         Ok(())
     }
@@ -353,7 +355,7 @@ impl VmExecutor {
     /// of the touched slots. Fused chains record one row under their
     /// composite mnemonic (e.g. `fused(map*,map+)`) so the audit never
     /// sees an unknown opcode.
-    fn record_observation(&mut self, meta: &InstrMeta) {
+    fn record_observation(&mut self, meta: &InstrMeta, wall_ns: u64) {
         let actual_bytes: u64 = meta
             .touched
             .iter()
@@ -386,6 +388,9 @@ impl VmExecutor {
             actual_bytes,
             resident_bytes: self.pool.resident_bytes(),
             bound_bytes: meta.bound_bytes,
+            wall_ns,
+            predicted_flops: meta.predicted_flops,
+            constituents: meta.constituents.to_vec(),
         });
     }
 

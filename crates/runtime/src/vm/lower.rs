@@ -13,8 +13,8 @@ use crate::program::{Predicate, RtBlock, RuntimeProgram};
 use crate::value::Operand;
 use crate::vm::fuse::{self, Group};
 use crate::vm::program::{
-    Arg, FusedArg, FusedOpKind, FusedSpec, FusedStep, InstrMeta, SymbolTable, Tables, VmBlock,
-    VmInstr, VmLowerStats, VmMrJob, VmOp, VmPredicate, VmProgram,
+    Arg, FusedArg, FusedOpKind, FusedSpec, FusedStep, InstrMeta, ObservedConstituent, SymbolTable,
+    Tables, VmBlock, VmInstr, VmLowerStats, VmMrJob, VmOp, VmPredicate, VmProgram,
 };
 
 /// Lowering options.
@@ -268,6 +268,8 @@ impl Lowerer {
                     predicted_bytes: None,
                     bound_bytes: None,
                     touched: Box::new([]),
+                    predicted_flops: None,
+                    constituents: Box::new([]),
                 });
                 VmInstr {
                     op: VmOp::MrJob { job: job_idx },
@@ -307,6 +309,8 @@ impl Lowerer {
             predicted_bytes: None,
             bound_bytes: None,
             touched: Box::new([]),
+            predicted_flops: None,
+            constituents: Box::new([]),
         });
         VmInstr {
             op: vop,
@@ -369,6 +373,8 @@ impl Lowerer {
             predicted_bytes: predicted_sum(cp),
             bound_bytes: cp.bound_bytes,
             touched: self.touched_symbols(cp, &[]),
+            predicted_flops: cp_flops(cp),
+            constituents: Box::new([]),
         }
     }
 
@@ -438,6 +444,17 @@ impl Lowerer {
 
         let mnemonics: Vec<String> = cps.iter().map(|cp| cp.opcode.mnemonic()).collect();
         let mnemonic = format!("fused({})", mnemonics.join(","));
+        let constituents: Box<[ObservedConstituent]> = cps
+            .iter()
+            .map(|cp| ObservedConstituent {
+                mnemonic: cp.opcode.mnemonic(),
+                predicted_flops: cp_flops(cp),
+                predicted_bytes: predicted_sum(cp),
+            })
+            .collect();
+        let flops = constituents
+            .iter()
+            .try_fold(0.0f64, |acc, c| c.predicted_flops.map(|f| acc + f));
         let predicted = cps
             .iter()
             .try_fold(0u64, |acc, cp| predicted_sum(cp).map(|b| acc + b));
@@ -462,6 +479,8 @@ impl Lowerer {
             predicted_bytes: predicted,
             bound_bytes: bound,
             touched: touched.into_boxed_slice(),
+            predicted_flops: flops,
+            constituents,
         });
         VmInstr {
             op: VmOp::Fused { spec },
@@ -470,6 +489,10 @@ impl Lowerer {
             meta,
         }
     }
+}
+
+fn cp_flops(cp: &CpInstruction) -> Option<f64> {
+    crate::flops::predicted_flops(&cp.opcode, &cp.operand_mcs, &cp.output_mc)
 }
 
 fn predicted_sum(cp: &CpInstruction) -> Option<u64> {

@@ -36,4 +36,4 @@ pub mod program;
 
 pub use exec::VmExecutor;
 pub use lower::{lower_fragment, lower_program, VmFragment, VmLowerOptions};
-pub use program::{VmBlock, VmInstr, VmLowerStats, VmOp, VmProgram};
+pub use program::{ObservedConstituent, VmBlock, VmInstr, VmLowerStats, VmOp, VmProgram};

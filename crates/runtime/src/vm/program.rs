@@ -193,6 +193,30 @@ pub struct InstrMeta {
     /// observation's `actual_bytes` (operand vars + output; fused chains
     /// exclude elided intermediates, which never reach the pool).
     pub touched: Box<[u32]>,
+    /// Predicted FLOPs from the analytic model
+    /// ([`flops::instruction_flops`](crate::flops::instruction_flops)),
+    /// `None` when operand sizes were unknown at compile time. Fused
+    /// chains sum their constituents.
+    pub predicted_flops: Option<f64>,
+    /// Per-step calibration rows for fused chains: each constituent's
+    /// underlying opcode mnemonic with its share of the prediction, so a
+    /// composite `fused(...)` observation can be backfilled onto the
+    /// constituent opcodes. Empty for non-fused instructions.
+    pub constituents: Box<[ObservedConstituent]>,
+}
+
+/// One constituent of a fused chain as seen by memory/time observation:
+/// the underlying opcode mnemonic plus its share of the compile-time
+/// prediction. Lets the calibration harvester attribute a composite
+/// `fused(...)` observation back to per-opcode rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedConstituent {
+    /// Underlying opcode mnemonic (e.g. `map+`, `s*`, `u^`).
+    pub mnemonic: String,
+    /// Predicted FLOPs for this step, `None` if its sizes were unknown.
+    pub predicted_flops: Option<f64>,
+    /// Predicted operand+output bytes for this step.
+    pub predicted_bytes: Option<u64>,
 }
 
 /// Operand of one step inside a fused chain.

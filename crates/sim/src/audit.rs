@@ -84,6 +84,24 @@ pub struct MemoryAuditReport {
     pub per_opcode: Vec<OpcodeAudit>,
 }
 
+/// Raw per-instruction observations from one observed script execution —
+/// the audit's input, also consumed directly by the `reml-calibrate`
+/// crate to fit cost-model calibration profiles (each row now carries
+/// measured wall time and predicted FLOPs alongside the byte columns).
+#[derive(Debug, Clone)]
+pub struct ScriptObservations {
+    /// Script name.
+    pub script: String,
+    /// Dataset rows.
+    pub rows: u64,
+    /// Dataset cols.
+    pub cols: u64,
+    /// CP instructions executed.
+    pub cp_instructions: u64,
+    /// One row per observed instruction, in execution order.
+    pub observations: Vec<MemObservation>,
+}
+
 /// Run `script` on a generated dataset with memory observation enabled
 /// and aggregate the per-opcode estimate error. `param_overrides` patches
 /// script `$` parameters (e.g. a larger `maxiter` for convergence).
@@ -94,6 +112,26 @@ pub fn memory_soundness_audit(
     label: LabelKind,
     param_overrides: &[(&str, f64)],
 ) -> MemoryAuditReport {
+    let collected = collect_observations(script, rows, cols, label, param_overrides);
+    aggregate(
+        script.name,
+        rows,
+        cols,
+        collected.cp_instructions,
+        &collected.observations,
+    )
+}
+
+/// Execute `script` through the bytecode VM (fusion enabled, sizebound
+/// annotations stamped) with observation recording on, returning the raw
+/// per-instruction rows instead of the aggregated audit.
+pub fn collect_observations(
+    script: &ScriptSpec,
+    rows: u64,
+    cols: u64,
+    label: LabelKind,
+    param_overrides: &[(&str, f64)],
+) -> ScriptObservations {
     let data = generate_dataset(rows as usize, cols as usize, 1.0, label, 7);
     let mut cfg = CompileConfig::new(ClusterConfig::paper_cluster(), 4 * 1024, 1024);
     for (name, value) in &script.params {
@@ -124,13 +162,13 @@ pub fn memory_soundness_audit(
         .unwrap_or_else(|e| panic!("{} execute: {e}", script.name));
 
     let observations = exec.take_memory_observations();
-    aggregate(
-        script.name,
+    ScriptObservations {
+        script: script.name.to_string(),
         rows,
         cols,
-        exec.stats.cp_instructions,
-        &observations,
-    )
+        cp_instructions: exec.stats.cp_instructions,
+        observations,
+    }
 }
 
 fn aggregate(

@@ -27,7 +27,10 @@ pub mod spark;
 pub mod throughput;
 
 pub use app::{AdaptationEvent, AppOutcome, SimConfig, SimFacts, Simulator};
-pub use audit::{memory_soundness_audit, MemoryAuditReport, OpcodeAudit};
+pub use audit::{
+    collect_observations, memory_soundness_audit, MemoryAuditReport, OpcodeAudit,
+    ScriptObservations,
+};
 pub use fault::{
     trace_to_json, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTrigger, RetryPolicy,
     TraceEvent, TracedEvent,

@@ -31,6 +31,7 @@
 //! assert!(result.best_cost_s > 0.0);
 //! ```
 
+pub use reml_calibrate as calibrate;
 pub use reml_cluster as cluster;
 pub use reml_compiler as compiler;
 pub use reml_cost as cost;

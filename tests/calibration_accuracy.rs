@@ -1,0 +1,127 @@
+//! Calibration accuracy gates over the five paper scripts.
+//!
+//! * The calibrated cost model's geomean time-estimation error must be no
+//!   worse than the analytic model's on **every** paper script (and
+//!   strictly better pooled — the analytic model prices against the paper
+//!   cluster's nominal peak, so its absolute error on this machine is
+//!   large and a fitted profile must close most of it).
+//! * Calibration must never flip a memory estimate unsound: calibrated
+//!   byte predictions only ever inflate, and the sizebound `bound_bytes`
+//!   columns remain a valid oracle for the measured footprints the fit
+//!   was trained on.
+
+use std::sync::{Arc, OnceLock};
+
+use reml::calibrate::{collect_paper_observations, evaluate, fit_from_observations};
+use reml::cluster::ClusterConfig;
+use reml::cost::CalibrationProfile;
+use reml::sim::ScriptObservations;
+
+struct Fixture {
+    peak: f64,
+    sets: Vec<ScriptObservations>,
+    profile: Arc<CalibrationProfile>,
+}
+
+/// Collect + fit once; both tests evaluate against the same run.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let peak = ClusterConfig::paper_cluster().peak_flops;
+        let sets = collect_paper_observations();
+        let profile = Arc::new(fit_from_observations(&sets, peak));
+        Fixture {
+            peak,
+            sets,
+            profile,
+        }
+    })
+}
+
+#[test]
+fn calibrated_time_error_no_worse_on_every_paper_script() {
+    let fx = fixture();
+    assert_eq!(fx.sets.len(), 5, "expected the five paper scripts");
+    assert!(
+        !fx.profile.opcodes.is_empty(),
+        "fit produced an empty profile"
+    );
+
+    for set in &fx.sets {
+        assert!(
+            !set.observations.is_empty(),
+            "{}: no observations recorded",
+            set.script
+        );
+        let report = evaluate(&set.observations, fx.peak, &fx.profile);
+        assert!(
+            report.calibrated_time_err <= report.analytic_time_err,
+            "{}: calibration made time estimation worse ({:.2}x -> {:.2}x)\n{}",
+            set.script,
+            report.analytic_time_err,
+            report.calibrated_time_err,
+            report.table(),
+        );
+    }
+
+    // Pooled across all scripts the profile was fitted on, calibration
+    // must strictly reduce the geomean error.
+    let pooled: Vec<_> = fx
+        .sets
+        .iter()
+        .flat_map(|s| s.observations.iter().cloned())
+        .collect();
+    let report = evaluate(&pooled, fx.peak, &fx.profile);
+    assert!(
+        report.time_error_reduction() > 1.0,
+        "pooled calibration did not reduce error ({:.2}x -> {:.2}x)",
+        report.analytic_time_err,
+        report.calibrated_time_err,
+    );
+}
+
+#[test]
+fn calibration_never_flips_a_memory_estimate_unsound() {
+    let fx = fixture();
+    for set in &fx.sets {
+        for obs in &set.observations {
+            // sizebound oracle: measured footprint within the proven bound.
+            if let Some(bound) = obs.bound_bytes {
+                assert!(
+                    obs.actual_bytes <= bound,
+                    "{}: {} actual {} B exceeds sizebound {} B",
+                    set.script,
+                    obs.opcode,
+                    obs.actual_bytes,
+                    bound,
+                );
+            }
+            let Some(predicted) = obs.predicted_bytes else {
+                continue;
+            };
+            let calibrated = match fx.profile.get(&obs.opcode) {
+                Some(cal) => cal.calibrated_bytes(predicted),
+                None => predicted,
+            };
+            // Calibration only ever inflates a byte prediction...
+            assert!(
+                calibrated >= predicted,
+                "{}: {} calibrated bytes {} < analytic {}",
+                set.script,
+                obs.opcode,
+                calibrated,
+                predicted,
+            );
+            // ...so wherever the analytic estimate covered the actual
+            // footprint (was sound), the calibrated one still does.
+            if predicted >= obs.actual_bytes {
+                assert!(
+                    calibrated >= obs.actual_bytes,
+                    "{}: {} calibration flipped a sound estimate unsound",
+                    set.script,
+                    obs.opcode,
+                );
+            }
+        }
+    }
+}

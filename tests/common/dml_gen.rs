@@ -14,6 +14,8 @@ struct Gen {
     /// Live matrices as `(name, rows, cols)`.
     mats: Vec<(String, usize, usize)>,
     next_id: usize,
+    /// Multiplier applied to every literal dimension (1 = the base pool).
+    scale: usize,
 }
 
 impl Gen {
@@ -32,8 +34,8 @@ impl Gen {
         match kind % 8 {
             0 => {
                 // Fresh matrix literal.
-                let r = DIMS[a as usize % DIMS.len()];
-                let c = DIMS[b as usize % DIMS.len()];
+                let r = DIMS[a as usize % DIMS.len()] * self.scale;
+                let c = DIMS[b as usize % DIMS.len()] * self.scale;
                 let name = self.fresh();
                 writeln!(
                     self.src,
@@ -134,10 +136,18 @@ impl Gen {
 }
 
 pub fn generate_program(ops: &[(u8, u8, u8)], ctrl: u8) -> String {
+    generate_program_scaled(ops, ctrl, 1)
+}
+
+/// Same program shape, with every matrix-literal dimension multiplied by
+/// `scale` — the same op sequence can be emitted at XS/S sizes for
+/// calibration fitting and at M/L sizes for extrapolation checks.
+pub fn generate_program_scaled(ops: &[(u8, u8, u8)], ctrl: u8, scale: usize) -> String {
     let mut g = Gen {
         src: String::new(),
         mats: Vec::new(),
         next_id: 0,
+        scale: scale.max(1),
     };
     // Seed matrices so every op has operands.
     g.stmt(0, 1, 2, "");
