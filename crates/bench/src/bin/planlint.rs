@@ -1,9 +1,10 @@
 //! Plan-lint gate: statically verify every plan the resource grid can
-//! produce for the five paper scripts across the XS/S/M/L scenarios,
-//! then run the differential memory-soundness audit (executor actual
-//! footprint vs. `memest` prediction) and write
-//! `results/planlint_audit.json`. Exits non-zero on any diagnostic so CI
-//! can gate on it.
+//! produce for the five paper scripts across the XS/S/M/L scenarios —
+//! both the compiled plan (PL001–PL025) and its lowered bytecode
+//! (PL040–PL047, fused and unfused) — then run the differential memory
+//! soundness audit (executor actual footprint vs. `memest` prediction)
+//! and write `results/planlint_audit.json`. Exits non-zero on any
+//! diagnostic so CI can gate on it.
 
 use std::io::Write;
 
@@ -11,7 +12,8 @@ use reml_bench::{results_dir, Workload};
 use reml_compiler::pipeline::compile;
 use reml_compiler::MrHeapAssignment;
 use reml_optimizer::GridStrategy;
-use reml_planlint::lint_compiled;
+use reml_planlint::{lint_compiled, lint_vm};
+use reml_runtime::vm::VmLowerOptions;
 use reml_scripts::data::LabelKind;
 use reml_scripts::{DataShape, Scenario, ScriptSpec};
 use reml_sim::{memory_soundness_audit, MemoryAuditReport};
@@ -23,12 +25,18 @@ struct LintGridRow {
     cp_grid_points: u64,
     plans_linted: u64,
     diagnostics: u64,
+    vm_programs_linted: u64,
+    vm_instructions: u64,
+    vm_diagnostics: u64,
 }
 
 #[derive(Debug, serde::Serialize)]
 struct PlanlintAudit {
     plans_linted: u64,
     diagnostics: u64,
+    vm_programs_linted: u64,
+    vm_instructions: u64,
+    vm_diagnostics: u64,
     lint_grid: Vec<LintGridRow>,
     memory_audit: Vec<MemoryAuditReport>,
 }
@@ -44,10 +52,18 @@ fn scripts() -> Vec<fn() -> ScriptSpec> {
 }
 
 fn main() {
+    // Any lowering anywhere in this process (including recompiled
+    // fragments inside the audit executions below) panics on a bytecode
+    // violation, on top of the explicit per-plan lint in the grid loop.
+    reml_planlint::install_vm_verifier();
+
     let mut rows = Vec::new();
     let mut failures: Vec<String> = Vec::new();
     let mut plans_total = 0u64;
     let mut diags_total = 0u64;
+    let mut vm_programs_total = 0u64;
+    let mut vm_instrs_total = 0u64;
+    let mut vm_diags_total = 0u64;
 
     for make in scripts() {
         for scenario in [Scenario::XS, Scenario::S, Scenario::M, Scenario::L] {
@@ -77,6 +93,9 @@ fn main() {
 
             let mut plans = 0u64;
             let mut diags = 0u64;
+            let mut vm_programs = 0u64;
+            let mut vm_instrs = 0u64;
+            let mut vm_diags = 0u64;
             for &cp in &cp_grid {
                 for &mr in &mr_grid {
                     let mut cfg = wl.base.clone();
@@ -94,16 +113,39 @@ fn main() {
                             report.render()
                         ));
                     }
+                    // Lint the lowered bytecode of the same plan, fused
+                    // and unfused, against the source runtime tree.
+                    for fuse in [false, true] {
+                        let vm = compiled.runtime.lower_vm(VmLowerOptions { fuse });
+                        let vm_report = lint_vm(&compiled.runtime, &vm);
+                        vm_programs += 1;
+                        vm_instrs += vm.stats.instructions as u64;
+                        if !vm_report.is_empty() {
+                            vm_diags += vm_report.len() as u64;
+                            failures.push(format!(
+                                "{} {} (cp={cp} MB, mr={mr} MB, fuse={fuse}) bytecode:\n{}",
+                                wl.script.name,
+                                scenario.name(),
+                                vm_report.render()
+                            ));
+                        }
+                    }
                 }
             }
             plans_total += plans;
             diags_total += diags;
+            vm_programs_total += vm_programs;
+            vm_instrs_total += vm_instrs;
+            vm_diags_total += vm_diags;
             println!(
-                "planlint {:<10} {:<3} {:>3} plans  {:>2} diagnostics",
+                "planlint {:<10} {:<3} {:>3} plans  {:>2} diagnostics  {:>3} vm programs ({:>5} instrs)  {:>2} vm diagnostics",
                 wl.script.name,
                 scenario.name(),
                 plans,
-                diags
+                diags,
+                vm_programs,
+                vm_instrs,
+                vm_diags
             );
             rows.push(LintGridRow {
                 script: wl.script.name.to_string(),
@@ -111,6 +153,9 @@ fn main() {
                 cp_grid_points: cp_grid.len() as u64,
                 plans_linted: plans,
                 diagnostics: diags,
+                vm_programs_linted: vm_programs,
+                vm_instructions: vm_instrs,
+                vm_diagnostics: vm_diags,
             });
         }
     }
@@ -150,6 +195,9 @@ fn main() {
     let out = PlanlintAudit {
         plans_linted: plans_total,
         diagnostics: diags_total,
+        vm_programs_linted: vm_programs_total,
+        vm_instructions: vm_instrs_total,
+        vm_diagnostics: vm_diags_total,
         lint_grid: rows,
         memory_audit: audits,
     };
@@ -166,11 +214,17 @@ fn main() {
     println!("\nwrote {}", path.display());
 
     if !failures.is_empty() {
-        eprintln!("\nplanlint FAILED with {diags_total} diagnostics:");
+        eprintln!(
+            "\nplanlint FAILED with {} diagnostics:",
+            diags_total + vm_diags_total
+        );
         for f in &failures {
             eprintln!("{f}");
         }
         std::process::exit(1);
     }
-    println!("planlint: {plans_total} plans clean");
+    println!(
+        "planlint: {plans_total} plans clean, {vm_programs_total} bytecode programs clean \
+         ({vm_instrs_total} instructions)"
+    );
 }

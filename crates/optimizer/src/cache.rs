@@ -186,6 +186,24 @@ fn debug_verify_plan(
         report.render(),
         fresh_report.render()
     );
+    // The plan the executor would actually run is the *lowered* one —
+    // verify the bytecode too (PL040 family), in both fusion modes, so a
+    // cache hit can never hand out a program whose lowering violates the
+    // VM's invariants.
+    reml_planlint::install_vm_verifier();
+    for fuse in [false, true] {
+        let vm = plan
+            .compiled
+            .runtime
+            .lower_vm(reml_runtime::vm::VmLowerOptions { fuse });
+        let vm_report = reml_planlint::lint_vm(&plan.compiled.runtime, &vm);
+        assert!(
+            vm_report.is_empty(),
+            "bytecode lint failed at (rc={rc} MB, ri={} MB, fuse={fuse}):\n{}",
+            mr_heap.default_mb,
+            vm_report.render()
+        );
+    }
 }
 
 /// Output of the baseline stage for one CP grid point.

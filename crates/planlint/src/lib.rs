@@ -33,10 +33,21 @@
 //! | PL030 | sizebound | point memory estimate never exceeds the sound interval bound |
 //! | PL031 | sizebound | CP placement justified beyond the point estimate |
 //! | PL032 | sizebound | forced-CP operators provably fit the CP budget |
+//! | PL040 | vm      | every slot/constant/string/spec/job/meta index resolves in its pool |
+//! | PL041 | vm      | metadata side table index-aligned and internally consistent |
+//! | PL042 | vm      | definite assignment over the `VmBlock` dataflow |
+//! | PL043 | vm      | no dead stores or leaked buffers among temporaries |
+//! | PL044 | vm      | fused chains well-formed (arity, shape, `Flow` threading) |
+//! | PL045 | vm      | predicate bytecode binds its result symbol |
+//! | PL046 | vm      | bytecode corresponds to the source plan modulo fusion; fusion safety re-proved |
+//! | PL047 | vm      | stamped observation metadata matches fresh recomputation from the source |
 //!
 //! The PL030 family is implemented in the `reml-sizebound` crate (it
 //! needs the interval analysis results) and is *not* part of
-//! [`lint_compiled`]; only the rule ids and severities live here.
+//! [`lint_compiled`]; only the rule ids and severities live here. The
+//! PL040 family (see [`vm_rules`]) verifies lowered bytecode and is run
+//! from [`lint_vm`]/[`lint_vm_program`], or process-wide after every
+//! lowering once [`install_vm_verifier`] has been called.
 //!
 //! The main entry point is [`lint_compiled`], which re-derives the HOP
 //! DAG of every generic block from the recorded entry environment (DAG
@@ -61,10 +72,12 @@ use reml_runtime::program::RtBlock;
 mod hop_rules;
 mod lop_rules;
 mod rt_rules;
+pub mod vm_rules;
 
 pub use hop_rules::lint_hop_dag;
 pub use lop_rules::{lint_cp_budget, lint_mr_job};
 pub use rt_rules::lint_runtime;
+pub use vm_rules::{install_vm_verifier, lint_vm, lint_vm_fragment, lint_vm_program};
 
 /// Diagnostic severity. `Error` marks a plan that is unsound or illegal
 /// to execute; `Warning` marks metadata inconsistencies that do not
@@ -212,6 +225,54 @@ pub const RULES: &[(&str, Severity, &str, &str)] = &[
         "sizebound",
         "forced-CP operators provably fit the CP budget",
     ),
+    (
+        "PL040",
+        Severity::Error,
+        "vm",
+        "every slot/constant/string/spec/job/meta index resolves inside its pool",
+    ),
+    (
+        "PL041",
+        Severity::Error,
+        "vm",
+        "instruction metadata side table index-aligned and internally consistent",
+    ),
+    (
+        "PL042",
+        Severity::Error,
+        "vm",
+        "definite assignment: every temporary read dominated by a write",
+    ),
+    (
+        "PL043",
+        Severity::Warning,
+        "vm",
+        "no dead stores or leaked buffers among temporaries",
+    ),
+    (
+        "PL044",
+        Severity::Error,
+        "vm",
+        "fused chains well-formed: arity, shape, Flow threading",
+    ),
+    (
+        "PL045",
+        Severity::Error,
+        "vm",
+        "predicate bytecode binds its result symbol",
+    ),
+    (
+        "PL046",
+        Severity::Error,
+        "vm",
+        "bytecode corresponds to the source plan modulo fusion; fusion safety re-proved",
+    ),
+    (
+        "PL047",
+        Severity::Error,
+        "vm",
+        "stamped observation metadata matches fresh recomputation from the source",
+    ),
 ];
 
 /// Severity of a rule id (panics on unknown ids — rules are a closed set).
@@ -273,8 +334,20 @@ pub struct LintReport {
 
 impl LintReport {
     /// Build a report from raw diagnostics (sorts and dedups).
+    ///
+    /// Ordering is deterministic and *natural*: rule id first, then path
+    /// and message with digit runs compared numerically, so
+    /// `block 2/instr 10` sorts after `block 2/instr 9` and the rendered
+    /// report (and `results/planlint_audit.json`) is byte-stable across
+    /// runs regardless of the order rules happened to fire in.
     pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> Self {
-        diagnostics.sort();
+        diagnostics.sort_by(|a, b| {
+            a.rule
+                .cmp(b.rule)
+                .then_with(|| natural_cmp(&a.path, &b.path))
+                .then_with(|| natural_cmp(&a.message, &b.message))
+                .then_with(|| a.cmp(b))
+        });
         diagnostics.dedup();
         LintReport { diagnostics }
     }
@@ -304,6 +377,46 @@ impl LintReport {
             .collect::<Vec<_>>()
             .join("\n")
     }
+}
+
+/// Natural string ordering: digit runs compare numerically (ignoring
+/// leading zeros, longer raw run breaks ties), everything else compares
+/// bytewise — so `instr 10` sorts after `instr 9` instead of between
+/// `instr 1` and `instr 2`.
+pub fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].is_ascii_digit() && b[j].is_ascii_digit() {
+            let ra = i + a[i..].iter().take_while(|c| c.is_ascii_digit()).count();
+            let rb = j + b[j..].iter().take_while(|c| c.is_ascii_digit()).count();
+            let (mut na, mut nb) = (i, j);
+            while na < ra && a[na] == b'0' {
+                na += 1;
+            }
+            while nb < rb && b[nb] == b'0' {
+                nb += 1;
+            }
+            let ord = (ra - na)
+                .cmp(&(rb - nb))
+                .then_with(|| a[na..ra].cmp(&b[nb..rb]))
+                .then_with(|| (ra - i).cmp(&(rb - j)));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            i = ra;
+            j = rb;
+        } else {
+            let ord = a[i].cmp(&b[j]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    (a.len() - i).cmp(&(b.len() - j))
 }
 
 /// Find a statement block by id anywhere in the hierarchy.

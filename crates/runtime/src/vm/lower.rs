@@ -49,7 +49,10 @@ pub fn lower_program(program: &RuntimeProgram, options: VmLowerOptions) -> VmPro
         "vm.fusion.ops_eliminated",
         lw.stats.fused_ops_eliminated as u64,
     );
-    VmProgram {
+    // Lowering is the only pass allowed to grow the table; from here on
+    // the executor treats symbol ids as a closed universe.
+    lw.symbols.seal();
+    let lowered = VmProgram {
         symbols: lw.symbols,
         consts: lw.consts,
         strings: lw.strings,
@@ -59,7 +62,9 @@ pub fn lower_program(program: &RuntimeProgram, options: VmLowerOptions) -> VmPro
         blocks,
         fused_enabled: options.fuse,
         stats: lw.stats,
-    }
+    };
+    super::verify::verify_program(&lowered);
+    lowered
 }
 
 /// A recompiled block fragment lowered on the fly: carries its own tables
@@ -105,7 +110,7 @@ pub fn lower_fragment(
     fuse_enabled: bool,
 ) -> VmFragment {
     let mut lw = Lowerer {
-        symbols: base_symbols.clone(),
+        symbols: base_symbols.extend_clone(),
         consts: Vec::new(),
         strings: Vec::new(),
         metas: Vec::new(),
@@ -115,7 +120,8 @@ pub fn lower_fragment(
         stats: VmLowerStats::default(),
     };
     let code = lw.lower_code(plan, fuse_enabled);
-    VmFragment {
+    lw.symbols.seal();
+    let fragment = VmFragment {
         symbols: lw.symbols,
         consts: lw.consts,
         strings: lw.strings,
@@ -123,7 +129,9 @@ pub fn lower_fragment(
         fused: lw.fused,
         mr_jobs: lw.mr_jobs,
         code,
-    }
+    };
+    super::verify::verify_fragment(&fragment, plan);
+    fragment
 }
 
 struct Lowerer {

@@ -33,7 +33,12 @@ pub mod exec;
 mod fuse;
 pub mod lower;
 pub mod program;
+pub mod verify;
 
 pub use exec::VmExecutor;
 pub use lower::{lower_fragment, lower_program, VmFragment, VmLowerOptions};
-pub use program::{ObservedConstituent, VmBlock, VmInstr, VmLowerStats, VmOp, VmProgram};
+pub use program::{
+    Arg, FusedArg, FusedOpKind, FusedSpec, FusedStep, InstrMeta, ObservedConstituent, SymbolTable,
+    VmBlock, VmInstr, VmLowerStats, VmMrJob, VmOp, VmPredicate, VmProgram,
+};
+pub use verify::{install_verifier, verifier_installed};

@@ -22,18 +22,50 @@ use crate::value::ScalarValue;
 pub struct SymbolTable {
     names: Vec<String>,
     index: HashMap<String, u32>,
+    sealed: bool,
 }
 
 impl SymbolTable {
     /// Intern a name, returning its stable symbol id.
+    ///
+    /// Looking up an already-interned name is always allowed; appending a
+    /// *new* name to a sealed table is a lowering bug (the executor must
+    /// never grow a program's table behind its back) and panics in debug
+    /// builds. Fragment lowering extends via [`SymbolTable::extend_clone`].
     pub fn intern(&mut self, name: &str) -> u32 {
         if let Some(&i) = self.index.get(name) {
             return i;
         }
+        debug_assert!(
+            !self.sealed,
+            "intern of new name {name:?} on a sealed symbol table"
+        );
         let i = self.names.len() as u32;
         self.names.push(name.to_string());
         self.index.insert(name.to_string(), i);
         i
+    }
+
+    /// Freeze the table: interning any *new* name afterwards panics in
+    /// debug builds. Called at the end of lowering.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// Whether the table has been sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// An unsealed clone — the one sanctioned way to extend a sealed
+    /// program table (fragment lowering keeps existing ids stable and
+    /// appends fragment-local names to the copy).
+    pub fn extend_clone(&self) -> SymbolTable {
+        SymbolTable {
+            names: self.names.clone(),
+            index: self.index.clone(),
+            sealed: false,
+        }
     }
 
     /// Look up a name without interning.
@@ -403,5 +435,31 @@ mod tests {
         assert_eq!(t.lookup("y"), Some(b));
         assert_eq!(t.lookup("z"), None);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sealed_table_allows_lookups_and_extend_clone() {
+        let mut t = SymbolTable::default();
+        let a = t.intern("X");
+        t.seal();
+        assert!(t.is_sealed());
+        // Re-interning an existing name is a lookup, not an append.
+        assert_eq!(t.intern("X"), a);
+        let mut ext = t.extend_clone();
+        assert!(!ext.is_sealed());
+        let b = ext.intern("fresh");
+        assert_eq!(ext.name(b), "fresh");
+        assert_eq!(ext.intern("X"), a);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sealed symbol table")]
+    fn sealed_table_rejects_new_names_in_debug() {
+        let mut t = SymbolTable::default();
+        t.intern("X");
+        t.seal();
+        t.intern("Y");
     }
 }

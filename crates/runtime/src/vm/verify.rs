@@ -1,0 +1,56 @@
+//! Dependency-inverted bytecode-verification hooks.
+//!
+//! The PL040 bytecode verifier lives in `reml_planlint`, which depends on
+//! this crate — so the lowering pass cannot call it directly. Instead the
+//! lowerer invokes whatever verifiers were installed here; planlint's
+//! `install_vm_verifier()` registers its rule set, and any process that
+//! wants every lowered program (including §4 recompiled fragments, which
+//! are produced *inside* the executor where no external caller can see
+//! them) statically checked installs it once at startup.
+//!
+//! When nothing is installed — the default, and the release hot path —
+//! the cost is a single atomic load per lowering.
+
+use std::sync::OnceLock;
+
+use crate::instructions::Instruction;
+
+use super::lower::VmFragment;
+use super::program::VmProgram;
+
+/// Verifier for a complete lowered program. Expected to panic (or log)
+/// on a violated invariant.
+pub type ProgramVerifier = fn(&VmProgram);
+
+/// Verifier for a recompiled block fragment, given the source plan it was
+/// lowered from (so lowering fidelity can be checked, not just internal
+/// consistency).
+pub type FragmentVerifier = fn(&VmFragment, &[Instruction]);
+
+static VERIFIER: OnceLock<(ProgramVerifier, FragmentVerifier)> = OnceLock::new();
+
+/// Install verifiers to run after every [`lower_program`] and
+/// [`lower_fragment`](super::lower::lower_fragment) in this process.
+/// Idempotent: the first installation wins, later calls are no-ops.
+///
+/// [`lower_program`]: super::lower::lower_program
+pub fn install_verifier(program: ProgramVerifier, fragment: FragmentVerifier) {
+    let _ = VERIFIER.set((program, fragment));
+}
+
+/// Whether a verifier pair has been installed.
+pub fn verifier_installed() -> bool {
+    VERIFIER.get().is_some()
+}
+
+pub(crate) fn verify_program(program: &VmProgram) {
+    if let Some((f, _)) = VERIFIER.get() {
+        f(program);
+    }
+}
+
+pub(crate) fn verify_fragment(fragment: &VmFragment, plan: &[Instruction]) {
+    if let Some((_, f)) = VERIFIER.get() {
+        f(fragment, plan);
+    }
+}

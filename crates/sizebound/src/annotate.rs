@@ -28,8 +28,29 @@ pub fn annotate(
     let mut blocks = std::mem::take(&mut compiled.runtime.blocks);
     annotate_blocks(&mut blocks, &bounds, config);
     compiled.runtime.blocks = blocks;
+    debug_verify_lowering(&compiled.runtime);
     Ok(bounds)
 }
+
+/// Debug builds: lower the freshly annotated program and run the PL040
+/// bytecode verifier over it, which (via PL047) proves the stamped
+/// `bound_bytes` survive lowering intact — the VM's per-instruction
+/// `InstrMeta::bound_bytes` must equal the bounds written here, summed
+/// across fused chains.
+#[cfg(debug_assertions)]
+fn debug_verify_lowering(runtime: &reml_runtime::program::RuntimeProgram) {
+    reml_planlint::install_vm_verifier();
+    let vm = runtime.lower_vm(reml_runtime::vm::VmLowerOptions { fuse: true });
+    let report = reml_planlint::lint_vm(runtime, &vm);
+    assert!(
+        report.is_empty(),
+        "bytecode lint failed after sizebound annotation:\n{}",
+        report.render()
+    );
+}
+
+#[cfg(not(debug_assertions))]
+fn debug_verify_lowering(_runtime: &reml_runtime::program::RuntimeProgram) {}
 
 fn annotate_blocks(blocks: &mut [RtBlock], bounds: &ProgramBounds, config: &CompileConfig) {
     for block in blocks {

@@ -2,7 +2,8 @@
 //! generated DML program, compiled at any resource point, the fused VM,
 //! the unfused VM, and the tree interpreter must be bit-identical on
 //! every observable (printed lines, scalars, live matrices incl. their
-//! dense/sparse representation, and execution statistics).
+//! dense/sparse representation, and execution statistics) — and every
+//! lowered program must pass the PL040 bytecode verifier.
 
 #[path = "common/dml_gen.rs"]
 mod dml_gen;
@@ -86,6 +87,12 @@ fn run_tree(program: &reml::runtime::RuntimeProgram) -> Fingerprint {
 
 fn run_vm(program: &reml::runtime::RuntimeProgram, fuse: bool) -> Fingerprint {
     let lowered = program.lower_vm(VmLowerOptions { fuse });
+    let lint = reml::planlint::lint_vm(program, &lowered);
+    assert!(
+        lint.is_empty(),
+        "bytecode lint failed (fuse={fuse}):\n{}",
+        lint.render()
+    );
     let mut exec = VmExecutor::new(4 << 30, HdfsStore::new());
     exec.run(&lowered, &mut NoRecompile).expect("vm execute");
     let scalars = exec
@@ -116,6 +123,9 @@ proptest! {
         cp_heap in 512u64..54_613,
         mr_heap in 512u64..4_506,
     ) {
+        // Panics inside lower_vm on any bytecode violation, in addition
+        // to the explicit lint in run_vm below.
+        reml::planlint::install_vm_verifier();
         let source = generate_program(&ops, ctrl);
         let cluster = ClusterConfig::paper_cluster();
         let cfg = CompileConfig::new(cluster, cp_heap, mr_heap);
