@@ -1,6 +1,8 @@
 //! Plan-lint gate: statically verify every plan the resource grid can
 //! produce for the five paper scripts across the XS/S/M/L scenarios —
-//! both the compiled plan (PL001–PL025) and its lowered bytecode
+//! the compiled plan (PL001–PL025), its rewrite audit log (PL050–PL057
+//! translation validation of every applied rewrite, fold, CSE merge,
+//! and branch removal), and its lowered bytecode
 //! (PL040–PL047, fused and unfused) — then run the differential memory
 //! soundness audit (executor actual footprint vs. `memest` prediction)
 //! and write `results/planlint_audit.json`. Exits non-zero on any
@@ -25,6 +27,11 @@ struct LintGridRow {
     cp_grid_points: u64,
     plans_linted: u64,
     diagnostics: u64,
+    rewrites_validated: u64,
+    folds_validated: u64,
+    cse_hits_validated: u64,
+    branches_validated: u64,
+    rewrite_diagnostics: u64,
     vm_programs_linted: u64,
     vm_instructions: u64,
     vm_diagnostics: u64,
@@ -34,6 +41,11 @@ struct LintGridRow {
 struct PlanlintAudit {
     plans_linted: u64,
     diagnostics: u64,
+    rewrites_validated: u64,
+    folds_validated: u64,
+    cse_hits_validated: u64,
+    branches_validated: u64,
+    rewrite_diagnostics: u64,
     vm_programs_linted: u64,
     vm_instructions: u64,
     vm_diagnostics: u64,
@@ -64,6 +76,11 @@ fn main() {
     let mut vm_programs_total = 0u64;
     let mut vm_instrs_total = 0u64;
     let mut vm_diags_total = 0u64;
+    let mut rewrites_total = 0u64;
+    let mut folds_total = 0u64;
+    let mut cse_total = 0u64;
+    let mut branches_total = 0u64;
+    let mut rw_diags_total = 0u64;
 
     for make in scripts() {
         for scenario in [Scenario::XS, Scenario::S, Scenario::M, Scenario::L] {
@@ -96,6 +113,11 @@ fn main() {
             let mut vm_programs = 0u64;
             let mut vm_instrs = 0u64;
             let mut vm_diags = 0u64;
+            let mut rewrites = 0u64;
+            let mut folds = 0u64;
+            let mut cse_hits = 0u64;
+            let mut branches = 0u64;
+            let mut rw_diags = 0u64;
             for &cp in &cp_grid {
                 for &mr in &mr_grid {
                     let mut cfg = wl.base.clone();
@@ -104,6 +126,26 @@ fn main() {
                     let compiled = compile(&wl.analyzed, &cfg).expect("grid point compiles");
                     let report = lint_compiled(&wl.analyzed, &compiled, &cfg);
                     plans += 1;
+                    // Every audited claim in this plan went through the
+                    // PL050 validators inside `lint_compiled`.
+                    let audit = &compiled.rewrite_audit;
+                    rewrites += audit.num_rewrites();
+                    folds += audit
+                        .blocks
+                        .values()
+                        .map(|b| b.folds.len() as u64)
+                        .sum::<u64>();
+                    cse_hits += audit
+                        .blocks
+                        .values()
+                        .map(|b| b.cse.len() as u64)
+                        .sum::<u64>();
+                    branches += audit.branches.len() as u64;
+                    rw_diags += report
+                        .diagnostics
+                        .iter()
+                        .filter(|d| ("PL050".."PL058").contains(&d.rule))
+                        .count() as u64;
                     if !report.is_empty() {
                         diags += report.len() as u64;
                         failures.push(format!(
@@ -137,12 +179,22 @@ fn main() {
             vm_programs_total += vm_programs;
             vm_instrs_total += vm_instrs;
             vm_diags_total += vm_diags;
+            rewrites_total += rewrites;
+            folds_total += folds;
+            cse_total += cse_hits;
+            branches_total += branches;
+            rw_diags_total += rw_diags;
             println!(
-                "planlint {:<10} {:<3} {:>3} plans  {:>2} diagnostics  {:>3} vm programs ({:>5} instrs)  {:>2} vm diagnostics",
+                "planlint {:<10} {:<3} {:>3} plans  {:>2} diagnostics  {:>4} rewrites/{:>4} folds/{:>4} cse/{:>3} branches validated ({:>2} rw diags)  {:>3} vm programs ({:>5} instrs)  {:>2} vm diagnostics",
                 wl.script.name,
                 scenario.name(),
                 plans,
                 diags,
+                rewrites,
+                folds,
+                cse_hits,
+                branches,
+                rw_diags,
                 vm_programs,
                 vm_instrs,
                 vm_diags
@@ -153,6 +205,11 @@ fn main() {
                 cp_grid_points: cp_grid.len() as u64,
                 plans_linted: plans,
                 diagnostics: diags,
+                rewrites_validated: rewrites,
+                folds_validated: folds,
+                cse_hits_validated: cse_hits,
+                branches_validated: branches,
+                rewrite_diagnostics: rw_diags,
                 vm_programs_linted: vm_programs,
                 vm_instructions: vm_instrs,
                 vm_diagnostics: vm_diags,
@@ -195,6 +252,11 @@ fn main() {
     let out = PlanlintAudit {
         plans_linted: plans_total,
         diagnostics: diags_total,
+        rewrites_validated: rewrites_total,
+        folds_validated: folds_total,
+        cse_hits_validated: cse_total,
+        branches_validated: branches_total,
+        rewrite_diagnostics: rw_diags_total,
         vm_programs_linted: vm_programs_total,
         vm_instructions: vm_instrs_total,
         vm_diagnostics: vm_diags_total,
@@ -224,7 +286,8 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "planlint: {plans_total} plans clean, {vm_programs_total} bytecode programs clean \
-         ({vm_instrs_total} instructions)"
+        "planlint: {plans_total} plans clean, {rewrites_total} rewrites / {folds_total} folds / \
+         {cse_total} CSE merges / {branches_total} branch removals validated, \
+         {vm_programs_total} bytecode programs clean ({vm_instrs_total} instructions)"
     );
 }

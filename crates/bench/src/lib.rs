@@ -11,6 +11,8 @@
 //! result (who wins, by roughly what factor, where crossovers fall) is
 //! the reproduction target — EXPERIMENTS.md records the comparison.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::path::Path;
 

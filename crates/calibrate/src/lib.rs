@@ -22,6 +22,8 @@
 //! 3. [`report`] — per-opcode predicted-vs-measured error, before and
 //!    after calibration, gated on a measured geomean error reduction.
 
+#![forbid(unsafe_code)]
+
 pub mod fit;
 pub mod harvest;
 pub mod report;

@@ -15,6 +15,8 @@
 //! discrete-event simulator drives; [`spark`] models a stateful Spark
 //! deployment for the Appendix D comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod spark;
 pub mod yarn;

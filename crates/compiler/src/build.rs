@@ -102,6 +102,32 @@ pub fn merge_env_branches(a: &Env, b: &Env) -> Env {
     out
 }
 
+/// What kind of constant fold produced a [`FoldRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoldKind {
+    /// Scalar unary application.
+    Unary(UnaryOp),
+    /// Scalar-scalar binary application.
+    Binary(BinaryOp),
+    /// Compile-time string concatenation.
+    StrConcat,
+    /// `nrow`/`ncol` folded from a known matrix characteristic.
+    Dim,
+}
+
+/// Audit record of one constant fold: the operation, its operand values,
+/// and the claimed result — enough for the translation validator (PL057)
+/// to re-apply the operation independently and compare bitwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldRecord {
+    /// The folded operation.
+    pub kind: FoldKind,
+    /// Operand values at fold time.
+    pub operands: Vec<ScalarValue>,
+    /// The value the compiler substituted.
+    pub result: ScalarValue,
+}
+
 /// The product of compiling one generic block's statements.
 #[derive(Debug)]
 pub struct BuiltDag {
@@ -111,6 +137,8 @@ pub struct BuiltDag {
     pub consts: HashMap<HopId, ScalarValue>,
     /// Constant-folding count.
     pub constants_folded: u64,
+    /// Audit log of every constant fold, in occurrence order.
+    pub fold_log: Vec<FoldRecord>,
 }
 
 /// Builds a [`HopDag`] for a run of straight-line statements.
@@ -122,6 +150,7 @@ pub struct BlockBuilder<'a> {
     /// Known scalar constants per hop.
     consts: HashMap<HopId, ScalarValue>,
     constants_folded: u64,
+    fold_log: Vec<FoldRecord>,
 }
 
 impl<'a> BlockBuilder<'a> {
@@ -133,7 +162,18 @@ impl<'a> BlockBuilder<'a> {
             bindings: HashMap::new(),
             consts: HashMap::new(),
             constants_folded: 0,
+            fold_log: Vec::new(),
         }
+    }
+
+    /// Record one constant fold for the audit log.
+    fn log_fold(&mut self, kind: FoldKind, operands: Vec<ScalarValue>, result: ScalarValue) {
+        self.constants_folded += 1;
+        self.fold_log.push(FoldRecord {
+            kind,
+            operands,
+            result,
+        });
     }
 
     /// Compile statements, updating `env` with assigned variables, and
@@ -209,6 +249,7 @@ impl<'a> BlockBuilder<'a> {
             dag: self.dag,
             consts: self.consts,
             constants_folded: self.constants_folded,
+            fold_log: self.fold_log,
         })
     }
 
@@ -227,6 +268,7 @@ impl<'a> BlockBuilder<'a> {
                 dag: self.dag,
                 consts: self.consts,
                 constants_folded: self.constants_folded,
+                fold_log: self.fold_log,
             },
             root,
             konst,
@@ -386,8 +428,13 @@ impl<'a> BlockBuilder<'a> {
                 .add(HopOp::UnaryM(uop), vec![input], VType::Matrix, mc))
         } else {
             if let Some(v) = self.const_num(input) {
-                self.constants_folded += 1;
-                return Ok(self.literal(ScalarValue::Num(uop.apply(v))));
+                let folded = ScalarValue::Num(uop.apply(v));
+                self.log_fold(
+                    FoldKind::Unary(uop),
+                    vec![ScalarValue::Num(v)],
+                    folded.clone(),
+                );
+                return Ok(self.literal(folded));
             }
             Ok(self.dag.add(
                 HopOp::UnaryS(uop),
@@ -407,9 +454,10 @@ impl<'a> BlockBuilder<'a> {
         }
         // String concatenation.
         if (lt == VType::Str || rt == VType::Str) && op == BinOp::Add {
-            if let (Some(a), Some(b)) = (self.consts.get(&l), self.consts.get(&r)) {
+            if let (Some(a), Some(b)) = (self.consts.get(&l).cloned(), self.consts.get(&r).cloned())
+            {
                 let folded = ScalarValue::Str(format!("{}{}", a.render(), b.render()));
-                self.constants_folded += 1;
+                self.log_fold(FoldKind::StrConcat, vec![a, b], folded.clone());
                 return Ok(self.literal(folded));
             }
             return Ok(self.dag.add(
@@ -444,7 +492,7 @@ impl<'a> BlockBuilder<'a> {
                 // Scalar-scalar: constant fold when both sides known.
                 if let (Some(a), Some(b)) = (self.const_value(l), self.const_value(r)) {
                     if let Some(folded) = fold_scalar(bop, &a, &b) {
-                        self.constants_folded += 1;
+                        self.log_fold(FoldKind::Binary(bop), vec![a, b], folded.clone());
                         return Ok(self.literal(folded));
                     }
                 }
@@ -592,8 +640,13 @@ impl<'a> BlockBuilder<'a> {
                 let mc = self.dag.hop(m).mc;
                 let dim = if name == "nrow" { mc.rows } else { mc.cols };
                 if let Some(v) = dim {
-                    self.constants_folded += 1;
-                    return Ok(self.literal(ScalarValue::Num(v as f64)));
+                    let folded = ScalarValue::Num(v as f64);
+                    self.log_fold(
+                        FoldKind::Dim,
+                        vec![ScalarValue::Num(v as f64)],
+                        folded.clone(),
+                    );
+                    return Ok(self.literal(folded));
                 }
                 let op = if name == "nrow" {
                     HopOp::NRow
@@ -810,8 +863,13 @@ impl<'a> BlockBuilder<'a> {
                     Ok(self.dag.add(HopOp::UnaryM(uop), vec![m], VType::Matrix, mc))
                 } else {
                     if let Some(v) = self.const_num(m) {
-                        self.constants_folded += 1;
-                        return Ok(self.literal(ScalarValue::Num(uop.apply(v))));
+                        let folded = ScalarValue::Num(uop.apply(v));
+                        self.log_fold(
+                            FoldKind::Unary(uop),
+                            vec![ScalarValue::Num(v)],
+                            folded.clone(),
+                        );
+                        return Ok(self.literal(folded));
                     }
                     Ok(self.dag.add(
                         HopOp::UnaryS(uop),
@@ -875,7 +933,7 @@ impl<'a> BlockBuilder<'a> {
             (false, false) => {
                 if let (Some(a), Some(b)) = (self.const_value(l), self.const_value(r)) {
                     if let Some(folded) = fold_scalar(bop, &a, &b) {
-                        self.constants_folded += 1;
+                        self.log_fold(FoldKind::Binary(bop), vec![a, b], folded.clone());
                         return Ok(self.literal(folded));
                     }
                 }

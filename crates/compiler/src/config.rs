@@ -71,6 +71,10 @@ pub struct CompileConfig {
     /// actually been computed, which is exactly the knowledge dynamic
     /// recompilation exploits.
     pub table_cols_hint: Option<u64>,
+    /// Whether HOP-level algebraic rewrites run. Disabling them yields a
+    /// semantically identical (slower) plan — the reference half of the
+    /// rewrite differential oracle used by translation validation.
+    pub enable_rewrites: bool,
 }
 
 impl CompileConfig {
@@ -83,7 +87,15 @@ impl CompileConfig {
             params: BTreeMap::new(),
             inputs: BTreeMap::new(),
             table_cols_hint: None,
+            enable_rewrites: true,
         }
+    }
+
+    /// Same configuration with algebraic rewrites disabled (the
+    /// differential-oracle reference compile).
+    pub fn without_rewrites(mut self) -> Self {
+        self.enable_rewrites = false;
+        self
     }
 
     /// Add a `$` parameter binding.

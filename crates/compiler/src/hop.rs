@@ -153,6 +153,20 @@ pub struct Hop {
     pub mem_mb: f64,
 }
 
+/// One common-subexpression hit during DAG construction: an `add` call
+/// returned an existing node instead of appending. Recorded so the
+/// translation validator (PL054) can re-check that sharing only ever
+/// happens across pure operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CseHit {
+    /// Structural key of the merged operator (its `Debug` rendering).
+    pub key: String,
+    /// Inputs of the merged node.
+    pub inputs: Vec<HopId>,
+    /// The existing node the add was merged into.
+    pub merged_into: HopId,
+}
+
 /// A HOP DAG for one generic block or predicate.
 #[derive(Debug, Clone, Default)]
 pub struct HopDag {
@@ -161,6 +175,8 @@ pub struct HopDag {
     cse: HashMap<(String, Vec<HopId>), HopId>,
     /// CSE hits during construction.
     pub cse_hits: u64,
+    /// Audit log of every CSE merge, in occurrence order.
+    pub cse_log: Vec<CseHit>,
 }
 
 impl HopDag {
@@ -191,6 +207,11 @@ impl HopDag {
         if let Some(key) = op.cse_key() {
             if let Some(&existing) = self.cse.get(&(key.clone(), inputs.clone())) {
                 self.cse_hits += 1;
+                self.cse_log.push(CseHit {
+                    key,
+                    inputs,
+                    merged_into: existing,
+                });
                 return existing;
             }
             let id = HopId(self.hops.len());

@@ -27,6 +27,8 @@
 //! optimizer re-invokes it with different CP/MR heap assignments and costs
 //! the generated plans (online what-if analysis, §2.4).
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod config;
 pub mod hop;

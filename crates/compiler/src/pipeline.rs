@@ -14,13 +14,13 @@ use reml_runtime::program::{Predicate, RtBlock, RuntimeProgram};
 use reml_runtime::value::ScalarValue;
 use reml_runtime::Instruction;
 
-use crate::build::{merge_env_branches, BlockBuilder, Env, VarInfo};
+use crate::build::{merge_env_branches, BlockBuilder, Env, FoldRecord, VarInfo};
 use crate::config::{CompileConfig, CompileError, CompileStats};
-use crate::hop::VType;
+use crate::hop::{CseHit, VType};
 use crate::inline::inline_functions;
 use crate::lower::lower_dag;
 use crate::memest::estimate_dag;
-use crate::rewrites::apply_rewrites;
+use crate::rewrites::{apply_rewrites_logged, RewriteRecord, RewriteStats};
 
 /// A parsed, validated, inlined program with its statement-block
 /// hierarchy — the resource-independent front half of compilation. The
@@ -126,6 +126,49 @@ pub struct BlockSummary {
     pub decision_estimates_mb: Vec<f64>,
 }
 
+/// Everything the rewrite engine claimed about one generic block:
+/// applied rewrites, constant folds, and CSE merges, in occurrence
+/// order. The PL050 translation-validation pass re-proves each claim.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockAudit {
+    /// Algebraic rewrites applied to the block DAG.
+    pub records: Vec<RewriteRecord>,
+    /// Constant folds performed while building the block DAG.
+    pub folds: Vec<FoldRecord>,
+    /// CSE merges during construction and rewriting.
+    pub cse: Vec<CseHit>,
+}
+
+/// One branch removed at compile time because its predicate folded to a
+/// constant. The validator re-proves the guard by independent constant
+/// propagation over the recorded entry environment (PL055).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchRecord {
+    /// Statement-block id of the removed `if`.
+    pub block_id: usize,
+    /// Which branch the compiler inlined (`true` = then).
+    pub taken: bool,
+    /// Variable environment the predicate was folded against.
+    pub env: Env,
+}
+
+/// Whole-program rewrite audit log: the structured self-report every
+/// translation-validation rule checks against.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RewriteAudit {
+    /// Per-generic-block audit, keyed by statement-block id.
+    pub blocks: BTreeMap<usize, BlockAudit>,
+    /// Compile-time branch removals, in walk order.
+    pub branches: Vec<BranchRecord>,
+}
+
+impl RewriteAudit {
+    /// Total rewrite records across all blocks.
+    pub fn num_rewrites(&self) -> u64 {
+        self.blocks.values().map(|b| b.records.len() as u64).sum()
+    }
+}
+
 /// A compiled program plus optimizer-facing metadata.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
@@ -144,6 +187,10 @@ pub struct CompiledProgram {
     /// still budget-sensitive; whole-program cache fingerprints must
     /// include them.
     pub predicate_decision_estimates_mb: Vec<f64>,
+    /// Structured self-report of every rewrite, fold, CSE merge, and
+    /// branch removal the compiler performed (empty for single-block
+    /// recompiles, which do not record).
+    pub rewrite_audit: RewriteAudit,
 }
 
 impl CompiledProgram {
@@ -175,6 +222,7 @@ pub fn compile(
         summaries: Vec::new(),
         entry_envs: BTreeMap::new(),
         predicate_estimates: Vec::new(),
+        audit: RewriteAudit::default(),
         record: true,
     };
     let mut env = Env::new();
@@ -193,6 +241,7 @@ pub fn compile(
         summaries: walker.summaries,
         entry_envs: walker.entry_envs,
         predicate_decision_estimates_mb: walker.predicate_estimates,
+        rewrite_audit: walker.audit,
     })
 }
 
@@ -231,6 +280,7 @@ pub fn compile_scope(
         summaries: Vec::new(),
         entry_envs: BTreeMap::new(),
         predicate_estimates: Vec::new(),
+        audit: RewriteAudit::default(),
         record: true,
     };
     let mut env = entry_env.clone();
@@ -246,6 +296,7 @@ pub fn compile_scope(
         summaries: walker.summaries,
         entry_envs: walker.entry_envs,
         predicate_decision_estimates_mb: walker.predicate_estimates,
+        rewrite_audit: walker.audit,
     })
 }
 
@@ -297,6 +348,7 @@ pub fn compile_block_with_env(
         summaries: Vec::new(),
         entry_envs: BTreeMap::new(),
         predicate_estimates: Vec::new(),
+        audit: RewriteAudit::default(),
         record: false,
     };
     let rt = walker.compile_generic(block_id, statements, env)?;
@@ -326,6 +378,7 @@ pub fn propagate_blocks_env(
         summaries: Vec::new(),
         entry_envs: BTreeMap::new(),
         predicate_estimates: Vec::new(),
+        audit: RewriteAudit::default(),
         record: false,
     };
     walker.propagate_blocks(blocks, env)
@@ -352,6 +405,7 @@ struct Walker<'a> {
     summaries: Vec<BlockSummary>,
     entry_envs: BTreeMap<usize, Env>,
     predicate_estimates: Vec<f64>,
+    audit: RewriteAudit,
     /// Record entry envs (disabled for single-block recompiles).
     record: bool,
 }
@@ -381,10 +435,24 @@ impl<'a> Walker<'a> {
                     match konst.and_then(|v| v.as_bool()) {
                         Some(true) => {
                             self.stats.branches_removed += 1;
+                            if self.record {
+                                self.audit.branches.push(BranchRecord {
+                                    block_id: block.id.0,
+                                    taken: true,
+                                    env: env.clone(),
+                                });
+                            }
                             out.extend(self.walk_blocks(then_blocks, env)?);
                         }
                         Some(false) => {
                             self.stats.branches_removed += 1;
+                            if self.record {
+                                self.audit.branches.push(BranchRecord {
+                                    block_id: block.id.0,
+                                    taken: false,
+                                    env: env.clone(),
+                                });
+                            }
                             out.extend(self.walk_blocks(else_blocks, env)?);
                         }
                         None => {
@@ -522,11 +590,23 @@ impl<'a> Walker<'a> {
         self.stats.dags_built += 1;
         self.stats.cse_eliminated += dag.cse_hits;
         self.stats.constants_folded += built.constants_folded;
-        let rw = {
+        let (rw, records) = if self.config.enable_rewrites {
             let _s = reml_trace::span!("compile.rewrites");
-            apply_rewrites(&mut dag)
+            apply_rewrites_logged(&mut dag)
+        } else {
+            (RewriteStats::default(), Vec::new())
         };
         self.stats.rewrites_applied += rw.total();
+        if self.record {
+            self.audit.blocks.insert(
+                id.0,
+                BlockAudit {
+                    records,
+                    folds: built.fold_log,
+                    cse: dag.cse_log.clone(),
+                },
+            );
+        }
         {
             let _s = reml_trace::span!("compile.memest");
             estimate_dag(&mut dag);
@@ -546,7 +626,7 @@ impl<'a> Walker<'a> {
             "compile.block_done",
             block = id.0,
             mr_jobs = mr_jobs,
-            rewrites = rw.total() as u64,
+            rewrites = rw.total(),
             recompile = lowered.requires_recompile
         );
         self.summaries.push(BlockSummary {

@@ -25,6 +25,8 @@
 //! [`CostModel`] when attached and degrading gracefully to the analytic
 //! estimates for opcodes never observed.
 
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod flops;
 pub mod model;

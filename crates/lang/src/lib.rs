@@ -22,6 +22,8 @@
 //! `write`/`print`, `$`-parameters, `if`/`else`, `while`, `for`, and
 //! user-defined functions.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod blocks;
 pub mod error;

@@ -364,6 +364,191 @@ fn at_line(mut e: LangError, line: usize) -> LangError {
     e
 }
 
+/// A non-fatal finding from [`validate_with_warnings`], with the line of
+/// the offending statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationWarning {
+    /// Source line of the statement.
+    pub line: usize,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// Validate a program and additionally run a backwards live-variable
+/// analysis over it. Use-before-definition remains a hard error (from
+/// [`validate`], with the statement line); every *dead assignment* — a
+/// value that is overwritten before any read, or never read before the
+/// end of its scope — is reported as a warning. Loops are analyzed to a
+/// fixpoint, so values carried into the next iteration are live and do
+/// not warn; assignments whose right-hand side has side effects (UDF
+/// calls, `print`/`write`/`stop`) never warn.
+pub fn validate_with_warnings(program: &Program) -> Result<Vec<ValidationWarning>, LangError> {
+    validate(program)?;
+    let mut warnings = Vec::new();
+    for f in &program.functions {
+        let live_out: BTreeSet<String> = f.returns.iter().cloned().collect();
+        live_statements(program, &f.body, live_out, true, &mut warnings);
+    }
+    live_statements(
+        program,
+        &program.statements,
+        BTreeSet::new(),
+        true,
+        &mut warnings,
+    );
+    warnings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.message.cmp(&b.message)));
+    Ok(warnings)
+}
+
+/// Whether evaluating `expr` could have an observable side effect, which
+/// keeps an otherwise-dead assignment from being reported.
+fn expr_has_effects(program: &Program, expr: &Expr) -> bool {
+    match expr {
+        Expr::Call {
+            name, args, named, ..
+        } => {
+            matches!(name.as_str(), "print" | "write" | "stop")
+                || program.function(name).is_some()
+                || args.iter().any(|a| expr_has_effects(program, a))
+                || named.iter().any(|(_, a)| expr_has_effects(program, a))
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_has_effects(program, lhs) || expr_has_effects(program, rhs)
+        }
+        Expr::Unary { expr, .. } => expr_has_effects(program, expr),
+        Expr::Index { rows, cols, .. } => [rows, cols].into_iter().any(|r| match r {
+            IndexRange::All => false,
+            IndexRange::Single(e) => expr_has_effects(program, e),
+            IndexRange::Range(lo, hi) => [lo, hi]
+                .into_iter()
+                .flatten()
+                .any(|e| expr_has_effects(program, e)),
+        }),
+        Expr::Num(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Ident(_) | Expr::Param(_) => false,
+    }
+}
+
+fn range_reads(range: &IndexRange, live: &mut BTreeSet<String>) {
+    match range {
+        IndexRange::All => {}
+        IndexRange::Single(e) => e.collect_reads(live),
+        IndexRange::Range(lo, hi) => {
+            for e in [lo, hi].into_iter().flatten() {
+                e.collect_reads(live);
+            }
+        }
+    }
+}
+
+/// Backwards transfer over a statement run: takes the live-out set,
+/// returns the live-in set, emitting dead-assignment warnings when
+/// `warn` is set (fixpoint iterations pass `false` so loop bodies are
+/// only reported once, against the converged live set).
+fn live_statements(
+    program: &Program,
+    statements: &[Statement],
+    mut live: BTreeSet<String>,
+    warn: bool,
+    warnings: &mut Vec<ValidationWarning>,
+) -> BTreeSet<String> {
+    for stmt in statements.iter().rev() {
+        match stmt {
+            Statement::Assign {
+                target,
+                index,
+                expr,
+                line,
+            } => {
+                match index {
+                    None => {
+                        if warn && !live.contains(target) && !expr_has_effects(program, expr) {
+                            warnings.push(ValidationWarning {
+                                line: *line,
+                                message: format!(
+                                    "value assigned to '{target}' is never read (dead assignment)"
+                                ),
+                            });
+                        }
+                        live.remove(target);
+                    }
+                    Some((rows, cols)) => {
+                        // Left-indexing is a read-modify-write: the rest
+                        // of the target stays live through it.
+                        live.insert(target.clone());
+                        range_reads(rows, &mut live);
+                        range_reads(cols, &mut live);
+                    }
+                }
+                expr.collect_reads(&mut live);
+            }
+            Statement::MultiAssign { targets, expr, .. } => {
+                // The call may have side effects; never warn here.
+                for t in targets {
+                    live.remove(t);
+                }
+                expr.collect_reads(&mut live);
+            }
+            Statement::ExprStmt { expr, .. } => expr.collect_reads(&mut live),
+            Statement::If {
+                pred,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let t = live_statements(program, then_branch, live.clone(), warn, warnings);
+                let e = live_statements(program, else_branch, live.clone(), warn, warnings);
+                live = &t | &e;
+                pred.collect_reads(&mut live);
+            }
+            Statement::While { pred, body, .. } => {
+                // Fixpoint over the loop head: anything the body may
+                // read on *any* iteration is live at the head.
+                let mut head = live.clone();
+                pred.collect_reads(&mut head);
+                let mut scratch = Vec::new();
+                loop {
+                    let mut next =
+                        live_statements(program, body, head.clone(), false, &mut scratch);
+                    next.extend(live.iter().cloned());
+                    pred.collect_reads(&mut next);
+                    if next == head {
+                        break;
+                    }
+                    head = next;
+                }
+                live_statements(program, body, head.clone(), warn, warnings);
+                live = head;
+            }
+            Statement::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                let mut head = live.clone();
+                let mut scratch = Vec::new();
+                loop {
+                    let mut next =
+                        live_statements(program, body, head.clone(), false, &mut scratch);
+                    next.extend(live.iter().cloned());
+                    if next == head {
+                        break;
+                    }
+                    head = next;
+                }
+                live_statements(program, body, head.clone(), warn, warnings);
+                live = head;
+                // The loop variable is (re)defined by the header.
+                live.remove(var);
+                from.collect_reads(&mut live);
+                to.collect_reads(&mut live);
+            }
+        }
+    }
+    live
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,5 +659,83 @@ mod tests {
         assert_eq!(err.line, 2, "{err:?}");
         let err = check("X = matrix(0, rows=2, cols=2)\nX[k, 1] = 5").unwrap_err();
         assert_eq!(err.line, 2, "{err:?}");
+    }
+
+    fn warnings(src: &str) -> Vec<ValidationWarning> {
+        validate_with_warnings(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dead_assignment_warns_with_line() {
+        let w = warnings("a = 1\nb = 2\nprint(\"b=\" + b)");
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].line, 1);
+        assert!(w[0].message.contains("'a'"), "{}", w[0].message);
+    }
+
+    #[test]
+    fn overwrite_before_read_warns() {
+        let w = warnings("a = 1\na = 2\nprint(\"a=\" + a)");
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].line, 1);
+    }
+
+    #[test]
+    fn loop_carried_values_are_live() {
+        // `s` is written each iteration and read the next — not dead.
+        let w = warnings(
+            "s = 0\ni = 0\nwhile (i < 3) {\n  s = s + i\n  i = i + 1\n}\nprint(\"s=\" + s)",
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn value_dead_after_loop_warns() {
+        // The final `t` of the loop is never read after it.
+        let w = warnings("i = 0\nwhile (i < 3) {\n  t = i * 2\n  i = i + 1\n}\nprint(\"i=\" + i)");
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].line, 3);
+        assert!(w[0].message.contains("'t'"), "{}", w[0].message);
+    }
+
+    #[test]
+    fn branch_local_dead_store_warns() {
+        let w = warnings(
+            "k = 1\nif (k > 0) {\n  d = 5\n} else {\n  print(\"no\")\n}\nprint(\"k=\" + k)",
+        );
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].line, 3);
+    }
+
+    #[test]
+    fn left_indexing_keeps_target_live() {
+        // X[1,1] = ... is a read-modify-write; the earlier full
+        // definition of X is not dead.
+        let w = warnings("X = matrix(0, rows=2, cols=2)\nX[1, 1] = 5\nprint(\"x=\" + sum(X))");
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn effectful_rhs_never_warns() {
+        // A UDF call may print; dropping the result must not warn.
+        let w = warnings(
+            "f = function(x) return (y) { print(\"x=\" + x)\n  y = x + 1 }\nz = f(3)\nprint(\"done\")",
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn use_before_definition_stays_an_error() {
+        let err = validate_with_warnings(&parse("a = b + 1").unwrap()).unwrap_err();
+        assert!(err.message.contains("undefined variable 'b'"), "{err:?}");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn function_returns_are_live() {
+        // The return variable is assigned and never read inside the
+        // body, but it is the function's result — not dead.
+        let w = warnings("f = function(x) return (y) { y = x * 2 }\nprint(\"r=\" + f(2))");
+        assert!(w.is_empty(), "{w:?}");
     }
 }

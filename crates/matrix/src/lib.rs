@@ -18,6 +18,8 @@
 //! SystemML's estimator: 8 bytes per dense cell, ~12 bytes per sparse
 //! non-zero plus 4 bytes of per-row structure (CSR).
 
+#![forbid(unsafe_code)]
+
 pub mod characteristics;
 pub mod dense;
 pub mod error;

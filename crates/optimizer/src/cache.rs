@@ -179,6 +179,12 @@ fn debug_verify_plan(
          breakpoint fingerprint collision",
         mr_heap.default_mb
     );
+    assert!(
+        fresh.compiled.rewrite_audit == plan.compiled.rewrite_audit,
+        "cached plan's rewrite audit diverges from a fresh compile at (rc={rc} MB, \
+         ri={} MB): the PL050 translation-validation evidence is stale",
+        mr_heap.default_mb
+    );
     let fresh_report = reml_planlint::lint_compiled(session.analyzed(), &fresh.compiled, &cfg);
     assert!(
         report == fresh_report,

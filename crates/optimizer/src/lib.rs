@@ -37,6 +37,8 @@
 //! hits saved relative to a cache-bypass run (`OptimizerConfig::
 //! plan_cache = false` forces that bypass for differential testing).
 
+#![forbid(unsafe_code)]
+
 pub mod adapt;
 mod cache;
 pub mod grid;

@@ -1,0 +1,168 @@
+//! Shared diagnostic machinery: severity, structured diagnostics, the
+//! sorted/deduped report container, and the natural string ordering that
+//! keeps every rendered report and audit JSON byte-stable.
+//!
+//! All rule families (HOP, LOP, runtime, sizebound, VM bytecode, and the
+//! PL050 rewrite translation-validation family) emit [`Diagnostic`]s and
+//! aggregate them through [`LintReport`], so a single definition of
+//! ordering and serialization governs every artifact CI diffs.
+
+use std::fmt;
+
+/// Diagnostic severity. `Error` marks a plan that is unsound or illegal
+/// to execute; `Warning` marks metadata inconsistencies that do not
+/// change execution semantics but would mislead costing or debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Metadata inconsistency; execution semantics unaffected.
+    Warning,
+    /// Unsound or illegal plan.
+    Error,
+}
+
+impl serde::Serialize for Severity {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            }
+            .to_string(),
+        )
+    }
+}
+
+/// One structured diagnostic: rule id + plan path + explanation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub struct Diagnostic {
+    /// Stable rule id, e.g. `"PL010"`.
+    pub rule: &'static str,
+    /// Severity (derived from the catalog).
+    pub severity: Severity,
+    /// Where in the plan: e.g. `"block 3/instr 2"` or `"block 1/hop 7"`.
+    pub path: String,
+    /// Human explanation with the concrete values that violate the rule.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// New diagnostic; severity is looked up in the catalog.
+    pub fn new(rule: &'static str, path: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: crate::rule_severity(rule),
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.rule,
+            match self.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.path,
+            self.message
+        )
+    }
+}
+
+/// A complete lint report, sorted for deterministic diffing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct LintReport {
+    /// All diagnostics, sorted by (rule, path, message).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Build a report from raw diagnostics (sorts and dedups).
+    ///
+    /// Ordering is deterministic and *natural*: rule id first, then path
+    /// and message with digit runs compared numerically, so
+    /// `block 2/instr 10` sorts after `block 2/instr 9` and the rendered
+    /// report (and `results/planlint_audit.json`) is byte-stable across
+    /// runs regardless of the order rules happened to fire in.
+    pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            a.rule
+                .cmp(b.rule)
+                .then_with(|| natural_cmp(&a.path, &b.path))
+                .then_with(|| natural_cmp(&a.message, &b.message))
+                .then_with(|| a.cmp(b))
+        });
+        diagnostics.dedup();
+        LintReport { diagnostics }
+    }
+
+    /// Whether the plan is clean.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// The distinct rule ids that fired, in order.
+    pub fn rules(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = self.diagnostics.iter().map(|d| d.rule).collect();
+        out.dedup();
+        out
+    }
+
+    /// Render one line per diagnostic.
+    pub fn render(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Natural string ordering: digit runs compare numerically (ignoring
+/// leading zeros, longer raw run breaks ties), everything else compares
+/// bytewise — so `instr 10` sorts after `instr 9` instead of between
+/// `instr 1` and `instr 2`.
+pub fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].is_ascii_digit() && b[j].is_ascii_digit() {
+            let ra = i + a[i..].iter().take_while(|c| c.is_ascii_digit()).count();
+            let rb = j + b[j..].iter().take_while(|c| c.is_ascii_digit()).count();
+            let (mut na, mut nb) = (i, j);
+            while na < ra && a[na] == b'0' {
+                na += 1;
+            }
+            while nb < rb && b[nb] == b'0' {
+                nb += 1;
+            }
+            let ord = (ra - na)
+                .cmp(&(rb - nb))
+                .then_with(|| a[na..ra].cmp(&b[nb..rb]))
+                .then_with(|| (ra - i).cmp(&(rb - j)));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            i = ra;
+            j = rb;
+        } else {
+            let ord = a[i].cmp(&b[j]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    (a.len() - i).cmp(&(b.len() - j))
+}

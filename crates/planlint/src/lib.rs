@@ -41,13 +41,25 @@
 //! | PL045 | vm      | predicate bytecode binds its result symbol |
 //! | PL046 | vm      | bytecode corresponds to the source plan modulo fusion; fusion safety re-proved |
 //! | PL047 | vm      | stamped observation metadata matches fresh recomputation from the source |
+//! | PL050 | rewrite | rewrite audit log well-formed, reproducible, and complete |
+//! | PL051 | rewrite | rewrite preserves shape and value type of the root |
+//! | PL052 | rewrite | rewrite preserves the sparsity (nnz) claim of the root |
+//! | PL053 | rewrite | before/after regions evaluate identically on seeded probes |
+//! | PL054 | rewrite | CSE merges only pure operators; rand needs literal seeds |
+//! | PL055 | rewrite | removed branch guards re-proven by independent const-prop |
+//! | PL056 | rewrite | rewrite never increases the region's peak memory estimate |
+//! | PL057 | rewrite | rule-specific obligations re-proven per rewrite rule |
 //!
 //! The PL030 family is implemented in the `reml-sizebound` crate (it
 //! needs the interval analysis results) and is *not* part of
 //! [`lint_compiled`]; only the rule ids and severities live here. The
 //! PL040 family (see [`vm_rules`]) verifies lowered bytecode and is run
 //! from [`lint_vm`]/[`lint_vm_program`], or process-wide after every
-//! lowering once [`install_vm_verifier`] has been called.
+//! lowering once [`install_vm_verifier`] has been called. The PL050
+//! family (see [`rw_rules`]) is *translation validation* for the HOP
+//! rewrite engine: every rewrite the compiler claims to have applied is
+//! re-certified from its recorded audit trail without trusting the
+//! engine that produced it.
 //!
 //! The main entry point is [`lint_compiled`], which re-derives the HOP
 //! DAG of every generic block from the recorded entry environment (DAG
@@ -59,48 +71,29 @@
 //! Diagnostics are structured and `serde`-serializable so CI can diff
 //! them across commits.
 
-use std::fmt;
+#![forbid(unsafe_code)]
 
 use reml_compiler::build::Env;
-use reml_compiler::pipeline::{AnalyzedProgram, CompiledProgram};
+use reml_compiler::pipeline::{AnalyzedProgram, BlockAudit, CompiledProgram};
 use reml_compiler::{CompileConfig, CompileError, HopDag};
 use reml_lang::blocks::StatementBlock;
 use reml_lang::StatementBlockKind;
 use reml_runtime::instructions::Instruction;
 use reml_runtime::program::RtBlock;
 
+pub mod diag;
 mod hop_rules;
 mod lop_rules;
 mod rt_rules;
+pub mod rw_rules;
 pub mod vm_rules;
 
+pub use diag::{natural_cmp, Diagnostic, LintReport, Severity};
 pub use hop_rules::lint_hop_dag;
 pub use lop_rules::{lint_cp_budget, lint_mr_job};
 pub use rt_rules::lint_runtime;
+pub use rw_rules::{validate_block_rewrites, validate_program_rewrites};
 pub use vm_rules::{install_vm_verifier, lint_vm, lint_vm_fragment, lint_vm_program};
-
-/// Diagnostic severity. `Error` marks a plan that is unsound or illegal
-/// to execute; `Warning` marks metadata inconsistencies that do not
-/// change execution semantics but would mislead costing or debugging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Severity {
-    /// Metadata inconsistency; execution semantics unaffected.
-    Warning,
-    /// Unsound or illegal plan.
-    Error,
-}
-
-impl serde::Serialize for Severity {
-    fn to_value(&self) -> serde::Value {
-        serde::Value::Str(
-            match self {
-                Severity::Warning => "warning",
-                Severity::Error => "error",
-            }
-            .to_string(),
-        )
-    }
-}
 
 /// The rule catalog: `(id, severity, layer, invariant)`.
 pub const RULES: &[(&str, Severity, &str, &str)] = &[
@@ -273,6 +266,54 @@ pub const RULES: &[(&str, Severity, &str, &str)] = &[
         "vm",
         "stamped observation metadata matches fresh recomputation from the source",
     ),
+    (
+        "PL050",
+        Severity::Error,
+        "rw",
+        "rewrite audit log well-formed, reproducible, and complete",
+    ),
+    (
+        "PL051",
+        Severity::Error,
+        "rw",
+        "rewrite preserves shape and value type of the rewritten root",
+    ),
+    (
+        "PL052",
+        Severity::Warning,
+        "rw",
+        "rewrite preserves the sparsity (nnz) claim of the rewritten root",
+    ),
+    (
+        "PL053",
+        Severity::Error,
+        "rw",
+        "before/after regions evaluate identically on seeded concrete probes",
+    ),
+    (
+        "PL054",
+        Severity::Error,
+        "rw",
+        "CSE merges only pure operators; rand merges require a literal seed",
+    ),
+    (
+        "PL055",
+        Severity::Error,
+        "rw",
+        "removed branch guards re-proven by independent constant propagation",
+    ),
+    (
+        "PL056",
+        Severity::Warning,
+        "rw",
+        "rewrite does not increase the region's peak memory estimate",
+    ),
+    (
+        "PL057",
+        Severity::Error,
+        "rw",
+        "rule-specific obligations re-proven: pattern, purity, folded constants",
+    ),
 ];
 
 /// Severity of a rule id (panics on unknown ids — rules are a closed set).
@@ -282,141 +323,6 @@ pub fn rule_severity(rule: &str) -> Severity {
         .find(|(id, ..)| *id == rule)
         .map(|(_, s, ..)| *s)
         .unwrap_or_else(|| panic!("unknown lint rule {rule}"))
-}
-
-/// One structured diagnostic: rule id + plan path + explanation.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
-pub struct Diagnostic {
-    /// Stable rule id, e.g. `"PL010"`.
-    pub rule: &'static str,
-    /// Severity (derived from the catalog).
-    pub severity: Severity,
-    /// Where in the plan: e.g. `"block 3/instr 2"` or `"block 1/hop 7"`.
-    pub path: String,
-    /// Human explanation with the concrete values that violate the rule.
-    pub message: String,
-}
-
-impl Diagnostic {
-    /// New diagnostic; severity is looked up in the catalog.
-    pub fn new(rule: &'static str, path: impl Into<String>, message: impl Into<String>) -> Self {
-        Diagnostic {
-            rule,
-            severity: rule_severity(rule),
-            path: path.into(),
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} [{}] {}: {}",
-            self.rule,
-            match self.severity {
-                Severity::Error => "error",
-                Severity::Warning => "warning",
-            },
-            self.path,
-            self.message
-        )
-    }
-}
-
-/// A complete lint report, sorted for deterministic diffing.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
-pub struct LintReport {
-    /// All diagnostics, sorted by (rule, path, message).
-    pub diagnostics: Vec<Diagnostic>,
-}
-
-impl LintReport {
-    /// Build a report from raw diagnostics (sorts and dedups).
-    ///
-    /// Ordering is deterministic and *natural*: rule id first, then path
-    /// and message with digit runs compared numerically, so
-    /// `block 2/instr 10` sorts after `block 2/instr 9` and the rendered
-    /// report (and `results/planlint_audit.json`) is byte-stable across
-    /// runs regardless of the order rules happened to fire in.
-    pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> Self {
-        diagnostics.sort_by(|a, b| {
-            a.rule
-                .cmp(b.rule)
-                .then_with(|| natural_cmp(&a.path, &b.path))
-                .then_with(|| natural_cmp(&a.message, &b.message))
-                .then_with(|| a.cmp(b))
-        });
-        diagnostics.dedup();
-        LintReport { diagnostics }
-    }
-
-    /// Whether the plan is clean.
-    pub fn is_empty(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
-
-    /// Number of diagnostics.
-    pub fn len(&self) -> usize {
-        self.diagnostics.len()
-    }
-
-    /// The distinct rule ids that fired, in order.
-    pub fn rules(&self) -> Vec<&'static str> {
-        let mut out: Vec<&'static str> = self.diagnostics.iter().map(|d| d.rule).collect();
-        out.dedup();
-        out
-    }
-
-    /// Render one line per diagnostic.
-    pub fn render(&self) -> String {
-        self.diagnostics
-            .iter()
-            .map(|d| d.to_string())
-            .collect::<Vec<_>>()
-            .join("\n")
-    }
-}
-
-/// Natural string ordering: digit runs compare numerically (ignoring
-/// leading zeros, longer raw run breaks ties), everything else compares
-/// bytewise — so `instr 10` sorts after `instr 9` instead of between
-/// `instr 1` and `instr 2`.
-pub fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
-    use std::cmp::Ordering;
-    let (a, b) = (a.as_bytes(), b.as_bytes());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if a[i].is_ascii_digit() && b[j].is_ascii_digit() {
-            let ra = i + a[i..].iter().take_while(|c| c.is_ascii_digit()).count();
-            let rb = j + b[j..].iter().take_while(|c| c.is_ascii_digit()).count();
-            let (mut na, mut nb) = (i, j);
-            while na < ra && a[na] == b'0' {
-                na += 1;
-            }
-            while nb < rb && b[nb] == b'0' {
-                nb += 1;
-            }
-            let ord = (ra - na)
-                .cmp(&(rb - nb))
-                .then_with(|| a[na..ra].cmp(&b[nb..rb]))
-                .then_with(|| (ra - i).cmp(&(rb - j)));
-            if ord != Ordering::Equal {
-                return ord;
-            }
-            i = ra;
-            j = rb;
-        } else {
-            let ord = a[i].cmp(&b[j]);
-            if ord != Ordering::Equal {
-                return ord;
-            }
-            i += 1;
-            j += 1;
-        }
-    }
-    (a.len() - i).cmp(&(b.len() - j))
 }
 
 /// Find a statement block by id anywhere in the hierarchy.
@@ -455,6 +361,30 @@ pub fn rebuild_block_dag(
     block: &StatementBlock,
     entry_env: &Env,
 ) -> Result<HopDag, CompileError> {
+    Ok(rebuild_block_dag_staged(config, block, entry_env)?.post)
+}
+
+/// A [`rebuild_block_dag`] that keeps the intermediate stages the PL050
+/// rewrite-validation family needs: the estimated pre-rewrite DAG, the
+/// estimated post-rewrite DAG, and the audit log the rebuild produced
+/// (for the stored-vs-rebuilt reproducibility check).
+pub struct StagedRebuild {
+    /// DAG after construction + estimation, before rewrites.
+    pub pre: HopDag,
+    /// DAG after rewrites + estimation (what the compiler lowered).
+    pub post: HopDag,
+    /// Audit rebuilt from scratch: rewrite records, folds, CSE hits.
+    pub audit: BlockAudit,
+}
+
+/// Rebuild a generic block's DAG in stages (see [`StagedRebuild`]).
+/// Respects `config.enable_rewrites`: with rewrites disabled the pre and
+/// post DAGs coincide and the rebuilt record list is empty.
+pub fn rebuild_block_dag_staged(
+    config: &CompileConfig,
+    block: &StatementBlock,
+    entry_env: &Env,
+) -> Result<StagedRebuild, CompileError> {
     let StatementBlockKind::Generic { statements } = &block.kind else {
         return Err(CompileError::Internal(format!(
             "block {} is not generic",
@@ -464,10 +394,26 @@ pub fn rebuild_block_dag(
     let mut env = entry_env.clone();
     let built =
         reml_compiler::build::BlockBuilder::new(config).build_statements(statements, &mut env)?;
-    let mut dag = built.dag;
-    reml_compiler::rewrites::apply_rewrites(&mut dag);
-    reml_compiler::memest::estimate_dag(&mut dag);
-    Ok(dag)
+    let folds = built.fold_log;
+    let mut pre = built.dag;
+    let mut post = pre.clone();
+    reml_compiler::memest::estimate_dag(&mut pre);
+    let records = if config.enable_rewrites {
+        reml_compiler::rewrites::apply_rewrites_logged(&mut post).1
+    } else {
+        Vec::new()
+    };
+    reml_compiler::memest::estimate_dag(&mut post);
+    let cse = post.cse_log.clone();
+    Ok(StagedRebuild {
+        pre,
+        post,
+        audit: BlockAudit {
+            records,
+            folds,
+            cse,
+        },
+    })
 }
 
 /// Lint explicit per-block artifacts: HOP rules on `dag`, the CP budget
@@ -539,8 +485,8 @@ pub fn lint_compiled(
             // PL024 already reports the missing source mapping.
             continue;
         };
-        let dag = match rebuild_block_dag(config, block, entry_env) {
-            Ok(dag) => dag,
+        let staged = match rebuild_block_dag_staged(config, block, entry_env) {
+            Ok(staged) => staged,
             Err(e) => {
                 diags.push(Diagnostic::new(
                     "PL025",
@@ -550,6 +496,23 @@ pub fn lint_compiled(
                 continue;
             }
         };
+        match compiled.rewrite_audit.blocks.get(&bid) {
+            Some(stored) => {
+                diags.extend(rw_rules::check_reproducible(stored, &staged.audit, &path));
+                diags.extend(rw_rules::validate_block_rewrites(
+                    &staged.pre,
+                    &staged.post,
+                    stored,
+                    &path,
+                ));
+            }
+            None => diags.push(Diagnostic::new(
+                "PL050",
+                &path,
+                "no rewrite audit recorded for generic block",
+            )),
+        }
+        let dag = staged.post;
         diags.extend(hop_rules::lint_hop_dag(&dag, &path));
         diags.extend(lop_rules::lint_cp_budget(
             &dag,
@@ -582,6 +545,10 @@ pub fn lint_compiled(
             &format!("block {bid}/pred instr {i}"),
         ));
     }
+
+    diags.extend(rw_rules::validate_program_rewrites(
+        analyzed, compiled, config,
+    ));
 
     LintReport::from_diagnostics(diags)
 }

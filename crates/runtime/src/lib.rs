@@ -23,6 +23,8 @@
 //! the executor calls a [`executor::RecompileHook`] before running such a
 //! block, enabling the §4 runtime adaptation loop.
 
+#![forbid(unsafe_code)]
+
 pub mod bufferpool;
 pub mod executor;
 pub mod flops;

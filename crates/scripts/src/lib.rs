@@ -11,6 +11,8 @@
 //! `table()`-induced unknown intermediate sizes (§4), and the relative
 //! program-size ordering GLM ≫ MLogreg > LinregCG > LinregDS ≈ L2SVM.
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod scenario;
 pub mod sources;

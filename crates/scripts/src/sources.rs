@@ -45,6 +45,7 @@ impl ScriptSpec {
             params: Default::default(),
             inputs: Default::default(),
             table_cols_hint: None,
+            enable_rewrites: true,
         };
         for (name, value) in &self.params {
             cfg.params.insert((*name).to_string(), value.clone());

@@ -19,6 +19,8 @@
 //! * **Spark executor model** — stage-latency/caching-based execution for
 //!   the Appendix D comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod app;
 pub mod audit;
 pub mod fault;

@@ -33,6 +33,8 @@
 //!   budget any feasible plan needs (the forced-CP operators' worst
 //!   case); the optimizer's grid walk prunes CP points below it.
 
+#![forbid(unsafe_code)]
+
 use reml_compiler::pipeline::{AnalyzedProgram, CompiledProgram};
 use reml_compiler::{memest, CompileConfig, HopId, HopOp};
 

@@ -13,6 +13,12 @@
 //!   scalar→matrix cast — no MR implementation exists) whose *finite*
 //!   dual estimate exceeds the CP budget: no execution of this plan can
 //!   fit. Infinite duals are not provable violations and do not fire.
+//!
+//! This module also contributes an interval-analysis angle to the PL051
+//! rewrite rule: the dimensions a rewrite's audit record claims for its
+//! rewritten root must lie inside the sound interval bound the abstract
+//! interpretation computed for that hop, independently of the rewrite
+//! engine's own shape propagation.
 
 use reml_compiler::pipeline::CompiledProgram;
 use reml_compiler::{CompileConfig, HopId, HopOp, VType};
@@ -112,6 +118,46 @@ pub fn lint(
                 }
             }
         });
+    }
+    // PL051 from the interval side: a rewrite may sharpen shape metadata
+    // but never claim a dimension the sound bounds exclude. The rebuilt
+    // DAG in `bounds` is post-rewrite, so the record's root id indexes
+    // the same hop the intervals were computed for.
+    for (bid, audit) in &compiled.rewrite_audit.blocks {
+        let Some(bb) = bounds.blocks.get(bid) else {
+            continue;
+        };
+        for (idx, rec) in audit.records.iter().enumerate() {
+            // Missing snapshots are PL050's problem; out-of-range roots
+            // mean the audit refers to a different DAG — also PL050.
+            let Some((_, after_root)) = rec.after.iter().find(|(id, _)| *id == rec.root) else {
+                continue;
+            };
+            if rec.root.0 >= bb.hops.len() {
+                continue;
+            }
+            let bound = &bb.hops[rec.root.0];
+            let path = format!("block {bid}/rewrite {idx}");
+            for (dim, claimed, itv) in [
+                ("rows", after_root.mc.rows, bound.rows),
+                ("cols", after_root.mc.cols, bound.cols),
+            ] {
+                let Some(v) = claimed else { continue };
+                if v < itv.lo || itv.hi.is_some_and(|hi| v > hi) {
+                    diags.push(Diagnostic::new(
+                        "PL051",
+                        &path,
+                        format!(
+                            "rewritten root {:?} claims {dim}={v}, outside the sound \
+                             interval bound [{}, {}]",
+                            after_root.op,
+                            itv.lo,
+                            itv.hi.map_or_else(|| "inf".to_string(), |h| h.to_string())
+                        ),
+                    ));
+                }
+            }
+        }
     }
     LintReport::from_diagnostics(diags)
 }

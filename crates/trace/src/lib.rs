@@ -37,6 +37,8 @@
 //! assert_eq!(att.rows[0].name, "optimize.grid_walk");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attribution;
 pub mod clock;
 pub mod export;

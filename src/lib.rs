@@ -31,6 +31,8 @@
 //! assert!(result.best_cost_s > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use reml_calibrate as calibrate;
 pub use reml_cluster as cluster;
 pub use reml_compiler as compiler;

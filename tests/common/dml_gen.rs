@@ -31,7 +31,7 @@ impl Gen {
     /// Emit one statement chosen by `(kind, a, b)`; `indent` nests inside
     /// control flow.
     fn stmt(&mut self, kind: u8, a: u8, b: u8, indent: &str) {
-        match kind % 8 {
+        match kind % 10 {
             0 => {
                 // Fresh matrix literal.
                 let r = DIMS[a as usize % DIMS.len()] * self.scale;
@@ -126,10 +126,37 @@ impl Gen {
                 writeln!(self.src, "{indent}{name} = colSums({x})").unwrap();
                 self.mats.push((name, 1, xc));
             }
-            _ => {
+            7 => {
                 // Scalar reduction printed so nothing is dead.
                 let (x, ..) = self.pick(a).clone();
                 writeln!(self.src, "{indent}print(\"s=\" + sum({x}))").unwrap();
+            }
+            8 => {
+                // Rewrite bait: a gram-vector chain t(X) %*% (X %*% v)
+                // (mmchain fusion) plus a dot product sum(v * v)
+                // (dot-product fission) against a fresh conforming
+                // column vector.
+                let (x, _, xc) = self.pick(a).clone();
+                let v = self.fresh();
+                writeln!(self.src, "{indent}{v} = seq(1, {xc})").unwrap();
+                let g = self.fresh();
+                writeln!(self.src, "{indent}{g} = t({x}) %*% ({x} %*% {v})").unwrap();
+                writeln!(self.src, "{indent}print(\"d=\" + sum({v} * {v}))").unwrap();
+                self.mats.push((v, xc, 1));
+                self.mats.push((g, xc, 1));
+            }
+            _ => {
+                // Rewrite bait: double transpose and multiply-by-one —
+                // eliminated as copies when the operand is a leaf, kept
+                // (and still validated) otherwise.
+                let (x, xr, xc) = self.pick(a).clone();
+                let name = self.fresh();
+                match b % 3 {
+                    0 => writeln!(self.src, "{indent}{name} = t(t({x}))").unwrap(),
+                    1 => writeln!(self.src, "{indent}{name} = {x} * 1").unwrap(),
+                    _ => writeln!(self.src, "{indent}{name} = 1 * {x} + {x} / 1").unwrap(),
+                }
+                self.mats.push((name, xr, xc));
             }
         }
     }

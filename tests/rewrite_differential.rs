@@ -1,0 +1,228 @@
+//! Differential oracle for the rewrite engine: every program compiled
+//! with rewrites enabled must execute bit-identically to the same
+//! program compiled with rewrites disabled
+//! ([`CompileConfig::without_rewrites`]).
+//!
+//! Each fixture is a self-contained DML program built to trigger one of
+//! the four algebraic rewrites (dot-product fission, mmchain fusion,
+//! double-transpose elimination, multiply-by-one elimination). Both
+//! compilations run through the bytecode VM and every observable is
+//! compared bitwise: printed output, final scalars (by f64 bit
+//! pattern), and live pool matrices (dims, nnz, dense view bitwise) —
+//! compiler temporaries (`_mVar*`) excluded, since the two plans
+//! legitimately materialize different intermediates. On top of the
+//! execution oracle, every logged rewrite must lint clean under the
+//! PL050 translation-validation family, and the rewrites-disabled
+//! compile must log *no* rewrites.
+
+use std::collections::BTreeMap;
+
+use reml::prelude::*;
+use reml::runtime::executor::NoRecompile;
+use reml::runtime::instructions::TEMP_PREFIX;
+use reml::runtime::vm::lower::VmLowerOptions;
+use reml::runtime::{HdfsStore, ScalarValue, VmExecutor};
+
+const CP_BUDGET_BYTES: u64 = 4 << 30;
+
+fn base_config() -> CompileConfig {
+    CompileConfig::new(ClusterConfig::paper_cluster(), 4 * 1024, 1024)
+}
+
+fn compile(source: &str, cfg: &CompileConfig) -> reml::compiler::pipeline::CompiledProgram {
+    reml::compiler::pipeline::compile_source(source, cfg)
+        .unwrap_or_else(|e| panic!("compile failed: {e}\nsource:\n{source}"))
+}
+
+/// Everything observable about one execution, bit-exact.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    printed: Vec<String>,
+    scalars: BTreeMap<String, u64>,
+    /// name -> (rows, cols, nnz, dense bits)
+    matrices: BTreeMap<String, (usize, usize, u64, Vec<u64>)>,
+}
+
+fn run_vm(compiled: &reml::compiler::pipeline::CompiledProgram) -> Observed {
+    let program = compiled.runtime.lower_vm(VmLowerOptions { fuse: true });
+    let mut exec = VmExecutor::new(CP_BUDGET_BYTES, HdfsStore::new());
+    exec.run(&program, &mut NoRecompile)
+        .unwrap_or_else(|e| panic!("vm execute: {e}"));
+    let scalars = exec
+        .scalars()
+        .iter()
+        .filter(|(name, _)| !name.starts_with(TEMP_PREFIX))
+        .filter_map(|(name, v)| match v {
+            ScalarValue::Num(n) => Some((name.clone(), n.to_bits())),
+            _ => None,
+        })
+        .collect();
+    let mut matrices = BTreeMap::new();
+    for name in exec.pool.variables() {
+        if name.starts_with(TEMP_PREFIX) {
+            continue;
+        }
+        let m = exec.pool.peek(&name).expect("listed variable present");
+        let d = m.to_dense();
+        matrices.insert(
+            name,
+            (
+                m.rows(),
+                m.cols(),
+                m.nnz(),
+                d.data().iter().map(|v| v.to_bits()).collect(),
+            ),
+        );
+    }
+    Observed {
+        printed: exec.stats.printed.clone(),
+        scalars,
+        matrices,
+    }
+}
+
+/// Compile `source` twice — rewrites on and off — assert the rewritten
+/// compile logged at least `min_rewrites` applications of `expect_rule`,
+/// that both plans lint clean (the rewritten one exercising the PL050
+/// family against its audit log), and that the VM executions are
+/// bit-identical.
+fn differential(name: &str, source: &str, expect_rule: &str, min_rewrites: u64) {
+    let analyzed = reml::compiler::pipeline::analyze_program(source)
+        .unwrap_or_else(|e| panic!("{name} analyze: {e}"));
+
+    let cfg_on = base_config();
+    let on = compile(source, &cfg_on);
+    assert!(
+        on.rewrite_audit.num_rewrites() >= min_rewrites,
+        "{name}: expected >= {min_rewrites} logged rewrites, got {}",
+        on.rewrite_audit.num_rewrites()
+    );
+    let rules: Vec<String> = on
+        .rewrite_audit
+        .blocks
+        .values()
+        .flat_map(|b| b.records.iter().map(|r| format!("{:?}", r.rule)))
+        .collect();
+    assert!(
+        rules.iter().any(|r| r == expect_rule),
+        "{name}: expected rule {expect_rule} to fire, logged rules: {rules:?}"
+    );
+    let report = reml::planlint::lint_compiled(&analyzed, &on, &cfg_on);
+    assert!(
+        report.is_empty(),
+        "{name}: rewritten plan must lint clean:\n{}",
+        report.render()
+    );
+
+    let cfg_off = base_config().without_rewrites();
+    let off = compile(source, &cfg_off);
+    assert_eq!(
+        off.rewrite_audit.num_rewrites(),
+        0,
+        "{name}: rewrites-disabled compile must log no rewrites"
+    );
+    assert_eq!(
+        off.stats.rewrites_applied, 0,
+        "{name}: rewrites-disabled compile must apply no rewrites"
+    );
+    let report_off = reml::planlint::lint_compiled(&analyzed, &off, &cfg_off);
+    assert!(
+        report_off.is_empty(),
+        "{name}: rewrites-disabled plan must lint clean:\n{}",
+        report_off.render()
+    );
+
+    let obs_on = run_vm(&on);
+    let obs_off = run_vm(&off);
+    assert_eq!(
+        obs_on.printed, obs_off.printed,
+        "{name}: printed output differs"
+    );
+    assert_eq!(obs_on.scalars, obs_off.scalars, "{name}: scalars differ");
+    assert_eq!(obs_on.matrices, obs_off.matrices, "{name}: matrices differ");
+}
+
+#[test]
+fn dot_product_rewrite_is_bit_identical() {
+    // sum(v * w) over column vectors rewrites to t(v) %*% w followed by
+    // a cast; both sides accumulate the same MAC sequence.
+    differential(
+        "dot_product",
+        "v = seq(1, 9)\n\
+         w = seq(2, 10)\n\
+         s = sum(v * w)\n\
+         q = sum(v * v)\n\
+         print(\"s=\" + s)\n\
+         print(\"q=\" + q)\n",
+        "DotProduct",
+        2,
+    );
+}
+
+#[test]
+fn mmchain_rewrite_is_bit_identical() {
+    // t(X) %*% (X %*% v) fuses into the dedicated mmchain operator.
+    differential(
+        "mmchain",
+        "X = seq(1, 6) %*% t(seq(1, 4))\n\
+         v = seq(3, 6)\n\
+         g = t(X) %*% (X %*% v)\n\
+         print(\"g=\" + sum(g))\n",
+        "MmChain",
+        1,
+    );
+}
+
+#[test]
+fn double_transpose_rewrite_is_bit_identical() {
+    // t(t(A)) over a leaf collapses to a copy of A.
+    differential(
+        "double_transpose",
+        "A = matrix(2.5, rows=3, cols=4)\n\
+         B = t(t(A))\n\
+         C = B + A\n\
+         print(\"c=\" + sum(C))\n",
+        "DoubleTranspose",
+        1,
+    );
+}
+
+#[test]
+fn identity_elim_rewrite_is_bit_identical() {
+    // A * 1 (and 1 * A, A / 1) over a leaf collapses to a copy of A.
+    differential(
+        "identity_elim",
+        "A = matrix(1.5, rows=4, cols=3)\n\
+         B = A * 1\n\
+         C = 1 * A\n\
+         D = A / 1\n\
+         E = B + C + D\n\
+         print(\"e=\" + sum(E))\n",
+        "IdentityElim",
+        3,
+    );
+}
+
+#[test]
+fn combined_rewrites_are_bit_identical() {
+    // All four rewrites in one program, inside and outside control flow.
+    differential(
+        "combined",
+        "X = seq(1, 8) %*% t(seq(1, 5))\n\
+         v = seq(2, 6)\n\
+         w = seq(1, 5)\n\
+         A = matrix(0.5, rows=5, cols=5)\n\
+         acc = 0\n\
+         i = 0\n\
+         while (i < 3) {\n\
+           g = t(X) %*% (X %*% v)\n\
+           acc = acc + sum(g) + sum(v * w)\n\
+           i = i + 1\n\
+         }\n\
+         B = t(t(A)) + A * 1\n\
+         print(\"acc=\" + acc)\n\
+         print(\"b=\" + sum(B))\n",
+        "MmChain",
+        3,
+    );
+}

@@ -1,0 +1,118 @@
+//! Property test for the rewrite engine: on any valid generated DML
+//! program (the shared generator now emits rewrite-bait patterns —
+//! gram-vector chains, dot products, double transposes, multiply-by-one
+//! — alongside ordinary statements), compiling with rewrites enabled
+//! and with rewrites disabled must execute bit-identically through the
+//! VM, and every rewrite the engine logged must pass the PL050
+//! translation-validation family with zero diagnostics.
+
+#[path = "common/dml_gen.rs"]
+mod dml_gen;
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use reml::prelude::*;
+use reml::runtime::executor::NoRecompile;
+use reml::runtime::instructions::TEMP_PREFIX;
+use reml::runtime::vm::VmLowerOptions;
+use reml::runtime::{HdfsStore, VmExecutor};
+
+use dml_gen::generate_program;
+
+/// Bit-stable fingerprint of everything a run observes.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    printed: Vec<String>,
+    scalars: BTreeMap<String, String>,
+    matrices: BTreeMap<String, (usize, usize, u64, Vec<u64>)>,
+}
+
+fn scalar_key(v: &reml::runtime::ScalarValue) -> String {
+    use reml::runtime::ScalarValue;
+    match v {
+        ScalarValue::Num(n) => format!("n:{:016x}", n.to_bits()),
+        ScalarValue::Bool(b) => format!("b:{b}"),
+        ScalarValue::Str(s) => format!("s:{s}"),
+    }
+}
+
+fn run_vm(program: &reml::runtime::RuntimeProgram) -> Fingerprint {
+    let lowered = program.lower_vm(VmLowerOptions { fuse: true });
+    let mut exec = VmExecutor::new(4 << 30, HdfsStore::new());
+    exec.run(&lowered, &mut NoRecompile).expect("vm execute");
+    let scalars = exec
+        .scalars()
+        .into_iter()
+        .filter(|(n, _)| !n.starts_with(TEMP_PREFIX))
+        .map(|(n, v)| (n, scalar_key(&v)))
+        .collect();
+    let matrices = exec
+        .pool
+        .variables()
+        .into_iter()
+        .filter(|n| !n.starts_with(TEMP_PREFIX))
+        .map(|n| {
+            let m = exec.pool.peek(&n).unwrap();
+            let bits = (
+                m.rows(),
+                m.cols(),
+                m.nnz(),
+                m.to_dense().data().iter().map(|v| v.to_bits()).collect(),
+            );
+            (n, bits)
+        })
+        .collect();
+    Fingerprint {
+        printed: exec.stats.printed.clone(),
+        scalars,
+        matrices,
+    }
+}
+
+// Runs the vendored-runner default of 64 cases (`PROPTEST_CASES` overrides).
+proptest! {
+    #[test]
+    fn rewritten_programs_are_bit_identical_and_lint_clean(
+        ops in prop::collection::vec((0u8..255, 0u8..255, 0u8..255), 1usize..10),
+        ctrl in 0u8..255,
+        cp_heap in 512u64..54_613,
+        mr_heap in 512u64..4_506,
+    ) {
+        let source = generate_program(&ops, ctrl);
+        let cluster = ClusterConfig::paper_cluster();
+        let analyzed = analyze_program(&source)
+            .unwrap_or_else(|e| panic!("generated program must analyze: {e}\n{source}"));
+
+        let cfg_on = CompileConfig::new(cluster.clone(), cp_heap, mr_heap);
+        let on = compile(&analyzed, &cfg_on)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{source}"));
+        // Every logged rewrite, fold, CSE merge, and removed branch must
+        // survive the full PL050 translation-validation pass.
+        let report = reml::planlint::lint_compiled(&analyzed, &on, &cfg_on);
+        prop_assert!(
+            report.is_empty(),
+            "rewritten plan lint failed (cp={} mr={}):\n{}\n--- source ---\n{}",
+            cp_heap, mr_heap, report.render(), source
+        );
+
+        let cfg_off = CompileConfig::new(cluster, cp_heap, mr_heap).without_rewrites();
+        let off = compile(&analyzed, &cfg_off)
+            .unwrap_or_else(|e| panic!("rewrites-off compile must succeed: {e}\n{source}"));
+        prop_assert_eq!(off.rewrite_audit.num_rewrites(), 0);
+        let report_off = reml::planlint::lint_compiled(&analyzed, &off, &cfg_off);
+        prop_assert!(
+            report_off.is_empty(),
+            "rewrites-off plan lint failed (cp={} mr={}):\n{}\n--- source ---\n{}",
+            cp_heap, mr_heap, report_off.render(), source
+        );
+
+        let fp_on = run_vm(&on.runtime);
+        let fp_off = run_vm(&off.runtime);
+        prop_assert_eq!(
+            &fp_on, &fp_off,
+            "rewritten execution diverges from rewrites-off (cp={} mr={})\n--- source ---\n{}",
+            cp_heap, mr_heap, source
+        );
+    }
+}
