@@ -70,6 +70,12 @@ fn main() {
                     ("Opt".to_string(), t_opt.throughput_apps_per_min),
                     ("B-LL".to_string(), t_bll.throughput_apps_per_min),
                     ("speedup".to_string(), final_ratio),
+                    ("Opt_p50[s]".to_string(), t_opt.latency_p50_s),
+                    ("Opt_p95[s]".to_string(), t_opt.latency_p95_s),
+                    ("Opt_p99[s]".to_string(), t_opt.latency_p99_s),
+                    ("Opt_qwait[s]".to_string(), t_opt.queue_wait_mean_s),
+                    ("BLL_p99[s]".to_string(), t_bll.latency_p99_s),
+                    ("BLL_qwait[s]".to_string(), t_bll.queue_wait_mean_s),
                 ],
             );
         }

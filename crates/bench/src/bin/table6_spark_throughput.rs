@@ -50,6 +50,12 @@ fn main() {
                     "ratio".to_string(),
                     sysml.throughput_apps_per_min / spark_t.throughput_apps_per_min,
                 ),
+                ("SysML_p50[s]".to_string(), sysml.latency_p50_s),
+                ("SysML_p95[s]".to_string(), sysml.latency_p95_s),
+                ("SysML_p99[s]".to_string(), sysml.latency_p99_s),
+                ("SysML_qwait[s]".to_string(), sysml.queue_wait_mean_s),
+                ("Spark_p99[s]".to_string(), spark_t.latency_p99_s),
+                ("Spark_qwait[s]".to_string(), spark_t.queue_wait_mean_s),
             ],
         );
     }

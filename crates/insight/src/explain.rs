@@ -1,0 +1,457 @@
+//! Optimizer decision explanation: "why this configuration, and what
+//! would more resources buy?"
+//!
+//! Renders the [`reml_optimizer::DecisionLedger`] — the per-grid-point
+//! provenance both optimizer front ends record — as a human-readable
+//! explanation: the chosen plan, the top-k runner-ups with their cost
+//! deltas, the grid triage counts, and a marginal-resource analysis.
+//! The ledger answers "what would a bigger CP heap buy" directly (the
+//! grid already costed those points); [`explain_with_what_if`] goes
+//! further and *re-optimizes* under counterfactual clusters (+2 worker
+//! nodes, +1 GB CP-heap headroom) to identify the **binding resource**:
+//! the axis along which growth would actually move the optimum.
+
+use reml_compiler::pipeline::AnalyzedProgram;
+use reml_compiler::{CompileConfig, CompileError};
+use reml_optimizer::{OptimizationResult, PointVerdict, ResourceOptimizer};
+use serde::Value;
+
+/// One counterfactual (or runner-up) configuration and its cost
+/// relative to the chosen plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marginal {
+    /// What this entry describes, e.g. `"+2 nodes"` or `"cp 8.0 GB"`.
+    pub scenario: String,
+    /// Best estimated cost under the scenario, seconds.
+    pub cost_s: f64,
+    /// `cost_s - chosen cost` — negative means the scenario improves on
+    /// the chosen plan.
+    pub delta_s: f64,
+}
+
+impl Marginal {
+    /// Fractional improvement over the chosen cost (positive = faster).
+    pub fn improvement(&self, chosen_cost_s: f64) -> f64 {
+        if chosen_cost_s <= 0.0 {
+            0.0
+        } else {
+            -self.delta_s / chosen_cost_s
+        }
+    }
+}
+
+impl serde::Serialize for Marginal {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("scenario".to_string(), Value::Str(self.scenario.clone())),
+            ("cost_s".to_string(), Value::Num(self.cost_s)),
+            ("delta_s".to_string(), Value::Num(self.delta_s)),
+        ])
+    }
+}
+
+/// The resource axis whose growth would move the optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingResource {
+    /// More CP-container memory would buy a cheaper plan.
+    CpMemory,
+    /// More worker nodes would buy a cheaper plan.
+    ClusterNodes,
+    /// Neither counterfactual improved materially — the plan is bound by
+    /// the workload itself (or by resources outside the model).
+    None,
+}
+
+impl BindingResource {
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BindingResource::CpMemory => "cp_memory",
+            BindingResource::ClusterNodes => "cluster_nodes",
+            BindingResource::None => "none",
+        }
+    }
+}
+
+/// A rendered optimization decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Chosen configuration in the paper's `CP/maxMR` GB format.
+    pub chosen_display: String,
+    /// Chosen CP heap, MB.
+    pub chosen_cp_heap_mb: u64,
+    /// Estimated cost of the chosen plan, seconds.
+    pub chosen_cost_s: f64,
+    /// Top-k costed-but-dominated grid points, cheapest first.
+    pub runner_ups: Vec<Marginal>,
+    /// Grid points that were costed (chosen + dominated).
+    pub grid_costed: usize,
+    /// Grid points discarded by the static soundness bound.
+    pub grid_pruned: usize,
+    /// Grid points the time budget (or a failed compile) skipped.
+    pub grid_skipped: usize,
+    /// The statically-proven minimum CP budget, MB, when one exists.
+    pub sound_min_cp_budget_mb: Option<f64>,
+    /// What the next ~1 GB of CP heap buys, read off the costed grid.
+    pub cp_heap_marginal: Option<Marginal>,
+    /// Counterfactual re-optimizations (empty for ledger-only explain).
+    pub what_if: Vec<Marginal>,
+    /// The identified binding resource.
+    pub binding: BindingResource,
+}
+
+/// Improvements under this relative threshold are treated as noise when
+/// identifying the binding resource (matches the optimizer's cost-tie
+/// threshold).
+const MATERIAL_IMPROVEMENT: f64 = 0.001;
+
+impl Explanation {
+    /// Multi-line human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "chosen {} (cp {} MB), est. cost {:.2}s\n",
+            self.chosen_display, self.chosen_cp_heap_mb, self.chosen_cost_s
+        ));
+        out.push_str(&format!(
+            "grid: {} costed, {} pruned unsound, {} skipped",
+            self.grid_costed, self.grid_pruned, self.grid_skipped
+        ));
+        if let Some(min) = self.sound_min_cp_budget_mb {
+            out.push_str(&format!(" (sound min CP budget {min:.0} MB)"));
+        }
+        out.push('\n');
+        for ru in &self.runner_ups {
+            out.push_str(&format!(
+                "runner-up {}: {:.2}s (+{:.2}s)\n",
+                ru.scenario, ru.cost_s, ru.delta_s
+            ));
+        }
+        if let Some(m) = &self.cp_heap_marginal {
+            out.push_str(&format!(
+                "marginal {}: {:.2}s ({:+.2}s)\n",
+                m.scenario, m.cost_s, m.delta_s
+            ));
+        }
+        for m in &self.what_if {
+            out.push_str(&format!(
+                "what-if {}: {:.2}s ({:+.2}s)\n",
+                m.scenario, m.cost_s, m.delta_s
+            ));
+        }
+        out.push_str(&format!("binding resource: {}\n", self.binding.name()));
+        out
+    }
+}
+
+impl serde::Serialize for Explanation {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "chosen_display".to_string(),
+                Value::Str(self.chosen_display.clone()),
+            ),
+            (
+                "chosen_cp_heap_mb".to_string(),
+                Value::Num(self.chosen_cp_heap_mb as f64),
+            ),
+            ("chosen_cost_s".to_string(), Value::Num(self.chosen_cost_s)),
+            (
+                "grid_costed".to_string(),
+                Value::Num(self.grid_costed as f64),
+            ),
+            (
+                "grid_pruned".to_string(),
+                Value::Num(self.grid_pruned as f64),
+            ),
+            (
+                "grid_skipped".to_string(),
+                Value::Num(self.grid_skipped as f64),
+            ),
+            (
+                "sound_min_cp_budget_mb".to_string(),
+                self.sound_min_cp_budget_mb.to_value(),
+            ),
+            ("runner_ups".to_string(), self.runner_ups.to_value()),
+            (
+                "cp_heap_marginal".to_string(),
+                self.cp_heap_marginal.to_value(),
+            ),
+            ("what_if".to_string(), self.what_if.to_value()),
+            (
+                "binding".to_string(),
+                Value::Str(self.binding.name().to_string()),
+            ),
+        ])
+    }
+}
+
+/// Explain an optimization outcome from its decision ledger alone — no
+/// re-optimization. The binding-resource call is conservative here: CP
+/// memory is flagged only when the chosen point sits at the top of the
+/// costed grid (the enumeration was capped, so more memory *might*
+/// help); refining the call requires [`explain_with_what_if`].
+pub fn explain(result: &OptimizationResult, k: usize) -> Explanation {
+    let ledger = &result.ledger;
+    let chosen_cost_s = result.best_cost_s;
+    let (grid_costed, grid_pruned, grid_skipped) = ledger.counts();
+
+    let runner_ups = ledger
+        .runner_ups(k)
+        .into_iter()
+        .map(|p| {
+            let cost_s = p.verdict.cost_s().expect("runner-ups are costed");
+            Marginal {
+                scenario: format!("cp {:.1} GB", p.cp_heap_mb as f64 / 1024.0),
+                cost_s,
+                delta_s: cost_s - chosen_cost_s,
+            }
+        })
+        .collect();
+
+    // "What would +1 GB CP heap buy": the cheapest already-costed point
+    // at least 1 GB above the chosen one.
+    let cp_heap_marginal = ledger
+        .cheapest_costed_at_least(result.best.cp_heap_mb + 1024)
+        .map(|p| {
+            let cost_s = p.verdict.cost_s().expect("costed point");
+            Marginal {
+                scenario: format!("cp {:.1} GB (+1 GB heap)", p.cp_heap_mb as f64 / 1024.0),
+                cost_s,
+                delta_s: cost_s - chosen_cost_s,
+            }
+        });
+
+    let max_costed_heap = ledger
+        .points
+        .iter()
+        .filter(|p| p.verdict.cost_s().is_some())
+        .map(|p| p.cp_heap_mb)
+        .max();
+    let binding = if Some(result.best.cp_heap_mb) == max_costed_heap
+        && !matches!(
+            ledger.points.last().map(|p| &p.verdict),
+            Some(PointVerdict::Skipped)
+        ) {
+        BindingResource::CpMemory
+    } else {
+        BindingResource::None
+    };
+
+    Explanation {
+        chosen_display: result.best.display_gb(),
+        chosen_cp_heap_mb: result.best.cp_heap_mb,
+        chosen_cost_s,
+        runner_ups,
+        grid_costed,
+        grid_pruned,
+        grid_skipped,
+        sound_min_cp_budget_mb: ledger.sound_min_cp_budget_mb,
+        cp_heap_marginal,
+        what_if: Vec::new(),
+        binding,
+    }
+}
+
+/// Re-optimize under a counterfactual cluster and report the best cost.
+fn what_if_cost(
+    opt: &ResourceOptimizer,
+    analyzed: &AnalyzedProgram,
+    base: &CompileConfig,
+    scenario: &str,
+    mutate: impl FnOnce(&mut reml_cluster::ClusterConfig),
+    chosen_cost_s: f64,
+) -> Result<Marginal, CompileError> {
+    let mut wf = opt.clone();
+    mutate(&mut wf.cost_model.cluster);
+    let mut wf_base = base.clone();
+    wf_base.cluster = wf.cost_model.cluster.clone();
+    let result = wf.optimize(analyzed, &wf_base, None)?;
+    Ok(Marginal {
+        scenario: scenario.to_string(),
+        cost_s: result.best_cost_s,
+        delta_s: result.best_cost_s - chosen_cost_s,
+    })
+}
+
+/// Explain an optimization outcome *and* identify the binding resource
+/// by re-optimizing under counterfactual clusters: `+2 nodes` (more
+/// parallel MR capacity) and `+1 GB CP-heap headroom` (a higher
+/// container-allocation ceiling, extending the CP grid upward). The
+/// axis with the larger material improvement is the binding resource.
+pub fn explain_with_what_if(
+    opt: &ResourceOptimizer,
+    analyzed: &AnalyzedProgram,
+    base: &CompileConfig,
+    result: &OptimizationResult,
+    k: usize,
+) -> Result<Explanation, CompileError> {
+    let mut exp = explain(result, k);
+    let chosen = result.best_cost_s;
+
+    let nodes = what_if_cost(
+        opt,
+        analyzed,
+        base,
+        "+2 nodes",
+        |cc| {
+            cc.num_nodes += 2;
+            cc.default_reducers = cc.num_nodes * 2;
+        },
+        chosen,
+    )?;
+    // Raise the allocation ceiling by one GB of heap's container
+    // footprint so the CP grid can reach ~1 GB higher.
+    let headroom_mb = opt.cost_model.cluster.container_mb_for_heap(1024);
+    let memory = what_if_cost(
+        opt,
+        analyzed,
+        base,
+        "+1 GB CP heap headroom",
+        |cc| {
+            cc.max_alloc_mb += headroom_mb;
+            cc.node_mem_mb = cc.node_mem_mb.max(cc.max_alloc_mb);
+        },
+        chosen,
+    )?;
+
+    let node_gain = nodes.improvement(chosen);
+    let mem_gain = memory.improvement(chosen);
+    exp.what_if = vec![nodes, memory];
+    exp.binding = if node_gain <= MATERIAL_IMPROVEMENT && mem_gain <= MATERIAL_IMPROVEMENT {
+        BindingResource::None
+    } else if mem_gain > node_gain {
+        BindingResource::CpMemory
+    } else {
+        BindingResource::ClusterNodes
+    };
+    Ok(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reml_cluster::ClusterConfig;
+    use reml_compiler::pipeline::analyze_program;
+    use reml_compiler::MrHeapAssignment;
+    use reml_cost::CostModel;
+    use reml_scripts::{DataShape, Scenario};
+
+    fn setup(
+        script: &reml_scripts::ScriptSpec,
+        scenario: Scenario,
+    ) -> (ResourceOptimizer, AnalyzedProgram, CompileConfig) {
+        let cc = ClusterConfig::paper_cluster();
+        let base = script.compile_config(
+            DataShape {
+                scenario,
+                cols: 1000,
+                sparsity: 1.0,
+            },
+            cc.clone(),
+            512,
+            MrHeapAssignment::uniform(512),
+        );
+        let analyzed = analyze_program(&script.source).unwrap();
+        (ResourceOptimizer::new(CostModel::new(cc)), analyzed, base)
+    }
+
+    #[test]
+    fn explanation_reflects_the_ledger() {
+        let (opt, analyzed, base) = setup(&reml_scripts::linreg_ds(), Scenario::S);
+        let result = opt.optimize(&analyzed, &base, None).unwrap();
+        let exp = explain(&result, 3);
+        assert_eq!(exp.chosen_cp_heap_mb, result.best.cp_heap_mb);
+        assert_eq!(exp.chosen_cost_s, result.best_cost_s);
+        let (costed, pruned, skipped) = result.ledger.counts();
+        assert_eq!(
+            (exp.grid_costed, exp.grid_pruned, exp.grid_skipped),
+            (costed, pruned, skipped)
+        );
+        assert!(exp.runner_ups.len() <= 3);
+        // Runner-ups are costlier than (or tied with) the winner, and
+        // sorted cheapest first.
+        for pair in exp.runner_ups.windows(2) {
+            assert!(pair[0].cost_s <= pair[1].cost_s);
+        }
+        for ru in &exp.runner_ups {
+            assert!(ru.delta_s >= -0.001 * result.best_cost_s);
+        }
+        let text = exp.render();
+        assert!(text.contains("chosen"));
+        assert!(text.contains("binding resource"));
+    }
+
+    #[test]
+    fn what_if_identifies_a_binding_resource() {
+        let (opt, analyzed, base) = setup(&reml_scripts::linreg_ds(), Scenario::S);
+        let result = opt.optimize(&analyzed, &base, None).unwrap();
+        let exp = explain_with_what_if(&opt, &analyzed, &base, &result, 3).unwrap();
+        assert_eq!(exp.what_if.len(), 2);
+        // Counterfactual growth can never make the optimum worse by more
+        // than noise: the original configuration stays enumerable.
+        for m in &exp.what_if {
+            assert!(
+                m.delta_s <= 0.001 * result.best_cost_s.max(1.0),
+                "{}: {}",
+                m.scenario,
+                m.delta_s
+            );
+        }
+        // The verdict is one of the three taxonomy values and renders.
+        assert!(["cp_memory", "cluster_nodes", "none"].contains(&exp.binding.name()));
+        assert!(exp.render().contains("what-if +2 nodes"));
+    }
+
+    #[test]
+    fn capping_the_binding_resource_moves_the_optimum() {
+        // Iterative CG on M data picks a CP heap large enough to hold X
+        // (Figure 1). Cap the allocation ceiling below that choice: the
+        // optimum must move (acceptance: changing the binding resource
+        // moves R*).
+        let (opt, analyzed, base) = setup(&reml_scripts::linreg_cg(), Scenario::M);
+        let result = opt.optimize(&analyzed, &base, None).unwrap();
+        let chosen = result.best.cp_heap_mb;
+        assert!(chosen > ClusterConfig::paper_cluster().min_heap_mb());
+
+        let mut capped = opt.clone();
+        capped.cost_model.cluster.max_alloc_mb =
+            capped.cost_model.cluster.container_mb_for_heap(chosen) - 512;
+        let mut capped_base = base.clone();
+        capped_base.cluster = capped.cost_model.cluster.clone();
+        let capped_result = capped.optimize(&analyzed, &capped_base, None).unwrap();
+        assert!(
+            capped_result.best.cp_heap_mb < chosen,
+            "capped optimum {} should fall below {}",
+            capped_result.best.cp_heap_mb,
+            chosen
+        );
+    }
+
+    #[test]
+    fn serializes_with_stable_keys() {
+        let (opt, analyzed, base) = setup(&reml_scripts::linreg_ds(), Scenario::XS);
+        let result = opt.optimize(&analyzed, &base, None).unwrap();
+        let exp = explain(&result, 2);
+        let Value::Object(entries) = serde::Serialize::to_value(&exp) else {
+            panic!("explanation serializes to an object")
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "chosen_display",
+                "chosen_cp_heap_mb",
+                "chosen_cost_s",
+                "grid_costed",
+                "grid_pruned",
+                "grid_skipped",
+                "sound_min_cp_budget_mb",
+                "runner_ups",
+                "cp_heap_marginal",
+                "what_if",
+                "binding"
+            ]
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end: simulate a paper script, attribute its makespan, build
+//! the utilization timeline, and explain the optimizer's decision — the
+//! full insight pipeline over real causal traces.
+
+use reml_cluster::ClusterConfig;
+use reml_compiler::pipeline::{analyze_program, AnalyzedProgram};
+use reml_compiler::{CompileConfig, MrHeapAssignment};
+use reml_cost::CostModel;
+use reml_insight::{attribute_app, build_timeline, explain, timeline_records, LaneState};
+use reml_optimizer::ResourceOptimizer;
+use reml_scripts::{DataShape, Scenario};
+use reml_sim::{FaultPlan, SimConfig, Simulator};
+
+fn setup(
+    script: &reml_scripts::ScriptSpec,
+    scenario: Scenario,
+) -> (AnalyzedProgram, CompileConfig) {
+    let shape = DataShape {
+        scenario,
+        cols: 1000,
+        sparsity: 1.0,
+    };
+    let cfg = script.compile_config(
+        shape,
+        ClusterConfig::paper_cluster(),
+        4096,
+        MrHeapAssignment::uniform(1024),
+    );
+    let analyzed = analyze_program(&script.source).unwrap();
+    (analyzed, cfg)
+}
+
+fn run(script: &reml_scripts::ScriptSpec, scenario: Scenario, faults: FaultPlan) {
+    let cc = ClusterConfig::paper_cluster();
+    let (analyzed, base) = setup(script, scenario);
+    let optimizer = ResourceOptimizer::new(CostModel::new(cc.clone()));
+    let opt = optimizer.optimize(&analyzed, &base, None).unwrap();
+
+    let mut sim_cfg = SimConfig::fixed(opt.best.clone());
+    sim_cfg.faults = faults;
+    let outcome = Simulator::new(cc.clone())
+        .run_app(&analyzed, &base, &sim_cfg)
+        .unwrap();
+
+    // Attribution: invariants hold and ≥97% of the makespan is explained
+    // by a non-residual bucket.
+    let att = attribute_app(&outcome);
+    att.check_invariants().unwrap();
+    assert!(
+        att.coverage >= 0.97,
+        "{}: coverage {} below 0.97",
+        script.name,
+        att.coverage
+    );
+    assert!(att.makespan_s > 0.0);
+    assert!(!outcome.causal.is_empty());
+
+    // Timeline: segments fit the makespan, utilization is a fraction,
+    // and the records render through the Chrome exporter.
+    let tl = build_timeline(&outcome.causal, &cc, outcome.elapsed_s);
+    assert!(!tl.segments.is_empty());
+    for seg in &tl.segments {
+        assert!(seg.start_s >= 0.0 && seg.end_s <= outcome.elapsed_s + 1e-6);
+        assert!((seg.lane as usize) < tl.lane_names.len());
+    }
+    assert!((0.0..=1.0).contains(&tl.cluster_utilization));
+    assert!((0.0..=1.0).contains(&tl.am_utilization));
+    let chrome = reml_trace::to_chrome_trace(&timeline_records(&tl));
+    assert!(chrome.contains("\"ph\": \"B\""));
+    assert!(chrome.contains("\"ph\": \"E\""));
+
+    // Explanation: ledger covers the full grid and renders.
+    opt.ledger
+        .check_complete(
+            &opt.ledger
+                .points
+                .iter()
+                .map(|p| p.cp_heap_mb)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+    let exp = explain(&opt, 3);
+    assert_eq!(exp.chosen_cp_heap_mb, opt.best.cp_heap_mb);
+    assert!(exp.render().contains("binding resource"));
+}
+
+#[test]
+fn linreg_ds_small_benign() {
+    run(&reml_scripts::linreg_ds(), Scenario::S, FaultPlan::none());
+}
+
+#[test]
+fn linreg_cg_small_benign() {
+    run(&reml_scripts::linreg_cg(), Scenario::S, FaultPlan::none());
+}
+
+#[test]
+fn linreg_ds_small_canonical_faults() {
+    run(
+        &reml_scripts::linreg_ds(),
+        Scenario::S,
+        FaultPlan::canonical(),
+    );
+}
+
+#[test]
+fn faulty_run_shows_fault_buckets_and_lanes() {
+    let cc = ClusterConfig::paper_cluster();
+    let script = reml_scripts::linreg_cg();
+    let (analyzed, base) = setup(&script, Scenario::S);
+    // A minimal CP heap forces MR jobs, so the MR-triggered canonical
+    // faults (straggler, preemption, node loss) actually fire.
+    let mut sim_cfg = SimConfig::fixed(reml_optimizer::ResourceConfig::uniform(512, 512));
+    sim_cfg.faults = FaultPlan::canonical();
+    let sim = Simulator::new(cc.clone());
+    let faulty = sim.run_app(&analyzed, &base, &sim_cfg).unwrap();
+    assert!(faulty.mr_jobs > 0, "expected MR jobs at minimal CP heap");
+    sim_cfg.faults = FaultPlan::none();
+    let benign = sim.run_app(&analyzed, &base, &sim_cfg).unwrap();
+
+    assert!(faulty.faults_injected > 0, "canonical plan injects faults");
+    let att_f = attribute_app(&faulty);
+    let att_b = attribute_app(&benign);
+    att_f.check_invariants().unwrap();
+    att_b.check_invariants().unwrap();
+    // The injected faults surface as fault-taxonomy time the benign run
+    // does not have.
+    let fault_buckets = |att: &reml_insight::AppAttribution| {
+        att.bucket_s(reml_sim::Bucket::RetryRework)
+            + att.bucket_s(reml_sim::Bucket::StragglerWait)
+            + att.bucket_s(reml_sim::Bucket::SchedulingDelay)
+    };
+    assert!(fault_buckets(&att_f) > fault_buckets(&att_b));
+
+    // And as non-busy lane segments in the timeline.
+    let tl = build_timeline(&faulty.causal, &cc, faulty.elapsed_s);
+    assert!(tl
+        .segments
+        .iter()
+        .any(|s| s.state != LaneState::Busy && s.label.starts_with("fault.")));
+}
+
+#[test]
+fn attribution_is_deterministic() {
+    let cc = ClusterConfig::paper_cluster();
+    let script = reml_scripts::linreg_ds();
+    let (analyzed, base) = setup(&script, Scenario::S);
+    let mut sim_cfg = SimConfig::fixed(reml_optimizer::ResourceConfig::uniform(4096, 1024));
+    sim_cfg.faults = FaultPlan::canonical();
+    let sim = Simulator::new(cc.clone());
+    let a = sim.run_app(&analyzed, &base, &sim_cfg).unwrap();
+    let b = sim.run_app(&analyzed, &base, &sim_cfg).unwrap();
+    let att_a = attribute_app(&a);
+    let att_b = attribute_app(&b);
+    assert_eq!(att_a, att_b);
+    assert_eq!(
+        serde_json::to_string(&att_a).unwrap(),
+        serde_json::to_string(&att_b).unwrap()
+    );
+}

@@ -45,10 +45,12 @@ pub mod grid;
 pub mod offers;
 pub mod optimizer;
 pub mod parallel;
+pub mod provenance;
 pub mod resources;
 
 pub use adapt::{decide_adaptation, decide_recovery, AdaptationDecision, MigrationCost};
 pub use grid::GridStrategy;
 pub use offers::{choose_offer, OfferDecision};
 pub use optimizer::{OptimizationResult, OptimizerConfig, OptimizerStats, ResourceOptimizer};
+pub use provenance::{DecisionLedger, GridPointRecord, PointVerdict};
 pub use resources::ResourceConfig;

@@ -12,6 +12,7 @@ use reml_cost::CostModel;
 
 use crate::cache::{improves, stage_agg, stage_baseline, stage_enum_block, CostMemo};
 use crate::grid::GridStrategy;
+use crate::provenance::{build_ledger, DecisionLedger};
 use crate::resources::ResourceConfig;
 
 /// Optimizer configuration.
@@ -151,6 +152,8 @@ pub struct OptimizationResult {
     pub best_local: Option<(ResourceConfig, f64)>,
     /// Counters.
     pub stats: OptimizerStats,
+    /// Decision provenance: one record per generated CP grid point.
+    pub ledger: DecisionLedger,
 }
 
 /// The resource optimizer over a cost model.
@@ -250,6 +253,8 @@ impl ResourceOptimizer {
             .generate(min_heap, max_heap, &mem_estimates);
         stats.cp_points = src.len();
         stats.mr_points = srm.len();
+        // The generated (pre-pruning) grid: the ledger's key space.
+        let full_grid = src.clone();
         let t_prune = Instant::now();
         self.prune_unsound_cp_points(analyzed, &mut session, base, &mut src, &mut stats);
         let prune_s = t_prune.elapsed().as_secs_f64();
@@ -263,6 +268,8 @@ impl ResourceOptimizer {
         let deadline = self.config.time_budget.map(|b| start + b);
         let mut best: Option<(ResourceConfig, f64)> = None;
         let mut best_local: Option<(ResourceConfig, f64)> = None;
+        // Aggregated (config, cost) per walked grid point, for the ledger.
+        let mut candidates: Vec<Option<(ResourceConfig, f64)>> = vec![None; src.len()];
 
         'outer: for (rc_idx, &rc) in src.iter().enumerate() {
             let mut exhausted = deadline.map(|d| Instant::now() > d).unwrap_or(false);
@@ -311,6 +318,7 @@ impl ResourceOptimizer {
             // Whole-program compile at the memoized assignment and global
             // costing (takes loops/branches into account).
             let (candidate, cost) = stage_agg(self, &session, &memo, rc, &enums)?;
+            candidates[rc_idx] = Some((candidate.clone(), cost));
             if improves(&best, &candidate, cost, cc) {
                 best = Some((candidate.clone(), cost));
             }
@@ -340,11 +348,21 @@ impl ResourceOptimizer {
         let (best, best_cost_s) = best.ok_or_else(|| {
             CompileError::Internal("optimizer enumerated no configurations".into())
         })?;
+        let ledger = build_ledger(
+            &full_grid,
+            &src,
+            &candidates,
+            &best,
+            best_cost_s,
+            stats.sound_min_cp_budget_mb,
+            cc,
+        );
         Ok(OptimizationResult {
             best,
             best_cost_s,
             best_local,
             stats,
+            ledger,
         })
     }
 
@@ -697,6 +715,45 @@ mod tests {
         let walked = r.stats.cp_points - r.stats.cp_points_pruned_unsound;
         assert!(walked >= 1);
         assert!(walked < r.stats.cp_points, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn ledger_covers_every_grid_point_and_matches_the_outcome() {
+        use crate::provenance::PointVerdict;
+        let script = reml_scripts::linreg_ds();
+        let (analyzed, base) = setup(&script, Scenario::S, 8000, 1.0);
+        let r = optimizer().optimize(&analyzed, &base, None).unwrap();
+        // One record per generated grid point, exactly one chosen.
+        assert_eq!(r.ledger.points.len(), r.stats.cp_points);
+        let (costed, pruned, skipped) = r.ledger.counts();
+        assert_eq!(pruned, r.stats.cp_points_pruned_unsound);
+        assert_eq!(costed + pruned + skipped, r.stats.cp_points);
+        assert_eq!(skipped, 0, "no time budget, nothing skipped");
+        let chosen = r.ledger.chosen().expect("winner recorded");
+        assert_eq!(chosen.cp_heap_mb, r.best.cp_heap_mb);
+        assert_eq!(
+            chosen.verdict.cost_s().unwrap().to_bits(),
+            r.best_cost_s.to_bits()
+        );
+        // Every dominated point names the winner and a non-negative-ish
+        // delta (ties may dip within the 0.1% band).
+        for p in &r.ledger.points {
+            if let PointVerdict::Dominated {
+                by_cp_heap_mb,
+                delta_s,
+                tie,
+                ..
+            } = &p.verdict
+            {
+                assert_eq!(*by_cp_heap_mb, r.best.cp_heap_mb);
+                assert!(*delta_s >= -0.001 * r.best_cost_s || *tie);
+            }
+        }
+        // The parallel path builds the identical ledger.
+        let mut par = optimizer();
+        par.config.workers = 4;
+        let rp = par.optimize(&analyzed, &base, None).unwrap();
+        assert_eq!(r.ledger, rp.ledger);
     }
 
     #[test]

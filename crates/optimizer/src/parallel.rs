@@ -37,6 +37,7 @@ use reml_compiler::{CompileConfig, CompileError};
 
 use crate::cache::{improves, stage_agg, stage_baseline, stage_enum_block, CostMemo};
 use crate::optimizer::{OptimizationResult, OptimizerStats, ResourceOptimizer};
+use crate::provenance::build_ledger;
 use crate::resources::ResourceConfig;
 
 enum Task {
@@ -114,6 +115,8 @@ pub fn optimize_parallel(
         .generate(min_heap, max_heap, &mem_estimates);
     stats.cp_points = src.len();
     stats.mr_points = srm.len();
+    // The generated (pre-pruning) grid: the ledger's key space.
+    let full_grid = src.clone();
     // Same soundness pruning as the serial path — the two must walk an
     // identical grid for bit-identical results.
     let t_prune = Instant::now();
@@ -258,14 +261,14 @@ pub fn optimize_parallel(
     // exactly like the serial loop would.
     let mut best: Option<(ResourceConfig, f64)> = None;
     let mut best_local: Option<(ResourceConfig, f64)> = None;
-    for (candidate, cost) in candidates.into_iter().flatten() {
-        if improves(&best, &candidate, cost, cc) {
-            best = Some((candidate.clone(), cost));
+    for (candidate, cost) in candidates.iter().flatten() {
+        if improves(&best, candidate, *cost, cc) {
+            best = Some((candidate.clone(), *cost));
         }
         if Some(candidate.cp_heap_mb) == current_cp_heap
-            && improves(&best_local, &candidate, cost, cc)
+            && improves(&best_local, candidate, *cost, cc)
         {
-            best_local = Some((candidate, cost));
+            best_local = Some((candidate.clone(), *cost));
         }
     }
 
@@ -286,11 +289,21 @@ pub fn optimize_parallel(
     let (best, best_cost_s) = best.ok_or_else(|| {
         CompileError::Internal("parallel optimizer enumerated no configurations".into())
     })?;
+    let ledger = build_ledger(
+        &full_grid,
+        &src,
+        &candidates,
+        &best,
+        best_cost_s,
+        stats.sound_min_cp_budget_mb,
+        cc,
+    );
     Ok(OptimizationResult {
         best,
         best_cost_s,
         best_local,
         stats,
+        ledger,
     })
 }
 

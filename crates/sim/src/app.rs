@@ -29,6 +29,7 @@ use reml_runtime::program::RtBlock;
 use reml_runtime::value::Operand;
 use reml_runtime::Instruction;
 
+use crate::causal::{Bucket, CausalKind, CausalTrace};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, TraceEvent, TracedEvent};
 use crate::shadow::ShadowPool;
 
@@ -133,6 +134,9 @@ pub struct AppOutcome {
     pub fault_rework_s: f64,
     /// Structured fault/recovery/adaptation trace (the replay contract).
     pub events: Vec<TracedEvent>,
+    /// Causal event DAG: every charged second as a happens-before node
+    /// (the `reml_insight` attribution substrate).
+    pub causal: CausalTrace,
 }
 
 /// Trace record of one runtime re-optimization decision.
@@ -222,10 +226,18 @@ impl Simulator {
                 faults_injected: 0,
                 fault_rework_s: 0.0,
                 events: Vec::new(),
+                causal: CausalTrace::new(),
             },
+            current_block: None,
         };
         // Application start: CP AM container allocation.
-        state.outcome.latency_s += self.cluster.container_alloc_latency_s;
+        state.charge(
+            Comp::Latency,
+            Bucket::SchedulingDelay,
+            CausalKind::Container,
+            "am.alloc",
+            self.cluster.container_alloc_latency_s,
+        );
         state.sync_trace_clock();
         let _app_span = reml_trace::span!(
             "sim.app",
@@ -301,6 +313,18 @@ struct SimState<'a> {
     adapted: HashSet<usize>,
     injector: FaultInjector,
     outcome: AppOutcome,
+    /// Statement block currently executing (for causal-node attribution).
+    current_block: Option<usize>,
+}
+
+/// Which [`AppOutcome`] component a charge lands in.
+#[derive(Debug, Clone, Copy)]
+enum Comp {
+    Io,
+    Compute,
+    Latency,
+    Shuffle,
+    Eviction,
 }
 
 /// Flat time cost of evaluating a predicate (scalar CP work).
@@ -330,6 +354,102 @@ impl<'a> SimState<'a> {
         }
     }
 
+    /// Charge serial time to one outcome component and append the
+    /// matching causal node. Zero charges are dropped (no node).
+    fn charge(&mut self, comp: Comp, bucket: Bucket, kind: CausalKind, label: &str, secs: f64) {
+        self.charge_par(comp, bucket, kind, label, secs, 1);
+    }
+
+    /// [`Self::charge`] for work running at parallel `width`: the node's
+    /// duration is `secs` of elapsed time, its serialized work
+    /// `secs × width`.
+    fn charge_par(
+        &mut self,
+        comp: Comp,
+        bucket: Bucket,
+        kind: CausalKind,
+        label: &str,
+        secs: f64,
+        width: u64,
+    ) {
+        if secs <= 0.0 {
+            return;
+        }
+        let start = self.now();
+        match comp {
+            Comp::Io => self.outcome.io_s += secs,
+            Comp::Compute => self.outcome.compute_s += secs,
+            Comp::Latency => self.outcome.latency_s += secs,
+            Comp::Shuffle => self.outcome.shuffle_s += secs,
+            Comp::Eviction => self.outcome.eviction_s += secs,
+        }
+        let width = width.max(1);
+        self.outcome.causal.push(
+            kind,
+            label,
+            self.current_block,
+            bucket,
+            start,
+            start + secs,
+            secs * width as f64,
+            width,
+        );
+    }
+
+    /// Append a zero-duration recompilation marker node (a DAG vertex
+    /// for the happens-before edge; the decision overhead, when any, is
+    /// charged separately).
+    fn mark_recompile(&mut self, label: &str) {
+        let t = self.now();
+        self.outcome.causal.push(
+            CausalKind::Recompilation,
+            label,
+            self.current_block,
+            Bucket::Recompilation,
+            t,
+            t,
+            0.0,
+            1,
+        );
+    }
+
+    /// Charge a fraction of an MR job's component work as retry/rework
+    /// (the re-executed share really runs again).
+    fn charge_fault_rework(&mut self, frac: f64, cost: &CostBreakdown, label: &str) {
+        self.charge(
+            Comp::Io,
+            Bucket::RetryRework,
+            CausalKind::Fault,
+            label,
+            frac * cost.io_s,
+        );
+        self.charge(
+            Comp::Compute,
+            Bucket::RetryRework,
+            CausalKind::Fault,
+            label,
+            frac * cost.compute_s,
+        );
+        self.charge(
+            Comp::Shuffle,
+            Bucket::RetryRework,
+            CausalKind::Fault,
+            label,
+            frac * cost.shuffle_s,
+        );
+    }
+
+    /// Flat charge for evaluating a control-flow predicate.
+    fn charge_predicate(&mut self) {
+        self.charge(
+            Comp::Compute,
+            Bucket::Compute,
+            CausalKind::Cp,
+            "predicate",
+            PREDICATE_COST_S,
+        );
+    }
+
     fn sim_blocks(&mut self, blocks: &'a [StatementBlock]) -> Result<(), CompileError> {
         for block in blocks {
             match &block.kind {
@@ -339,7 +459,7 @@ impl<'a> SimState<'a> {
                     then_blocks,
                     else_blocks,
                 } => {
-                    self.outcome.compute_s += PREDICATE_COST_S;
+                    self.charge_predicate();
                     let konst = fold_predicate_with_env(
                         self.analyzed,
                         &self.current_cfg(),
@@ -375,10 +495,10 @@ impl<'a> SimState<'a> {
                         .unwrap_or(self.facts.default_inner_iterations)
                         .max(1);
                     for _ in 0..iters {
-                        self.outcome.compute_s += PREDICATE_COST_S;
+                        self.charge_predicate();
                         self.sim_blocks(body)?;
                     }
-                    self.outcome.compute_s += PREDICATE_COST_S; // final check
+                    self.charge_predicate(); // final check
                 }
                 StatementBlockKind::For { var, body, .. } => {
                     let iters = self
@@ -399,8 +519,18 @@ impl<'a> SimState<'a> {
     }
 
     fn sim_generic(&mut self, id: BlockId) -> Result<(), CompileError> {
+        self.current_block = Some(id.0);
         self.sync_trace_clock();
         let _block_span = reml_trace::span!("sim.block", block = id.0);
+        // Counter samples at block granularity: memory pressure and RM
+        // container population, so utilization lanes line up with the
+        // buffer pool in the trace viewer. Block-boundary cadence keeps
+        // the record volume far below any reasonable ring capacity.
+        reml_trace::counter("sim.pool_resident_bytes", self.pool.resident_bytes() as f64);
+        reml_trace::counter(
+            "sim.live_containers",
+            self.injector.rm.num_containers() as f64,
+        );
         // Fault hook: statement-block boundary. A deferred (mid-job) AM
         // kill is processed here, and recompilation-triggered faults for
         // the upcoming recompile index fire now.
@@ -426,6 +556,7 @@ impl<'a> SimState<'a> {
         let (instructions, _summary, _stats) =
             compile_block_with_env(self.analyzed, &cfg, id, &mut probe_env)?;
         self.outcome.recompilations += 1;
+        self.mark_recompile("recompile");
 
         // Runtime adaptation trigger (§4.1): the block was initially
         // marked, recompilation produced MR jobs, and we have not adapted
@@ -492,6 +623,7 @@ impl<'a> SimState<'a> {
             let (instructions, _summary, _stats) =
                 compile_block_with_env(self.analyzed, &forced, id, &mut self.env)?;
             self.outcome.recompilations += 1;
+            self.mark_recompile("oom.recompile");
             let mr_jobs = instructions.iter().filter(|i| i.is_mr()).count() as u64;
             let t = self.now();
             self.injector.record(
@@ -571,9 +703,27 @@ impl<'a> SimState<'a> {
         let restore_s = clean_mb / self.sim.cluster.hdfs_read_mbs;
         let rework_s = dirty_mb / self.facts.local_disk_write_mbs;
         let restart_latency_s = retry.backoff_s + self.sim.cluster.container_alloc_latency_s;
-        self.outcome.io_s += restore_s;
-        self.outcome.compute_s += rework_s;
-        self.outcome.latency_s += restart_latency_s;
+        self.charge(
+            Comp::Io,
+            Bucket::RetryRework,
+            CausalKind::Fault,
+            "am.restore",
+            restore_s,
+        );
+        self.charge(
+            Comp::Compute,
+            Bucket::RetryRework,
+            CausalKind::Fault,
+            "am.rework",
+            rework_s,
+        );
+        self.charge(
+            Comp::Latency,
+            Bucket::SchedulingDelay,
+            CausalKind::Fault,
+            "am.restart",
+            restart_latency_s,
+        );
         self.outcome.fault_rework_s += restore_s + rework_s + restart_latency_s;
         self.outcome.recoveries += 1;
         let t = self.now();
@@ -604,7 +754,13 @@ impl<'a> SimState<'a> {
                 &self.env,
                 self.resources.cp_heap_mb,
             )?;
-            self.outcome.compute_s += decision_opt_overhead_s();
+            self.charge(
+                Comp::Compute,
+                Bucket::Recompilation,
+                CausalKind::Recompilation,
+                "recovery.reopt",
+                decision_opt_overhead_s(),
+            );
             let t = self.now();
             self.injector.record(
                 t,
@@ -654,7 +810,13 @@ impl<'a> SimState<'a> {
             self.pool.dirty_bytes(),
         )?;
         // Optimizer overhead is part of measured time.
-        self.outcome.compute_s += decision_opt_overhead_s();
+        self.charge(
+            Comp::Compute,
+            Bucket::Recompilation,
+            CausalKind::Recompilation,
+            "adapt.reopt",
+            decision_opt_overhead_s(),
+        );
         let ev = AdaptationEvent {
             block: id.0,
             migrated: decision.migrate,
@@ -671,8 +833,20 @@ impl<'a> SimState<'a> {
                 &self.sim.cluster,
                 self.pool.dirty_bytes(),
             );
-            self.outcome.io_s += migration.io_s;
-            self.outcome.latency_s += migration.latency_s;
+            self.charge(
+                Comp::Io,
+                Bucket::Io,
+                CausalKind::Migration,
+                "migrate.export",
+                migration.io_s,
+            );
+            self.charge(
+                Comp::Latency,
+                Bucket::SchedulingDelay,
+                CausalKind::Migration,
+                "migrate.alloc",
+                migration.latency_s,
+            );
             self.outcome.migrations += 1;
             self.resources = decision.target.clone();
             self.pool.set_capacity(
@@ -713,35 +887,67 @@ impl<'a> SimState<'a> {
             mr_heap_mb,
             &mut self.var_states,
         );
-        self.outcome.io_s += cost.io_s;
-        self.outcome.compute_s += cost.compute_s;
-        self.outcome.shuffle_s += cost.shuffle_s;
+        // Causal identity of this instruction's work: a distributed job
+        // runs `width` tasks in parallel (serialized work = duration ×
+        // width); CP work is serial.
+        let (kind, label, width, input_mb) = match &patched {
+            Instruction::MrJob(job) => {
+                let input_mb = job
+                    .hdfs_inputs
+                    .iter()
+                    .map(|(_, mc)| mc.estimated_size_bytes().unwrap_or(0))
+                    .sum::<u64>()
+                    / (1024 * 1024);
+                let width = (self.sim.cluster.num_splits(input_mb) as u64)
+                    .min(self.sim.cluster.total_slots(mr_heap_mb) as u64)
+                    .max(1);
+                (CausalKind::MrJob, "mr.job".to_string(), width, input_mb)
+            }
+            Instruction::Cp(cp) => (CausalKind::Cp, opcode_tag(&cp.opcode), 1, 0),
+        };
+        self.charge_par(Comp::Io, Bucket::Io, kind, &label, cost.io_s, width);
+        self.charge_par(
+            Comp::Compute,
+            Bucket::Compute,
+            kind,
+            &label,
+            cost.compute_s,
+            width,
+        );
+        self.charge_par(
+            Comp::Shuffle,
+            Bucket::Shuffle,
+            kind,
+            &label,
+            cost.shuffle_s,
+            width,
+        );
         // Measured jitter on MR jobs.
         if cost.mr_jobs > 0 {
             let jitter = 1.0 + self.rng.gen_range(0.0..self.facts.jitter.max(1e-9));
-            self.outcome.latency_s += cost.latency_s * jitter;
+            self.charge(
+                Comp::Latency,
+                Bucket::QueueWait,
+                kind,
+                &label,
+                cost.latency_s * jitter,
+            );
             let first = self.outcome.mr_jobs;
             self.outcome.mr_jobs += cost.mr_jobs;
             // Fault hook: faults scheduled on any of this instruction's
             // job indices fire now, in job order.
             let fired = self.injector.take_mr_faults(first, cost.mr_jobs);
-            if !fired.is_empty() {
-                let input_mb = match &patched {
-                    Instruction::MrJob(job) => {
-                        job.hdfs_inputs
-                            .iter()
-                            .map(|(_, mc)| mc.estimated_size_bytes().unwrap_or(0))
-                            .sum::<u64>()
-                            / (1024 * 1024)
-                    }
-                    Instruction::Cp(_) => 0,
-                };
-                for (job_idx, kind) in fired {
-                    self.apply_mr_fault(job_idx, kind, &cost, input_mb, mr_heap_mb);
-                }
+            for (job_idx, fault_kind) in fired {
+                self.apply_mr_fault(job_idx, fault_kind, &cost, input_mb, mr_heap_mb);
             }
         } else {
-            self.outcome.latency_s += cost.latency_s;
+            self.charge(
+                Comp::Latency,
+                Bucket::SchedulingDelay,
+                kind,
+                &label,
+                cost.latency_s,
+            );
         }
         // Shadow buffer pool: evictions/restores the cost model ignores.
         match &patched {
@@ -752,16 +958,21 @@ impl<'a> SimState<'a> {
                     }
                 }
                 let before_evicted = self.pool.bytes_evicted;
+                let mut restored_bytes = 0u64;
                 for (operand, mc) in cp.operands.iter().zip(&cp.operand_mcs) {
                     if let Operand::Var(name) = operand {
                         if !mc.is_scalar() {
-                            let restored = self.pool.touch(name);
-                            self.outcome.eviction_s += restored as f64
-                                / (1024.0 * 1024.0)
-                                / self.facts.local_disk_read_mbs;
+                            restored_bytes += self.pool.touch(name);
                         }
                     }
                 }
+                self.charge(
+                    Comp::Eviction,
+                    Bucket::Eviction,
+                    CausalKind::Cp,
+                    "pool.restore",
+                    restored_bytes as f64 / (1024.0 * 1024.0) / self.facts.local_disk_read_mbs,
+                );
                 if let Some(out) = &cp.output {
                     if !cp.output_mc.is_scalar() {
                         let bytes = cp.output_mc.estimated_size_bytes().unwrap_or(0);
@@ -781,8 +992,13 @@ impl<'a> SimState<'a> {
                     }
                 }
                 let evicted_delta = self.pool.bytes_evicted - before_evicted;
-                self.outcome.eviction_s +=
-                    evicted_delta as f64 / (1024.0 * 1024.0) / self.facts.local_disk_write_mbs;
+                self.charge(
+                    Comp::Eviction,
+                    Bucket::Eviction,
+                    CausalKind::Cp,
+                    "pool.evict",
+                    evicted_delta as f64 / (1024.0 * 1024.0) / self.facts.local_disk_write_mbs,
+                );
             }
             Instruction::MrJob(job) => {
                 for (name, _) in job.hdfs_inputs.iter().chain(&job.broadcast_inputs) {
@@ -809,7 +1025,13 @@ impl<'a> SimState<'a> {
         match kind {
             FaultKind::Straggler { factor } => {
                 let slowdown_s = (factor - 1.0).max(0.0) * cost.latency_s;
-                self.outcome.latency_s += slowdown_s;
+                self.charge(
+                    Comp::Latency,
+                    Bucket::StragglerWait,
+                    CausalKind::Fault,
+                    "fault.straggler",
+                    slowdown_s,
+                );
                 self.outcome.fault_rework_s += slowdown_s;
                 let t = self.now();
                 self.injector.record(
@@ -832,10 +1054,14 @@ impl<'a> SimState<'a> {
                 let (containers, requeued) =
                     self.injector.churn_job_containers(tasks, task_mem_mb, frac);
                 let rework_s = frac * (cost.io_s + cost.compute_s + cost.shuffle_s);
-                self.outcome.io_s += frac * cost.io_s;
-                self.outcome.compute_s += frac * cost.compute_s;
-                self.outcome.shuffle_s += frac * cost.shuffle_s;
-                self.outcome.latency_s += requeue_delay_s;
+                self.charge_fault_rework(frac, cost, "fault.preempt.rework");
+                self.charge(
+                    Comp::Latency,
+                    Bucket::SchedulingDelay,
+                    CausalKind::Fault,
+                    "fault.preempt.requeue",
+                    requeue_delay_s,
+                );
                 self.outcome.fault_rework_s += rework_s + requeue_delay_s;
                 let t = self.now();
                 self.injector.record(
@@ -862,10 +1088,14 @@ impl<'a> SimState<'a> {
                 // share re-executes on the survivors.
                 let frac = 1.0 / active_before as f64;
                 let rework_s = frac * (cost.io_s + cost.compute_s + cost.shuffle_s);
-                self.outcome.io_s += frac * cost.io_s;
-                self.outcome.compute_s += frac * cost.compute_s;
-                self.outcome.shuffle_s += frac * cost.shuffle_s;
-                self.outcome.latency_s += requeue_delay_s;
+                self.charge_fault_rework(frac, cost, "fault.node_loss.rework");
+                self.charge(
+                    Comp::Latency,
+                    Bucket::SchedulingDelay,
+                    CausalKind::Fault,
+                    "fault.node_loss.requeue",
+                    requeue_delay_s,
+                );
                 self.outcome.fault_rework_s += rework_s + requeue_delay_s;
                 // Capacity shrinks for the rest of the run: the §6 slot
                 // availability scales by the surviving-node fraction.
@@ -896,6 +1126,12 @@ impl<'a> SimState<'a> {
 /// sub-second re-optimization; we charge a conservative constant).
 fn decision_opt_overhead_s() -> f64 {
     0.5
+}
+
+/// Short opcode tag for causal-node labels (`MatMult { .. }` → "MatMult").
+fn opcode_tag(op: &OpCode) -> String {
+    let s = format!("{op:?}");
+    s.split([' ', '{', '(']).next().unwrap_or("op").to_string()
 }
 
 /// Replace unknown characteristics in an instruction with runtime-actual

@@ -1,0 +1,245 @@
+//! Causal event DAG emitted by the simulator.
+//!
+//! Every second the simulator charges to an [`super::AppOutcome`]
+//! component is also recorded here as a node in a happens-before DAG on
+//! the virtual clock: the node knows *what* consumed the time (a CP
+//! instruction, an MR job, a fault, a migration), *which* taxonomy
+//! bucket it belongs to, and *how much serialized work* it stands for
+//! (an MR node's duration is its elapsed time; its `serial_s` is
+//! duration × task parallelism). `reml_insight` consumes this trace to
+//! extract the critical path and attribute the makespan — the closed
+//! taxonomy below is the contract between the two crates.
+
+/// The closed attribution taxonomy: every simulated second lands in
+/// exactly one bucket. `IdleResidual` is never emitted by the simulator
+/// itself — it is the (near-zero) remainder the attribution layer
+/// assigns when bucket sums fall short of the makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Bucket {
+    /// CPU work (CP operators, MR task compute, fault rework regen).
+    Compute,
+    /// HDFS / broadcast / migration-export IO.
+    Io,
+    /// MR shuffle transfer.
+    Shuffle,
+    /// Container allocation, restart backoff, requeue delay.
+    SchedulingDelay,
+    /// MR job startup / task queue latency (per-job overhead + jitter).
+    QueueWait,
+    /// Straggler-stretched job tails.
+    StragglerWait,
+    /// Re-executed work after preemptions, node losses, and AM kills.
+    RetryRework,
+    /// Dynamic recompilation and runtime re-optimization overhead.
+    Recompilation,
+    /// Buffer-pool eviction writes and restore reads.
+    Eviction,
+    /// Unattributed remainder (assigned by the attribution layer only).
+    IdleResidual,
+}
+
+impl Bucket {
+    /// All buckets, in canonical report order.
+    pub const ALL: [Bucket; 10] = [
+        Bucket::Compute,
+        Bucket::Io,
+        Bucket::Shuffle,
+        Bucket::SchedulingDelay,
+        Bucket::QueueWait,
+        Bucket::StragglerWait,
+        Bucket::RetryRework,
+        Bucket::Recompilation,
+        Bucket::Eviction,
+        Bucket::IdleResidual,
+    ];
+
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bucket::Compute => "compute",
+            Bucket::Io => "io",
+            Bucket::Shuffle => "shuffle",
+            Bucket::SchedulingDelay => "scheduling_delay",
+            Bucket::QueueWait => "queue_wait",
+            Bucket::StragglerWait => "straggler_wait",
+            Bucket::RetryRework => "retry_rework",
+            Bucket::Recompilation => "recompilation",
+            Bucket::Eviction => "eviction",
+            Bucket::IdleResidual => "idle_residual",
+        }
+    }
+}
+
+/// What kind of actor a causal node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CausalKind {
+    /// Container lifecycle (AM allocation).
+    Container,
+    /// CP (single-node control-program) instruction work.
+    Cp,
+    /// Distributed MR job work.
+    MrJob,
+    /// Dynamic recompilation / runtime re-optimization.
+    Recompilation,
+    /// Injected-fault consequence (rework, waits, restarts).
+    Fault,
+    /// AM migration.
+    Migration,
+}
+
+impl CausalKind {
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CausalKind::Container => "container",
+            CausalKind::Cp => "cp",
+            CausalKind::MrJob => "mr_job",
+            CausalKind::Recompilation => "recompilation",
+            CausalKind::Fault => "fault",
+            CausalKind::Migration => "migration",
+        }
+    }
+}
+
+/// One node of the causal DAG: a contiguous span of simulated time with
+/// happens-before edges to its predecessors.
+#[derive(Debug, Clone)]
+pub struct CausalNode {
+    /// Dense id (index into [`CausalTrace::nodes`]).
+    pub id: u32,
+    /// Actor kind.
+    pub kind: CausalKind,
+    /// Short label (opcode tag, fault tag, ...).
+    pub label: String,
+    /// Statement block being executed, when inside one.
+    pub block: Option<usize>,
+    /// Taxonomy bucket the node's duration belongs to.
+    pub bucket: Bucket,
+    /// Virtual-clock start, seconds.
+    pub start_s: f64,
+    /// Virtual-clock end, seconds (`end_s - start_s` is charged time).
+    pub end_s: f64,
+    /// Serialized work the node stands for: equals the duration for
+    /// serial work, duration × `width` for parallel task work.
+    pub serial_s: f64,
+    /// Parallel width (concurrently running tasks), ≥ 1.
+    pub width: u64,
+    /// Happens-before predecessors (node ids).
+    pub deps: Vec<u32>,
+}
+
+impl CausalNode {
+    /// Elapsed (charged) duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// The causal trace of one simulated application. The simulator executes
+/// serially on the virtual clock, so nodes form a chain in emission
+/// order — each node's happens-before set is its predecessor — and node
+/// durations partition the makespan.
+#[derive(Debug, Clone, Default)]
+pub struct CausalTrace {
+    /// Nodes in virtual-clock order.
+    pub nodes: Vec<CausalNode>,
+}
+
+impl CausalTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a node chained after the current tail; returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        kind: CausalKind,
+        label: &str,
+        block: Option<usize>,
+        bucket: Bucket,
+        start_s: f64,
+        end_s: f64,
+        serial_s: f64,
+        width: u64,
+    ) -> u32 {
+        let id = self.nodes.len() as u32;
+        let deps = if id == 0 { Vec::new() } else { vec![id - 1] };
+        self.nodes.push(CausalNode {
+            id,
+            kind,
+            label: label.to_string(),
+            block,
+            bucket,
+            start_s,
+            end_s,
+            serial_s,
+            width: width.max(1),
+            deps,
+        });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total serialized work, seconds (≥ the makespan).
+    pub fn serial_sum_s(&self) -> f64 {
+        self.nodes.iter().map(|n| n.serial_s).sum()
+    }
+
+    /// Sum of node durations, seconds (== the charged makespan).
+    pub fn charged_s(&self) -> f64 {
+        self.nodes.iter().map(|n| n.duration_s()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_closed_and_named() {
+        let names: std::collections::HashSet<&str> = Bucket::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), Bucket::ALL.len());
+    }
+
+    #[test]
+    fn push_chains_nodes() {
+        let mut t = CausalTrace::new();
+        let a = t.push(
+            CausalKind::Cp,
+            "x",
+            Some(0),
+            Bucket::Compute,
+            0.0,
+            1.0,
+            1.0,
+            1,
+        );
+        let b = t.push(
+            CausalKind::MrJob,
+            "y",
+            Some(1),
+            Bucket::Io,
+            1.0,
+            3.0,
+            8.0,
+            4,
+        );
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert!(t.nodes[0].deps.is_empty());
+        assert_eq!(t.nodes[1].deps, vec![0]);
+        assert_eq!(t.charged_s(), 3.0);
+        assert_eq!(t.serial_sum_s(), 9.0);
+    }
+}

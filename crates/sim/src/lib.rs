@@ -23,6 +23,7 @@
 
 pub mod app;
 pub mod audit;
+pub mod causal;
 pub mod fault;
 pub mod shadow;
 pub mod spark;
@@ -33,6 +34,7 @@ pub use audit::{
     collect_observations, memory_soundness_audit, MemoryAuditReport, OpcodeAudit,
     ScriptObservations,
 };
+pub use causal::{Bucket, CausalKind, CausalNode, CausalTrace};
 pub use fault::{
     trace_to_json, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTrigger, RetryPolicy,
     TraceEvent, TracedEvent,

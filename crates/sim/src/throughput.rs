@@ -15,6 +15,23 @@ pub struct ThroughputResult {
     pub throughput_apps_per_min: f64,
     /// Peak concurrently running applications.
     pub peak_parallel: u32,
+    /// Median per-application latency (submission-ready → finish), s.
+    pub latency_p50_s: f64,
+    /// 95th-percentile per-application latency, seconds.
+    pub latency_p95_s: f64,
+    /// 99th-percentile per-application latency, seconds.
+    pub latency_p99_s: f64,
+    /// Mean admission queue wait (ready → slot granted), seconds.
+    pub queue_wait_mean_s: f64,
+}
+
+/// Nearest-rank percentile over a sorted sample (`p` in `[0, 100]`).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Simulate `num_users` users × `apps_per_user` applications, each taking
@@ -68,6 +85,10 @@ pub fn simulate_throughput_with_faults(
     let mut peak = 0u32;
     let mut done = 0u64;
     let mut submitted = 0u64;
+    // Per-application latency (ready → finish) and admission queue wait
+    // (ready → slot granted) samples for the percentile columns.
+    let mut latencies: Vec<f64> = Vec::with_capacity(total_apps as usize);
+    let mut queue_waits: Vec<f64> = Vec::with_capacity(total_apps as usize);
     while done < total_apps {
         // Free finished slots at the current clock.
         running.retain(|f| *f > clock + 1e-9);
@@ -86,6 +107,8 @@ pub fn simulate_throughput_with_faults(
                 };
                 let finish = clock + duration;
                 running.push(finish);
+                queue_waits.push((clock - user_ready[u]).max(0.0));
+                latencies.push(finish - user_ready[u]);
                 // Users run their apps sequentially: the next submission
                 // waits for this one to finish.
                 user_ready[u] = finish + submit_latency_s.max(0.0);
@@ -119,10 +142,20 @@ pub fn simulate_throughput_with_faults(
         }
     }
     let makespan_s = makespan.max(f64::EPSILON);
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let queue_wait_mean_s = if queue_waits.is_empty() {
+        0.0
+    } else {
+        queue_waits.iter().sum::<f64>() / queue_waits.len() as f64
+    };
     ThroughputResult {
         makespan_s,
         throughput_apps_per_min: total_apps as f64 / makespan_s * 60.0,
         peak_parallel: peak,
+        latency_p50_s: percentile(&latencies, 50.0),
+        latency_p95_s: percentile(&latencies, 95.0),
+        latency_p99_s: percentile(&latencies, 99.0),
+        queue_wait_mean_s,
     }
 }
 
@@ -180,6 +213,26 @@ mod tests {
         // Deterministic: replaying yields the identical result.
         let again = simulate_throughput_with_faults(60.0, 36, 1, 8, 0.0, 4, 5.0);
         assert_eq!(faulted, again);
+    }
+
+    #[test]
+    fn latency_percentiles_and_queue_wait() {
+        // Sequential single user: every app's latency is its duration and
+        // nothing queues.
+        let r = simulate_throughput(60.0, 36, 1, 8, 0.0);
+        assert_eq!(r.latency_p50_s, 60.0);
+        assert_eq!(r.latency_p99_s, 60.0);
+        assert_eq!(r.queue_wait_mean_s, 0.0);
+        // Saturated admission: queue waits appear and the tail stretches
+        // beyond the median.
+        let sat = simulate_throughput(60.0, 2, 16, 4, 0.0);
+        assert!(sat.queue_wait_mean_s > 0.0, "{}", sat.queue_wait_mean_s);
+        assert!(sat.latency_p99_s >= sat.latency_p50_s);
+        assert!(sat.latency_p50_s >= 60.0);
+        // Faults stretch the tail percentile, not the median.
+        let faulted = simulate_throughput_with_faults(60.0, 36, 1, 8, 0.0, 8, 5.0);
+        assert_eq!(faulted.latency_p50_s, 60.0);
+        assert!(faulted.latency_p99_s > 100.0, "{}", faulted.latency_p99_s);
     }
 
     #[test]

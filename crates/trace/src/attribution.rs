@@ -102,7 +102,7 @@ pub fn attribute(records: &[TraceRecord]) -> Attribution {
                 row.self_us += self_us;
                 row.total_us += dur;
             }
-            RecordData::Event { .. } => {}
+            RecordData::Event { .. } | RecordData::Counter { .. } => {}
         }
     }
 

@@ -30,6 +30,7 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
             RecordData::SpanBegin { name, fields, .. } => ("B", name.to_string(), Some(fields)),
             RecordData::SpanEnd { name, .. } => ("E", name.to_string(), None),
             RecordData::Event { name, fields, .. } => ("i", name.to_string(), Some(fields)),
+            RecordData::Counter { name, .. } => ("C", name.to_string(), None),
         };
         let mut entries = vec![
             ("name".to_string(), Value::Str(name)),
@@ -41,6 +42,12 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
         if ph == "i" {
             // Instant events need a scope; "t" = thread.
             entries.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        if let RecordData::Counter { value, .. } = &r.data {
+            entries.push((
+                "args".to_string(),
+                Value::Object(vec![("value".to_string(), Value::Num(*value))]),
+            ));
         }
         if let Some(fields) = args {
             if !fields.is_empty() {
@@ -92,6 +99,29 @@ mod tests {
                 other => panic!("expected object, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn counters_render_as_chrome_counter_events() {
+        let rec = Recorder::new(16);
+        rec.counter(Cow::Borrowed("pool.bytes"), 1234.0);
+        let text = to_chrome_trace(&rec.drain());
+        let v: Value = serde_json::from_str(&text).expect("chrome trace parses");
+        let Value::Object(entries) = v else {
+            panic!("expected object root")
+        };
+        let Some((_, Value::Array(events))) = entries.iter().find(|(k, _)| k == "traceEvents")
+        else {
+            panic!("traceEvents array")
+        };
+        let Value::Object(ev) = &events[0] else {
+            panic!("event object")
+        };
+        assert!(ev.contains(&("ph".to_string(), Value::Str("C".to_string()))));
+        let Some((_, Value::Object(args))) = ev.iter().find(|(k, _)| k == "args") else {
+            panic!("counter args")
+        };
+        assert!(args.contains(&("value".to_string(), Value::Num(1234.0))));
     }
 
     #[test]

@@ -168,6 +168,14 @@ pub fn event_at_us(ts_us: u64, name: String, fields: Fields) {
     }
 }
 
+/// Record a counter sample on the global recorder (no-op when disabled).
+/// Counters render as Chrome "C" events — area charts in the viewer.
+pub fn counter(name: &'static str, value: f64) {
+    if let Some(rec) = recorder() {
+        rec.counter(Cow::Borrowed(name), value);
+    }
+}
+
 /// Bump a named counter in the global registry (no-op when disabled).
 #[inline]
 pub fn count(name: &str, n: u64) {

@@ -232,6 +232,16 @@ impl Registry {
                 .collect(),
         )
     }
+
+    /// Byte-stable pretty-JSON dump (metrics sorted by name, trailing
+    /// newline): the canonical form report artifacts embed, so two
+    /// registries holding the same values dump identically regardless of
+    /// registration order.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(&self.to_value()).expect("value serializes");
+        s.push('\n');
+        s
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +267,24 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.len(), 3);
         assert!(snap.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by name");
+    }
+
+    #[test]
+    fn dump_is_byte_stable_across_registration_order() {
+        let fill = |names: &[&str]| {
+            let reg = Registry::new();
+            for n in names {
+                reg.counter(n).add(n.len() as u64);
+            }
+            reg.gauge("z.gauge").set(5);
+            reg.histogram("m.hist").observe(8);
+            reg
+        };
+        let a = fill(&["b.count", "a.count", "c.count"]);
+        let b = fill(&["c.count", "b.count", "a.count"]);
+        // Same values registered in different orders: identical bytes.
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().ends_with('\n'));
     }
 
     #[test]

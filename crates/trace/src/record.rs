@@ -113,6 +113,12 @@ pub enum RecordData {
         name: Cow<'static, str>,
         fields: Fields,
     },
+    /// A sampled counter value (rendered as a Chrome "C" event, so the
+    /// viewer draws it as a stacked area under the span lanes).
+    Counter {
+        name: Cow<'static, str>,
+        value: f64,
+    },
 }
 
 impl TraceRecord {
@@ -120,7 +126,8 @@ impl TraceRecord {
         match &self.data {
             RecordData::SpanBegin { name, .. }
             | RecordData::SpanEnd { name, .. }
-            | RecordData::Event { name, .. } => name,
+            | RecordData::Event { name, .. }
+            | RecordData::Counter { name, .. } => name,
         }
     }
 
@@ -131,6 +138,7 @@ impl TraceRecord {
             RecordData::SpanBegin { .. } => "span_begin",
             RecordData::SpanEnd { .. } => "span_end",
             RecordData::Event { .. } => "event",
+            RecordData::Counter { .. } => "counter",
         };
         entries.push(("kind".into(), Value::Str(kind.into())));
         entries.push(("seq".into(), Value::Num(self.seq as f64)));
@@ -156,6 +164,10 @@ impl TraceRecord {
                 entries.push(("span".into(), Value::Num(*span as f64)));
                 entries.push(("name".into(), Value::Str(name.to_string())));
                 entries.push(("fields".into(), fields_value(fields)));
+            }
+            RecordData::Counter { name, value } => {
+                entries.push(("name".into(), Value::Str(name.to_string())));
+                entries.push(("value".into(), Value::Num(*value)));
             }
         }
         Value::Object(entries)

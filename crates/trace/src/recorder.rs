@@ -196,6 +196,13 @@ impl Recorder {
         self.push(ts_us, RecordData::Event { span, name, fields });
     }
 
+    /// Record a counter sample at the recorder's clock. Not sampled:
+    /// counters are emitted at a coarse cadence (block boundaries) and
+    /// each sample is meaningful to the viewer's area charts.
+    pub fn counter(&self, name: Cow<'static, str>, value: f64) {
+        self.push(self.now_us(), RecordData::Counter { name, value });
+    }
+
     /// Take every buffered record, leaving the recorder empty (seq keeps
     /// counting, so repeated drains stay totally ordered).
     pub fn drain(&self) -> Vec<TraceRecord> {

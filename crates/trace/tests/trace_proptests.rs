@@ -81,6 +81,7 @@ proptest! {
                     prop_assert_eq!(*span, stack.last().copied().unwrap_or(0),
                         "events attribute to the innermost open span");
                 }
+                RecordData::Counter { .. } => {}
             }
         }
         prop_assert!(stack.is_empty(), "every span closed by end of run");

@@ -37,6 +37,7 @@ pub use reml_calibrate as calibrate;
 pub use reml_cluster as cluster;
 pub use reml_compiler as compiler;
 pub use reml_cost as cost;
+pub use reml_insight as insight;
 pub use reml_lang as lang;
 pub use reml_matrix as matrix;
 pub use reml_optimizer as optimizer;
